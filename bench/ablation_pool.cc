@@ -1,0 +1,166 @@
+// Ablation: the dyadic sketch-pool pipeline of Theorem 6 end to end —
+// precompute cost (FFT vs naive all-positions sketching), pool memory,
+// O(k) query latency, and compound-estimate comparability across rectangle
+// shapes. Backs the claims that (a) FFT precompute wins and grows like
+// O(k N log^3 N), and (b) queries are constant-time regardless of the
+// rectangle queried.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketch_pool.h"
+#include "data/call_volume.h"
+#include "rng/xoshiro256.h"
+#include "util/timer.h"
+
+namespace {
+
+using tabsketch::core::DistanceEstimator;
+using tabsketch::core::PoolOptions;
+using tabsketch::core::Sketch;
+using tabsketch::core::SketchAlgorithm;
+using tabsketch::core::SketchParams;
+using tabsketch::core::SketchPool;
+
+size_t PoolBytes(const SketchPool& pool) {
+  size_t total = 0;
+  for (const auto& [size, field] : pool.fields()) {
+    total += field.k() * field.position_rows() * field.position_cols() *
+             sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: dyadic sketch pools (Theorem 6) ===\n");
+
+  SketchParams params{.p = 1.0, .k = 32, .seed = 11};
+
+  // Precompute cost vs table size, FFT vs naive.
+  std::printf("\nprecompute (canonical sizes 8x8 ... table, k = %zu):\n",
+              params.k);
+  std::printf("%12s %12s %12s %10s %12s\n", "table", "fft_s", "naive_s",
+              "speedup", "pool_MB");
+  for (size_t side : {64u, 128u, 256u}) {
+    tabsketch::data::CallVolumeOptions data_options;
+    data_options.num_stations = side;
+    data_options.bins_per_day = side;
+    auto volume = tabsketch::data::GenerateCallVolume(data_options);
+    if (!volume.ok()) {
+      std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+      return 1;
+    }
+    PoolOptions fft_options;
+    fft_options.log2_min_rows = 3;
+    fft_options.log2_min_cols = 3;
+    PoolOptions naive_options = fft_options;
+    naive_options.algorithm = SketchAlgorithm::kNaive;
+
+    tabsketch::util::WallTimer fft_timer;
+    auto fft_pool = SketchPool::Build(*volume, params, fft_options);
+    const double fft_seconds = fft_timer.ElapsedSeconds();
+    if (!fft_pool.ok()) {
+      std::fprintf(stderr, "pool build failed\n");
+      return 1;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zux%zu", side, side);
+    if (side <= 128) {
+      // The naive path grows as O(k N M); at 256x256 it takes minutes, so
+      // it is measured only where it finishes promptly.
+      tabsketch::util::WallTimer naive_timer;
+      auto naive_pool = SketchPool::Build(*volume, params, naive_options);
+      const double naive_seconds = naive_timer.ElapsedSeconds();
+      if (!naive_pool.ok()) {
+        std::fprintf(stderr, "pool build failed\n");
+        return 1;
+      }
+      std::printf("%12s %12.2f %12.2f %9.1fx %12.1f\n", label, fft_seconds,
+                  naive_seconds, naive_seconds / fft_seconds,
+                  static_cast<double>(PoolBytes(*fft_pool)) / 1e6);
+    } else {
+      std::printf("%12s %12.2f %12s %10s %12.1f\n", label, fft_seconds,
+                  "(skipped)", "-",
+                  static_cast<double>(PoolBytes(*fft_pool)) / 1e6);
+    }
+  }
+
+  // Query latency: constant in the rectangle size.
+  std::printf("\nquery latency (pool over 256x256, 20000 queries per "
+              "shape):\n");
+  std::printf("%14s %16s\n", "rectangle", "ns/query");
+  tabsketch::data::CallVolumeOptions data_options;
+  data_options.num_stations = 256;
+  data_options.bins_per_day = 256;
+  auto volume = tabsketch::data::GenerateCallVolume(data_options);
+  if (!volume.ok()) return 1;
+  PoolOptions options;
+  options.log2_min_rows = 3;
+  options.log2_min_cols = 3;
+  auto pool = SketchPool::Build(*volume, params, options);
+  if (!pool.ok()) return 1;
+
+  tabsketch::rng::Xoshiro256 gen(3);
+  for (size_t side : {9u, 17u, 33u, 65u, 129u}) {
+    constexpr size_t kQueries = 20000;
+    tabsketch::util::WallTimer timer;
+    double checksum = 0.0;
+    for (size_t q = 0; q < kQueries; ++q) {
+      const size_t row = gen.NextBounded(256 - side);
+      const size_t col = gen.NextBounded(256 - side);
+      auto sketch = pool->Query(row, col, side, side);
+      checksum += sketch->values[0];
+    }
+    const double seconds = timer.ElapsedSeconds();
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zux%zu", side, side);
+    std::printf("%14s %16.0f   (checksum %.3g)\n", label,
+                1e9 * seconds / kQueries, checksum);
+  }
+
+  // Compound-estimate comparability: same-dimension near/far ordering
+  // across shapes, checked against exact distances.
+  std::printf("\ncompound ordering check (non-dyadic shapes, L1):\n");
+  auto estimator = DistanceEstimator::Create(params);
+  if (!estimator.ok()) return 1;
+  size_t agree = 0;
+  size_t total = 0;
+  for (size_t side : {11u, 19u, 27u, 45u}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t r1 = gen.NextBounded(256 - side);
+      const size_t c1 = gen.NextBounded(256 - side);
+      const size_t r2 = gen.NextBounded(256 - side);
+      const size_t c2 = gen.NextBounded(256 - side);
+      const size_t r3 = gen.NextBounded(256 - side);
+      const size_t c3 = gen.NextBounded(256 - side);
+      auto s1 = pool->Query(r1, c1, side, side);
+      auto s2 = pool->Query(r2, c2, side, side);
+      auto s3 = pool->Query(r3, c3, side, side);
+      const double approx_near = estimator->Estimate(*s1, *s2);
+      const double approx_far = estimator->Estimate(*s1, *s3);
+      const double exact_near = tabsketch::core::LpDistance(
+          volume->Window(r1, c1, side, side),
+          volume->Window(r2, c2, side, side), params.p);
+      const double exact_far = tabsketch::core::LpDistance(
+          volume->Window(r1, c1, side, side),
+          volume->Window(r3, c3, side, side), params.p);
+      if ((approx_near < approx_far) == (exact_near < exact_far)) ++agree;
+      ++total;
+    }
+  }
+  std::printf("  pairwise ordering agreement: %.1f%% over %zu triples\n",
+              100.0 * static_cast<double>(agree) /
+                  static_cast<double>(total),
+              total);
+
+  std::printf(
+      "\nExpected shape: FFT precompute beats naive with a growing margin;\n"
+      "query latency is flat in the rectangle size (it is 4 gathers + a\n"
+      "vector add); compound estimates order pairs correctly the vast\n"
+      "majority of the time despite the Theorem-5 inflation band.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 3 reproduction: k-means (k = 20) over stitched multi-day call
+// volume, tiles of a day's data for a group of neighboring stations,
+// sweeping p in {0.25, ..., 2.0}.
+//
+// Panel (a): clustering time under three distance routines —
+//   sketches precomputed (preprocessing reported separately),
+//   sketching on demand (first touch pays, later comparisons are O(k)),
+//   exact distance computation.
+// Panel (b): clustering agreement with the exact run (confusion-matrix
+// agreement under best label matching, Definition 10) and quality of the
+// sketched clustering as a percentage of the exact one (Definition 11,
+// spread measured with exact distances for both).
+//
+// Scaling note: the paper stitched 18 days (~600 MB) and used 9K tiles
+// (2304 4-byte values) against 256-entry sketches on a scalar 400 MHz
+// UltraSparc. We stitch 8 days for 1024 stations (~9 MB) and use 64
+// stations x 1 day tiles (9216 values): on modern SIMD hardware an exact
+// L1 scan of 2304 values costs about the same as a k = 256 median
+// selection, so preserving the paper's *cost ratio* (what drives the
+// figure's shape) requires a larger tile/sketch element ratio.
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/exact_backend.h"
+#include "cluster/kmeans.h"
+#include "cluster/sketch_backend.h"
+#include "data/call_volume.h"
+#include "eval/confusion.h"
+#include "eval/quality.h"
+#include "table/tiling.h"
+#include "util/timer.h"
+
+namespace {
+
+using tabsketch::cluster::ExactBackend;
+using tabsketch::cluster::KMeansOptions;
+using tabsketch::cluster::KMeansResult;
+using tabsketch::cluster::RunKMeans;
+using tabsketch::cluster::SketchBackend;
+using tabsketch::cluster::SketchMode;
+
+constexpr size_t kClusters = 20;
+constexpr size_t kSketchEntries = 256;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 3: 20-means over stitched days, tile = 64 stations x 1 day "
+      "===\n");
+
+  tabsketch::data::CallVolumeOptions options;
+  options.num_stations = 1024;
+  options.bins_per_day = 144;
+  options.num_days = 8;
+  auto volume = tabsketch::data::GenerateCallVolume(options);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+  auto grid = tabsketch::table::TileGrid::Create(&*volume, 64, 144);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("table: %zux%zu (%.1f MB), %zu tiles of %zu values each\n\n",
+              volume->rows(), volume->cols(),
+              static_cast<double>(volume->size() * sizeof(double)) / 1e6,
+              grid->num_tiles(), grid->tile_size());
+
+  std::printf("%6s | %12s %12s %12s %12s | %14s | %10s %9s\n", "p",
+              "precomp_s", "ondemand_s", "exact_s", "sketchprep_s",
+              "iters(s/o/e)", "agreement%", "quality%");
+
+  const KMeansOptions kmeans{.k = kClusters, .max_iterations = 25,
+                             .seed = 2002};
+
+  for (double p : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}) {
+    // Scenario (1): precomputed sketches. Backend construction does all the
+    // sketching; RunKMeans then times only the clustering loop.
+    tabsketch::util::WallTimer prep_timer;
+    auto precomputed_backend = SketchBackend::Create(
+        &*grid, {.p = p, .k = kSketchEntries, .seed = 9},
+        SketchMode::kPrecomputed);
+    const double prep_seconds = prep_timer.ElapsedSeconds();
+    if (!precomputed_backend.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   precomputed_backend.status().ToString().c_str());
+      return 1;
+    }
+    auto precomputed = RunKMeans(&*precomputed_backend, kmeans);
+
+    // Scenario (2): sketches on demand (timed inside the clustering loop).
+    auto ondemand_backend = SketchBackend::Create(
+        &*grid, {.p = p, .k = kSketchEntries, .seed = 9},
+        SketchMode::kOnDemand);
+    if (!ondemand_backend.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   ondemand_backend.status().ToString().c_str());
+      return 1;
+    }
+    auto ondemand = RunKMeans(&*ondemand_backend, kmeans);
+
+    // Scenario (3): exact distances.
+    auto exact_backend = ExactBackend::Create(&*grid, p);
+    if (!exact_backend.ok()) {
+      std::fprintf(stderr, "%s\n", exact_backend.status().ToString().c_str());
+      return 1;
+    }
+    auto exact = RunKMeans(&*exact_backend, kmeans);
+
+    if (!precomputed.ok() || !ondemand.ok() || !exact.ok()) {
+      std::fprintf(stderr, "clustering failed at p=%f\n", p);
+      return 1;
+    }
+
+    const double agreement =
+        100.0 * tabsketch::eval::BestMatchAgreement(
+                    exact->assignment, precomputed->assignment, kClusters);
+    const double spread_exact = tabsketch::eval::ClusteringSpread(
+        *grid, exact->assignment, kClusters, p);
+    const double spread_sketch = tabsketch::eval::ClusteringSpread(
+        *grid, precomputed->assignment, kClusters, p);
+    const double quality = tabsketch::eval::QualityOfSketchedClusteringPercent(
+        spread_exact, spread_sketch);
+
+    char iters[32];
+    std::snprintf(iters, sizeof(iters), "%zu/%zu/%zu",
+                  precomputed->iterations, ondemand->iterations,
+                  exact->iterations);
+    std::printf("%6.2f | %12.2f %12.2f %12.2f %12.2f | %14s | %10.1f %9.1f\n",
+                p, precomputed->seconds, ondemand->seconds, exact->seconds,
+                prep_seconds, iters, agreement, quality);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig 3): sketch-based runs are several times\n"
+      "faster than exact and roughly flat in p; sketch preprocessing adds a\n"
+      "near-constant cost (and p = 2 estimation is cheapest: L2 estimator,\n"
+      "no median); agreement is high for small p and dips for p = 2, while\n"
+      "quality stays ~100%% — the sketched clustering is as good as exact\n"
+      "even when it is a different local minimum.\n");
+  return 0;
+}

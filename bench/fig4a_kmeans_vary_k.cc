@@ -1,0 +1,95 @@
+// Figure 4(a) reproduction: clustering time as the number of means k grows
+// (4 ... 48), at p = 1, under the three distance routines. The paper's
+// observations to reproduce: exact cost rises linearly with k; the gap
+// between precomputed and on-demand sketching stays roughly constant (it is
+// the one-off sketching cost); and at the smallest k the clustering makes too
+// few comparisons to "buy back" the sketch construction cost.
+
+#include <cstdio>
+
+#include "cluster/exact_backend.h"
+#include "cluster/kmeans.h"
+#include "cluster/sketch_backend.h"
+#include "data/call_volume.h"
+#include "table/tiling.h"
+#include "util/timer.h"
+
+namespace {
+
+using tabsketch::cluster::ExactBackend;
+using tabsketch::cluster::KMeansOptions;
+using tabsketch::cluster::RunKMeans;
+using tabsketch::cluster::SketchBackend;
+using tabsketch::cluster::SketchMode;
+
+constexpr size_t kSketchEntries = 256;
+constexpr double kNorm = 1.0;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 4(a): k-means time vs number of clusters, p = 1 ===\n");
+
+  tabsketch::data::CallVolumeOptions options;
+  options.num_stations = 1024;
+  options.bins_per_day = 144;
+  options.num_days = 8;
+  auto volume = tabsketch::data::GenerateCallVolume(options);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+  auto grid = tabsketch::table::TileGrid::Create(&*volume, 64, 144);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("table: %zux%zu, %zu tiles of %zu values\n\n", volume->rows(),
+              volume->cols(), grid->num_tiles(), grid->tile_size());
+
+  std::printf("%6s %16s %16s %12s\n", "k", "precomputed_s",
+              "ondemand_total_s", "exact_s");
+
+  for (size_t k : {4u, 8u, 12u, 16u, 20u, 24u, 48u}) {
+    const KMeansOptions kmeans{.k = k, .max_iterations = 40, .seed = 2002};
+
+    tabsketch::util::WallTimer prep_timer;
+    auto precomputed_backend = SketchBackend::Create(
+        &*grid, {.p = kNorm, .k = kSketchEntries, .seed = 9},
+        SketchMode::kPrecomputed);
+    const double prep_seconds = prep_timer.ElapsedSeconds();
+    auto ondemand_backend = SketchBackend::Create(
+        &*grid, {.p = kNorm, .k = kSketchEntries, .seed = 9},
+        SketchMode::kOnDemand);
+    auto exact_backend = ExactBackend::Create(&*grid, kNorm);
+    if (!precomputed_backend.ok() || !ondemand_backend.ok() ||
+        !exact_backend.ok()) {
+      std::fprintf(stderr, "backend setup failed at k=%zu\n", k);
+      return 1;
+    }
+
+    auto precomputed = RunKMeans(&*precomputed_backend, kmeans);
+    auto ondemand = RunKMeans(&*ondemand_backend, kmeans);
+    auto exact = RunKMeans(&*exact_backend, kmeans);
+    if (!precomputed.ok() || !ondemand.ok() || !exact.ok()) {
+      std::fprintf(stderr, "clustering failed at k=%zu\n", k);
+      return 1;
+    }
+
+    // The paper plots the on-demand scenario as one total (sketching happens
+    // inside the run); for the precomputed scenario sketching already
+    // happened, so its curve excludes prep. Report prep once per row for
+    // reference.
+    std::printf("%6zu %16.2f %16.2f %12.2f   (sketch prep %.2fs)\n", k,
+                precomputed->seconds, ondemand->seconds, exact->seconds,
+                prep_seconds);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig 4a): exact time rises roughly linearly\n"
+      "with k; both sketch curves rise much more slowly and their offset is\n"
+      "the (k-independent) on-demand sketching cost; for the smallest k the\n"
+      "comparisons saved may not buy back that cost.\n");
+  return 0;
+}

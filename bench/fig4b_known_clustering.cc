@@ -1,0 +1,91 @@
+// Figure 4(b) reproduction: accuracy of recovering a *known* clustering as a
+// function of p, on the synthetic six-region dataset with ~1% injected
+// outliers (paper Section 4.2). Clustering runs entirely on sketches.
+//
+// The paper's result to reproduce: a 100% plateau for fractional p (they
+// report p in [0.25, 0.8]), with accuracy collapsing as p approaches 2
+// because squared outlier deviations swamp the inter-region signal, and
+// degradation also expected for p very close to 0 (the measure approaches
+// Hamming distance and every value differs).
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/sketch_backend.h"
+#include "data/six_region.h"
+#include "eval/confusion.h"
+#include "table/tiling.h"
+
+namespace {
+
+using tabsketch::cluster::KMeansOptions;
+using tabsketch::cluster::RunKMeansBestOfRestarts;
+using tabsketch::cluster::SeedingMethod;
+using tabsketch::cluster::SketchBackend;
+using tabsketch::cluster::SketchMode;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 4(b): finding a known 6-clustering vs p (sketched "
+      "k-means) ===\n");
+
+  tabsketch::data::SixRegionOptions options;
+  options.rows = 256;
+  options.cols = 512;
+  options.outlier_fraction = 0.01;
+  auto dataset = tabsketch::data::GenerateSixRegion(options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto grid = tabsketch::table::TileGrid::Create(&dataset->table, 8, 8);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<int> truth =
+      tabsketch::data::GroundTruthForTiles(*dataset, *grid);
+  std::printf(
+      "table: %zux%zu, %zu tiles (paper: ~2000), regions "
+      "1/4,1/4,1/4,1/8,1/16,1/16, 1%% outliers\n\n",
+      dataset->table.rows(), dataset->table.cols(), grid->num_tiles());
+
+  std::printf("%6s %22s\n", "p", "tiles correctly placed");
+  for (double p : {0.05, 0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 1.0, 1.25, 1.5,
+                   1.75, 2.0}) {
+    auto backend = SketchBackend::Create(
+        &*grid, {.p = p, .k = 256, .seed = 5}, SketchMode::kPrecomputed);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 1;
+    }
+    // Best of 5 restarts with D^2 seeding isolates the distance measure's
+    // effect from Lloyd's local-minimum luck (the regions have very unequal
+    // sizes, so a bad seeding otherwise dominates the measurement).
+    auto result = RunKMeansBestOfRestarts(
+        &*backend,
+        KMeansOptions{.k = tabsketch::data::kNumRegions,
+                      .max_iterations = 60,
+                      .seed = 97,
+                      .seeding = SeedingMethod::kPlusPlus},
+        /*restarts=*/5);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const double accuracy = tabsketch::eval::BestMatchAgreement(
+        truth, result->assignment, tabsketch::data::kNumRegions);
+    std::printf("%6.2f %21.1f%%\n", p, 100.0 * accuracy);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig 4b): ~100%% for fractional p, degrading\n"
+      "toward p = 2 where outliers dominate squared distances. Deviation\n"
+      "noted in EXPERIMENTS.md: the paper also reports poor accuracy at\n"
+      "p = 1; with our outlier recipe the linear penalty is still small\n"
+      "relative to the inter-region signal, so the collapse starts above 1.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Micro-benchmarks for the kernel-level claims behind the paper's figures:
+//   - stable sampling cost across p (why sketch construction cost is
+//     independent of p, Section 4.4),
+//   - exact Lp comparison cost vs sketch comparison cost as objects grow
+//     (the heart of Figure 2),
+//   - the median estimator vs the p = 2 L2 estimator (the paper's remark
+//     that L2 estimation is faster),
+//   - all-positions sketching, naive O(kNM) vs FFT O(kN log M) (Theorem 3),
+//   - O(k) compound-sketch pool queries (Theorem 6).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketch_pool.h"
+#include "core/sketcher.h"
+#include "rng/stable.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+#include "util/median.h"
+
+namespace {
+
+using tabsketch::core::DistanceEstimator;
+using tabsketch::core::EstimatorKind;
+using tabsketch::core::LpDistance;
+using tabsketch::core::PoolOptions;
+using tabsketch::core::SketchAlgorithm;
+using tabsketch::core::Sketcher;
+using tabsketch::core::SketchParams;
+using tabsketch::core::SketchPool;
+
+tabsketch::table::Matrix RandomTable(size_t rows, size_t cols,
+                                     uint64_t seed) {
+  tabsketch::rng::Xoshiro256 gen(seed);
+  tabsketch::table::Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble() * 100.0;
+  return out;
+}
+
+void BM_StableSample(benchmark::State& state) {
+  const double alpha = static_cast<double>(state.range(0)) / 100.0;
+  auto sampler = tabsketch::rng::StableSampler::Create(alpha).value();
+  tabsketch::rng::Xoshiro256 gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(gen));
+  }
+}
+BENCHMARK(BM_StableSample)->Arg(50)->Arg(100)->Arg(150)->Arg(200);
+
+void BM_ExactLpComparison(benchmark::State& state) {
+  const size_t side = static_cast<size_t>(state.range(0));
+  const auto x = RandomTable(side, side, 1);
+  const auto y = RandomTable(side, side, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LpDistance(x.View(), y.View(), 1.0));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * side * side *
+                                               sizeof(double)));
+}
+BENCHMARK(BM_ExactLpComparison)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SketchComparisonMedian(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  SketchParams params{.p = 1.0, .k = k, .seed = 3};
+  auto estimator = DistanceEstimator::Create(params).value();
+  tabsketch::rng::Xoshiro256 gen(4);
+  std::vector<double> a(k), b(k), scratch;
+  for (auto& v : a) v = gen.NextDouble();
+  for (auto& v : b) v = gen.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.EstimateWithScratch(a, b, &scratch));
+  }
+}
+BENCHMARK(BM_SketchComparisonMedian)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SketchComparisonL2(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  SketchParams params{.p = 2.0, .k = k, .seed = 3};
+  auto estimator = DistanceEstimator::Create(params, EstimatorKind::kL2)
+                       .value();
+  tabsketch::rng::Xoshiro256 gen(4);
+  std::vector<double> a(k), b(k), scratch;
+  for (auto& v : a) v = gen.NextDouble();
+  for (auto& v : b) v = gen.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.EstimateWithScratch(a, b, &scratch));
+  }
+}
+BENCHMARK(BM_SketchComparisonL2)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SingleSketchConstruction(benchmark::State& state) {
+  const size_t side = static_cast<size_t>(state.range(0));
+  SketchParams params{.p = 1.0, .k = 64, .seed = 5};
+  auto sketcher = Sketcher::Create(params).value();
+  const auto data = RandomTable(side, side, 6);
+  sketcher.SketchOf(data.View());  // warm the matrix cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketcher.SketchOf(data.View()));
+  }
+}
+BENCHMARK(BM_SingleSketchConstruction)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AllPositionsNaive(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  SketchParams params{.p = 1.0, .k = 8, .seed = 7};
+  auto sketcher = Sketcher::Create(params).value();
+  const auto data = RandomTable(128, 128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketcher.SketchAllPositions(
+        data, window, window, SketchAlgorithm::kNaive));
+  }
+}
+BENCHMARK(BM_AllPositionsNaive)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllPositionsFft(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  SketchParams params{.p = 1.0, .k = 8, .seed = 7};
+  auto sketcher = Sketcher::Create(params).value();
+  const auto data = RandomTable(128, 128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketcher.SketchAllPositions(
+        data, window, window, SketchAlgorithm::kFft));
+  }
+}
+BENCHMARK(BM_AllPositionsFft)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PoolQuery(benchmark::State& state) {
+  const auto data = RandomTable(128, 128, 9);
+  SketchParams params{.p = 1.0, .k = 64, .seed = 10};
+  PoolOptions options;
+  options.log2_min_rows = 3;
+  options.log2_min_cols = 3;
+  auto pool = SketchPool::Build(data, params, options).value();
+  size_t offset = 0;
+  for (auto _ : state) {
+    // Non-dyadic rectangle; cycle the anchor to defeat trivial caching.
+    offset = (offset + 1) % 64;
+    benchmark::DoNotOptimize(pool.Query(offset, offset, 11, 13));
+  }
+}
+BENCHMARK(BM_PoolQuery);
+
+void BM_MedianSelection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  tabsketch::rng::Xoshiro256 gen(11);
+  std::vector<double> values(n);
+  for (auto& v : values) v = gen.NextDouble();
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    scratch = values;
+    benchmark::DoNotOptimize(tabsketch::util::MedianInPlace(scratch));
+  }
+}
+BENCHMARK(BM_MedianSelection)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Clustering a synthetic national call-volume table with sketch-accelerated
+// k-means, and rendering the clustering the way the paper's Figure 5 does:
+// stations on one axis, hours on the other, one glyph per cluster.
+//
+// Demonstrates the paper's observation that p acts as a "slider": p = 2.0
+// shows full detail (metros, suburbs), while p = 0.25 mutes everything but
+// the most unusual regions.
+//
+//   ./build/examples/call_volume_clustering
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/sketch_backend.h"
+#include "data/call_volume.h"
+#include "table/tiling.h"
+
+namespace {
+
+using tabsketch::cluster::KMeansOptions;
+using tabsketch::cluster::RunKMeans;
+using tabsketch::cluster::SketchBackend;
+using tabsketch::cluster::SketchMode;
+
+/// Renders the tile grid as text: rows = station groups, cols = hours of the
+/// day. The largest cluster prints as ' ' (the paper uses blank for the
+/// dominant low-volume cluster); others get letters.
+void Render(const tabsketch::table::TileGrid& grid,
+            const std::vector<int>& assignment, size_t k) {
+  std::vector<size_t> counts(k, 0);
+  for (int cluster : assignment) ++counts[cluster];
+  size_t largest = 0;
+  for (size_t c = 1; c < k; ++c) {
+    if (counts[c] > counts[largest]) largest = c;
+  }
+  const std::string glyphs = "#@%*+=-:oxsvn^";
+
+  // Column header: hour ruler.
+  std::printf("      ");
+  for (size_t gc = 0; gc < grid.grid_cols(); ++gc) {
+    std::printf("%c", gc % 6 == 0 ? '|' : '.');
+  }
+  std::printf("\n");
+  for (size_t gr = 0; gr < grid.grid_rows(); ++gr) {
+    std::printf("%4zu  ", gr);
+    for (size_t gc = 0; gc < grid.grid_cols(); ++gc) {
+      const int cluster = assignment[gr * grid.grid_cols() + gc];
+      if (static_cast<size_t>(cluster) == largest) {
+        std::printf(" ");
+      } else {
+        std::printf("%c", glyphs[static_cast<size_t>(cluster) %
+                                 glyphs.size()]);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // One synthetic day: 512 station groups x 144 ten-minute bins.
+  tabsketch::data::CallVolumeOptions data_options;
+  data_options.num_stations = 512;
+  data_options.bins_per_day = 144;
+  auto volume = tabsketch::data::GenerateCallVolume(data_options);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+
+  // Tiles: 16 neighboring station groups x 1 hour (6 bins).
+  auto grid = tabsketch::table::TileGrid::Create(&*volume, 16, 6);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("table: %zux%zu doubles, %zu tiles of %zux%zu\n",
+              volume->rows(), volume->cols(), grid->num_tiles(),
+              grid->tile_rows(), grid->tile_cols());
+
+  constexpr size_t kClusters = 8;
+  for (double p : {2.0, 0.25}) {
+    auto backend = SketchBackend::Create(
+        &*grid, {.p = p, .k = 128, .seed = 7}, SketchMode::kPrecomputed);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 1;
+    }
+    auto result = RunKMeans(
+        &*backend, KMeansOptions{.k = kClusters, .max_iterations = 40,
+                                 .seed = 11});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\n=== p = %.2f   (%zu iterations, %.2fs, %zu distance evals) ===\n",
+        p, result->iterations, result->seconds,
+        result->distance_evaluations);
+    std::printf("rows = station groups (East at top), cols = hours 0-23\n");
+    Render(*grid, result->assignment, kClusters);
+  }
+
+  std::printf(
+      "\nReading the pictures: at p = 2.0 many regions separate from the\n"
+      "background (population centers and their flanks); at p = 0.25 only\n"
+      "the most distinctive regions remain, the paper's 'slider' effect.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The paper's second motivating application: router traffic indexed by
+// destination and time — "which IP subnet traffic distributions over time
+// intervals are similar?" This example recovers each subnet's temporal
+// behavior class (steady / diurnal / bursty) by:
+//   1. tiling the table one-subnet-per-tile,
+//   2. mean-normalizing each tile (table/transforms.h) so that heavy-tailed
+//      volume differences between subnets don't mask the *shape* of their
+//      traffic,
+//   3. sketching the transformed tiles,
+//   4. agglomerative hierarchical clustering (average linkage) on sketched
+//      fractional-norm (p = 0.5) distances — fractional p damps the flash
+//      events, exactly the paper's outlier story — cut at 3 clusters.
+//
+//   ./build/examples/ip_subnet_profiles
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/hierarchy.h"
+#include "cluster/sketch_backend.h"
+#include "data/ip_traffic.h"
+#include "eval/confusion.h"
+#include "table/tiling.h"
+#include "table/transforms.h"
+
+int main() {
+  using namespace tabsketch;  // NOLINT: example brevity
+
+  data::IpTrafficOptions options;
+  options.num_hosts = 1024;
+  options.hosts_per_subnet = 32;
+  options.num_bins = 288;
+  options.flash_events = 6.0;
+  options.noise_sigma = 0.15;
+  auto traffic = data::GenerateIpTraffic(options);
+  if (!traffic.ok()) {
+    std::fprintf(stderr, "%s\n", traffic.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_subnets = traffic->profile_of_subnet.size();
+  std::printf("traffic table: %zu hosts x %zu bins, %zu subnets\n",
+              traffic->table.rows(), traffic->table.cols(), num_subnets);
+
+  // Ground truth: profile class per subnet tile.
+  std::vector<int> truth(num_subnets);
+  for (size_t s = 0; s < num_subnets; ++s) {
+    truth[s] = static_cast<int>(traffic->profile_of_subnet[s]);
+  }
+
+  for (table::TileTransform transform :
+       {table::TileTransform::kIdentity, table::TileTransform::kUnitMean}) {
+    auto transformed = table::TransformTiles(
+        traffic->table, options.hosts_per_subnet, options.num_bins,
+        transform);
+    if (!transformed.ok()) {
+      std::fprintf(stderr, "%s\n", transformed.status().ToString().c_str());
+      return 1;
+    }
+    auto grid = table::TileGrid::Create(&*transformed,
+                                        options.hosts_per_subnet,
+                                        options.num_bins);
+    if (!grid.ok()) {
+      std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+      return 1;
+    }
+    auto backend = cluster::SketchBackend::Create(
+        &*grid, {.p = 0.5, .k = 1024, .seed = 24},
+        cluster::SketchMode::kPrecomputed);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 1;
+    }
+    auto dendrogram =
+        cluster::AgglomerativeCluster(&*backend, cluster::Linkage::kAverage);
+    if (!dendrogram.ok()) {
+      std::fprintf(stderr, "%s\n", dendrogram.status().ToString().c_str());
+      return 1;
+    }
+    auto cut = dendrogram->CutAtK(3);
+    if (!cut.ok()) {
+      std::fprintf(stderr, "%s\n", cut.status().ToString().c_str());
+      return 1;
+    }
+    const double accuracy = eval::BestMatchAgreement(truth, *cut, 3);
+    std::printf(
+        "  %-12s transform: %5.1f%% of subnets grouped by true behavior\n",
+        table::TileTransformName(transform), 100.0 * accuracy);
+  }
+
+  std::printf(
+      "\nWhy the transform matters: per-host rates are Pareto-distributed,\n"
+      "so raw distances cluster subnets by *volume*; dividing each tile by\n"
+      "its mean first makes the clustering see the temporal *shape*\n"
+      "(steady vs diurnal vs bursty), which is the question being asked.\n"
+      "Fractional p = 0.5 damps the flash-event outliers, and the narrow\n"
+      "(~1.2x) within/cross-class gap calls for k = 1024 sketches — see\n"
+      "bench/ablation_sketch_size for the accuracy-vs-k tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// The paper's mining headline (Figure 4(b)) as a runnable scenario: a table
+// with six planted regions plus 1% outliers. Sweeping p shows fractional
+// norms recover the planted clustering while L1/L2 are thrown off by the
+// outliers.
+//
+//   ./build/examples/outlier_robustness
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/sketch_backend.h"
+#include "data/six_region.h"
+#include "eval/confusion.h"
+#include "table/tiling.h"
+
+int main() {
+  using namespace tabsketch;  // NOLINT: example brevity
+
+  data::SixRegionOptions options;
+  options.rows = 256;
+  options.cols = 512;
+  options.outlier_fraction = 0.01;
+  auto dataset = data::GenerateSixRegion(options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  // 8x8 tiles give ~2000 tiles, the paper's Figure 4(b) setup.
+  auto grid = table::TileGrid::Create(&dataset->table, 8, 8);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<int> truth = data::GroundTruthForTiles(*dataset, *grid);
+
+  std::printf(
+      "six planted regions, %zu tiles, 1%% outliers; sketched k-means "
+      "(k = %d)\n\n",
+      grid->num_tiles(), static_cast<int>(data::kNumRegions));
+  std::printf("%6s %22s\n", "p", "tiles correctly placed");
+
+  for (double p : {0.25, 0.5, 0.8, 1.0, 1.5, 2.0}) {
+    auto backend = cluster::SketchBackend::Create(
+        &*grid, {.p = p, .k = 256, .seed = 5},
+        cluster::SketchMode::kPrecomputed);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 1;
+    }
+    // Best of 5 restarts: Lloyd's lands in seed-dependent local minima;
+    // restarting is nearly free when every distance costs O(k).
+    auto result = cluster::RunKMeansBestOfRestarts(
+        &*backend,
+        {.k = data::kNumRegions, .max_iterations = 60, .seed = 97,
+         .seeding = cluster::SeedingMethod::kPlusPlus},
+        /*restarts=*/5);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const double accuracy = eval::BestMatchAgreement(
+        truth, result->assignment, data::kNumRegions);
+    std::printf("%6.2f %21.1f%%\n", p, 100.0 * accuracy);
+  }
+
+  std::printf(
+      "\nWhy: a single outlier contributes |d|^p to the distance; at p = 2\n"
+      "that square dominates every comparison, while p < 1 damps it. Too\n"
+      "small a p degenerates toward Hamming distance (everything differs),\n"
+      "so the sweet spot is a fractional p around 0.25-0.8 (paper 4.5).\n");
+  return 0;
+}

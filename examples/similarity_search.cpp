@@ -1,0 +1,98 @@
+// Similarity search over tiles with the filter-and-refine pattern: sketches
+// select a candidate set cheaply, exact Lp distances re-rank it. Reports
+// recall against exhaustive exact search and the cost of each stage —
+// "which geographic regions have similar usage distribution" (the paper's
+// opening question) as a query workload.
+//
+//   ./build/examples/similarity_search
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/knn.h"
+#include "core/ondemand.h"
+#include "core/sketcher.h"
+#include "data/call_volume.h"
+#include "table/tiling.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace tabsketch;  // NOLINT: example brevity
+
+  data::CallVolumeOptions options;
+  options.num_stations = 1024;
+  options.bins_per_day = 144;
+  options.num_days = 8;
+  auto volume = data::GenerateCallVolume(options);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+  // Tiles: 32 stations x 2 days (large objects are where sketches pay).
+  auto grid = table::TileGrid::Create(&*volume, 32, 288);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+
+  core::SketchParams params{.p = 1.0, .k = 128, .seed = 2718};
+  auto sketcher = core::Sketcher::Create(params);
+  auto estimator = core::DistanceEstimator::Create(params);
+  if (!sketcher.ok() || !estimator.ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  util::WallTimer prep_timer;
+  const std::vector<core::Sketch> sketches =
+      core::SketchAllTiles(*sketcher, *grid);
+  std::printf("%zu tiles of %zu values, sketched (k = %zu) in %.2fs\n\n",
+              grid->num_tiles(), grid->tile_size(), params.k,
+              prep_timer.ElapsedSeconds());
+
+  constexpr size_t kNeighbors = 10;
+  std::printf("%12s %10s %12s %12s\n", "candidates", "recall@10",
+              "refine_s", "exact_s");
+
+  for (size_t candidates : {10u, 20u, 40u, 80u}) {
+    size_t hits = 0;
+    size_t total = 0;
+    double refine_seconds = 0.0;
+    double exact_seconds = 0.0;
+    for (size_t query = 0; query < grid->num_tiles(); query += 3) {
+      util::WallTimer exact_timer;
+      const auto exact =
+          core::TopKExact(*grid, params.p, query, kNeighbors);
+      exact_seconds += exact_timer.ElapsedSeconds();
+
+      util::WallTimer refine_timer;
+      auto refined = core::TopKFilterRefine(*grid, sketches, *estimator,
+                                            query, kNeighbors, candidates);
+      refine_seconds += refine_timer.ElapsedSeconds();
+      if (!refined.ok()) {
+        std::fprintf(stderr, "%s\n", refined.status().ToString().c_str());
+        return 1;
+      }
+      std::set<size_t> truth;
+      for (const core::Neighbor& neighbor : exact) {
+        truth.insert(neighbor.index);
+      }
+      for (const core::Neighbor& neighbor : *refined) {
+        if (truth.count(neighbor.index) > 0) ++hits;
+      }
+      total += exact.size();
+    }
+    std::printf("%12zu %9.1f%% %12.3f %12.3f\n", candidates,
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(total),
+                refine_seconds, exact_seconds);
+  }
+
+  std::printf(
+      "\nReading the table: a candidate buffer a few times k recovers\n"
+      "nearly all true neighbors while touching full tiles only for the\n"
+      "candidates — the sketch scan does the rest at O(k) per tile.\n");
+  return 0;
+}

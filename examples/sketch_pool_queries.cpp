@@ -1,0 +1,93 @@
+// Precomputing a dyadic sketch pool over a table, then answering distance
+// queries between *arbitrary* rectangles in O(k) each — the paper's
+// Theorem 6 workflow (canonical dyadic sizes + compound sketches).
+//
+//   ./build/examples/sketch_pool_queries
+
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketch_pool.h"
+#include "data/call_volume.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace tabsketch;  // NOLINT: example brevity
+
+  // Two days of call volume for 256 station groups.
+  data::CallVolumeOptions data_options;
+  data_options.num_stations = 256;
+  data_options.bins_per_day = 144;
+  data_options.num_days = 2;
+  auto volume = data::GenerateCallVolume(data_options);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+
+  core::SketchParams params{.p = 1.0, .k = 64, .seed = 2024};
+  core::PoolOptions pool_options;
+  pool_options.log2_min_rows = 4;  // canonical heights 16..256
+  pool_options.log2_min_cols = 4;  // canonical widths  16..256
+  pool_options.log2_max_rows = 7;
+  pool_options.log2_max_cols = 7;
+
+  util::WallTimer timer;
+  auto pool = core::SketchPool::Build(*volume, params, pool_options);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "%s\n", pool.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pool over %zux%zu table built in %.2fs; canonical sizes:",
+              volume->rows(), volume->cols(), timer.ElapsedSeconds());
+  for (const auto& [h, w] : pool->CanonicalSizes()) {
+    std::printf(" %zux%zu", h, w);
+  }
+  std::printf("\n\n");
+
+  auto estimator = core::DistanceEstimator::Create(params);
+  if (!estimator.ok()) {
+    std::fprintf(stderr, "%s\n", estimator.status().ToString().c_str());
+    return 1;
+  }
+
+  // Compare the same geographic band across the two days, and two different
+  // bands within one day — with a non-dyadic rectangle (40 stations x 90
+  // bins) that no canonical size matches exactly.
+  struct Query {
+    const char* label;
+    size_t r1, c1, r2, c2;
+  };
+  const size_t rows = 40;
+  const size_t cols = 90;
+  const Query queries[] = {
+      {"same band, day 1 vs day 2", 30, 20, 30, 20 + 144},
+      {"band A vs band B, day 1", 30, 20, 170, 20},
+      {"band A vs itself (sanity)", 30, 20, 30, 20},
+  };
+
+  std::printf("%-28s %14s %14s %8s\n", "query (40x90 rectangles)",
+              "exact L1", "pool O(k)", "ratio");
+  for (const Query& q : queries) {
+    auto sketch1 = pool->Query(q.r1, q.c1, rows, cols);
+    auto sketch2 = pool->Query(q.r2, q.c2, rows, cols);
+    if (!sketch1.ok() || !sketch2.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
+    const double approx = estimator->Estimate(*sketch1, *sketch2);
+    const double exact =
+        core::LpDistance(volume->Window(q.r1, q.c1, rows, cols),
+                         volume->Window(q.r2, q.c2, rows, cols), params.p);
+    std::printf("%-28s %14.0f %14.0f %8s\n", q.label, exact, approx,
+                exact > 0 ? std::to_string(approx / exact).substr(0, 5).c_str()
+                          : "-");
+  }
+
+  std::printf(
+      "\nCompound estimates carry up to a 4x inflation for non-dyadic\n"
+      "rectangles (Theorem 5) but equal-dimension queries stay mutually\n"
+      "comparable: note the near/far ordering above is preserved.\n");
+  return 0;
+}

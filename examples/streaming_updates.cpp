@@ -1,0 +1,112 @@
+// Streaming sketch maintenance: a tabular store accumulates call counts in
+// place (cell += delta), and each tile's sketch is kept current in O(k) per
+// update — without ever re-reading the tile. This is the turnstile-stream
+// usage of stable sketches (Indyk, FOCS 2000) that the paper's machinery
+// rests on, enabled here by counter-based random-matrix access.
+//
+// The demo maintains an updatable sketch per tile while a random update
+// stream mutates the table, then verifies that (a) the maintained sketches
+// equal freshly computed ones bit-for-bit, and (b) distance queries against
+// the maintained sketches track the mutated data.
+//
+//   ./build/examples/streaming_updates
+
+#include <cstdio>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketcher.h"
+#include "core/updatable_sketch.h"
+#include "data/call_volume.h"
+#include "rng/xoshiro256.h"
+#include "table/tiling.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace tabsketch;  // NOLINT: example brevity
+
+  data::CallVolumeOptions options;
+  options.num_stations = 128;
+  options.bins_per_day = 144;
+  auto volume = data::GenerateCallVolume(options);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+  table::Matrix& table = *volume;
+  auto grid = table::TileGrid::Create(&table, 16, 16);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+
+  core::SketchParams params{.p = 1.0, .k = 128, .seed = 9};
+  auto sketcher = core::Sketcher::Create(params);
+  auto estimator = core::DistanceEstimator::Create(params);
+  if (!sketcher.ok() || !estimator.ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  // One updatable sketch per tile.
+  std::vector<core::UpdatableSketch> live;
+  live.reserve(grid->num_tiles());
+  for (size_t t = 0; t < grid->num_tiles(); ++t) {
+    auto sketch = core::UpdatableSketch::FromView(*sketcher, grid->Tile(t));
+    if (!sketch.ok()) {
+      std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
+      return 1;
+    }
+    live.push_back(std::move(sketch).value());
+  }
+  std::printf("%zu tiles under maintenance (k = %zu per sketch)\n",
+              live.size(), params.k);
+
+  // Random update stream: 50,000 cell increments.
+  constexpr size_t kUpdates = 50000;
+  rng::Xoshiro256 gen(31);
+  util::WallTimer timer;
+  for (size_t u = 0; u < kUpdates; ++u) {
+    const size_t tile = gen.NextBounded(grid->num_tiles());
+    const size_t r = gen.NextBounded(grid->tile_rows());
+    const size_t c = gen.NextBounded(grid->tile_cols());
+    const double delta = gen.NextDouble() * 20.0 - 5.0;
+    live[tile].ApplyUpdate(r, c, delta);
+    table.At(grid->TileOriginRow(tile) + r,
+             grid->TileOriginCol(tile) + c) += delta;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  std::printf("%zu point updates absorbed in %.2fs (%.0f ns/update)\n",
+              kUpdates, seconds, 1e9 * seconds / kUpdates);
+
+  // (a) Maintained sketches equal recomputed sketches.
+  double worst_residual = 0.0;
+  for (size_t t = 0; t < grid->num_tiles(); ++t) {
+    const core::Sketch fresh = sketcher->SketchOf(grid->Tile(t));
+    for (size_t i = 0; i < params.k; ++i) {
+      worst_residual = std::max(
+          worst_residual,
+          std::abs(live[t].sketch().values[i] - fresh.values[i]));
+    }
+  }
+  std::printf("max |maintained - recomputed| sketch component: %.3g\n",
+              worst_residual);
+
+  // (b) Distance queries against maintained sketches track the data.
+  const double exact =
+      core::LpDistance(grid->Tile(0), grid->Tile(17), params.p);
+  const double approx =
+      estimator->Estimate(live[0].sketch(), live[17].sketch());
+  std::printf("tile 0 vs tile 17: exact %.0f, maintained-sketch estimate "
+              "%.0f (ratio %.3f)\n",
+              exact, approx, approx / exact);
+
+  std::printf(
+      "\nEach update touched k = %zu sketch components and regenerated the\n"
+      "needed random-matrix entries on the fly; the data tile itself was\n"
+      "never re-read. A nightly re-sketch is unnecessary — the residual\n"
+      "above is floating-point accumulation only.\n",
+      params.k);
+  return 0;
+}

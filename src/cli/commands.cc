@@ -1,0 +1,472 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli/flags.h"
+#include "cluster/dbscan.h"
+#include "cluster/exact_backend.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmedoids.h"
+#include "cluster/sketch_backend.h"
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/ondemand.h"
+#include "core/pool_io.h"
+#include "core/sketch_pool.h"
+#include "core/sketch_io.h"
+#include "core/sketcher.h"
+#include "data/call_volume.h"
+#include "data/ip_traffic.h"
+#include "data/six_region.h"
+#include "table/table_io.h"
+#include "table/tiling.h"
+#include "util/timer.h"
+
+namespace tabsketch::cli {
+namespace {
+
+constexpr char kUsage[] = R"(tabsketch — sketch-based Lp distance mining for tabular data
+
+usage: tabsketch <command> [--flags]
+
+commands:
+  generate   synthesize a dataset and write it as a binary table
+             --dataset=call-volume|six-region|ip-traffic  --out=FILE
+             [--rows=N --cols=N --days=N --seed=N]
+  info       print a table's dimensions and value summary
+             --table=FILE
+  sketch     sketch every tile of a table and write the sketch set
+             --table=FILE --out=FILE --tile-rows=N --tile-cols=N
+             [--p=P --k=K --seed=N --threads=N]
+  distance   exact and sketch-estimated Lp distance between two rectangles
+             --table=FILE --rect1=r,c,h,w --rect2=r,c,h,w
+             [--p=P --k=K --seed=N]
+  cluster    cluster a table's tiles; prints a summary, optionally writes
+             per-tile assignments as CSV
+             --table=FILE --tile-rows=N --tile-cols=N
+             [--algo=kmeans|kmedoids|dbscan] [--k=N --p=P --seed=N]
+             [--mode=exact|precomputed|ondemand] [--sketch-k=K]
+             [--epsilon=E --min-points=M] [--out=FILE]
+  pool-build build a dyadic sketch pool over a table and persist it
+             --table=FILE --out=FILE [--p=P --k=K --seed=N
+             --min-log2=N --max-log2=N]
+  pool-query O(k) sketch distance between two equal-size rectangles
+             --pool=FILE --rect1=r,c,h,w --rect2=r,c,h,w
+             [--table=FILE for an exact reference]
+  help       show this message
+)";
+
+/// Prints `status` to err and returns 1 (for `return Fail(...)`).
+int Fail(std::ostream& err, const util::Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+// Command-local error plumbing: every command takes `err` by this name and
+// returns an int exit code, so a failed Status/Result becomes `return 1`
+// with the diagnostic printed.
+#define TABSKETCH_RETURN_CLI(expr)                        \
+  do {                                                    \
+    const ::tabsketch::util::Status _cli_status = (expr); \
+    if (!_cli_status.ok()) return Fail(err, _cli_status); \
+  } while (false)
+
+#define TABSKETCH_ASSIGN_CLI(lhs, rexpr)                          \
+  TABSKETCH_ASSIGN_CLI_IMPL_(                                     \
+      TABSKETCH_CONCAT_(_cli_result, __LINE__), lhs, rexpr)
+#define TABSKETCH_ASSIGN_CLI_IMPL_(result, lhs, rexpr)    \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return Fail(err, result.status());    \
+  lhs = std::move(result).value()
+
+int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"dataset", "out", "rows", "cols", "days", "seed"}));
+  TABSKETCH_ASSIGN_CLI(const std::string dataset,
+                       flags.GetRequired("dataset"));
+  TABSKETCH_ASSIGN_CLI(const std::string path, flags.GetRequired("out"));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+
+  table::Matrix matrix;
+  if (dataset == "call-volume") {
+    data::CallVolumeOptions options;
+    TABSKETCH_ASSIGN_CLI(const int64_t rows, flags.GetInt("rows", 1024));
+    TABSKETCH_ASSIGN_CLI(const int64_t days, flags.GetInt("days", 1));
+    options.num_stations = static_cast<size_t>(rows);
+    options.num_days = static_cast<size_t>(days);
+    options.seed = static_cast<uint64_t>(seed);
+    auto generated = data::GenerateCallVolume(options);
+    if (!generated.ok()) return Fail(err, generated.status());
+    matrix = std::move(generated).value();
+  } else if (dataset == "six-region") {
+    data::SixRegionOptions options;
+    TABSKETCH_ASSIGN_CLI(const int64_t rows, flags.GetInt("rows", 256));
+    TABSKETCH_ASSIGN_CLI(const int64_t cols, flags.GetInt("cols", 512));
+    options.rows = static_cast<size_t>(rows);
+    options.cols = static_cast<size_t>(cols);
+    options.seed = static_cast<uint64_t>(seed);
+    auto generated = data::GenerateSixRegion(options);
+    if (!generated.ok()) return Fail(err, generated.status());
+    matrix = std::move(generated->table);
+  } else if (dataset == "ip-traffic") {
+    data::IpTrafficOptions options;
+    TABSKETCH_ASSIGN_CLI(const int64_t rows, flags.GetInt("rows", 1024));
+    TABSKETCH_ASSIGN_CLI(const int64_t cols, flags.GetInt("cols", 288));
+    options.num_hosts = static_cast<size_t>(rows);
+    options.num_bins = static_cast<size_t>(cols);
+    options.seed = static_cast<uint64_t>(seed);
+    auto generated = data::GenerateIpTraffic(options);
+    if (!generated.ok()) return Fail(err, generated.status());
+    matrix = std::move(generated->table);
+  } else {
+    return Fail(err, util::Status::InvalidArgument(
+                         "unknown --dataset '" + dataset +
+                         "' (call-volume, six-region, ip-traffic)"));
+  }
+
+  const util::Status written = table::WriteBinary(matrix, path);
+  if (!written.ok()) return Fail(err, written);
+  out << "wrote " << matrix.rows() << "x" << matrix.cols() << " table to "
+      << path << "\n";
+  return 0;
+}
+
+int CmdInfo(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly({"table"}));
+  TABSKETCH_ASSIGN_CLI(const std::string path, flags.GetRequired("table"));
+  auto matrix = table::ReadBinary(path);
+  if (!matrix.ok()) return Fail(err, matrix.status());
+  double minimum = matrix->Values().front();
+  double maximum = minimum;
+  double total = 0.0;
+  for (double value : matrix->Values()) {
+    minimum = std::min(minimum, value);
+    maximum = std::max(maximum, value);
+    total += value;
+  }
+  out << path << ": " << matrix->rows() << "x" << matrix->cols() << " ("
+      << matrix->size() * sizeof(double) << " bytes)\n"
+      << "  min " << minimum << ", max " << maximum << ", mean "
+      << total / static_cast<double>(matrix->size()) << "\n";
+  return 0;
+}
+
+int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "out", "tile-rows",
+                                        "tile-cols", "p", "k", "seed",
+                                        "threads"}));
+  TABSKETCH_ASSIGN_CLI(const std::string table_path,
+                       flags.GetRequired("table"));
+  TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
+                       flags.GetInt("tile-rows", 0));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_cols,
+                       flags.GetInt("tile-cols", 0));
+  TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const int64_t threads, flags.GetInt("threads", 1));
+
+  auto matrix = table::ReadBinary(table_path);
+  if (!matrix.ok()) return Fail(err, matrix.status());
+  auto grid = table::TileGrid::Create(&*matrix,
+                                      static_cast<size_t>(tile_rows),
+                                      static_cast<size_t>(tile_cols));
+  if (!grid.ok()) return Fail(err, grid.status());
+
+  core::SketchParams params{.p = p, .k = static_cast<size_t>(k),
+                            .seed = static_cast<uint64_t>(seed)};
+  auto sketcher = core::Sketcher::Create(params);
+  if (!sketcher.ok()) return Fail(err, sketcher.status());
+
+  util::WallTimer timer;
+  core::SketchSet set;
+  set.params = params;
+  set.object_rows = grid->tile_rows();
+  set.object_cols = grid->tile_cols();
+  set.sketches = core::SketchAllTilesParallel(
+      *sketcher, *grid, static_cast<size_t>(std::max<int64_t>(threads, 1)));
+  const double seconds = timer.ElapsedSeconds();
+
+  const util::Status written = core::WriteSketchSet(set, out_path);
+  if (!written.ok()) return Fail(err, written);
+  out << "sketched " << set.sketches.size() << " tiles (k=" << params.k
+      << ", p=" << params.p << ") in " << seconds << "s -> " << out_path
+      << "\n";
+  return 0;
+}
+
+int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "rect1", "rect2", "p", "k",
+                                        "seed"}));
+  TABSKETCH_ASSIGN_CLI(const std::string table_path,
+                       flags.GetRequired("table"));
+  TABSKETCH_ASSIGN_CLI(const std::string rect1_text,
+                       flags.GetRequired("rect1"));
+  TABSKETCH_ASSIGN_CLI(const std::string rect2_text,
+                       flags.GetRequired("rect2"));
+  TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+
+  auto matrix = table::ReadBinary(table_path);
+  if (!matrix.ok()) return Fail(err, matrix.status());
+  auto rect1 = ParseSizeList(rect1_text, 4);
+  if (!rect1.ok()) return Fail(err, rect1.status());
+  auto rect2 = ParseSizeList(rect2_text, 4);
+  if (!rect2.ok()) return Fail(err, rect2.status());
+  const auto& r1 = *rect1;
+  const auto& r2 = *rect2;
+  if (r1[2] != r2[2] || r1[3] != r2[3]) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "rectangles must have equal dimensions"));
+  }
+  if (r1[0] + r1[2] > matrix->rows() || r1[1] + r1[3] > matrix->cols() ||
+      r2[0] + r2[2] > matrix->rows() || r2[1] + r2[3] > matrix->cols()) {
+    return Fail(err, util::Status::OutOfRange(
+                         "rectangle exceeds the table"));
+  }
+
+  const table::TableView view1 =
+      matrix->Window(r1[0], r1[1], r1[2], r1[3]);
+  const table::TableView view2 =
+      matrix->Window(r2[0], r2[1], r2[2], r2[3]);
+  const double exact = core::LpDistance(view1, view2, p);
+
+  core::SketchParams params{.p = p, .k = static_cast<size_t>(k),
+                            .seed = static_cast<uint64_t>(seed)};
+  auto sketcher = core::Sketcher::Create(params);
+  if (!sketcher.ok()) return Fail(err, sketcher.status());
+  auto estimator = core::DistanceEstimator::Create(params);
+  if (!estimator.ok()) return Fail(err, estimator.status());
+  const double approx = estimator->Estimate(sketcher->SketchOf(view1),
+                                            sketcher->SketchOf(view2));
+  out << "L" << p << " distance, " << r1[2] << "x" << r1[3]
+      << " rectangles:\n"
+      << "  exact:     " << exact << "\n"
+      << "  estimated: " << approx << "  (k=" << params.k << ")\n";
+  return 0;
+}
+
+int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"table", "tile-rows", "tile-cols", "algo", "k", "p", "seed", "mode",
+       "sketch-k", "epsilon", "min-points", "out"}));
+  TABSKETCH_ASSIGN_CLI(const std::string table_path,
+                       flags.GetRequired("table"));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
+                       flags.GetInt("tile-rows", 0));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_cols,
+                       flags.GetInt("tile-cols", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string algo,
+                       flags.GetString("algo", "kmeans"));
+  TABSKETCH_ASSIGN_CLI(const int64_t num_clusters, flags.GetInt("k", 8));
+  TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const std::string mode,
+                       flags.GetString("mode", "precomputed"));
+  TABSKETCH_ASSIGN_CLI(const int64_t sketch_k, flags.GetInt("sketch-k", 256));
+  TABSKETCH_ASSIGN_CLI(const double epsilon, flags.GetDouble("epsilon", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t min_points,
+                       flags.GetInt("min-points", 4));
+  TABSKETCH_ASSIGN_CLI(const std::string out_path,
+                       flags.GetString("out", ""));
+
+  auto matrix = table::ReadBinary(table_path);
+  if (!matrix.ok()) return Fail(err, matrix.status());
+  auto grid = table::TileGrid::Create(&*matrix,
+                                      static_cast<size_t>(tile_rows),
+                                      static_cast<size_t>(tile_cols));
+  if (!grid.ok()) return Fail(err, grid.status());
+
+  // Backend per --mode.
+  std::unique_ptr<cluster::ClusteringBackend> backend;
+  if (mode == "exact") {
+    auto exact = cluster::ExactBackend::Create(&*grid, p);
+    if (!exact.ok()) return Fail(err, exact.status());
+    backend = std::make_unique<cluster::ExactBackend>(
+        std::move(exact).value());
+  } else if (mode == "precomputed" || mode == "ondemand") {
+    auto sketch = cluster::SketchBackend::Create(
+        &*grid,
+        {.p = p, .k = static_cast<size_t>(sketch_k),
+         .seed = static_cast<uint64_t>(seed)},
+        mode == "precomputed" ? cluster::SketchMode::kPrecomputed
+                              : cluster::SketchMode::kOnDemand);
+    if (!sketch.ok()) return Fail(err, sketch.status());
+    backend = std::make_unique<cluster::SketchBackend>(
+        std::move(sketch).value());
+  } else {
+    return Fail(err, util::Status::InvalidArgument(
+                         "unknown --mode '" + mode +
+                         "' (exact, precomputed, ondemand)"));
+  }
+
+  std::vector<int> assignment;
+  if (algo == "kmeans") {
+    auto result = cluster::RunKMeans(
+        backend.get(), {.k = static_cast<size_t>(num_clusters),
+                        .max_iterations = 50,
+                        .seed = static_cast<uint64_t>(seed)});
+    if (!result.ok()) return Fail(err, result.status());
+    out << "kmeans: " << result->iterations << " iterations, "
+        << (result->converged ? "converged" : "iteration cap") << ", "
+        << result->distance_evaluations << " distance evals, "
+        << result->seconds << "s\n";
+    assignment = std::move(result->assignment);
+  } else if (algo == "kmedoids") {
+    auto result = cluster::RunKMedoids(
+        backend.get(), {.k = static_cast<size_t>(num_clusters),
+                        .max_iterations = 30,
+                        .seed = static_cast<uint64_t>(seed)});
+    if (!result.ok()) return Fail(err, result.status());
+    out << "kmedoids: " << result->iterations << " iterations, objective "
+        << result->objective << ", " << result->seconds << "s\n  medoids:";
+    for (size_t medoid : result->medoids) out << " " << medoid;
+    out << "\n";
+    assignment = std::move(result->assignment);
+  } else if (algo == "dbscan") {
+    auto result = cluster::RunDbscan(
+        backend.get(), {.epsilon = epsilon,
+                        .min_points = static_cast<size_t>(min_points)});
+    if (!result.ok()) return Fail(err, result.status());
+    out << "dbscan: " << result->num_clusters << " clusters, "
+        << result->num_noise << " noise tiles, " << result->seconds
+        << "s\n";
+    assignment = std::move(result->assignment);
+  } else {
+    return Fail(err, util::Status::InvalidArgument(
+                         "unknown --algo '" + algo +
+                         "' (kmeans, kmedoids, dbscan)"));
+  }
+
+  // Cluster sizes summary.
+  int max_label = -1;
+  for (int label : assignment) max_label = std::max(max_label, label);
+  std::vector<size_t> sizes(static_cast<size_t>(max_label + 1), 0);
+  for (int label : assignment) {
+    if (label >= 0) ++sizes[static_cast<size_t>(label)];
+  }
+  out << "cluster sizes:";
+  for (size_t size : sizes) out << " " << size;
+  out << "\n";
+
+  if (!out_path.empty()) {
+    std::ofstream csv(out_path, std::ios::trunc);
+    if (!csv) {
+      return Fail(err,
+                  util::Status::IOError("cannot write " + out_path));
+    }
+    csv << "tile,grid_row,grid_col,cluster\n";
+    for (size_t t = 0; t < assignment.size(); ++t) {
+      csv << t << "," << t / grid->grid_cols() << ","
+          << t % grid->grid_cols() << "," << assignment[t] << "\n";
+    }
+    out << "assignments written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"table", "out", "p", "k", "seed", "min-log2", "max-log2"}));
+  TABSKETCH_ASSIGN_CLI(const std::string table_path,
+                       flags.GetRequired("table"));
+  TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
+  TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 64));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const int64_t min_log2, flags.GetInt("min-log2", 3));
+  TABSKETCH_ASSIGN_CLI(const int64_t max_log2, flags.GetInt("max-log2", 63));
+
+  auto matrix = table::ReadBinary(table_path);
+  if (!matrix.ok()) return Fail(err, matrix.status());
+  core::PoolOptions options;
+  options.log2_min_rows = static_cast<size_t>(min_log2);
+  options.log2_min_cols = static_cast<size_t>(min_log2);
+  options.log2_max_rows = static_cast<size_t>(max_log2);
+  options.log2_max_cols = static_cast<size_t>(max_log2);
+  util::WallTimer timer;
+  auto pool = core::SketchPool::Build(
+      *matrix, {.p = p, .k = static_cast<size_t>(k),
+                .seed = static_cast<uint64_t>(seed)},
+      options);
+  if (!pool.ok()) return Fail(err, pool.status());
+  const double seconds = timer.ElapsedSeconds();
+  const util::Status written = core::WriteSketchPool(*pool, out_path);
+  if (!written.ok()) return Fail(err, written);
+  out << "pool with " << pool->CanonicalSizes().size()
+      << " canonical sizes built in " << seconds << "s -> " << out_path
+      << "\n";
+  return 0;
+}
+
+int CmdPoolQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly({"pool", "rect1", "rect2", "table"}));
+  TABSKETCH_ASSIGN_CLI(const std::string pool_path,
+                       flags.GetRequired("pool"));
+  TABSKETCH_ASSIGN_CLI(const std::string rect1_text,
+                       flags.GetRequired("rect1"));
+  TABSKETCH_ASSIGN_CLI(const std::string rect2_text,
+                       flags.GetRequired("rect2"));
+  TABSKETCH_ASSIGN_CLI(const std::string table_path,
+                       flags.GetString("table", ""));
+
+  auto pool = core::ReadSketchPool(pool_path);
+  if (!pool.ok()) return Fail(err, pool.status());
+  auto rect1 = ParseSizeList(rect1_text, 4);
+  if (!rect1.ok()) return Fail(err, rect1.status());
+  auto rect2 = ParseSizeList(rect2_text, 4);
+  if (!rect2.ok()) return Fail(err, rect2.status());
+  const auto& r1 = *rect1;
+  const auto& r2 = *rect2;
+  if (r1[2] != r2[2] || r1[3] != r2[3]) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "rectangles must have equal dimensions"));
+  }
+  auto sketch1 = pool->Query(r1[0], r1[1], r1[2], r1[3]);
+  if (!sketch1.ok()) return Fail(err, sketch1.status());
+  auto sketch2 = pool->Query(r2[0], r2[1], r2[2], r2[3]);
+  if (!sketch2.ok()) return Fail(err, sketch2.status());
+  auto estimator = core::DistanceEstimator::Create(pool->params());
+  if (!estimator.ok()) return Fail(err, estimator.status());
+  out << "compound-sketch estimate: "
+      << estimator->Estimate(*sketch1, *sketch2) << "\n";
+  if (!table_path.empty()) {
+    auto matrix = table::ReadBinary(table_path);
+    if (!matrix.ok()) return Fail(err, matrix.status());
+    out << "exact reference:          "
+        << core::LpDistance(matrix->Window(r1[0], r1[1], r1[2], r1[3]),
+                            matrix->Window(r2[0], r2[1], r2[2], r2[3]),
+                            pool->params().p)
+        << "  (compound estimates carry the Theorem-5 band)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
+                    std::ostream& err) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(err, flags.status());
+  const std::string& command = flags->command();
+  if (command.empty() || command == "help") {
+    out << kUsage;
+    return command.empty() ? 1 : 0;
+  }
+  if (command == "generate") return CmdGenerate(*flags, out, err);
+  if (command == "info") return CmdInfo(*flags, out, err);
+  if (command == "sketch") return CmdSketch(*flags, out, err);
+  if (command == "distance") return CmdDistance(*flags, out, err);
+  if (command == "cluster") return CmdCluster(*flags, out, err);
+  if (command == "pool-build") return CmdPoolBuild(*flags, out, err);
+  if (command == "pool-query") return CmdPoolQuery(*flags, out, err);
+  err << "error: unknown command '" << command << "'\n\n" << kUsage;
+  return 1;
+}
+
+}  // namespace tabsketch::cli

@@ -1,0 +1,29 @@
+#ifndef TABSKETCH_CLI_COMMANDS_H_
+#define TABSKETCH_CLI_COMMANDS_H_
+
+#include <ostream>
+
+namespace tabsketch::cli {
+
+/// Entry point of the `tabsketch` command-line tool, separated from main()
+/// so commands are unit-testable. Writes results to `out`, diagnostics to
+/// `err`; returns a process exit code (0 on success).
+///
+/// Commands:
+///   generate  --dataset=call-volume|six-region|ip-traffic --out=FILE [...]
+///   info      --table=FILE
+///   sketch    --table=FILE --out=FILE --tile-rows=N --tile-cols=N
+///             [--p= --k= --seed= --threads=]
+///   distance  --table=FILE --rect1=r,c,h,w --rect2=r,c,h,w
+///             [--p= --k= --seed=]
+///   cluster   --table=FILE --tile-rows=N --tile-cols=N
+///             [--algo=kmeans|kmedoids|dbscan] [--k= --p= --seed=]
+///             [--mode=exact|precomputed|ondemand] [--sketch-k=]
+///             [--epsilon= --min-points=] [--out=FILE]
+///   help
+int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace tabsketch::cli
+
+#endif  // TABSKETCH_CLI_COMMANDS_H_

@@ -1,0 +1,4 @@
+#include "cluster/backend.h"
+
+// The interface is header-only; this translation unit anchors the vtable.
+namespace tabsketch::cluster {}  // namespace tabsketch::cluster

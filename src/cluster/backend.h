@@ -1,0 +1,66 @@
+#ifndef TABSKETCH_CLUSTER_BACKEND_H_
+#define TABSKETCH_CLUSTER_BACKEND_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tabsketch::cluster {
+
+/// The distance-computation strategy plugged into k-means. The paper's
+/// experimental design holds the clustering loop fixed and swaps only "the
+/// routines to calculate the distance between tiles" (Section 4.4); this
+/// interface is that swap point. Implementations:
+///   - ExactBackend:   exact Lp distances over full tiles (scenario 3),
+///   - SketchBackend:  sketch-estimated distances, with sketches either
+///                     precomputed (scenario 1) or computed on demand and
+///                     cached (scenario 2).
+///
+/// Objects are the tiles of a grid, identified by index. Centroids live in
+/// whatever space the backend uses (data space for exact, sketch space for
+/// sketches — sketch linearity makes the mean of member sketches exactly the
+/// sketch of the mean tile).
+class ClusteringBackend {
+ public:
+  virtual ~ClusteringBackend() = default;
+
+  /// Number of objects being clustered.
+  virtual size_t num_objects() const = 0;
+
+  /// Replaces all centroids with copies of the given objects.
+  virtual void InitCentroidsFromObjects(
+      const std::vector<size_t>& object_indices) = 0;
+
+  /// Number of centroids currently held.
+  virtual size_t num_centroids() const = 0;
+
+  /// Distance (exact or estimated) from object to centroid. Non-const
+  /// because on-demand backends may lazily sketch the object.
+  virtual double Distance(size_t object, size_t centroid) = 0;
+
+  /// Distance between two objects (used by k-means++ seeding).
+  virtual double ObjectDistance(size_t a, size_t b) = 0;
+
+  /// Recomputes every centroid as the mean of its assigned objects.
+  /// `assignment[i]` in [0, k) or -1 for unassigned; clusters with no
+  /// members keep their previous centroid.
+  virtual void UpdateCentroids(const std::vector<int>& assignment) = 0;
+
+  /// Resets the centroid of cluster `centroid` to a copy of `object` (used
+  /// to revive empty clusters).
+  virtual void ResetCentroidToObject(size_t centroid, size_t object) = 0;
+
+  /// Human-readable backend name for reports.
+  virtual std::string name() const = 0;
+
+  /// Total Distance()/ObjectDistance() evaluations so far; the comparison
+  /// count whose unit cost the paper's approach shrinks.
+  size_t distance_evaluations() const { return distance_evaluations_; }
+
+ protected:
+  size_t distance_evaluations_ = 0;
+};
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_BACKEND_H_

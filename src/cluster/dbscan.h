@@ -1,0 +1,47 @@
+#ifndef TABSKETCH_CLUSTER_DBSCAN_H_
+#define TABSKETCH_CLUSTER_DBSCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "util/result.h"
+
+namespace tabsketch::cluster {
+
+struct DbscanOptions {
+  /// Neighborhood radius in the backend's distance units.
+  double epsilon = 1.0;
+  /// Minimum neighborhood size (including the point itself) for a core
+  /// point.
+  size_t min_points = 4;
+};
+
+/// Objects DBSCAN could not attach to any cluster keep this label.
+inline constexpr int kNoiseLabel = -1;
+
+struct DbscanResult {
+  /// Cluster id in [0, num_clusters) per object, or kNoiseLabel for noise.
+  std::vector<int> assignment;
+  size_t num_clusters = 0;
+  size_t num_noise = 0;
+  size_t distance_evaluations = 0;
+  double seconds = 0.0;
+};
+
+/// Density-based clustering (Ester et al., cited by the paper as one of the
+/// mining algorithms whose comparisons sketches can serve). This is the
+/// textbook DBSCAN over the backend's object-object distances: neighborhood
+/// queries are linear scans, so the run costs O(n^2) comparisons — which is
+/// precisely the regime where replacing full-tile comparisons with O(k)
+/// sketch comparisons pays.
+///
+/// Note on approximate distances: sketch noise can flip borderline
+/// neighborhood memberships; as with k-means, the structure DBSCAN finds is
+/// robust when clusters are separated at scale epsilon (tested).
+util::Result<DbscanResult> RunDbscan(ClusteringBackend* backend,
+                                     const DbscanOptions& options);
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_DBSCAN_H_

@@ -1,0 +1,73 @@
+#include "cluster/exact_backend.h"
+
+#include <sstream>
+
+#include "core/lp_distance.h"
+#include "util/logging.h"
+
+namespace tabsketch::cluster {
+
+util::Result<ExactBackend> ExactBackend::Create(const table::TileGrid* grid,
+                                                double p) {
+  TABSKETCH_CHECK(grid != nullptr);
+  if (!(p > 0.0) || p > 2.0) {
+    std::ostringstream msg;
+    msg << "p must be in (0, 2], got " << p;
+    return util::Status::InvalidArgument(msg.str());
+  }
+  return ExactBackend(grid, p);
+}
+
+void ExactBackend::InitCentroidsFromObjects(
+    const std::vector<size_t>& object_indices) {
+  centroids_.clear();
+  centroids_.reserve(object_indices.size());
+  for (size_t index : object_indices) {
+    centroids_.push_back(grid_->Tile(index).ToMatrix());
+  }
+}
+
+double ExactBackend::Distance(size_t object, size_t centroid) {
+  ++distance_evaluations_;
+  return core::LpDistance(grid_->Tile(object), centroids_[centroid].View(),
+                          p_);
+}
+
+double ExactBackend::ObjectDistance(size_t a, size_t b) {
+  ++distance_evaluations_;
+  return core::LpDistance(grid_->Tile(a), grid_->Tile(b), p_);
+}
+
+void ExactBackend::UpdateCentroids(const std::vector<int>& assignment) {
+  TABSKETCH_CHECK(assignment.size() == num_objects());
+  const size_t k = centroids_.size();
+  std::vector<table::Matrix> sums(
+      k, table::Matrix(grid_->tile_rows(), grid_->tile_cols()));
+  std::vector<size_t> counts(k, 0);
+  for (size_t object = 0; object < assignment.size(); ++object) {
+    const int cluster = assignment[object];
+    if (cluster < 0) continue;
+    TABSKETCH_CHECK(static_cast<size_t>(cluster) < k);
+    table::TableView tile = grid_->Tile(object);
+    table::Matrix& sum = sums[cluster];
+    for (size_t r = 0; r < tile.rows(); ++r) {
+      auto src = tile.Row(r);
+      auto dst = sum.Row(r);
+      for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c];
+    }
+    ++counts[cluster];
+  }
+  for (size_t cluster = 0; cluster < k; ++cluster) {
+    if (counts[cluster] == 0) continue;  // keep previous centroid
+    const double inv = 1.0 / static_cast<double>(counts[cluster]);
+    for (double& value : sums[cluster].Values()) value *= inv;
+    centroids_[cluster] = std::move(sums[cluster]);
+  }
+}
+
+void ExactBackend::ResetCentroidToObject(size_t centroid, size_t object) {
+  TABSKETCH_CHECK(centroid < centroids_.size());
+  centroids_[centroid] = grid_->Tile(object).ToMatrix();
+}
+
+}  // namespace tabsketch::cluster

@@ -1,0 +1,48 @@
+#ifndef TABSKETCH_CLUSTER_EXACT_BACKEND_H_
+#define TABSKETCH_CLUSTER_EXACT_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "table/matrix.h"
+#include "table/tiling.h"
+#include "util/result.h"
+
+namespace tabsketch::cluster {
+
+/// Exact-distance backend: every comparison reads the full tile and computes
+/// the exact Lp distance (the paper's scenario (3), the baseline whose cost
+/// grows linearly with tile size). Centroids are dense matrices maintained as
+/// the mean of member tiles.
+class ExactBackend : public ClusteringBackend {
+ public:
+  /// `grid` must outlive the backend. Requires p in (0, 2] to match the
+  /// sketchable range (exact Lp itself would accept any p > 0).
+  static util::Result<ExactBackend> Create(const table::TileGrid* grid,
+                                           double p);
+
+  size_t num_objects() const override { return grid_->num_tiles(); }
+  void InitCentroidsFromObjects(
+      const std::vector<size_t>& object_indices) override;
+  size_t num_centroids() const override { return centroids_.size(); }
+  double Distance(size_t object, size_t centroid) override;
+  double ObjectDistance(size_t a, size_t b) override;
+  void UpdateCentroids(const std::vector<int>& assignment) override;
+  void ResetCentroidToObject(size_t centroid, size_t object) override;
+  std::string name() const override { return "exact"; }
+
+  const table::Matrix& centroid(size_t i) const { return centroids_[i]; }
+
+ private:
+  ExactBackend(const table::TileGrid* grid, double p)
+      : grid_(grid), p_(p) {}
+
+  const table::TileGrid* grid_;
+  double p_;
+  std::vector<table::Matrix> centroids_;
+};
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_EXACT_BACKEND_H_

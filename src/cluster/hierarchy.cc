@@ -1,0 +1,135 @@
+#include "cluster/hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tabsketch::cluster {
+
+util::Result<std::vector<int>> Dendrogram::CutAtK(size_t k) const {
+  if (k == 0 || k > num_objects) {
+    std::ostringstream msg;
+    msg << "cut k = " << k << " must be in [1, " << num_objects << "]";
+    return util::Status::InvalidArgument(msg.str());
+  }
+  // Union-find replay of the first n - k merges.
+  std::vector<size_t> parent(num_objects + merges.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const size_t steps = num_objects - k;
+  TABSKETCH_CHECK(steps <= merges.size());
+  for (size_t step = 0; step < steps; ++step) {
+    const size_t merged_id = num_objects + step;
+    parent[find(merges[step].left)] = merged_id;
+    parent[find(merges[step].right)] = merged_id;
+  }
+  // Relabel roots to [0, k) in order of first appearance.
+  std::vector<int> labels(num_objects, -1);
+  std::vector<size_t> root_of_label;
+  for (size_t object = 0; object < num_objects; ++object) {
+    const size_t root = find(object);
+    int label = -1;
+    for (size_t existing = 0; existing < root_of_label.size(); ++existing) {
+      if (root_of_label[existing] == root) {
+        label = static_cast<int>(existing);
+        break;
+      }
+    }
+    if (label < 0) {
+      label = static_cast<int>(root_of_label.size());
+      root_of_label.push_back(root);
+    }
+    labels[object] = label;
+  }
+  TABSKETCH_CHECK(root_of_label.size() == k)
+      << "expected " << k << " clusters, found " << root_of_label.size();
+  return labels;
+}
+
+util::Result<Dendrogram> AgglomerativeCluster(ClusteringBackend* backend,
+                                              Linkage linkage) {
+  TABSKETCH_CHECK(backend != nullptr);
+  const size_t n = backend->num_objects();
+  if (n == 0) {
+    return util::Status::InvalidArgument("nothing to cluster");
+  }
+  Dendrogram dendrogram;
+  dendrogram.num_objects = n;
+  if (n == 1) return dendrogram;
+
+  // Full pairwise distances (the n(n-1)/2 comparisons sketches accelerate).
+  std::vector<double> dist(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = backend->ObjectDistance(i, j);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<size_t> cluster_id(n);   // dendrogram id held by each slot
+  std::vector<double> sizes(n, 1.0);
+  std::iota(cluster_id.begin(), cluster_id.end(), 0);
+
+  dendrogram.merges.reserve(n - 1);
+  for (size_t step = 0; step < n - 1; ++step) {
+    // Closest active pair.
+    size_t best_a = 0, best_b = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < n; ++a) {
+      if (!active[a]) continue;
+      for (size_t b = a + 1; b < n; ++b) {
+        if (!active[b]) continue;
+        if (dist[a * n + b] < best) {
+          best = dist[a * n + b];
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+
+    dendrogram.merges.push_back(
+        Merge{cluster_id[best_a], cluster_id[best_b], best});
+
+    // Lance-Williams update into slot best_a; deactivate best_b.
+    for (size_t j = 0; j < n; ++j) {
+      if (!active[j] || j == best_a || j == best_b) continue;
+      const double da = dist[best_a * n + j];
+      const double db = dist[best_b * n + j];
+      double merged;
+      switch (linkage) {
+        case Linkage::kSingle:
+          merged = std::min(da, db);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(da, db);
+          break;
+        case Linkage::kAverage:
+          merged = (sizes[best_a] * da + sizes[best_b] * db) /
+                   (sizes[best_a] + sizes[best_b]);
+          break;
+        default:
+          TABSKETCH_CHECK(false) << "unknown linkage";
+          merged = 0.0;
+      }
+      dist[best_a * n + j] = merged;
+      dist[j * n + best_a] = merged;
+    }
+    sizes[best_a] += sizes[best_b];
+    cluster_id[best_a] = n + step;
+    active[best_b] = false;
+  }
+  return dendrogram;
+}
+
+}  // namespace tabsketch::cluster

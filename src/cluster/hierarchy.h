@@ -1,0 +1,50 @@
+#ifndef TABSKETCH_CLUSTER_HIERARCHY_H_
+#define TABSKETCH_CLUSTER_HIERARCHY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "util/result.h"
+
+namespace tabsketch::cluster {
+
+/// How the distance between two clusters is derived from member distances.
+enum class Linkage {
+  kSingle,    // min over cross pairs
+  kComplete,  // max over cross pairs
+  kAverage,   // unweighted mean over cross pairs (UPGMA)
+};
+
+/// One agglomeration step: clusters `left` and `right` merge into a new
+/// cluster with id `n + step` (leaves are 0..n-1, as in scipy/R dendrogram
+/// conventions).
+struct Merge {
+  size_t left;
+  size_t right;
+  double distance;
+};
+
+/// The full agglomeration history over n objects (n - 1 merges).
+struct Dendrogram {
+  size_t num_objects = 0;
+  std::vector<Merge> merges;
+
+  /// Flat clustering with exactly `k` clusters: the state after n - k
+  /// merges, with cluster ids relabeled to [0, k) in order of first member.
+  /// Requires 1 <= k <= num_objects.
+  util::Result<std::vector<int>> CutAtK(size_t k) const;
+};
+
+/// Agglomerative hierarchical clustering over the objects of `backend`,
+/// starting from the full pairwise distance matrix (obtained once via
+/// ObjectDistance — n(n-1)/2 evaluations, which is where sketches'
+/// O(k)-per-comparison matters most) and merging via Lance-Williams
+/// updates. O(n^2) memory, O(n^3) worst-case time; fine for the tile counts
+/// the experiments use.
+util::Result<Dendrogram> AgglomerativeCluster(ClusteringBackend* backend,
+                                              Linkage linkage);
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_HIERARCHY_H_

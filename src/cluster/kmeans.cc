@@ -1,0 +1,148 @@
+#include "cluster/kmeans.h"
+
+#include <limits>
+#include <sstream>
+
+#include "cluster/seeding.h"
+#include "rng/splitmix64.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace tabsketch::cluster {
+namespace {
+
+/// Assigns every object to its nearest centroid; returns how many
+/// assignments changed.
+size_t AssignAll(ClusteringBackend* backend, std::vector<int>* assignment) {
+  const size_t n = backend->num_objects();
+  const size_t k = backend->num_centroids();
+  size_t changed = 0;
+  for (size_t object = 0; object < n; ++object) {
+    int best = -1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (size_t centroid = 0; centroid < k; ++centroid) {
+      const double d = backend->Distance(object, centroid);
+      if (d < best_distance) {
+        best_distance = d;
+        best = static_cast<int>(centroid);
+      }
+    }
+    if ((*assignment)[object] != best) {
+      (*assignment)[object] = best;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+/// Revives clusters with no members by moving their centroid onto the object
+/// farthest from its current centroid; returns true if anything changed.
+bool ReviveEmptyClusters(ClusteringBackend* backend,
+                         std::vector<int>* assignment) {
+  const size_t n = backend->num_objects();
+  const size_t k = backend->num_centroids();
+  std::vector<size_t> counts(k, 0);
+  for (int cluster : *assignment) {
+    if (cluster >= 0) ++counts[cluster];
+  }
+  bool revived = false;
+  for (size_t cluster = 0; cluster < k; ++cluster) {
+    if (counts[cluster] != 0) continue;
+    // Farthest object from its own centroid, among clusters that can spare
+    // a member.
+    double worst = -1.0;
+    size_t victim = 0;
+    for (size_t object = 0; object < n; ++object) {
+      const int home = (*assignment)[object];
+      if (home < 0 || counts[home] <= 1) continue;
+      const double d = backend->Distance(object, static_cast<size_t>(home));
+      if (d > worst) {
+        worst = d;
+        victim = object;
+      }
+    }
+    if (worst < 0.0) break;  // nothing can be moved
+    --counts[(*assignment)[victim]];
+    (*assignment)[victim] = static_cast<int>(cluster);
+    ++counts[cluster];
+    backend->ResetCentroidToObject(cluster, victim);
+    revived = true;
+  }
+  return revived;
+}
+
+}  // namespace
+
+util::Result<KMeansResult> RunKMeans(ClusteringBackend* backend,
+                                     const KMeansOptions& options) {
+  TABSKETCH_CHECK(backend != nullptr);
+  const size_t n = backend->num_objects();
+  if (options.k == 0 || options.k > n) {
+    std::ostringstream msg;
+    msg << "k = " << options.k << " must be in [1, " << n << "]";
+    return util::Status::InvalidArgument(msg.str());
+  }
+
+  util::WallTimer timer;
+  const size_t evals_before = backend->distance_evaluations();
+
+  std::vector<size_t> seeds;
+  if (options.seeding == SeedingMethod::kPlusPlus) {
+    seeds = KMeansPlusPlusIndices(backend, options.k, options.seed);
+  } else {
+    seeds = RandomDistinctIndices(n, options.k, options.seed);
+  }
+  backend->InitCentroidsFromObjects(seeds);
+
+  KMeansResult result;
+  result.assignment.assign(n, -1);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const size_t changed = AssignAll(backend, &result.assignment);
+    const bool revived = ReviveEmptyClusters(backend, &result.assignment);
+    if (changed == 0 && !revived) {
+      result.converged = true;
+      break;
+    }
+    backend->UpdateCentroids(result.assignment);
+  }
+
+  // Final objective for restart selection, on the final centroids.
+  double objective = 0.0;
+  for (size_t object = 0; object < n; ++object) {
+    objective += backend->Distance(
+        object, static_cast<size_t>(result.assignment[object]));
+  }
+  result.objective = objective;
+
+  result.seconds = timer.ElapsedSeconds();
+  result.distance_evaluations =
+      backend->distance_evaluations() - evals_before;
+  return result;
+}
+
+util::Result<KMeansResult> RunKMeansBestOfRestarts(
+    ClusteringBackend* backend, const KMeansOptions& options,
+    size_t restarts) {
+  if (restarts == 0) {
+    return util::Status::InvalidArgument("restarts must be >= 1");
+  }
+  KMeansResult best;
+  size_t total_evals = 0;
+  bool have_best = false;
+  for (size_t attempt = 0; attempt < restarts; ++attempt) {
+    KMeansOptions run_options = options;
+    run_options.seed = rng::MixSeeds(options.seed, attempt);
+    TABSKETCH_ASSIGN_OR_RETURN(KMeansResult result,
+                               RunKMeans(backend, run_options));
+    total_evals += result.distance_evaluations;
+    if (!have_best || result.objective < best.objective) {
+      best = std::move(result);
+      have_best = true;
+    }
+  }
+  best.distance_evaluations = total_evals;
+  return best;
+}
+
+}  // namespace tabsketch::cluster

@@ -1,0 +1,71 @@
+#ifndef TABSKETCH_CLUSTER_KMEANS_H_
+#define TABSKETCH_CLUSTER_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "util/result.h"
+
+namespace tabsketch::cluster {
+
+/// How initial centroids are chosen.
+enum class SeedingMethod {
+  /// k distinct objects uniformly at random (the paper's k-means).
+  kRandom,
+  /// k-means++ (D^2 weighting) — an ablation beyond the paper.
+  kPlusPlus,
+};
+
+struct KMeansOptions {
+  /// Number of clusters.
+  size_t k = 20;
+  /// Hard iteration cap; the loop also stops when no assignment changes.
+  size_t max_iterations = 50;
+  /// Seed for centroid initialization (and ++ seeding).
+  uint64_t seed = 1;
+  SeedingMethod seeding = SeedingMethod::kRandom;
+};
+
+struct KMeansResult {
+  /// Cluster id in [0, k) for every object.
+  std::vector<int> assignment;
+  /// Lloyd iterations executed.
+  size_t iterations = 0;
+  /// True if the loop stopped because assignments stabilized.
+  bool converged = false;
+  /// Wall-clock time of the clustering loop (excludes backend construction,
+  /// so precomputed-sketch preprocessing is not counted — matching how the
+  /// paper reports scenario (1)).
+  double seconds = 0.0;
+  /// Distance evaluations performed by the backend during the run.
+  size_t distance_evaluations = 0;
+  /// Final within-cluster objective: sum over objects of the backend's
+  /// distance to their assigned centroid. Comparable across runs on the
+  /// same backend; used to pick the best of several restarts.
+  double objective = 0.0;
+};
+
+/// Lloyd's k-means over the objects of `backend` (paper Section 4.4). The
+/// loop is identical for every backend; only the distance routine differs,
+/// mirroring the paper's controlled comparison. Empty clusters are revived by
+/// re-seeding them to the object currently farthest from its centroid.
+///
+/// Returns InvalidArgument if k is zero or exceeds the object count.
+util::Result<KMeansResult> RunKMeans(ClusteringBackend* backend,
+                                     const KMeansOptions& options);
+
+/// Runs k-means `restarts` times with seeds derived from options.seed and
+/// returns the run with the smallest objective. Lloyd's converges to a local
+/// minimum that depends on the initial centroids; restarting is the standard
+/// defense and is cheap when distances come from sketches. The returned
+/// result's timing covers only the winning run; `distance_evaluations`
+/// accumulates across all restarts.
+util::Result<KMeansResult> RunKMeansBestOfRestarts(ClusteringBackend* backend,
+                                                   const KMeansOptions& options,
+                                                   size_t restarts);
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_KMEANS_H_

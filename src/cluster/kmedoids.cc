@@ -1,0 +1,117 @@
+#include "cluster/kmedoids.h"
+
+#include <limits>
+#include <sstream>
+
+#include "cluster/seeding.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace tabsketch::cluster {
+namespace {
+
+/// Assigns each object to its nearest medoid; returns how many changed and
+/// accumulates the objective.
+size_t AssignToMedoids(ClusteringBackend* backend,
+                       const std::vector<size_t>& medoids,
+                       std::vector<int>* assignment, double* objective) {
+  const size_t n = backend->num_objects();
+  size_t changed = 0;
+  *objective = 0.0;
+  for (size_t object = 0; object < n; ++object) {
+    int best = -1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      const double d = backend->ObjectDistance(object, medoids[m]);
+      if (d < best_distance) {
+        best_distance = d;
+        best = static_cast<int>(m);
+      }
+    }
+    *objective += best_distance;
+    if ((*assignment)[object] != best) {
+      (*assignment)[object] = best;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+/// Re-centers each cluster on its best member; returns true on any change.
+bool UpdateMedoids(ClusteringBackend* backend,
+                   const std::vector<int>& assignment,
+                   std::vector<size_t>* medoids) {
+  const size_t n = backend->num_objects();
+  bool moved = false;
+  for (size_t m = 0; m < medoids->size(); ++m) {
+    // Gather members.
+    std::vector<size_t> members;
+    for (size_t object = 0; object < n; ++object) {
+      if (assignment[object] == static_cast<int>(m)) {
+        members.push_back(object);
+      }
+    }
+    if (members.empty()) continue;  // keep previous medoid
+    size_t best_member = (*medoids)[m];
+    double best_total = std::numeric_limits<double>::infinity();
+    for (size_t candidate : members) {
+      double total = 0.0;
+      for (size_t other : members) {
+        total += backend->ObjectDistance(candidate, other);
+        if (total >= best_total) break;  // early abandon
+      }
+      if (total < best_total) {
+        best_total = total;
+        best_member = candidate;
+      }
+    }
+    if (best_member != (*medoids)[m]) {
+      (*medoids)[m] = best_member;
+      moved = true;
+    }
+  }
+  return moved;
+}
+
+}  // namespace
+
+util::Result<KMedoidsResult> RunKMedoids(ClusteringBackend* backend,
+                                         const KMedoidsOptions& options) {
+  TABSKETCH_CHECK(backend != nullptr);
+  const size_t n = backend->num_objects();
+  if (options.k == 0 || options.k > n) {
+    std::ostringstream msg;
+    msg << "k = " << options.k << " must be in [1, " << n << "]";
+    return util::Status::InvalidArgument(msg.str());
+  }
+
+  util::WallTimer timer;
+  const size_t evals_before = backend->distance_evaluations();
+
+  KMedoidsResult result;
+  result.medoids = RandomDistinctIndices(n, options.k, options.seed);
+  result.assignment.assign(n, -1);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const size_t changed = AssignToMedoids(backend, result.medoids,
+                                           &result.assignment,
+                                           &result.objective);
+    const bool moved = UpdateMedoids(backend, result.assignment,
+                                     &result.medoids);
+    if (changed == 0 && !moved) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Final objective against the final medoids.
+  AssignToMedoids(backend, result.medoids, &result.assignment,
+                  &result.objective);
+
+  result.seconds = timer.ElapsedSeconds();
+  result.distance_evaluations =
+      backend->distance_evaluations() - evals_before;
+  return result;
+}
+
+}  // namespace tabsketch::cluster

@@ -1,0 +1,48 @@
+#ifndef TABSKETCH_CLUSTER_KMEDOIDS_H_
+#define TABSKETCH_CLUSTER_KMEDOIDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "util/result.h"
+
+namespace tabsketch::cluster {
+
+struct KMedoidsOptions {
+  size_t k = 8;
+  size_t max_iterations = 30;
+  uint64_t seed = 1;
+};
+
+struct KMedoidsResult {
+  /// Object indices of the final medoids (size k).
+  std::vector<size_t> medoids;
+  /// Cluster id in [0, k) per object.
+  std::vector<int> assignment;
+  size_t iterations = 0;
+  bool converged = false;
+  double seconds = 0.0;
+  /// Sum over objects of the backend distance to their medoid.
+  double objective = 0.0;
+  size_t distance_evaluations = 0;
+};
+
+/// Voronoi-iteration k-medoids (the PAM relaxation used by CLARANS-family
+/// algorithms the paper cites): alternate (1) assign each object to its
+/// nearest medoid, (2) re-center each cluster on the member minimizing the
+/// within-cluster distance sum.
+///
+/// Unlike k-means this needs only object-object distances — no centroids in
+/// data space — so it runs unmodified on exact or sketched backends via
+/// ObjectDistance, and medoids are always real tiles (often preferable for
+/// reporting "representative" regions). Step (2) is O(sum |C|^2) distance
+/// evaluations per iteration, which is exactly where O(k)-per-comparison
+/// sketches pay off most.
+util::Result<KMedoidsResult> RunKMedoids(ClusteringBackend* backend,
+                                         const KMedoidsOptions& options);
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_KMEDOIDS_H_

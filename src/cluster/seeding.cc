@@ -1,0 +1,67 @@
+#include "cluster/seeding.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "rng/xoshiro256.h"
+#include "util/logging.h"
+
+namespace tabsketch::cluster {
+
+std::vector<size_t> RandomDistinctIndices(size_t n, size_t k, uint64_t seed) {
+  TABSKETCH_CHECK(k <= n) << "cannot draw " << k << " distinct from " << n;
+  rng::Xoshiro256 gen(seed);
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: after i swaps the first i entries are a uniform
+  // random k-subset prefix.
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + gen.NextBounded(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<size_t> KMeansPlusPlusIndices(ClusteringBackend* backend,
+                                          size_t k, uint64_t seed) {
+  TABSKETCH_CHECK(backend != nullptr);
+  const size_t n = backend->num_objects();
+  TABSKETCH_CHECK(k <= n) << "cannot seed " << k << " centers from " << n;
+  rng::Xoshiro256 gen(seed);
+
+  std::vector<size_t> centers;
+  centers.reserve(k);
+  centers.push_back(gen.NextBounded(n));
+
+  std::vector<double> best_sq(n, std::numeric_limits<double>::infinity());
+  for (size_t round = 1; round < k; ++round) {
+    const size_t latest = centers.back();
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = backend->ObjectDistance(i, latest);
+      best_sq[i] = std::min(best_sq[i], d * d);
+      total += best_sq[i];
+    }
+    size_t chosen;
+    if (total <= 0.0) {
+      // All remaining objects coincide with a center; fall back to uniform.
+      chosen = gen.NextBounded(n);
+    } else {
+      double target = gen.NextDouble() * total;
+      chosen = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        target -= best_sq[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centers.push_back(chosen);
+  }
+  return centers;
+}
+
+}  // namespace tabsketch::cluster

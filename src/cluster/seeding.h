@@ -1,0 +1,25 @@
+#ifndef TABSKETCH_CLUSTER_SEEDING_H_
+#define TABSKETCH_CLUSTER_SEEDING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/backend.h"
+
+namespace tabsketch::cluster {
+
+/// k distinct indices drawn uniformly from [0, n) (partial Fisher-Yates).
+/// Requires k <= n.
+std::vector<size_t> RandomDistinctIndices(size_t n, size_t k, uint64_t seed);
+
+/// k-means++ seeding: the first center is uniform, each next center is drawn
+/// with probability proportional to D(x)^2, the squared distance to the
+/// nearest already-chosen center (distances supplied by the backend, so
+/// seeding is sketch-accelerated too). Requires k <= num_objects.
+std::vector<size_t> KMeansPlusPlusIndices(ClusteringBackend* backend,
+                                          size_t k, uint64_t seed);
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_SEEDING_H_

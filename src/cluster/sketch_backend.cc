@@ -1,0 +1,111 @@
+#include "cluster/sketch_backend.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tabsketch::cluster {
+
+util::Result<SketchBackend> SketchBackend::Create(
+    const table::TileGrid* grid, const core::SketchParams& params,
+    SketchMode mode, core::EstimatorKind estimator_kind) {
+  TABSKETCH_CHECK(grid != nullptr);
+  TABSKETCH_ASSIGN_OR_RETURN(core::Sketcher sketcher,
+                             core::Sketcher::Create(params));
+  TABSKETCH_ASSIGN_OR_RETURN(
+      core::DistanceEstimator estimator,
+      core::DistanceEstimator::Create(params, estimator_kind));
+  auto shared_sketcher = std::make_shared<core::Sketcher>(std::move(sketcher));
+  SketchBackend backend(grid, std::move(shared_sketcher),
+                        std::move(estimator), mode);
+  if (mode == SketchMode::kPrecomputed) {
+    backend.precomputed_ = core::SketchAllTiles(*backend.sketcher_, *grid);
+  } else {
+    backend.cache_ = std::make_unique<core::OnDemandSketchCache>(
+        backend.sketcher_.get(), grid);
+  }
+  return backend;
+}
+
+SketchBackend::SketchBackend(const table::TileGrid* grid,
+                             std::shared_ptr<core::Sketcher> sketcher,
+                             core::DistanceEstimator estimator,
+                             SketchMode mode)
+    : grid_(grid),
+      sketcher_(std::move(sketcher)),
+      estimator_(estimator),
+      mode_(mode) {}
+
+const core::Sketch& SketchBackend::TileSketch(size_t index) {
+  if (mode_ == SketchMode::kPrecomputed) {
+    TABSKETCH_CHECK(index < precomputed_.size());
+    return precomputed_[index];
+  }
+  return cache_->ForTile(index);
+}
+
+void SketchBackend::InitCentroidsFromObjects(
+    const std::vector<size_t>& object_indices) {
+  centroids_.clear();
+  centroids_.reserve(object_indices.size());
+  for (size_t index : object_indices) {
+    centroids_.push_back(TileSketch(index));
+  }
+}
+
+double SketchBackend::Distance(size_t object, size_t centroid) {
+  ++distance_evaluations_;
+  TABSKETCH_CHECK(centroid < centroids_.size());
+  return estimator_.EstimateWithScratch(TileSketch(object).values,
+                                        centroids_[centroid].values,
+                                        &scratch_);
+}
+
+double SketchBackend::ObjectDistance(size_t a, size_t b) {
+  ++distance_evaluations_;
+  // Two lookups kept separate: ForTile may invalidate references on growth
+  // only if the cache reallocated, which it cannot (slots are pre-sized),
+  // but sequencing the calls keeps the invariant obvious.
+  const core::Sketch& sketch_a = TileSketch(a);
+  const core::Sketch& sketch_b = TileSketch(b);
+  return estimator_.EstimateWithScratch(sketch_a.values, sketch_b.values,
+                                        &scratch_);
+}
+
+void SketchBackend::UpdateCentroids(const std::vector<int>& assignment) {
+  TABSKETCH_CHECK(assignment.size() == num_objects());
+  const size_t k = centroids_.size();
+  const size_t sketch_size = sketcher_->params().k;
+  std::vector<core::Sketch> sums(k);
+  for (auto& sum : sums) sum.values.assign(sketch_size, 0.0);
+  std::vector<size_t> counts(k, 0);
+  for (size_t object = 0; object < assignment.size(); ++object) {
+    const int cluster = assignment[object];
+    if (cluster < 0) continue;
+    TABSKETCH_CHECK(static_cast<size_t>(cluster) < k);
+    sums[cluster].Add(TileSketch(object));
+    ++counts[cluster];
+  }
+  for (size_t cluster = 0; cluster < k; ++cluster) {
+    if (counts[cluster] == 0) continue;  // keep previous centroid
+    sums[cluster].Scale(1.0 / static_cast<double>(counts[cluster]));
+    centroids_[cluster] = std::move(sums[cluster]);
+  }
+}
+
+void SketchBackend::ResetCentroidToObject(size_t centroid, size_t object) {
+  TABSKETCH_CHECK(centroid < centroids_.size());
+  centroids_[centroid] = TileSketch(object);
+}
+
+std::string SketchBackend::name() const {
+  return mode_ == SketchMode::kPrecomputed ? "sketch-precomputed"
+                                           : "sketch-on-demand";
+}
+
+size_t SketchBackend::sketches_computed() const {
+  if (mode_ == SketchMode::kPrecomputed) return precomputed_.size();
+  return cache_->computed();
+}
+
+}  // namespace tabsketch::cluster

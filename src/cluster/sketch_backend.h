@@ -1,0 +1,81 @@
+#ifndef TABSKETCH_CLUSTER_SKETCH_BACKEND_H_
+#define TABSKETCH_CLUSTER_SKETCH_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "core/estimator.h"
+#include "core/ondemand.h"
+#include "core/sketch_params.h"
+#include "core/sketcher.h"
+#include "table/tiling.h"
+#include "util/result.h"
+
+namespace tabsketch::cluster {
+
+/// When tile sketches are materialized.
+enum class SketchMode {
+  /// All tile sketches are computed at backend construction (the paper's
+  /// scenario (1); construction time is the separately-reported
+  /// "preprocessing for sketches" cost).
+  kPrecomputed,
+  /// Tile sketches are computed at first use and cached (scenario (2),
+  /// "sketching on demand").
+  kOnDemand,
+};
+
+/// Sketch-estimated-distance backend. Every comparison costs O(k) regardless
+/// of tile size. Centroids are maintained directly in sketch space: by
+/// linearity of the dot product, the mean of the member sketches *is* the
+/// sketch of the mean tile, so centroid updates never touch the data.
+class SketchBackend : public ClusteringBackend {
+ public:
+  /// `grid` must outlive the backend. In kPrecomputed mode this sketches
+  /// every tile eagerly before returning.
+  static util::Result<SketchBackend> Create(
+      const table::TileGrid* grid, const core::SketchParams& params,
+      SketchMode mode,
+      core::EstimatorKind estimator = core::EstimatorKind::kAuto);
+
+  size_t num_objects() const override { return grid_->num_tiles(); }
+  void InitCentroidsFromObjects(
+      const std::vector<size_t>& object_indices) override;
+  size_t num_centroids() const override { return centroids_.size(); }
+  double Distance(size_t object, size_t centroid) override;
+  double ObjectDistance(size_t a, size_t b) override;
+  void UpdateCentroids(const std::vector<int>& assignment) override;
+  void ResetCentroidToObject(size_t centroid, size_t object) override;
+  std::string name() const override;
+
+  SketchMode mode() const { return mode_; }
+  /// Sketches computed so far (== num_objects() in precomputed mode).
+  size_t sketches_computed() const;
+  const core::Sketch& centroid(size_t i) const { return centroids_[i]; }
+
+ private:
+  SketchBackend(const table::TileGrid* grid,
+                std::shared_ptr<core::Sketcher> sketcher,
+                core::DistanceEstimator estimator, SketchMode mode);
+
+  /// The (possibly lazily computed) sketch of a tile.
+  const core::Sketch& TileSketch(size_t index);
+
+  const table::TileGrid* grid_;
+  // Behind a shared_ptr so its address survives moves of the backend (the
+  // on-demand cache keeps a pointer to it).
+  std::shared_ptr<core::Sketcher> sketcher_;
+  core::DistanceEstimator estimator_;
+  SketchMode mode_;
+  /// Precomputed tile sketches (kPrecomputed) ...
+  std::vector<core::Sketch> precomputed_;
+  /// ... or the lazy cache (kOnDemand).
+  std::unique_ptr<core::OnDemandSketchCache> cache_;
+  std::vector<core::Sketch> centroids_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace tabsketch::cluster
+
+#endif  // TABSKETCH_CLUSTER_SKETCH_BACKEND_H_

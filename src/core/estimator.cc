@@ -1,0 +1,107 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/scale_factor.h"
+#include "util/logging.h"
+#include "util/normal.h"
+#include "util/median.h"
+
+namespace tabsketch::core {
+
+util::Result<DistanceEstimator> DistanceEstimator::Create(
+    const SketchParams& params, EstimatorKind kind) {
+  TABSKETCH_RETURN_IF_ERROR(params.Validate());
+  if (kind == EstimatorKind::kAuto) {
+    kind = (params.p == 2.0) ? EstimatorKind::kL2 : EstimatorKind::kMedian;
+  }
+  if (kind == EstimatorKind::kL2 && params.p != 2.0) {
+    return util::Status::InvalidArgument(
+        "the L2 estimator is only valid for p = 2 sketches");
+  }
+  const double scale =
+      (kind == EstimatorKind::kMedian) ? MedianAbsStable(params.p) : 1.0;
+  return DistanceEstimator(kind, params.p, scale);
+}
+
+double DistanceEstimator::EstimateWithScratch(
+    std::span<const double> a, std::span<const double> b,
+    std::vector<double>* scratch) const {
+  TABSKETCH_CHECK(a.size() == b.size() && !a.empty())
+      << "estimating from mismatched or empty sketches";
+  if (kind_ == EstimatorKind::kL2) {
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+  }
+  return util::MedianAbsDifference(a, b, scratch) / scale_;
+}
+
+DistanceEstimator::Interval DistanceEstimator::EstimateWithInterval(
+    std::span<const double> a, std::span<const double> b, double confidence,
+    std::vector<double>* scratch) const {
+  TABSKETCH_CHECK(a.size() == b.size() && !a.empty())
+      << "estimating from mismatched or empty sketches";
+  TABSKETCH_CHECK(confidence > 0.0 && confidence < 1.0)
+      << "confidence must be in (0, 1), got " << confidence;
+  const double k = static_cast<double>(a.size());
+  const double z = util::InverseNormalCdf(0.5 + confidence / 2.0);
+
+  if (kind_ == EstimatorKind::kL2) {
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sum_sq += d * d;
+    }
+    const double estimate = std::sqrt(sum_sq / k);
+    // Components ~ N(0, D^2), so sum_sq / D^2 ~ chi^2_k. Wilson-Hilferty:
+    // chi^2_{k,q} ~ k * (1 - 2/(9k) + z_q * sqrt(2/(9k)))^3.
+    auto chi_square_quantile = [k](double zq) {
+      const double t = 1.0 - 2.0 / (9.0 * k) + zq * std::sqrt(2.0 / (9.0 * k));
+      return k * t * t * t;
+    };
+    const double hi_q = chi_square_quantile(z);
+    const double lo_q = chi_square_quantile(-z);
+    return Interval{std::sqrt(sum_sq / hi_q), estimate,
+                    std::sqrt(sum_sq / (lo_q > 0.0 ? lo_q : 1e-12))};
+  }
+
+  // Median path: order statistics of |a_i - b_i| at the binomial-normal
+  // ranks around the median.
+  scratch->resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    (*scratch)[i] = std::fabs(a[i] - b[i]);
+  }
+  std::sort(scratch->begin(), scratch->end());
+  const double estimate =
+      (a.size() % 2 == 1)
+          ? (*scratch)[a.size() / 2]
+          : 0.5 * ((*scratch)[a.size() / 2 - 1] + (*scratch)[a.size() / 2]);
+  const double half_width = 0.5 * z * std::sqrt(k);
+  const auto clamp_rank = [&](double rank) {
+    if (rank < 0.0) return static_cast<size_t>(0);
+    if (rank > k - 1.0) return a.size() - 1;
+    return static_cast<size_t>(rank);
+  };
+  const size_t lo_rank = clamp_rank(std::floor(k / 2.0 - half_width));
+  const size_t hi_rank = clamp_rank(std::ceil(k / 2.0 + half_width));
+  return Interval{(*scratch)[lo_rank] / scale_, estimate / scale_,
+                  (*scratch)[hi_rank] / scale_};
+}
+
+double DistanceEstimator::Estimate(std::span<const double> a,
+                                   std::span<const double> b) const {
+  std::vector<double> scratch;
+  return EstimateWithScratch(a, b, &scratch);
+}
+
+double DistanceEstimator::Estimate(const Sketch& a, const Sketch& b) const {
+  return Estimate(std::span<const double>(a.values),
+                  std::span<const double>(b.values));
+}
+
+}  // namespace tabsketch::core

@@ -1,0 +1,92 @@
+#include "core/growing.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tabsketch::core {
+
+GrowingTableSketcher::GrowingTableSketcher(Sketcher sketcher, size_t num_rows,
+                                           size_t tile_rows, size_t tile_cols)
+    : sketcher_(std::move(sketcher)),
+      tile_rows_(tile_rows),
+      tile_cols_(tile_cols),
+      grid_rows_(num_rows / tile_rows),
+      table_(num_rows, 0),
+      sketches_(grid_rows_) {}
+
+util::Result<GrowingTableSketcher> GrowingTableSketcher::Create(
+    const SketchParams& params, size_t num_rows, size_t tile_rows,
+    size_t tile_cols) {
+  TABSKETCH_ASSIGN_OR_RETURN(Sketcher sketcher, Sketcher::Create(params));
+  if (tile_rows == 0 || tile_cols == 0 || tile_rows > num_rows) {
+    std::ostringstream msg;
+    msg << "tile " << tile_rows << "x" << tile_cols
+        << " invalid for a table with " << num_rows << " rows";
+    return util::Status::InvalidArgument(msg.str());
+  }
+  return GrowingTableSketcher(std::move(sketcher), num_rows, tile_rows,
+                              tile_cols);
+}
+
+util::Status GrowingTableSketcher::AppendColumns(const table::Matrix& piece) {
+  if (piece.rows() != table_.rows()) {
+    std::ostringstream msg;
+    msg << "appended piece has " << piece.rows() << " rows, table has "
+        << table_.rows();
+    return util::Status::InvalidArgument(msg.str());
+  }
+  if (piece.cols() == 0) return util::Status::OK();
+
+  // Grow the table (column-axis append implies a rebuild of the row-major
+  // storage; the sketching work saved dominates this copy).
+  table::Matrix grown(table_.rows(), table_.cols() + piece.cols());
+  for (size_t r = 0; r < table_.rows(); ++r) {
+    auto old_row = table_.Row(r);
+    auto new_row = piece.Row(r);
+    auto dst = grown.Row(r);
+    std::copy(old_row.begin(), old_row.end(), dst.begin());
+    std::copy(new_row.begin(), new_row.end(),
+              dst.begin() + static_cast<std::ptrdiff_t>(old_row.size()));
+  }
+  table_ = std::move(grown);
+
+  SketchNewTiles();
+  return util::Status::OK();
+}
+
+void GrowingTableSketcher::SketchNewTiles() {
+  const size_t completed_cols = table_.cols() / tile_cols_;
+  for (size_t gc = grid_cols_; gc < completed_cols; ++gc) {
+    for (size_t gr = 0; gr < grid_rows_; ++gr) {
+      const table::TableView tile = table_.Window(
+          gr * tile_rows_, gc * tile_cols_, tile_rows_, tile_cols_);
+      sketches_[gr].push_back(sketcher_.SketchOf(tile));
+      ++sketches_computed_;
+    }
+  }
+  grid_cols_ = completed_cols;
+}
+
+const Sketch& GrowingTableSketcher::TileSketch(size_t grid_row,
+                                               size_t grid_col) const {
+  TABSKETCH_CHECK(grid_row < grid_rows_ && grid_col < grid_cols_)
+      << "tile (" << grid_row << "," << grid_col << ") out of "
+      << grid_rows_ << "x" << grid_cols_;
+  return sketches_[grid_row][grid_col];
+}
+
+std::vector<Sketch> GrowingTableSketcher::SketchesInGridOrder() const {
+  std::vector<Sketch> out;
+  out.reserve(num_tiles());
+  for (size_t gr = 0; gr < grid_rows_; ++gr) {
+    for (size_t gc = 0; gc < grid_cols_; ++gc) {
+      out.push_back(sketches_[gr][gc]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tabsketch::core

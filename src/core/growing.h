@@ -1,0 +1,79 @@
+#ifndef TABSKETCH_CORE_GROWING_H_
+#define TABSKETCH_CORE_GROWING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sketch_params.h"
+#include "core/sketcher.h"
+#include "table/matrix.h"
+#include "util/result.h"
+
+namespace tabsketch::core {
+
+/// Maintains tile sketches for a table that grows along the time (column)
+/// axis — the paper's "stitching consecutive days" workflow, done
+/// incrementally: appending a day's columns sketches only the newly
+/// completed tiles; nothing already sketched is touched or recomputed.
+///
+/// Tiles are the cells of the fixed tile_rows x tile_cols grid over the
+/// current table; columns that do not yet fill a whole tile column stay
+/// pending until later appends complete them.
+class GrowingTableSketcher {
+ public:
+  /// `num_rows` is fixed for the lifetime (the station axis); tiles must
+  /// divide it... more precisely tile_rows <= num_rows; trailing rows that
+  /// do not fill a tile are ignored, as in TileGrid.
+  static util::Result<GrowingTableSketcher> Create(const SketchParams& params,
+                                                   size_t num_rows,
+                                                   size_t tile_rows,
+                                                   size_t tile_cols);
+
+  /// Appends `piece` (same row count as the table) to the right; sketches
+  /// any tile columns the append completes.
+  util::Status AppendColumns(const table::Matrix& piece);
+
+  const table::Matrix& table() const { return table_; }
+  const SketchParams& params() const { return sketcher_.params(); }
+
+  /// Tile-grid dimensions over the *completed* region.
+  size_t grid_rows() const { return grid_rows_; }
+  size_t grid_cols() const { return grid_cols_; }
+  size_t num_tiles() const { return grid_rows_ * grid_cols_; }
+
+  /// Columns appended but not yet part of a completed tile column.
+  size_t pending_cols() const { return table_.cols() - grid_cols_ * tile_cols_; }
+
+  /// Sketch of completed tile (grid_row, grid_col).
+  const Sketch& TileSketch(size_t grid_row, size_t grid_col) const;
+
+  /// All completed tile sketches in TileGrid row-major order (tile index =
+  /// grid_row * grid_cols() + grid_col), matching what SketchAllTiles over
+  /// the completed region would produce.
+  std::vector<Sketch> SketchesInGridOrder() const;
+
+  /// Total tile sketches computed since creation (equals num_tiles(); the
+  /// point is that it never exceeds it — no recomputation).
+  size_t sketches_computed() const { return sketches_computed_; }
+
+ private:
+  GrowingTableSketcher(Sketcher sketcher, size_t num_rows, size_t tile_rows,
+                       size_t tile_cols);
+
+  /// Sketches tiles of any newly completed tile columns.
+  void SketchNewTiles();
+
+  Sketcher sketcher_;
+  size_t tile_rows_;
+  size_t tile_cols_;
+  size_t grid_rows_;
+  size_t grid_cols_ = 0;
+  table::Matrix table_;
+  /// sketches_[grid_row][grid_col].
+  std::vector<std::vector<Sketch>> sketches_;
+  size_t sketches_computed_ = 0;
+};
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_GROWING_H_

@@ -1,0 +1,51 @@
+#include "core/ondemand.h"
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace tabsketch::core {
+
+const Sketch& OnDemandSketchCache::ForTile(size_t index) {
+  TABSKETCH_CHECK(index < sketches_.size())
+      << "tile " << index << " out of " << sketches_.size();
+  std::optional<Sketch>& slot = sketches_[index];
+  if (!slot.has_value()) {
+    slot = sketcher_->SketchOf(grid_->Tile(index));
+    ++computed_;
+  } else {
+    ++hits_;
+  }
+  return *slot;
+}
+
+void OnDemandSketchCache::Clear() {
+  for (auto& slot : sketches_) slot.reset();
+  computed_ = 0;
+  hits_ = 0;
+}
+
+std::vector<Sketch> SketchAllTiles(const Sketcher& sketcher,
+                                   const table::TileGrid& grid) {
+  std::vector<Sketch> out;
+  out.reserve(grid.num_tiles());
+  for (size_t t = 0; t < grid.num_tiles(); ++t) {
+    out.push_back(sketcher.SketchOf(grid.Tile(t)));
+  }
+  return out;
+}
+
+std::vector<Sketch> SketchAllTilesParallel(const Sketcher& sketcher,
+                                           const table::TileGrid& grid,
+                                           size_t threads) {
+  // Pre-generate the shared random matrices once so workers only read the
+  // cache (SketchOf is thread-safe regardless; this avoids a duplicate
+  // generation race burning CPU).
+  sketcher.MatricesFor(grid.tile_rows(), grid.tile_cols());
+  std::vector<Sketch> out(grid.num_tiles());
+  util::ParallelFor(grid.num_tiles(), threads, [&](size_t t) {
+    out[t] = sketcher.SketchOf(grid.Tile(t));
+  });
+  return out;
+}
+
+}  // namespace tabsketch::core

@@ -1,0 +1,61 @@
+#ifndef TABSKETCH_CORE_ONDEMAND_H_
+#define TABSKETCH_CORE_ONDEMAND_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/sketcher.h"
+#include "table/tiling.h"
+#include "util/result.h"
+
+namespace tabsketch::core {
+
+/// Lazily materialized sketches for the tiles of a TileGrid — the paper's
+/// scenario (2): "sketches are not available and so they have to be computed
+/// on demand", then stored for reuse, so the first comparison of a tile pays
+/// O(k * tile_size) and every later comparison pays O(k).
+///
+/// Not thread-safe (the clustering loop is sequential). The grid and the
+/// sketcher must outlive the cache.
+class OnDemandSketchCache {
+ public:
+  OnDemandSketchCache(const Sketcher* sketcher, const table::TileGrid* grid)
+      : sketcher_(sketcher),
+        grid_(grid),
+        sketches_(grid->num_tiles()) {}
+
+  /// The sketch of tile `index`, computing and caching it on first access.
+  const Sketch& ForTile(size_t index);
+
+  /// Number of sketches computed so far (cache misses).
+  size_t computed() const { return computed_; }
+  /// Number of ForTile calls served from the cache.
+  size_t hits() const { return hits_; }
+
+  /// Drops all cached sketches and counters.
+  void Clear();
+
+ private:
+  const Sketcher* sketcher_;
+  const table::TileGrid* grid_;
+  std::vector<std::optional<Sketch>> sketches_;
+  size_t computed_ = 0;
+  size_t hits_ = 0;
+};
+
+/// Eagerly sketches every tile of `grid` — the paper's scenario (1), where
+/// sketch construction is a separately-timed preprocessing phase.
+std::vector<Sketch> SketchAllTiles(const Sketcher& sketcher,
+                                   const table::TileGrid& grid);
+
+/// SketchAllTiles distributed over `threads` worker threads (tiles are
+/// independent and Sketcher is thread-safe). Identical output to the
+/// sequential version for any thread count.
+std::vector<Sketch> SketchAllTilesParallel(const Sketcher& sketcher,
+                                           const table::TileGrid& grid,
+                                           size_t threads);
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_ONDEMAND_H_

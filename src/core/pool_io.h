@@ -1,0 +1,24 @@
+#ifndef TABSKETCH_CORE_POOL_IO_H_
+#define TABSKETCH_CORE_POOL_IO_H_
+
+#include <string>
+
+#include "core/sketch_pool.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tabsketch::core {
+
+/// Persists a dyadic sketch pool to `path` (magic "TSKP", version, params,
+/// table dims, then per canonical size its k position planes). Pools cost
+/// O(k N log^3 N) to build (paper Theorem 6); persisting one lets later runs
+/// answer O(k) rectangle queries with no precompute at all.
+util::Status WriteSketchPool(const SketchPool& pool, const std::string& path);
+
+/// Reads a pool previously written by WriteSketchPool. The result answers
+/// Query()/CanonicalSketchAt() exactly as the original did.
+util::Result<SketchPool> ReadSketchPool(const std::string& path);
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_POOL_IO_H_

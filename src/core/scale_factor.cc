@@ -1,0 +1,59 @@
+#include "core/scale_factor.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "rng/stable.h"
+#include "rng/xoshiro256.h"
+#include "util/logging.h"
+#include "util/median.h"
+
+namespace tabsketch::core {
+namespace {
+
+// Median of |N(0,1)|: Phi^-1(0.75).
+constexpr double kMedianAbsGaussian = 0.6744897501960817;
+
+// Fixed seed so B(p) is identical across processes and runs.
+constexpr uint64_t kScaleFactorSeed = 0x5ca1eFac7012345ULL;
+
+double ComputeByMonteCarlo(double p, size_t samples) {
+  auto sampler = rng::StableSampler::Create(p);
+  TABSKETCH_CHECK(sampler.ok()) << sampler.status();
+  rng::Xoshiro256 gen(kScaleFactorSeed);
+  std::vector<double> draws(samples);
+  for (double& draw : draws) {
+    draw = std::fabs(sampler->Sample(gen));
+  }
+  return util::MedianInPlace(draws);
+}
+
+}  // namespace
+
+double MedianAbsStable(double p, size_t samples) {
+  TABSKETCH_CHECK(p > 0.0 && p <= 2.0) << "p must be in (0, 2], got " << p;
+  TABSKETCH_CHECK(samples > 0);
+  if (p == 1.0) return 1.0;
+  if (p == 2.0) return kMedianAbsGaussian;
+
+  // Function-local static pointer: intentionally leaked so the cache has a
+  // trivial destructor (static-storage rule).
+  static std::mutex* mutex = new std::mutex;
+  static auto* cache = new std::map<std::pair<double, size_t>, double>;
+  const auto key = std::make_pair(p, samples);
+  {
+    std::lock_guard<std::mutex> lock(*mutex);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  const double value = ComputeByMonteCarlo(p, samples);
+  {
+    std::lock_guard<std::mutex> lock(*mutex);
+    cache->emplace(key, value);
+  }
+  return value;
+}
+
+}  // namespace tabsketch::core

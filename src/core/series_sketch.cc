@@ -1,0 +1,214 @@
+#include "core/series_sketch.h"
+
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "core/stable_matrix.h"
+#include "fft/correlate1d.h"
+#include "util/logging.h"
+
+namespace tabsketch::core {
+
+SeriesSketchField::SeriesSketchField(size_t window,
+                                     std::vector<std::vector<double>> planes)
+    : window_(window), planes_(std::move(planes)) {
+  TABSKETCH_CHECK(!planes_.empty()) << "series field needs >= 1 plane";
+  for (const auto& plane : planes_) {
+    TABSKETCH_CHECK(plane.size() == planes_.front().size())
+        << "series field planes must share length";
+  }
+}
+
+Sketch SeriesSketchField::SketchAt(size_t pos) const {
+  TABSKETCH_CHECK(pos < positions()) << pos << " out of " << positions();
+  Sketch out;
+  out.values.resize(planes_.size());
+  for (size_t i = 0; i < planes_.size(); ++i) {
+    out.values[i] = planes_[i][pos];
+  }
+  return out;
+}
+
+void SeriesSketchField::AccumulateAt(size_t pos, Sketch* sum) const {
+  TABSKETCH_CHECK(pos < positions()) << pos << " out of " << positions();
+  TABSKETCH_CHECK(sum->values.size() == planes_.size());
+  for (size_t i = 0; i < planes_.size(); ++i) {
+    sum->values[i] += planes_[i][pos];
+  }
+}
+
+struct SeriesSketcher::VectorCache {
+  std::mutex mutex;
+  std::map<size_t, std::shared_ptr<const std::vector<std::vector<double>>>>
+      entries;
+};
+
+util::Result<SeriesSketcher> SeriesSketcher::Create(
+    const SketchParams& params) {
+  TABSKETCH_RETURN_IF_ERROR(params.Validate());
+  return SeriesSketcher(params);
+}
+
+SeriesSketcher::SeriesSketcher(const SketchParams& params)
+    : params_(params), cache_(std::make_shared<VectorCache>()) {}
+
+const std::vector<std::vector<double>>& SeriesSketcher::VectorsFor(
+    size_t window) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->entries.find(window);
+    if (it != cache_->entries.end()) return *it->second;
+  }
+  // Identical values to the 2-D family's 1 x window matrices: the shared
+  // StableEntry derivation keys on (seed, index, rows=1, cols=window).
+  auto generated =
+      std::make_shared<std::vector<std::vector<double>>>(params_.k);
+  for (size_t i = 0; i < params_.k; ++i) {
+    (*generated)[i].resize(window);
+    for (size_t c = 0; c < window; ++c) {
+      (*generated)[i][c] = StableEntry(params_, i, 1, window, 0, c);
+    }
+  }
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->entries
+                .emplace(window, std::shared_ptr<
+                                     const std::vector<std::vector<double>>>(
+                                     std::move(generated)))
+                .first;
+  return *it->second;
+}
+
+Sketch SeriesSketcher::SketchOf(std::span<const double> window) const {
+  TABSKETCH_CHECK(!window.empty()) << "cannot sketch an empty window";
+  const auto& vectors = VectorsFor(window.size());
+  Sketch out;
+  out.values.resize(params_.k);
+  for (size_t i = 0; i < params_.k; ++i) {
+    double acc = 0.0;
+    const std::vector<double>& random = vectors[i];
+    for (size_t c = 0; c < window.size(); ++c) {
+      acc += window[c] * random[c];
+    }
+    out.values[i] = acc;
+  }
+  return out;
+}
+
+SeriesSketchField SeriesSketcher::SketchAllPositions(
+    std::span<const double> series, size_t window,
+    SketchAlgorithm algorithm) const {
+  TABSKETCH_CHECK(window >= 1 && window <= series.size())
+      << "window " << window << " does not fit series of length "
+      << series.size();
+  const auto& vectors = VectorsFor(window);
+  std::vector<std::vector<double>> planes;
+  planes.reserve(params_.k);
+  if (algorithm == SketchAlgorithm::kFft) {
+    fft::CorrelationPlan1D plan(series);
+    for (size_t i = 0; i < params_.k; ++i) {
+      planes.push_back(plan.Correlate(vectors[i]));
+    }
+  } else {
+    for (size_t i = 0; i < params_.k; ++i) {
+      planes.push_back(fft::CrossCorrelateNaive1D(series, vectors[i]));
+    }
+  }
+  return SeriesSketchField(window, std::move(planes));
+}
+
+SeriesSketchPool::SeriesSketchPool(const SketchParams& params,
+                                   size_t series_length)
+    : params_(params), series_length_(series_length) {}
+
+util::Result<SeriesSketchPool> SeriesSketchPool::Build(
+    std::span<const double> series, const SketchParams& params,
+    const Options& options) {
+  TABSKETCH_RETURN_IF_ERROR(params.Validate());
+  if (series.empty()) {
+    return util::Status::InvalidArgument(
+        "cannot build a pool over an empty series");
+  }
+  TABSKETCH_ASSIGN_OR_RETURN(SeriesSketcher sketcher,
+                             SeriesSketcher::Create(params));
+  SeriesSketchPool pool(params, series.size());
+  for (size_t i = options.log2_min;
+       i <= options.log2_max &&
+       (static_cast<size_t>(1) << i) <= series.size();
+       ++i) {
+    const size_t window = static_cast<size_t>(1) << i;
+    pool.fields_.emplace(
+        window, sketcher.SketchAllPositions(series, window,
+                                            options.algorithm));
+  }
+  if (pool.fields_.empty()) {
+    return util::Status::InvalidArgument(
+        "no canonical dyadic length fits the series under the options");
+  }
+  return pool;
+}
+
+std::vector<size_t> SeriesSketchPool::CanonicalLengths() const {
+  std::vector<size_t> out;
+  out.reserve(fields_.size());
+  for (const auto& entry : fields_) out.push_back(entry.first);
+  return out;
+}
+
+namespace {
+
+size_t LargestPowerOfTwoAtMost(size_t n) {
+  TABSKETCH_CHECK(n >= 1);
+  size_t p = 1;
+  while ((p << 1) <= n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+bool SeriesSketchPool::Covers(size_t length) const {
+  if (length == 0) return false;
+  return fields_.count(LargestPowerOfTwoAtMost(length)) > 0;
+}
+
+util::Result<Sketch> SeriesSketchPool::Query(size_t start,
+                                             size_t length) const {
+  if (length == 0) {
+    return util::Status::InvalidArgument("query window must be non-empty");
+  }
+  if (start + length > series_length_) {
+    std::ostringstream msg;
+    msg << "query [" << start << ", " << start + length
+        << ") exceeds series length " << series_length_;
+    return util::Status::OutOfRange(msg.str());
+  }
+  const size_t a = LargestPowerOfTwoAtMost(length);
+  auto it = fields_.find(a);
+  if (it == fields_.end()) {
+    std::ostringstream msg;
+    msg << "canonical length " << a << " not in pool";
+    return util::Status::NotFound(msg.str());
+  }
+  Sketch sum;
+  sum.values.assign(params_.k, 0.0);
+  it->second.AccumulateAt(start, &sum);
+  it->second.AccumulateAt(start + length - a, &sum);
+  return sum;
+}
+
+util::Result<Sketch> SeriesSketchPool::CanonicalSketchAt(
+    size_t start, size_t length) const {
+  auto it = fields_.find(length);
+  if (it == fields_.end()) {
+    std::ostringstream msg;
+    msg << length << " is not a stored canonical length";
+    return util::Status::NotFound(msg.str());
+  }
+  if (start + length > series_length_) {
+    return util::Status::OutOfRange("canonical window exceeds the series");
+  }
+  return it->second.SketchAt(start);
+}
+
+}  // namespace tabsketch::core

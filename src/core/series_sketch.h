@@ -1,0 +1,117 @@
+#ifndef TABSKETCH_CORE_SERIES_SKETCH_H_
+#define TABSKETCH_CORE_SERIES_SKETCH_H_
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/sketch_params.h"
+#include "core/sketcher.h"
+#include "util/result.h"
+
+namespace tabsketch::core {
+
+/// All-positions sketches of one window length over a 1-D series: entry
+/// (i, pos) is the dot product of random vector R[i] with
+/// series[pos .. pos + window). The 1-D analog of SketchField.
+class SeriesSketchField {
+ public:
+  SeriesSketchField(size_t window, std::vector<std::vector<double>> planes);
+
+  size_t window() const { return window_; }
+  size_t positions() const { return planes_.front().size(); }
+  size_t k() const { return planes_.size(); }
+
+  /// The sketch of the window starting at `pos`.
+  Sketch SketchAt(size_t pos) const;
+
+  /// Adds the window sketch at `pos` into `sum` component-wise (`sum` must
+  /// have size k). Allocation-free path for compound sketches.
+  void AccumulateAt(size_t pos, Sketch* sum) const;
+
+ private:
+  size_t window_;
+  std::vector<std::vector<double>> planes_;
+};
+
+/// Lp sketches for windows of a 1-D time series — the machinery of the
+/// paper's predecessor [Indyk, Koudas, Muthukrishnan, VLDB 2000]
+/// ("identifying representative trends"), which the tabular paper extends
+/// to two dimensions.
+///
+/// Family compatibility: a length-n window uses the same random values as a
+/// 1 x n subtable in the 2-D Sketcher with equal parameters, so series
+/// sketches and single-row table sketches are mutually comparable (tested
+/// invariant).
+class SeriesSketcher {
+ public:
+  static util::Result<SeriesSketcher> Create(const SketchParams& params);
+
+  const SketchParams& params() const { return params_; }
+
+  /// Sketch of one window by direct dot products: O(k * window).
+  Sketch SketchOf(std::span<const double> window) const;
+
+  /// Sketches of every window position over `series` (1-D Theorem 3):
+  /// O(k N log N) with the FFT algorithm, O(k N M) naive.
+  SeriesSketchField SketchAllPositions(std::span<const double> series,
+                                       size_t window,
+                                       SketchAlgorithm algorithm) const;
+
+  /// The k random stable vectors for a window length (cached; identical to
+  /// the 2-D family's 1 x window matrices).
+  const std::vector<std::vector<double>>& VectorsFor(size_t window) const;
+
+ private:
+  explicit SeriesSketcher(const SketchParams& params);
+
+  struct VectorCache;
+
+  SketchParams params_;
+  std::shared_ptr<VectorCache> cache_;
+};
+
+/// Canonical dyadic window lengths over one series, answering sketch
+/// queries for arbitrary-length windows in O(k) via the 1-D compound
+/// construction: a window of length L with canonical length a
+/// (a <= L < 2a) is covered by the two canonical windows anchored at its
+/// ends, summed component-wise — the 1-D analog of Definition 4, with an
+/// up-to-2x (instead of 4x) inflation band.
+class SeriesSketchPool {
+ public:
+  struct Options {
+    size_t log2_min = 3;   // smallest canonical length 8
+    size_t log2_max = 63;  // effectively "up to the series length"
+    SketchAlgorithm algorithm = SketchAlgorithm::kFft;
+  };
+
+  static util::Result<SeriesSketchPool> Build(std::span<const double> series,
+                                              const SketchParams& params,
+                                              const Options& options);
+
+  const SketchParams& params() const { return params_; }
+  size_t series_length() const { return series_length_; }
+  std::vector<size_t> CanonicalLengths() const;
+
+  /// True if windows of this length can be answered.
+  bool Covers(size_t length) const;
+
+  /// Compound sketch of series[start .. start + length): the two-anchor
+  /// sum. Returns OutOfRange / NotFound analogous to SketchPool::Query.
+  util::Result<Sketch> Query(size_t start, size_t length) const;
+
+  /// Direct canonical sketch for an exactly-canonical window length.
+  util::Result<Sketch> CanonicalSketchAt(size_t start, size_t length) const;
+
+ private:
+  SeriesSketchPool(const SketchParams& params, size_t series_length);
+
+  SketchParams params_;
+  size_t series_length_;
+  std::map<size_t, SeriesSketchField> fields_;
+};
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_SERIES_SKETCH_H_

@@ -1,0 +1,107 @@
+#include "core/sketch_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tabsketch::core {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'K', 'S'};
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  uint32_t version;
+  double p;
+  uint64_t k;
+  uint64_t seed;
+  uint64_t object_rows;
+  uint64_t object_cols;
+  uint64_t count;
+};
+
+}  // namespace
+
+util::Status WriteSketchSet(const SketchSet& set, const std::string& path) {
+  TABSKETCH_RETURN_IF_ERROR(set.params.Validate());
+  for (const Sketch& sketch : set.sketches) {
+    if (sketch.size() != set.params.k) {
+      return util::Status::InvalidArgument(
+          "sketch length disagrees with params.k");
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot open for writing: " + path);
+  }
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.p = set.params.p;
+  header.k = set.params.k;
+  header.seed = set.params.seed;
+  header.object_rows = set.object_rows;
+  header.object_cols = set.object_cols;
+  header.count = set.sketches.size();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const Sketch& sketch : set.sketches) {
+    out.write(reinterpret_cast<const char*>(sketch.values.data()),
+              static_cast<std::streamsize>(sketch.size() * sizeof(double)));
+  }
+  if (!out) {
+    return util::Status::IOError("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<SketchSet> ReadSketchSet(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IOError("cannot open for reading: " + path);
+  }
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::IOError("not a tabsketch sketch set: " + path);
+  }
+  if (header.version != kVersion) {
+    std::ostringstream msg;
+    msg << "unsupported sketch-set version " << header.version << " in "
+        << path;
+    return util::Status::IOError(msg.str());
+  }
+  SketchSet set;
+  set.params.p = header.p;
+  set.params.k = header.k;
+  set.params.seed = header.seed;
+  TABSKETCH_RETURN_IF_ERROR(set.params.Validate());
+  set.object_rows = header.object_rows;
+  set.object_cols = header.object_cols;
+  // Guard against corrupted counts before allocating: the payload must be
+  // exactly count sketches of k doubles (overflow-safe check).
+  in.seekg(0, std::ios::end);
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(in.tellg()) - sizeof(header);
+  in.seekg(sizeof(header), std::ios::beg);
+  const uint64_t max_doubles = payload_bytes / sizeof(double);
+  if (header.count != 0 && header.k > max_doubles / header.count) {
+    return util::Status::IOError("corrupt sketch-set header in " + path);
+  }
+  if (header.count * header.k * sizeof(double) != payload_bytes) {
+    return util::Status::IOError("corrupt sketch-set header in " + path);
+  }
+  set.sketches.resize(header.count);
+  for (Sketch& sketch : set.sketches) {
+    sketch.values.resize(header.k);
+    in.read(reinterpret_cast<char*>(sketch.values.data()),
+            static_cast<std::streamsize>(header.k * sizeof(double)));
+  }
+  if (!in) {
+    return util::Status::IOError("truncated sketch set: " + path);
+  }
+  return set;
+}
+
+}  // namespace tabsketch::core

@@ -1,0 +1,35 @@
+#ifndef TABSKETCH_CORE_SKETCH_IO_H_
+#define TABSKETCH_CORE_SKETCH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sketch_params.h"
+#include "core/sketcher.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tabsketch::core {
+
+/// A set of per-object sketches together with the parameters that produced
+/// them, e.g. the sketches of every tile of a grid. Persisting this is how a
+/// precomputed sketch pool is reused across runs (the paper's scenario (1)).
+struct SketchSet {
+  SketchParams params;
+  /// Shape of the sketched objects; sketches are only comparable between
+  /// equal shapes.
+  size_t object_rows = 0;
+  size_t object_cols = 0;
+  std::vector<Sketch> sketches;
+};
+
+/// Writes `set` to `path` in a small binary format (magic "TSKS", version,
+/// params, shape, count, then k doubles per sketch).
+util::Status WriteSketchSet(const SketchSet& set, const std::string& path);
+
+/// Reads a sketch set previously written by WriteSketchSet.
+util::Result<SketchSet> ReadSketchSet(const std::string& path);
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_SKETCH_IO_H_

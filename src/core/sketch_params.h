@@ -1,0 +1,52 @@
+#ifndef TABSKETCH_CORE_SKETCH_PARAMS_H_
+#define TABSKETCH_CORE_SKETCH_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace tabsketch::core {
+
+/// Configuration of an Lp sketch family (paper Section 3.2).
+///
+/// Two sketches are comparable only if they were produced with identical
+/// parameters (same p, same k, same seed) over objects of identical
+/// dimensions: the seed pins down the random stable matrices, so equal
+/// parameters guarantee the same matrices are regenerated everywhere.
+struct SketchParams {
+  /// The norm index, 0 < p <= 2. Fractional values are first-class citizens:
+  /// p < 1 de-emphasizes outliers (paper Section 4.5).
+  double p = 1.0;
+
+  /// Sketch length: the number of random stable vectors dotted with the
+  /// object. Theory: k = O(log(1/delta) / eps^2) gives a (1 +- eps)
+  /// approximation with probability 1 - delta (paper Theorem 2). The paper's
+  /// clustering experiments use k = 256.
+  size_t k = 64;
+
+  /// Master seed for all random matrices in this family.
+  uint64_t seed = 0x7ab5ce7c0ffee123ULL;
+
+  /// Returns OK iff the parameters are usable.
+  util::Status Validate() const {
+    if (!(p > 0.0) || p > 2.0) {
+      std::ostringstream msg;
+      msg << "sketch p must be in (0, 2], got " << p;
+      return util::Status::InvalidArgument(msg.str());
+    }
+    if (k == 0) {
+      return util::Status::InvalidArgument("sketch size k must be positive");
+    }
+    return util::Status::OK();
+  }
+
+  friend bool operator==(const SketchParams& a, const SketchParams& b) {
+    return a.p == b.p && a.k == b.k && a.seed == b.seed;
+  }
+};
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_SKETCH_PARAMS_H_

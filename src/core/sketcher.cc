@@ -1,0 +1,124 @@
+#include "core/sketcher.h"
+
+#include <utility>
+
+#include "core/stable_matrix.h"
+#include "fft/correlate.h"
+#include "util/logging.h"
+
+namespace tabsketch::core {
+
+void Sketch::Add(const Sketch& other) {
+  TABSKETCH_CHECK(values.size() == other.values.size())
+      << "adding sketches of different sizes";
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] += other.values[i];
+  }
+}
+
+void Sketch::Scale(double factor) {
+  for (double& value : values) value *= factor;
+}
+
+SketchField::SketchField(size_t window_rows, size_t window_cols,
+                         std::vector<table::Matrix> planes)
+    : window_rows_(window_rows),
+      window_cols_(window_cols),
+      planes_(std::move(planes)) {
+  TABSKETCH_CHECK(!planes_.empty()) << "sketch field needs at least one plane";
+  for (const auto& plane : planes_) {
+    TABSKETCH_CHECK(plane.rows() == planes_.front().rows() &&
+                    plane.cols() == planes_.front().cols())
+        << "sketch field planes must share dimensions";
+  }
+}
+
+Sketch SketchField::SketchAt(size_t row, size_t col) const {
+  Sketch out;
+  out.values.resize(planes_.size());
+  for (size_t i = 0; i < planes_.size(); ++i) {
+    out.values[i] = planes_[i].At(row, col);
+  }
+  return out;
+}
+
+void SketchField::AccumulateAt(size_t row, size_t col, Sketch* sum) const {
+  TABSKETCH_CHECK(sum->values.size() == planes_.size())
+      << "accumulator size " << sum->values.size() << " != k "
+      << planes_.size();
+  for (size_t i = 0; i < planes_.size(); ++i) {
+    sum->values[i] += planes_[i].At(row, col);
+  }
+}
+
+util::Result<Sketcher> Sketcher::Create(const SketchParams& params) {
+  TABSKETCH_RETURN_IF_ERROR(params.Validate());
+  return Sketcher(params);
+}
+
+Sketcher::Sketcher(const SketchParams& params)
+    : params_(params), cache_(std::make_shared<MatrixCache>()) {}
+
+const std::vector<table::Matrix>& Sketcher::MatricesFor(size_t rows,
+                                                        size_t cols) const {
+  const auto key = std::make_pair(rows, cols);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->entries.find(key);
+    if (it != cache_->entries.end()) return *it->second;
+  }
+  // Generate outside the lock; on a race the first insert wins.
+  auto generated = std::make_shared<const std::vector<table::Matrix>>(
+      StableRandomMatrices(params_, rows, cols));
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->entries.emplace(key, std::move(generated)).first;
+  return *it->second;
+}
+
+Sketch Sketcher::SketchOf(const table::TableView& view) const {
+  TABSKETCH_CHECK(!view.empty()) << "cannot sketch an empty subtable";
+  const auto& matrices = MatricesFor(view.rows(), view.cols());
+  Sketch out;
+  out.values.resize(params_.k);
+  for (size_t i = 0; i < params_.k; ++i) {
+    const table::Matrix& random = matrices[i];
+    double acc = 0.0;
+    for (size_t r = 0; r < view.rows(); ++r) {
+      auto data_row = view.Row(r);
+      auto random_row = random.Row(r);
+      for (size_t c = 0; c < view.cols(); ++c) {
+        acc += data_row[c] * random_row[c];
+      }
+    }
+    out.values[i] = acc;
+  }
+  return out;
+}
+
+SketchField Sketcher::SketchAllPositions(const table::Matrix& data,
+                                         size_t window_rows,
+                                         size_t window_cols,
+                                         SketchAlgorithm algorithm) const {
+  TABSKETCH_CHECK(window_rows >= 1 && window_cols >= 1 &&
+                  window_rows <= data.rows() && window_cols <= data.cols())
+      << "window " << window_rows << "x" << window_cols
+      << " does not fit table " << data.rows() << "x" << data.cols();
+
+  const auto& matrices = MatricesFor(window_rows, window_cols);
+  std::vector<table::Matrix> planes;
+  planes.reserve(params_.k);
+
+  if (algorithm == SketchAlgorithm::kFft) {
+    fft::CorrelationPlan plan(data);
+    for (size_t i = 0; i < params_.k; ++i) {
+      planes.push_back(plan.Correlate(matrices[i]));
+    }
+  } else {
+    for (size_t i = 0; i < params_.k; ++i) {
+      planes.push_back(fft::CrossCorrelateNaive(data, matrices[i]));
+    }
+  }
+  return SketchField(window_rows, window_cols, std::move(planes));
+}
+
+}  // namespace tabsketch::core

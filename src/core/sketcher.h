@@ -1,0 +1,123 @@
+#ifndef TABSKETCH_CORE_SKETCHER_H_
+#define TABSKETCH_CORE_SKETCHER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/sketch_params.h"
+#include "table/matrix.h"
+#include "util/result.h"
+
+namespace tabsketch::core {
+
+/// An Lp sketch: the k dot products of one object (a subtable, linearized
+/// row-major) with the k random stable matrices of a sketch family
+/// (paper Section 3.2). Constant-size regardless of the object's size —
+/// that is the entire point.
+struct Sketch {
+  std::vector<double> values;
+
+  size_t size() const { return values.size(); }
+
+  /// Component-wise sum, used to assemble compound sketches (Definition 4)
+  /// and, via linearity of the dot product, sketches of sums of objects.
+  void Add(const Sketch& other);
+
+  /// Multiplies every component by `factor` (linearity: the sketch of c*X is
+  /// c*sketch(X)), used e.g. for centroid sketches as means of member
+  /// sketches.
+  void Scale(double factor);
+};
+
+/// Which all-positions algorithm to use (paper Section 3.3).
+enum class SketchAlgorithm {
+  /// Direct dot products at every position: O(k N M).
+  kNaive,
+  /// FFT cross-correlation: O(k N log M) (Theorem 3).
+  kFft,
+};
+
+/// All-positions sketch data for one window shape over one table: plane i
+/// holds, at (r, c), the dot product of R[i] with the window whose top-left
+/// corner is (r, c). SketchAt gathers one position's k values into a Sketch.
+class SketchField {
+ public:
+  SketchField(size_t window_rows, size_t window_cols,
+              std::vector<table::Matrix> planes);
+
+  size_t window_rows() const { return window_rows_; }
+  size_t window_cols() const { return window_cols_; }
+  /// Number of valid window positions per dimension.
+  size_t position_rows() const { return planes_.front().rows(); }
+  size_t position_cols() const { return planes_.front().cols(); }
+  size_t k() const { return planes_.size(); }
+
+  const table::Matrix& plane(size_t i) const { return planes_[i]; }
+
+  /// The sketch of the window anchored at (row, col).
+  Sketch SketchAt(size_t row, size_t col) const;
+
+  /// Appends the window's sketch values at (row, col) component-wise into
+  /// `sum->values` (which must have size k). Allocation-free accumulation
+  /// path for compound sketches.
+  void AccumulateAt(size_t row, size_t col, Sketch* sum) const;
+
+ private:
+  size_t window_rows_;
+  size_t window_cols_;
+  std::vector<table::Matrix> planes_;
+};
+
+/// Produces Lp sketches for a fixed parameter family. The random stable
+/// matrices for each window shape are generated deterministically from the
+/// family seed on first use and cached, so every Sketcher (and SketchPool)
+/// with equal params yields mutually comparable sketches.
+///
+/// Thread-safe for concurrent SketchOf calls.
+class Sketcher {
+ public:
+  /// Validates `params` and builds a sketcher.
+  static util::Result<Sketcher> Create(const SketchParams& params);
+
+  Sketcher(Sketcher&&) = default;
+  Sketcher& operator=(Sketcher&&) = default;
+
+  const SketchParams& params() const { return params_; }
+
+  /// Sketch of a single subtable by direct dot products: O(k * size) — the
+  /// "sketch on demand" cost of the paper's clustering scenario (2).
+  Sketch SketchOf(const table::TableView& view) const;
+
+  /// Sketches of all positions of a (window_rows x window_cols) window over
+  /// `data` (paper Theorem 3). The FFT path and the naive path agree to
+  /// floating-point rounding.
+  SketchField SketchAllPositions(const table::Matrix& data,
+                                 size_t window_rows, size_t window_cols,
+                                 SketchAlgorithm algorithm) const;
+
+  /// The k random matrices for a window shape (cached).
+  const std::vector<table::Matrix>& MatricesFor(size_t rows,
+                                                size_t cols) const;
+
+ private:
+  // Shape-keyed cache of generated stable matrices, shared so that Sketcher
+  // remains cheap to move while the cache (which can hold tens of MB for
+  // large windows) is built once.
+  struct MatrixCache {
+    std::mutex mutex;
+    std::map<std::pair<size_t, size_t>,
+             std::shared_ptr<const std::vector<table::Matrix>>>
+        entries;
+  };
+
+  explicit Sketcher(const SketchParams& params);
+
+  SketchParams params_;
+  std::shared_ptr<MatrixCache> cache_;
+};
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_SKETCHER_H_

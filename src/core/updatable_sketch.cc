@@ -1,0 +1,47 @@
+#include "core/updatable_sketch.h"
+
+#include <utility>
+
+#include "core/stable_matrix.h"
+#include "util/logging.h"
+
+namespace tabsketch::core {
+
+UpdatableSketch::UpdatableSketch(const SketchParams& params, size_t rows,
+                                 size_t cols, Sketch sketch)
+    : params_(params), rows_(rows), cols_(cols), sketch_(std::move(sketch)) {}
+
+util::Result<UpdatableSketch> UpdatableSketch::CreateEmpty(
+    const SketchParams& params, size_t rows, size_t cols) {
+  TABSKETCH_RETURN_IF_ERROR(params.Validate());
+  if (rows == 0 || cols == 0) {
+    return util::Status::InvalidArgument(
+        "updatable sketch needs a non-empty shape");
+  }
+  Sketch zero;
+  zero.values.assign(params.k, 0.0);
+  return UpdatableSketch(params, rows, cols, std::move(zero));
+}
+
+util::Result<UpdatableSketch> UpdatableSketch::FromView(
+    const Sketcher& sketcher, const table::TableView& view) {
+  if (view.empty()) {
+    return util::Status::InvalidArgument(
+        "updatable sketch needs a non-empty subtable");
+  }
+  return UpdatableSketch(sketcher.params(), view.rows(), view.cols(),
+                         sketcher.SketchOf(view));
+}
+
+void UpdatableSketch::ApplyUpdate(size_t row, size_t col, double delta) {
+  TABSKETCH_CHECK(row < rows_ && col < cols_)
+      << "update (" << row << "," << col << ") outside " << rows_ << "x"
+      << cols_;
+  for (size_t i = 0; i < params_.k; ++i) {
+    sketch_.values[i] +=
+        delta * StableEntry(params_, i, rows_, cols_, row, col);
+  }
+  ++updates_applied_;
+}
+
+}  // namespace tabsketch::core

@@ -1,0 +1,65 @@
+#ifndef TABSKETCH_CORE_UPDATABLE_SKETCH_H_
+#define TABSKETCH_CORE_UPDATABLE_SKETCH_H_
+
+#include <cstddef>
+
+#include "core/sketch_params.h"
+#include "core/sketcher.h"
+#include "table/matrix.h"
+#include "util/result.h"
+
+namespace tabsketch::core {
+
+/// A sketch that can absorb streaming point updates to its underlying
+/// subtable in O(k) time per update, without access to the data.
+///
+/// Sketches are dot products, so a cell update X(r, c) += delta changes
+/// component i by delta * R[i](r, c); the counter-based random-matrix
+/// derivation (core/stable_matrix.h) regenerates exactly that entry in O(1).
+/// This is the turnstile-stream usage of stable sketches from the paper's
+/// foundation [Indyk, FOCS 2000]: tabular stores that accumulate call counts
+/// in place can keep tile sketches current without re-reading tiles.
+///
+/// The sketch remains bit-identical to re-sketching the updated subtable
+/// from scratch with the same family parameters (tested invariant).
+class UpdatableSketch {
+ public:
+  /// Starts from the all-zero subtable of the given shape (every sketch
+  /// component is 0: the dot product with the zero matrix).
+  static util::Result<UpdatableSketch> CreateEmpty(const SketchParams& params,
+                                                   size_t rows, size_t cols);
+
+  /// Starts from an existing subtable, sketching it with `sketcher` (whose
+  /// parameters define the family).
+  static util::Result<UpdatableSketch> FromView(const Sketcher& sketcher,
+                                                const table::TableView& view);
+
+  const SketchParams& params() const { return params_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Applies X(row, col) += delta to the sketched subtable: O(k).
+  /// (row, col) must lie inside the subtable's shape.
+  void ApplyUpdate(size_t row, size_t col, double delta);
+
+  /// Current sketch; comparable with any sketch of the same family and
+  /// shape.
+  const Sketch& sketch() const { return sketch_; }
+
+  /// Number of updates absorbed so far.
+  size_t updates_applied() const { return updates_applied_; }
+
+ private:
+  UpdatableSketch(const SketchParams& params, size_t rows, size_t cols,
+                  Sketch sketch);
+
+  SketchParams params_;
+  size_t rows_;
+  size_t cols_;
+  Sketch sketch_;
+  size_t updates_applied_ = 0;
+};
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_UPDATABLE_SKETCH_H_

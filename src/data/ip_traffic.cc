@@ -1,0 +1,122 @@
+#include "data/ip_traffic.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/distributions.h"
+#include "rng/xoshiro256.h"
+#include "util/logging.h"
+
+namespace tabsketch::data {
+
+util::Status IpTrafficOptions::Validate() const {
+  if (num_hosts == 0 || num_bins == 0) {
+    return util::Status::InvalidArgument(
+        "hosts and bins must be positive");
+  }
+  if (hosts_per_subnet == 0 || hosts_per_subnet > num_hosts) {
+    return util::Status::InvalidArgument(
+        "hosts_per_subnet must be in [1, num_hosts]");
+  }
+  if (pareto_alpha <= 0.0) {
+    return util::Status::InvalidArgument("pareto_alpha must be positive");
+  }
+  if (flash_events < 0.0 || noise_sigma < 0.0) {
+    return util::Status::InvalidArgument(
+        "flash_events and noise_sigma must be >= 0");
+  }
+  return util::Status::OK();
+}
+
+util::Result<IpTrafficData> GenerateIpTraffic(
+    const IpTrafficOptions& options) {
+  TABSKETCH_RETURN_IF_ERROR(options.Validate());
+  rng::Xoshiro256 gen(options.seed);
+  rng::GaussianSampler gaussian;
+
+  IpTrafficData data;
+  data.table = table::Matrix(options.num_hosts, options.num_bins);
+  data.subnet_of_host.resize(options.num_hosts);
+
+  const size_t num_subnets =
+      (options.num_hosts + options.hosts_per_subnet - 1) /
+      options.hosts_per_subnet;
+  data.profile_of_subnet.resize(num_subnets);
+
+  // Per-subnet behavior: profile class, phase, and a subnet-level rate
+  // multiplier (subnets share fate — that is what makes them clusterable).
+  std::vector<double> subnet_rate(num_subnets);
+  std::vector<double> subnet_phase(num_subnets);
+  for (size_t s = 0; s < num_subnets; ++s) {
+    const double u = gen.NextDouble();
+    data.profile_of_subnet[s] = u < 0.4   ? SubnetProfile::kSteady
+                                : u < 0.8 ? SubnetProfile::kDiurnal
+                                          : SubnetProfile::kBursty;
+    subnet_rate[s] = 0.5 + 2.0 * gen.NextDouble();
+    // Phases are class-coherent: diurnal traffic follows the shared day
+    // (small jitter), bursty traffic models synchronized batch jobs. This
+    // is what makes behavior classes discoverable by shape clustering.
+    subnet_phase[s] = 0.08 * gen.NextDouble();
+  }
+
+  // Flash events: (subnet, start bin, duration, magnitude).
+  struct Flash {
+    size_t subnet, start, duration;
+    double magnitude;
+  };
+  std::vector<Flash> flashes;
+  const size_t flash_count = static_cast<size_t>(options.flash_events);
+  for (size_t f = 0; f < flash_count; ++f) {
+    flashes.push_back(Flash{
+        gen.NextBounded(num_subnets), gen.NextBounded(options.num_bins),
+        1 + gen.NextBounded(options.num_bins / 24 + 1),
+        5.0 + 20.0 * gen.NextDouble()});
+  }
+
+  for (size_t host = 0; host < options.num_hosts; ++host) {
+    const size_t subnet = host / options.hosts_per_subnet;
+    data.subnet_of_host[host] = static_cast<int>(subnet);
+
+    // Pareto(alpha) base rate: x = x_min * u^(-1/alpha).
+    const double base_rate =
+        100.0 * std::pow(gen.NextDoubleOpen(), -1.0 / options.pareto_alpha) *
+        subnet_rate[subnet];
+
+    auto row = data.table.Row(host);
+    for (size_t bin = 0; bin < options.num_bins; ++bin) {
+      const double t =
+          static_cast<double>(bin) / static_cast<double>(options.num_bins);
+      double shape = 1.0;
+      switch (data.profile_of_subnet[subnet]) {
+        case SubnetProfile::kSteady:
+          shape = 1.0;
+          break;
+        case SubnetProfile::kDiurnal:
+          shape = 0.55 + 0.45 * std::sin(2.0 * std::numbers::pi *
+                                         (t + subnet_phase[subnet]));
+          break;
+        case SubnetProfile::kBursty: {
+          // Square-wave bursts with subnet-specific phase.
+          const double cycle =
+              std::fmod(t * 8.0 + subnet_phase[subnet], 1.0);
+          shape = cycle < 0.25 ? 2.5 : 0.3;
+          break;
+        }
+      }
+      double value = base_rate * shape;
+      for (const Flash& flash : flashes) {
+        if (flash.subnet == subnet && bin >= flash.start &&
+            bin < flash.start + flash.duration) {
+          value *= flash.magnitude;
+        }
+      }
+      if (options.noise_sigma > 0.0) {
+        value *= std::exp(options.noise_sigma * gaussian.Sample(gen));
+      }
+      row[bin] = value;
+    }
+  }
+  return data;
+}
+
+}  // namespace tabsketch::data

@@ -1,0 +1,59 @@
+#ifndef TABSKETCH_DATA_IP_TRAFFIC_H_
+#define TABSKETCH_DATA_IP_TRAFFIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "table/matrix.h"
+#include "util/result.h"
+
+namespace tabsketch::data {
+
+/// Synthetic router traffic table — the paper's second motivating
+/// application: "a table indexed by destination IP host and discretized
+/// time representing the number of bytes of data forwarded at a router".
+///
+/// Structural features (what distance-based mining finds in such data):
+///   - heavy-tailed per-destination base rates (a few hosts dominate,
+///     Pareto-distributed), grouped into /24-like subnets whose hosts share
+///     behavior — the "which IP subnet traffic distributions are similar"
+///     question;
+///   - per-subnet temporal profiles: steady, diurnal, or bursty;
+///   - occasional flash events: short multiplicative spikes on one subnet
+///     (the outliers that make fractional p attractive here too);
+///   - multiplicative log-normal noise.
+struct IpTrafficOptions {
+  /// Destination hosts (rows), grouped into consecutive subnets.
+  size_t num_hosts = 1024;
+  size_t hosts_per_subnet = 32;
+  /// Time bins (columns).
+  size_t num_bins = 288;
+  /// Pareto tail index for per-host base rates (smaller = heavier tail).
+  double pareto_alpha = 1.2;
+  /// Expected number of flash events over the whole table.
+  double flash_events = 8.0;
+  /// Log-normal noise sigma.
+  double noise_sigma = 0.3;
+  uint64_t seed = 0x1b7aff1cULL;
+
+  util::Status Validate() const;
+};
+
+/// Per-subnet temporal behavior classes.
+enum class SubnetProfile { kSteady, kDiurnal, kBursty };
+
+struct IpTrafficData {
+  table::Matrix table;
+  /// Subnet id of every host row.
+  std::vector<int> subnet_of_host;
+  /// Behavior class per subnet.
+  std::vector<SubnetProfile> profile_of_subnet;
+};
+
+/// Generates the traffic table with ground-truth subnet structure.
+util::Result<IpTrafficData> GenerateIpTraffic(const IpTrafficOptions& options);
+
+}  // namespace tabsketch::data
+
+#endif  // TABSKETCH_DATA_IP_TRAFFIC_H_

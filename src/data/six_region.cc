@@ -1,0 +1,87 @@
+#include "data/six_region.h"
+
+#include <cmath>
+
+#include "rng/xoshiro256.h"
+#include "util/logging.h"
+
+namespace tabsketch::data {
+
+util::Status SixRegionOptions::Validate() const {
+  if (rows < kNumRegions || cols == 0) {
+    return util::Status::InvalidArgument(
+        "table must have at least one row per region and a positive width");
+  }
+  if (outlier_fraction < 0.0 || outlier_fraction > 1.0) {
+    return util::Status::InvalidArgument(
+        "outlier_fraction must be in [0, 1]");
+  }
+  if (uniform_half_width < 0.0) {
+    return util::Status::InvalidArgument("uniform_half_width must be >= 0");
+  }
+  return util::Status::OK();
+}
+
+util::Result<SixRegionData> GenerateSixRegion(
+    const SixRegionOptions& options) {
+  TABSKETCH_RETURN_IF_ERROR(options.Validate());
+  rng::Xoshiro256 gen(options.seed);
+
+  SixRegionData data;
+  data.table = table::Matrix(options.rows, options.cols);
+  data.region_of_row.assign(options.rows, 0);
+
+  // Band boundaries by cumulative fraction; the last band absorbs rounding.
+  std::array<size_t, kNumRegions + 1> band_start{};
+  double cumulative = 0.0;
+  for (size_t region = 0; region < kNumRegions; ++region) {
+    band_start[region] =
+        static_cast<size_t>(std::llround(cumulative *
+                                         static_cast<double>(options.rows)));
+    cumulative += kRegionFractions[region];
+  }
+  band_start[kNumRegions] = options.rows;
+
+  for (size_t region = 0; region < kNumRegions; ++region) {
+    const double mean = kRegionMeans[region];
+    for (size_t r = band_start[region]; r < band_start[region + 1]; ++r) {
+      data.region_of_row[r] = static_cast<int>(region);
+      auto row = data.table.Row(r);
+      for (double& value : row) {
+        value = mean + options.uniform_half_width *
+                           (2.0 * gen.NextDouble() - 1.0);
+      }
+    }
+  }
+
+  // Outlier injection: plausible but extreme values. High outliers land in
+  // [60k, 90k] (2-3x every band mean — a believable burst of call volume);
+  // low ones in [50, 800] (a near-outage, far below every band but
+  // positive). Their squared magnitudes dwarf the 4k inter-band separation,
+  // which is exactly what defeats L2 in the paper's Figure 4(b).
+  if (options.outlier_fraction > 0.0) {
+    for (double& value : data.table.Values()) {
+      if (gen.NextDouble() >= options.outlier_fraction) continue;
+      if (gen.NextDouble() < 0.5) {
+        value = 60000.0 + 30000.0 * gen.NextDouble();
+      } else {
+        value = 50.0 + 750.0 * gen.NextDouble();
+      }
+    }
+  }
+  return data;
+}
+
+std::vector<int> GroundTruthForTiles(const SixRegionData& data,
+                                     const table::TileGrid& grid) {
+  std::vector<int> truth(grid.num_tiles());
+  for (size_t tile = 0; tile < grid.num_tiles(); ++tile) {
+    const size_t center_row =
+        grid.TileOriginRow(tile) + grid.tile_rows() / 2;
+    TABSKETCH_CHECK(center_row < data.region_of_row.size());
+    truth[tile] = data.region_of_row[center_row];
+  }
+  return truth;
+}
+
+}  // namespace tabsketch::data

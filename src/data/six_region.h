@@ -1,0 +1,64 @@
+#ifndef TABSKETCH_DATA_SIX_REGION_H_
+#define TABSKETCH_DATA_SIX_REGION_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "table/matrix.h"
+#include "table/tiling.h"
+#include "util/result.h"
+
+namespace tabsketch::data {
+
+/// The paper's synthetic dataset with a known ground-truth clustering
+/// (Section 4.2): the table is split into six horizontal bands covering
+/// fractions 1/4, 1/4, 1/4, 1/8, 1/16, 1/16 of the rows. Each band is filled
+/// from a uniform distribution with a band-specific mean in [10,000, 30,000];
+/// about `outlier_fraction` of all values are then replaced by "relatively
+/// large or small values that are still plausible" (so a pre-filter would not
+/// remove them).
+///
+/// Under any sensible clustering, tiles from the same band belong together —
+/// unless outliers dominate the distance, which is exactly what large p makes
+/// happen (Figure 4(b)).
+struct SixRegionOptions {
+  size_t rows = 512;
+  size_t cols = 1024;
+  /// Fraction of values turned into outliers (paper: ~1%).
+  double outlier_fraction = 0.01;
+  /// Half-width of each band's uniform distribution around its mean.
+  double uniform_half_width = 1000.0;
+  uint64_t seed = 0x51bce6e9ULL;
+
+  util::Status Validate() const;
+};
+
+/// Number of bands (fixed by the paper's construction).
+inline constexpr size_t kNumRegions = 6;
+/// Row fractions of the six bands.
+inline constexpr std::array<double, kNumRegions> kRegionFractions = {
+    0.25, 0.25, 0.25, 0.125, 0.0625, 0.0625};
+/// Band means, distinct and spread over the paper's 10k-30k range.
+inline constexpr std::array<double, kNumRegions> kRegionMeans = {
+    10000.0, 14000.0, 18000.0, 22000.0, 26000.0, 30000.0};
+
+struct SixRegionData {
+  table::Matrix table;
+  /// Ground-truth region id of every row.
+  std::vector<int> region_of_row;
+};
+
+/// Generates the table and its ground truth.
+util::Result<SixRegionData> GenerateSixRegion(const SixRegionOptions& options);
+
+/// Ground-truth region of each tile of `grid` over a six-region table: the
+/// region of the tile's center row. With tile heights that divide the band
+/// heights every row of a tile is in the same region anyway.
+std::vector<int> GroundTruthForTiles(const SixRegionData& data,
+                                     const table::TileGrid& grid);
+
+}  // namespace tabsketch::data
+
+#endif  // TABSKETCH_DATA_SIX_REGION_H_

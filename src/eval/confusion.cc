@@ -1,0 +1,62 @@
+#include "eval/confusion.h"
+
+#include "eval/hungarian.h"
+#include "util/logging.h"
+
+namespace tabsketch::eval {
+
+table::Matrix ConfusionMatrix(const std::vector<int>& a,
+                              const std::vector<int>& b, size_t k) {
+  TABSKETCH_CHECK(a.size() == b.size())
+      << "clusterings cover different object counts";
+  TABSKETCH_CHECK(k > 0);
+  table::Matrix confusion(k, k);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || b[i] < 0) continue;
+    TABSKETCH_CHECK(static_cast<size_t>(a[i]) < k &&
+                    static_cast<size_t>(b[i]) < k)
+        << "label out of range at object " << i;
+    confusion(static_cast<size_t>(a[i]), static_cast<size_t>(b[i])) += 1.0;
+  }
+  return confusion;
+}
+
+namespace {
+
+double Total(const table::Matrix& confusion) {
+  double total = 0.0;
+  for (double value : confusion.Values()) total += value;
+  return total;
+}
+
+}  // namespace
+
+double Agreement(const table::Matrix& confusion) {
+  TABSKETCH_CHECK(confusion.rows() == confusion.cols() &&
+                  confusion.rows() > 0);
+  const double total = Total(confusion);
+  if (total == 0.0) return 0.0;
+  double diagonal = 0.0;
+  for (size_t i = 0; i < confusion.rows(); ++i) diagonal += confusion(i, i);
+  return diagonal / total;
+}
+
+double BestMatchAgreement(const table::Matrix& confusion) {
+  TABSKETCH_CHECK(confusion.rows() == confusion.cols() &&
+                  confusion.rows() > 0);
+  const double total = Total(confusion);
+  if (total == 0.0) return 0.0;
+  const std::vector<int> match = MaxWeightAssignment(confusion);
+  double matched = 0.0;
+  for (size_t i = 0; i < confusion.rows(); ++i) {
+    matched += confusion(i, static_cast<size_t>(match[i]));
+  }
+  return matched / total;
+}
+
+double BestMatchAgreement(const std::vector<int>& a, const std::vector<int>& b,
+                          size_t k) {
+  return BestMatchAgreement(ConfusionMatrix(a, b, k));
+}
+
+}  // namespace tabsketch::eval

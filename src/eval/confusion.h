@@ -1,0 +1,35 @@
+#ifndef TABSKETCH_EVAL_CONFUSION_H_
+#define TABSKETCH_EVAL_CONFUSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "table/matrix.h"
+
+namespace tabsketch::eval {
+
+/// Builds the k x k confusion matrix between two clusterings of the same
+/// objects: entry (i, j) counts objects placed in cluster i by `a` and in
+/// cluster j by `b`. Assignments must be equal-length with labels in [0, k);
+/// negative labels (unassigned) are skipped.
+table::Matrix ConfusionMatrix(const std::vector<int>& a,
+                              const std::vector<int>& b, size_t k);
+
+/// Definition 10 with labels taken literally: trace / total. Meaningful only
+/// when the two clusterings use aligned label ids (e.g. ground truth vs a
+/// prediction already matched to it).
+double Agreement(const table::Matrix& confusion);
+
+/// Definition 10 as the experiments need it: agreement under the best
+/// one-to-one relabeling of `b`'s clusters (Hungarian max matching on the
+/// confusion matrix). This is what "percentage of tiles classified as being
+/// in the same cluster by both methods" means when label ids are arbitrary.
+double BestMatchAgreement(const table::Matrix& confusion);
+
+/// Convenience: BestMatchAgreement of ConfusionMatrix(a, b, k).
+double BestMatchAgreement(const std::vector<int>& a, const std::vector<int>& b,
+                          size_t k);
+
+}  // namespace tabsketch::eval
+
+#endif  // TABSKETCH_EVAL_CONFUSION_H_

@@ -1,0 +1,80 @@
+#include "eval/hungarian.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tabsketch::eval {
+
+std::vector<int> MinCostAssignment(const table::Matrix& cost) {
+  TABSKETCH_CHECK(cost.rows() == cost.cols() && cost.rows() > 0)
+      << "assignment needs a non-empty square matrix, got " << cost.rows()
+      << "x" << cost.cols();
+  const size_t n = cost.rows();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Hungarian algorithm with row/column potentials, 1-based internally:
+  // p[j] = row matched to column j (0 = none yet).
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0);
+  std::vector<size_t> way(n + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> min_slack(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double reduced = cost.At(i0 - 1, j - 1) - u[i0] - v[j];
+        if (reduced < min_slack[j]) {
+          min_slack[j] = reduced;
+          way[j] = j0;
+        }
+        if (min_slack[j] < delta) {
+          delta = min_slack[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          min_slack[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path back to the artificial column 0.
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> match(n, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    match[p[j] - 1] = static_cast<int>(j - 1);
+  }
+  return match;
+}
+
+std::vector<int> MaxWeightAssignment(const table::Matrix& weight) {
+  table::Matrix negated(weight.rows(), weight.cols());
+  for (size_t r = 0; r < weight.rows(); ++r) {
+    for (size_t c = 0; c < weight.cols(); ++c) {
+      negated(r, c) = -weight.At(r, c);
+    }
+  }
+  return MinCostAssignment(negated);
+}
+
+}  // namespace tabsketch::eval

@@ -1,0 +1,25 @@
+#ifndef TABSKETCH_EVAL_HUNGARIAN_H_
+#define TABSKETCH_EVAL_HUNGARIAN_H_
+
+#include <vector>
+
+#include "table/matrix.h"
+
+namespace tabsketch::eval {
+
+/// Solves the square assignment problem minimizing total cost: returns
+/// `match` with match[row] = the column assigned to that row, one-to-one.
+/// O(n^3) Hungarian algorithm with potentials. `cost` must be square and
+/// non-empty.
+///
+/// Used to align the cluster labels of two independent clusterings before
+/// computing confusion-matrix agreement (labels are arbitrary, so agreement
+/// is measured under the best label permutation).
+std::vector<int> MinCostAssignment(const table::Matrix& cost);
+
+/// Maximum-total-weight variant of MinCostAssignment.
+std::vector<int> MaxWeightAssignment(const table::Matrix& weight);
+
+}  // namespace tabsketch::eval
+
+#endif  // TABSKETCH_EVAL_HUNGARIAN_H_

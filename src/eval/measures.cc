@@ -1,0 +1,52 @@
+#include "eval/measures.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tabsketch::eval {
+
+double CumulativeCorrectness(std::span<const double> exact,
+                             std::span<const double> approx) {
+  TABSKETCH_CHECK(exact.size() == approx.size() && !exact.empty());
+  double exact_sum = 0.0;
+  double approx_sum = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    exact_sum += exact[i];
+    approx_sum += approx[i];
+  }
+  TABSKETCH_CHECK(exact_sum > 0.0) << "exact distances sum to zero";
+  return approx_sum / exact_sum;
+}
+
+double AverageCorrectness(std::span<const double> exact,
+                          std::span<const double> approx) {
+  TABSKETCH_CHECK(exact.size() == approx.size() && !exact.empty());
+  double error = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] == 0.0) {
+      error += (approx[i] == 0.0) ? 0.0 : 1.0;
+    } else {
+      error += std::fabs(1.0 - approx[i] / exact[i]);
+    }
+  }
+  return 1.0 - error / static_cast<double>(exact.size());
+}
+
+double PairwiseComparisonCorrectness(std::span<const double> exact_xy,
+                                     std::span<const double> exact_xz,
+                                     std::span<const double> approx_xy,
+                                     std::span<const double> approx_xz) {
+  const size_t n = exact_xy.size();
+  TABSKETCH_CHECK(n > 0 && exact_xz.size() == n && approx_xy.size() == n &&
+                  approx_xz.size() == n);
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool exact_says_y = exact_xy[i] < exact_xz[i];
+    const bool approx_says_y = approx_xy[i] < approx_xz[i];
+    if (exact_says_y == approx_says_y) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace tabsketch::eval

@@ -1,0 +1,34 @@
+#ifndef TABSKETCH_EVAL_MEASURES_H_
+#define TABSKETCH_EVAL_MEASURES_H_
+
+#include <span>
+
+namespace tabsketch::eval {
+
+/// Definition 7: cumulative correctness of a batch of distance estimates,
+///   sum_i approx_i / sum_i exact_i.
+/// Close to 1 means the estimator is unbiased in aggregate. Inputs must be
+/// equal-length and non-empty; exact distances must not sum to zero.
+double CumulativeCorrectness(std::span<const double> exact,
+                             std::span<const double> approx);
+
+/// Definition 8: average correctness,
+///   1 - (1/n) * sum_i | 1 - approx_i / exact_i |.
+/// Pairs with exact_i == 0 are counted as fully correct when approx_i == 0
+/// and fully incorrect otherwise.
+double AverageCorrectness(std::span<const double> exact,
+                          std::span<const double> approx);
+
+/// Definition 9: pairwise comparison correctness. Experiment i asks "is X_i
+/// closer to Y_i or to Z_i?"; the answer from the estimates is correct when
+/// it matches the answer from the exact distances. Arguments are the exact
+/// and estimated distances d(X_i, Y_i) and d(X_i, Z_i); returns the fraction
+/// of experiments answered correctly.
+double PairwiseComparisonCorrectness(std::span<const double> exact_xy,
+                                     std::span<const double> exact_xz,
+                                     std::span<const double> approx_xy,
+                                     std::span<const double> approx_xz);
+
+}  // namespace tabsketch::eval
+
+#endif  // TABSKETCH_EVAL_MEASURES_H_

@@ -1,0 +1,56 @@
+#include "eval/quality.h"
+
+#include "core/lp_distance.h"
+#include "table/matrix.h"
+#include "util/logging.h"
+
+namespace tabsketch::eval {
+
+double ClusteringSpread(const table::TileGrid& grid,
+                        const std::vector<int>& assignment, size_t k,
+                        double p) {
+  TABSKETCH_CHECK(assignment.size() == grid.num_tiles())
+      << "assignment covers " << assignment.size() << " of "
+      << grid.num_tiles() << " tiles";
+  TABSKETCH_CHECK(k > 0);
+
+  // Exact centroids: mean of member tiles.
+  std::vector<table::Matrix> centroids(
+      k, table::Matrix(grid.tile_rows(), grid.tile_cols()));
+  std::vector<size_t> counts(k, 0);
+  for (size_t tile = 0; tile < assignment.size(); ++tile) {
+    const int cluster = assignment[tile];
+    if (cluster < 0) continue;
+    TABSKETCH_CHECK(static_cast<size_t>(cluster) < k);
+    table::TableView view = grid.Tile(tile);
+    table::Matrix& centroid = centroids[cluster];
+    for (size_t r = 0; r < view.rows(); ++r) {
+      auto src = view.Row(r);
+      auto dst = centroid.Row(r);
+      for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c];
+    }
+    ++counts[cluster];
+  }
+  for (size_t cluster = 0; cluster < k; ++cluster) {
+    if (counts[cluster] == 0) continue;
+    const double inv = 1.0 / static_cast<double>(counts[cluster]);
+    for (double& value : centroids[cluster].Values()) value *= inv;
+  }
+
+  double spread = 0.0;
+  for (size_t tile = 0; tile < assignment.size(); ++tile) {
+    const int cluster = assignment[tile];
+    if (cluster < 0) continue;
+    spread += core::LpDistance(grid.Tile(tile),
+                               centroids[cluster].View(), p);
+  }
+  return spread;
+}
+
+double QualityOfSketchedClusteringPercent(double spread_exact,
+                                          double spread_sketch) {
+  TABSKETCH_CHECK(spread_sketch > 0.0) << "sketched spread must be positive";
+  return 100.0 * spread_exact / spread_sketch;
+}
+
+}  // namespace tabsketch::eval

@@ -1,0 +1,34 @@
+#ifndef TABSKETCH_EVAL_QUALITY_H_
+#define TABSKETCH_EVAL_QUALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "table/tiling.h"
+
+namespace tabsketch::eval {
+
+/// Total spread of a clustering: for each cluster, the exact centroid (mean
+/// of member tiles) is computed and the exact Lp distances of the members to
+/// it are summed; clusters' spreads are then added up. Lower is better. This
+/// is always evaluated with exact distances, regardless of how the clustering
+/// was produced, so clusterings from different distance routines are judged
+/// on common ground (paper Definition 11's `spread`).
+double ClusteringSpread(const table::TileGrid& grid,
+                        const std::vector<int>& assignment, size_t k,
+                        double p);
+
+/// Definition 11, reported the way the paper's text reads it: the quality of
+/// the sketched clustering as a percentage of the exact one,
+///   100 * spread_exact / spread_sketch,
+/// so that > 100% means the sketched clustering has *smaller* spread (is
+/// better) than the exact clustering. (The formula as literally printed in
+/// Definition 11 is the inverse ratio, but the paper's discussion — "quality
+/// rating greater than 100%" for better-than-exact clusterings — pins down
+/// this orientation; see EXPERIMENTS.md.)
+double QualityOfSketchedClusteringPercent(double spread_exact,
+                                          double spread_sketch);
+
+}  // namespace tabsketch::eval
+
+#endif  // TABSKETCH_EVAL_QUALITY_H_

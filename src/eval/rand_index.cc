@@ -1,0 +1,75 @@
+#include "eval/rand_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace tabsketch::eval {
+namespace {
+
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+/// Contingency counts over objects assigned in both clusterings.
+struct Contingency {
+  std::map<std::pair<int, int>, double> cells;
+  std::map<int, double> row_sums;
+  std::map<int, double> col_sums;
+  double total = 0.0;
+};
+
+Contingency BuildContingency(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  TABSKETCH_CHECK(a.size() == b.size())
+      << "clusterings cover different object counts";
+  Contingency table;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || b[i] < 0) continue;
+    table.cells[{a[i], b[i]}] += 1.0;
+    table.row_sums[a[i]] += 1.0;
+    table.col_sums[b[i]] += 1.0;
+    table.total += 1.0;
+  }
+  return table;
+}
+
+}  // namespace
+
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  const Contingency table = BuildContingency(a, b);
+  TABSKETCH_CHECK(table.total >= 2.0) << "need at least two assigned objects";
+  double same_same = 0.0;  // pairs together in both
+  for (const auto& [cell, count] : table.cells) same_same += Choose2(count);
+  double pairs_a = 0.0;
+  for (const auto& [label, count] : table.row_sums) pairs_a += Choose2(count);
+  double pairs_b = 0.0;
+  for (const auto& [label, count] : table.col_sums) pairs_b += Choose2(count);
+  const double all_pairs = Choose2(table.total);
+  // Agreements = together-in-both + apart-in-both.
+  const double agreements =
+      same_same + (all_pairs - pairs_a - pairs_b + same_same);
+  return agreements / all_pairs;
+}
+
+double AdjustedRandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  const Contingency table = BuildContingency(a, b);
+  TABSKETCH_CHECK(table.total >= 2.0) << "need at least two assigned objects";
+  double index = 0.0;
+  for (const auto& [cell, count] : table.cells) index += Choose2(count);
+  double pairs_a = 0.0;
+  for (const auto& [label, count] : table.row_sums) pairs_a += Choose2(count);
+  double pairs_b = 0.0;
+  for (const auto& [label, count] : table.col_sums) pairs_b += Choose2(count);
+  const double all_pairs = Choose2(table.total);
+  const double expected = pairs_a * pairs_b / all_pairs;
+  const double maximum = 0.5 * (pairs_a + pairs_b);
+  if (maximum == expected) {
+    // Degenerate (e.g. both clusterings trivial): identical -> 1 by
+    // convention, since the index equals expected too.
+    return index == expected ? 1.0 : 0.0;
+  }
+  return (index - expected) / (maximum - expected);
+}
+
+}  // namespace tabsketch::eval

@@ -1,0 +1,24 @@
+#ifndef TABSKETCH_EVAL_RAND_INDEX_H_
+#define TABSKETCH_EVAL_RAND_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tabsketch::eval {
+
+/// Rand index between two clusterings of the same objects: the fraction of
+/// object pairs on which the clusterings agree (both together or both
+/// apart). In [0, 1]; label-permutation invariant, so no Hungarian matching
+/// is needed. Assignments must be equal-length; labels may be any
+/// non-negative ints (negative = unassigned, such pairs are skipped).
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Hubert-Arabie adjusted Rand index: the Rand index corrected for chance
+/// agreement, so that independent random clusterings score ~0 and identical
+/// clusterings score 1 (can be negative for worse-than-chance agreement).
+/// The standard yardstick for comparing a clustering against ground truth.
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace tabsketch::eval
+
+#endif  // TABSKETCH_EVAL_RAND_INDEX_H_

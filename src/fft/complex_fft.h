@@ -1,0 +1,33 @@
+#ifndef TABSKETCH_FFT_COMPLEX_FFT_H_
+#define TABSKETCH_FFT_COMPLEX_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace tabsketch::fft {
+
+/// True if n is a power of two (n >= 1).
+constexpr bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+/// In-place iterative radix-2 Cooley-Tukey FFT over `data`. The length must
+/// be a power of two. `inverse` selects the inverse transform, which includes
+/// the 1/n normalization (so Forward then Inverse is the identity).
+///
+/// This is the workhorse behind the O(k N log M) all-subtables sketching of
+/// paper Theorem 3.
+void Transform(std::span<std::complex<double>> data, bool inverse);
+
+inline void Forward(std::span<std::complex<double>> data) {
+  Transform(data, /*inverse=*/false);
+}
+inline void Inverse(std::span<std::complex<double>> data) {
+  Transform(data, /*inverse=*/true);
+}
+
+}  // namespace tabsketch::fft
+
+#endif  // TABSKETCH_FFT_COMPLEX_FFT_H_

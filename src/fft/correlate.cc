@@ -1,0 +1,82 @@
+#include "fft/correlate.h"
+
+#include "fft/complex_fft.h"
+#include "util/logging.h"
+
+namespace tabsketch::fft {
+
+table::Matrix CrossCorrelateNaive(const table::Matrix& data,
+                                  const table::Matrix& kernel) {
+  TABSKETCH_CHECK(kernel.rows() <= data.rows() &&
+                  kernel.cols() <= data.cols())
+      << "kernel " << kernel.rows() << "x" << kernel.cols()
+      << " exceeds data " << data.rows() << "x" << data.cols();
+  const size_t out_rows = data.rows() - kernel.rows() + 1;
+  const size_t out_cols = data.cols() - kernel.cols() + 1;
+  table::Matrix out(out_rows, out_cols);
+  for (size_t i = 0; i < out_rows; ++i) {
+    for (size_t j = 0; j < out_cols; ++j) {
+      double acc = 0.0;
+      for (size_t u = 0; u < kernel.rows(); ++u) {
+        const double* data_row = data.Row(i + u).data() + j;
+        const double* kernel_row = kernel.Row(u).data();
+        for (size_t v = 0; v < kernel.cols(); ++v) {
+          acc += data_row[v] * kernel_row[v];
+        }
+      }
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+CorrelationPlan::CorrelationPlan(const table::Matrix& data)
+    : data_rows_(data.rows()),
+      data_cols_(data.cols()),
+      padded_rows_(NextPowerOfTwo(data.rows())),
+      padded_cols_(NextPowerOfTwo(data.cols())),
+      data_freq_(padded_rows_, padded_cols_) {
+  TABSKETCH_CHECK(!data.empty()) << "cannot plan over an empty table";
+  for (size_t r = 0; r < data_rows_; ++r) {
+    auto row = data.Row(r);
+    for (size_t c = 0; c < data_cols_; ++c) {
+      data_freq_.At(r, c) = row[c];
+    }
+  }
+  Forward2D(&data_freq_);
+}
+
+table::Matrix CorrelationPlan::Correlate(const table::Matrix& kernel) const {
+  TABSKETCH_CHECK(kernel.rows() <= data_rows_ && kernel.cols() <= data_cols_)
+      << "kernel " << kernel.rows() << "x" << kernel.cols()
+      << " exceeds data " << data_rows_ << "x" << data_cols_;
+
+  ComplexGrid work(padded_rows_, padded_cols_);
+  for (size_t r = 0; r < kernel.rows(); ++r) {
+    auto row = kernel.Row(r);
+    for (size_t c = 0; c < kernel.cols(); ++c) {
+      work.At(r, c) = row[c];
+    }
+  }
+  Forward2D(&work);
+
+  // Cross-correlation theorem: R = IFFT( FFT(data) .* conj(FFT(kernel)) ).
+  auto& values = work.values();
+  const auto& data_values = data_freq_.values();
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = data_values[i] * std::conj(values[i]);
+  }
+  Inverse2D(&work);
+
+  const size_t out_rows = data_rows_ - kernel.rows() + 1;
+  const size_t out_cols = data_cols_ - kernel.cols() + 1;
+  table::Matrix out(out_rows, out_cols);
+  for (size_t i = 0; i < out_rows; ++i) {
+    for (size_t j = 0; j < out_cols; ++j) {
+      out(i, j) = work.At(i, j).real();
+    }
+  }
+  return out;
+}
+
+}  // namespace tabsketch::fft

@@ -1,0 +1,59 @@
+#ifndef TABSKETCH_FFT_CORRELATE_H_
+#define TABSKETCH_FFT_CORRELATE_H_
+
+#include <cstddef>
+
+#include "fft/fft2d.h"
+#include "table/matrix.h"
+
+namespace tabsketch::fft {
+
+/// Valid-mode 2-D cross-correlation computed directly in O(N * M):
+///   out(i, j) = sum_{u < kr, v < kc} data(i+u, j+v) * kernel(u, v)
+/// for all positions where the kernel fits inside the data. Output size is
+/// (data.rows - kernel.rows + 1) x (data.cols - kernel.cols + 1).
+///
+/// This is the O(k N M) baseline of paper Section 3.3; the FFT plan below is
+/// the O(k N log M) improvement of Theorem 3. Kernel must fit in data.
+table::Matrix CrossCorrelateNaive(const table::Matrix& data,
+                                  const table::Matrix& kernel);
+
+/// Reusable FFT plan for cross-correlating one data table against many
+/// kernels of varying sizes (the k random stable matrices of a sketch).
+///
+/// The forward transform of the zero-padded data is computed once at
+/// construction; each Correlate() call then costs one forward transform of
+/// the kernel, a pointwise multiply, and one inverse transform.
+///
+/// Wrap-around correctness: positions are only read from the valid region
+/// i <= rows-kr, j <= cols-kc, where the circular convolution at padded size
+/// >= data size never wraps, so the result equals the naive computation up to
+/// floating-point rounding.
+class CorrelationPlan {
+ public:
+  /// Builds the plan; transforms `data` padded to the next powers of two.
+  explicit CorrelationPlan(const table::Matrix& data);
+
+  CorrelationPlan(const CorrelationPlan&) = delete;
+  CorrelationPlan& operator=(const CorrelationPlan&) = delete;
+  CorrelationPlan(CorrelationPlan&&) = default;
+  CorrelationPlan& operator=(CorrelationPlan&&) = default;
+
+  size_t data_rows() const { return data_rows_; }
+  size_t data_cols() const { return data_cols_; }
+
+  /// Valid-mode cross-correlation of the planned data with `kernel`.
+  /// `kernel` must fit inside the data.
+  table::Matrix Correlate(const table::Matrix& kernel) const;
+
+ private:
+  size_t data_rows_;
+  size_t data_cols_;
+  size_t padded_rows_;
+  size_t padded_cols_;
+  ComplexGrid data_freq_;
+};
+
+}  // namespace tabsketch::fft
+
+#endif  // TABSKETCH_FFT_CORRELATE_H_

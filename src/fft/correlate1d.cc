@@ -1,0 +1,55 @@
+#include "fft/correlate1d.h"
+
+#include "fft/complex_fft.h"
+#include "util/logging.h"
+
+namespace tabsketch::fft {
+
+std::vector<double> CrossCorrelateNaive1D(std::span<const double> series,
+                                          std::span<const double> kernel) {
+  TABSKETCH_CHECK(!kernel.empty() && kernel.size() <= series.size())
+      << "kernel length " << kernel.size() << " does not fit series length "
+      << series.size();
+  const size_t out_length = series.size() - kernel.size() + 1;
+  std::vector<double> out(out_length);
+  for (size_t i = 0; i < out_length; ++i) {
+    double acc = 0.0;
+    for (size_t u = 0; u < kernel.size(); ++u) {
+      acc += series[i + u] * kernel[u];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+CorrelationPlan1D::CorrelationPlan1D(std::span<const double> series)
+    : series_length_(series.size()),
+      padded_length_(NextPowerOfTwo(series.size())),
+      series_freq_(padded_length_) {
+  TABSKETCH_CHECK(!series.empty()) << "cannot plan over an empty series";
+  for (size_t i = 0; i < series_length_; ++i) {
+    series_freq_[i] = series[i];
+  }
+  Forward(series_freq_);
+}
+
+std::vector<double> CorrelationPlan1D::Correlate(
+    std::span<const double> kernel) const {
+  TABSKETCH_CHECK(!kernel.empty() && kernel.size() <= series_length_)
+      << "kernel length " << kernel.size() << " does not fit series length "
+      << series_length_;
+  std::vector<std::complex<double>> work(padded_length_);
+  for (size_t i = 0; i < kernel.size(); ++i) work[i] = kernel[i];
+  Forward(work);
+  for (size_t i = 0; i < padded_length_; ++i) {
+    work[i] = series_freq_[i] * std::conj(work[i]);
+  }
+  Inverse(work);
+
+  const size_t out_length = series_length_ - kernel.size() + 1;
+  std::vector<double> out(out_length);
+  for (size_t i = 0; i < out_length; ++i) out[i] = work[i].real();
+  return out;
+}
+
+}  // namespace tabsketch::fft

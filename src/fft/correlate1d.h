@@ -1,0 +1,47 @@
+#ifndef TABSKETCH_FFT_CORRELATE1D_H_
+#define TABSKETCH_FFT_CORRELATE1D_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tabsketch::fft {
+
+/// Valid-mode 1-D cross-correlation computed directly in O(N * M):
+///   out[i] = sum_{u < m} series[i + u] * kernel[u],
+/// for all positions where the kernel fits. Output length is
+/// series.size() - kernel.size() + 1. Kernel must fit in the series.
+std::vector<double> CrossCorrelateNaive1D(std::span<const double> series,
+                                          std::span<const double> kernel);
+
+/// Reusable FFT plan for cross-correlating one series against many kernels
+/// (the k random stable vectors of a time-series sketch): the series is
+/// transformed once, each Correlate costs one kernel FFT, a pointwise
+/// multiply and one inverse FFT — O(N log N) total per kernel.
+///
+/// The 1-D analog of CorrelationPlan (correlate.h); same wrap-around
+/// argument: at padded size >= series length the valid region never wraps.
+class CorrelationPlan1D {
+ public:
+  explicit CorrelationPlan1D(std::span<const double> series);
+
+  CorrelationPlan1D(const CorrelationPlan1D&) = delete;
+  CorrelationPlan1D& operator=(const CorrelationPlan1D&) = delete;
+  CorrelationPlan1D(CorrelationPlan1D&&) = default;
+  CorrelationPlan1D& operator=(CorrelationPlan1D&&) = default;
+
+  size_t series_length() const { return series_length_; }
+
+  /// Valid-mode cross-correlation of the planned series with `kernel`.
+  std::vector<double> Correlate(std::span<const double> kernel) const;
+
+ private:
+  size_t series_length_;
+  size_t padded_length_;
+  std::vector<std::complex<double>> series_freq_;
+};
+
+}  // namespace tabsketch::fft
+
+#endif  // TABSKETCH_FFT_CORRELATE1D_H_

@@ -1,0 +1,36 @@
+#include "fft/fft2d.h"
+
+#include <span>
+
+#include "fft/complex_fft.h"
+#include "util/logging.h"
+
+namespace tabsketch::fft {
+
+void Transform2D(ComplexGrid* grid, bool inverse) {
+  TABSKETCH_CHECK(grid != nullptr);
+  const size_t rows = grid->rows();
+  const size_t cols = grid->cols();
+  if (rows == 0 || cols == 0) return;
+  TABSKETCH_CHECK(IsPowerOfTwo(rows) && IsPowerOfTwo(cols))
+      << "2-D FFT dims must be powers of two, got " << rows << "x" << cols;
+
+  auto& values = grid->values();
+
+  // Row passes: rows are contiguous.
+  for (size_t r = 0; r < rows; ++r) {
+    Transform(std::span(values.data() + r * cols, cols), inverse);
+  }
+
+  // Column passes: gather each column into a contiguous scratch buffer. This
+  // keeps the 1-D kernel simple; the copy cost is dominated by the butterfly
+  // cost for the sizes the sketcher uses.
+  std::vector<std::complex<double>> column(rows);
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t r = 0; r < rows; ++r) column[r] = values[r * cols + c];
+    Transform(std::span(column.data(), rows), inverse);
+    for (size_t r = 0; r < rows; ++r) values[r * cols + c] = column[r];
+  }
+}
+
+}  // namespace tabsketch::fft

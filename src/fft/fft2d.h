@@ -1,0 +1,48 @@
+#ifndef TABSKETCH_FFT_FFT2D_H_
+#define TABSKETCH_FFT_FFT2D_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tabsketch::fft {
+
+/// Dense row-major grid of complex values used as the frequency-domain
+/// workspace for 2-D transforms. Both dimensions must be powers of two when
+/// transformed.
+class ComplexGrid {
+ public:
+  ComplexGrid() = default;
+  ComplexGrid(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  std::complex<double>& At(size_t r, size_t c) {
+    return values_[r * cols_ + c];
+  }
+  const std::complex<double>& At(size_t r, size_t c) const {
+    return values_[r * cols_ + c];
+  }
+
+  std::vector<std::complex<double>>& values() { return values_; }
+  const std::vector<std::complex<double>>& values() const { return values_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<std::complex<double>> values_;
+};
+
+/// In-place 2-D FFT of `grid` (row transforms followed by column transforms).
+/// Both dimensions must be powers of two. `inverse` includes the full 1/(R*C)
+/// normalization.
+void Transform2D(ComplexGrid* grid, bool inverse);
+
+inline void Forward2D(ComplexGrid* grid) { Transform2D(grid, false); }
+inline void Inverse2D(ComplexGrid* grid) { Transform2D(grid, true); }
+
+}  // namespace tabsketch::fft
+
+#endif  // TABSKETCH_FFT_FFT2D_H_

@@ -1,0 +1,31 @@
+#include "rng/distributions.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace tabsketch::rng {
+
+double GaussianSampler::Sample(Xoshiro256& gen) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  const double u1 = gen.NextDoubleOpen();
+  const double u2 = gen.NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_ = radius * std::sin(angle);
+  has_spare_ = true;
+  return radius * std::cos(angle);
+}
+
+double CauchySampler::Sample(Xoshiro256& gen) {
+  const double u = gen.NextDoubleOpen();
+  return std::tan(std::numbers::pi * (u - 0.5));
+}
+
+double ExponentialSampler::Sample(Xoshiro256& gen) {
+  return -std::log(gen.NextDoubleOpen());
+}
+
+}  // namespace tabsketch::rng

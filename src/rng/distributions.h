@@ -1,0 +1,39 @@
+#ifndef TABSKETCH_RNG_DISTRIBUTIONS_H_
+#define TABSKETCH_RNG_DISTRIBUTIONS_H_
+
+#include "rng/xoshiro256.h"
+
+namespace tabsketch::rng {
+
+/// Standard normal N(0, 1) sampler using the Box-Muller transform with a
+/// cached spare, so each pair of uniforms yields two normals.
+///
+/// The Gaussian is the 2-stable distribution: if X_i ~ N(0,1) iid then
+/// sum a_i X_i ~ N(0, ||a||_2^2), i.e. ||a||_2 * N(0,1).
+class GaussianSampler {
+ public:
+  GaussianSampler() = default;
+
+  double Sample(Xoshiro256& gen);
+
+ private:
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Standard Cauchy sampler (location 0, scale 1) via inverse CDF:
+/// tan(pi * (u - 1/2)). The Cauchy is the 1-stable distribution.
+class CauchySampler {
+ public:
+  double Sample(Xoshiro256& gen);
+};
+
+/// Exponential(1) sampler via inverse CDF: -log(u).
+class ExponentialSampler {
+ public:
+  double Sample(Xoshiro256& gen);
+};
+
+}  // namespace tabsketch::rng
+
+#endif  // TABSKETCH_RNG_DISTRIBUTIONS_H_

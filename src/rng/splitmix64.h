@@ -1,0 +1,46 @@
+#ifndef TABSKETCH_RNG_SPLITMIX64_H_
+#define TABSKETCH_RNG_SPLITMIX64_H_
+
+#include <cstdint>
+
+namespace tabsketch::rng {
+
+/// SplitMix64 step function (Steele, Lea & Flood). Used both as a standalone
+/// mixer for deriving independent stream seeds and as the seeding procedure
+/// for Xoshiro256. Passes through all 2^64 states; any 64-bit value is a
+/// valid state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit output and advances the state.
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless mix of a single 64-bit value; a cheap strong hash used to derive
+/// substream seeds, e.g. the seed of random matrix i at canonical size (a, b)
+/// from a master seed.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into one well-mixed value (order-sensitive).
+inline uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (Mix64(b) + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace tabsketch::rng
+
+#endif  // TABSKETCH_RNG_SPLITMIX64_H_

@@ -1,0 +1,76 @@
+#include "rng/stable.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tabsketch::rng {
+
+util::Result<StableSampler> StableSampler::Create(double alpha) {
+  if (!(alpha > 0.0) || alpha > 2.0) {
+    std::ostringstream msg;
+    msg << "stable index alpha must be in (0, 2], got " << alpha;
+    return util::Status::InvalidArgument(msg.str());
+  }
+  return StableSampler(alpha);
+}
+
+StableSampler::StableSampler(double alpha)
+    : alpha_(alpha),
+      inv_alpha_(1.0 / alpha),
+      one_minus_alpha_over_alpha_((1.0 - alpha) / alpha) {
+  if (alpha == 1.0) {
+    kind_ = Kind::kCauchy;
+  } else if (alpha == 2.0) {
+    kind_ = Kind::kGaussian;
+  } else {
+    kind_ = Kind::kGeneral;
+  }
+}
+
+double StableSampler::Sample(Xoshiro256& gen) {
+  switch (kind_) {
+    case Kind::kCauchy:
+      return cauchy_.Sample(gen);
+    case Kind::kGaussian:
+      return gaussian_.Sample(gen);
+    case Kind::kGeneral:
+      break;
+  }
+  // Chambers-Mallows-Stuck for symmetric stable, alpha != 1.
+  const double theta =
+      std::numbers::pi * (gen.NextDoubleOpen() - 0.5);  // (-pi/2, pi/2)
+  const double w = exponential_.Sample(gen);
+  const double cos_theta = std::cos(theta);
+  const double x =
+      std::sin(alpha_ * theta) / std::pow(cos_theta, inv_alpha_) *
+      std::pow(std::cos((1.0 - alpha_) * theta) / w,
+               one_minus_alpha_over_alpha_);
+  return x;
+}
+
+double SampleStableAt(double alpha, uint64_t seed) {
+  TABSKETCH_CHECK(alpha > 0.0 && alpha <= 2.0)
+      << "stable index alpha must be in (0, 2], got " << alpha;
+  Xoshiro256 gen(seed);
+  if (alpha == 1.0) {
+    return std::tan(std::numbers::pi * (gen.NextDoubleOpen() - 0.5));
+  }
+  if (alpha == 2.0) {
+    // Single Box-Muller draw (no spare caching: statelessness first).
+    const double u1 = gen.NextDoubleOpen();
+    const double u2 = gen.NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+  const double theta = std::numbers::pi * (gen.NextDoubleOpen() - 0.5);
+  const double w = -std::log(gen.NextDoubleOpen());
+  return std::sin(alpha * theta) /
+         std::pow(std::cos(theta), 1.0 / alpha) *
+         std::pow(std::cos((1.0 - alpha) * theta) / w,
+                  (1.0 - alpha) / alpha);
+}
+
+}  // namespace tabsketch::rng

@@ -1,0 +1,140 @@
+#include "table/table_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tabsketch::table {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'K', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  uint32_t version;
+  uint64_t rows;
+  uint64_t cols;
+};
+
+}  // namespace
+
+util::Status WriteBinary(const Matrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot open for writing: " + path);
+  }
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.rows = matrix.rows();
+  header.cols = matrix.cols();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  auto values = matrix.Values();
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!out) {
+    return util::Status::IOError("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<Matrix> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IOError("cannot open for reading: " + path);
+  }
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::IOError("not a tabsketch binary table: " + path);
+  }
+  if (header.version != kVersion) {
+    std::ostringstream msg;
+    msg << "unsupported table version " << header.version << " in " << path;
+    return util::Status::IOError(msg.str());
+  }
+  // Guard against corrupted dimensions before allocating: the payload must
+  // be exactly rows*cols doubles (overflow-safe check).
+  in.seekg(0, std::ios::end);
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(in.tellg()) - sizeof(header);
+  in.seekg(sizeof(header), std::ios::beg);
+  const uint64_t max_count = payload_bytes / sizeof(double);
+  if (header.rows != 0 && header.cols > max_count / header.rows) {
+    return util::Status::IOError("corrupt table dimensions in " + path);
+  }
+  const uint64_t count = header.rows * header.cols;
+  if (count * sizeof(double) != payload_bytes) {
+    return util::Status::IOError("corrupt table dimensions in " + path);
+  }
+  std::vector<double> values(count);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) {
+    return util::Status::IOError("truncated table file: " + path);
+  }
+  return Matrix(header.rows, header.cols, std::move(values));
+}
+
+util::Status WriteCsv(const Matrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.Row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return util::Status::IOError("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<Matrix> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::IOError("cannot open for reading: " + path);
+  }
+  std::vector<double> values;
+  size_t rows = 0;
+  size_t cols = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t fields = 0;
+    std::istringstream line_stream(line);
+    std::string field;
+    while (std::getline(line_stream, field, ',')) {
+      try {
+        values.push_back(std::stod(field));
+      } catch (const std::exception&) {
+        std::ostringstream msg;
+        msg << "bad numeric field '" << field << "' at row " << rows << " in "
+            << path;
+        return util::Status::IOError(msg.str());
+      }
+      ++fields;
+    }
+    if (rows == 0) {
+      cols = fields;
+    } else if (fields != cols) {
+      std::ostringstream msg;
+      msg << "ragged CSV: row " << rows << " has " << fields
+          << " fields, expected " << cols << " in " << path;
+      return util::Status::IOError(msg.str());
+    }
+    ++rows;
+  }
+  return Matrix(rows, cols, std::move(values));
+}
+
+}  // namespace tabsketch::table

@@ -1,0 +1,31 @@
+#ifndef TABSKETCH_TABLE_TABLE_IO_H_
+#define TABSKETCH_TABLE_TABLE_IO_H_
+
+#include <string>
+
+#include "table/matrix.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tabsketch::table {
+
+/// Binary table format: a small fixed header (magic "TSKT", version,
+/// dimensions) followed by row-major little-endian doubles. This stands in
+/// for the proprietary flat-file stores the paper's tables live in.
+///
+/// Writes `matrix` to `path`, overwriting any existing file.
+util::Status WriteBinary(const Matrix& matrix, const std::string& path);
+
+/// Reads a matrix previously written by WriteBinary.
+util::Result<Matrix> ReadBinary(const std::string& path);
+
+/// Writes `matrix` as comma-separated values, one row per line.
+util::Status WriteCsv(const Matrix& matrix, const std::string& path);
+
+/// Reads a rectangular CSV of doubles. All rows must have the same number of
+/// fields; empty trailing lines are ignored.
+util::Result<Matrix> ReadCsv(const std::string& path);
+
+}  // namespace tabsketch::table
+
+#endif  // TABSKETCH_TABLE_TABLE_IO_H_

@@ -1,0 +1,22 @@
+#include "table/tiling.h"
+
+#include <sstream>
+
+namespace tabsketch::table {
+
+util::Result<TileGrid> TileGrid::Create(const Matrix* parent, size_t tile_rows,
+                                        size_t tile_cols) {
+  TABSKETCH_CHECK(parent != nullptr);
+  if (tile_rows == 0 || tile_cols == 0) {
+    return util::Status::InvalidArgument("tile dimensions must be positive");
+  }
+  if (tile_rows > parent->rows() || tile_cols > parent->cols()) {
+    std::ostringstream msg;
+    msg << "tile " << tile_rows << "x" << tile_cols
+        << " exceeds table " << parent->rows() << "x" << parent->cols();
+    return util::Status::InvalidArgument(msg.str());
+  }
+  return TileGrid(parent, tile_rows, tile_cols);
+}
+
+}  // namespace tabsketch::table

@@ -1,0 +1,123 @@
+#include "table/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "table/tiling.h"
+#include "util/logging.h"
+
+namespace tabsketch::table {
+namespace {
+
+void MeanCenterInPlace(Matrix* tile) {
+  double mean = 0.0;
+  for (double value : tile->Values()) mean += value;
+  mean /= static_cast<double>(tile->size());
+  for (double& value : tile->Values()) value -= mean;
+}
+
+void ZScoreInPlace(Matrix* tile) {
+  MeanCenterInPlace(tile);
+  double variance = 0.0;
+  for (double value : tile->Values()) variance += value * value;
+  variance /= static_cast<double>(tile->size());
+  if (variance == 0.0) return;  // constant tile: already all-zero
+  const double inv_stddev = 1.0 / std::sqrt(variance);
+  for (double& value : tile->Values()) value *= inv_stddev;
+}
+
+void UnitPeakInPlace(Matrix* tile) {
+  double peak = 0.0;
+  for (double value : tile->Values()) {
+    peak = std::max(peak, std::fabs(value));
+  }
+  if (peak == 0.0) return;
+  const double inv_peak = 1.0 / peak;
+  for (double& value : tile->Values()) value *= inv_peak;
+}
+
+void UnitMeanInPlace(Matrix* tile) {
+  double mean = 0.0;
+  for (double value : tile->Values()) mean += value;
+  mean /= static_cast<double>(tile->size());
+  if (mean == 0.0) return;
+  const double inv_mean = 1.0 / mean;
+  for (double& value : tile->Values()) value *= inv_mean;
+}
+
+void Log1pInPlace(Matrix* tile) {
+  for (double& value : tile->Values()) {
+    value = value >= 0.0 ? std::log1p(value) : -std::log1p(-value);
+  }
+}
+
+void ApplyInPlace(Matrix* tile, TileTransform transform) {
+  switch (transform) {
+    case TileTransform::kIdentity:
+      return;
+    case TileTransform::kMeanCenter:
+      MeanCenterInPlace(tile);
+      return;
+    case TileTransform::kZScore:
+      ZScoreInPlace(tile);
+      return;
+    case TileTransform::kUnitPeak:
+      UnitPeakInPlace(tile);
+      return;
+    case TileTransform::kUnitMean:
+      UnitMeanInPlace(tile);
+      return;
+    case TileTransform::kLog1p:
+      Log1pInPlace(tile);
+      return;
+  }
+  TABSKETCH_CHECK(false) << "unknown transform";
+}
+
+}  // namespace
+
+const char* TileTransformName(TileTransform transform) {
+  switch (transform) {
+    case TileTransform::kIdentity:
+      return "identity";
+    case TileTransform::kMeanCenter:
+      return "mean-center";
+    case TileTransform::kZScore:
+      return "z-score";
+    case TileTransform::kUnitPeak:
+      return "unit-peak";
+    case TileTransform::kUnitMean:
+      return "unit-mean";
+    case TileTransform::kLog1p:
+      return "log1p";
+  }
+  return "?";
+}
+
+Matrix ApplyTransform(const TableView& view, TileTransform transform) {
+  Matrix out = view.ToMatrix();
+  ApplyInPlace(&out, transform);
+  return out;
+}
+
+util::Result<Matrix> TransformTiles(const Matrix& input, size_t tile_rows,
+                                    size_t tile_cols,
+                                    TileTransform transform) {
+  TABSKETCH_ASSIGN_OR_RETURN(TileGrid grid,
+                             TileGrid::Create(&input, tile_rows, tile_cols));
+  Matrix out = input;  // trailing partial tiles keep their raw values
+  for (size_t t = 0; t < grid.num_tiles(); ++t) {
+    const Matrix transformed = ApplyTransform(grid.Tile(t), transform);
+    const size_t origin_row = grid.TileOriginRow(t);
+    const size_t origin_col = grid.TileOriginCol(t);
+    for (size_t r = 0; r < tile_rows; ++r) {
+      auto src = transformed.Row(r);
+      for (size_t c = 0; c < tile_cols; ++c) {
+        out(origin_row + r, origin_col + c) = src[c];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tabsketch::table

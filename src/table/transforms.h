@@ -1,0 +1,55 @@
+#ifndef TABSKETCH_TABLE_TRANSFORMS_H_
+#define TABSKETCH_TABLE_TRANSFORMS_H_
+
+#include "table/matrix.h"
+#include "util/result.h"
+
+namespace tabsketch::table {
+
+/// Per-subtable normalizations applied before distance computation. The
+/// paper's introduction notes that "depending on applications, one may
+/// consider dilation, scaling and other operations on vectors before
+/// computing the L1 or L2 norms"; these are the standard choices for
+/// call-volume-like data:
+///   - kIdentity:   raw values.
+///   - kMeanCenter: subtract the subtable mean (removes the volume offset;
+///                  compares shapes of activity).
+///   - kZScore:     mean-center then divide by the standard deviation
+///                  (dilation + scaling; compares pure shape). Subtables
+///                  with zero variance map to all-zero.
+///   - kUnitPeak:   divide by the maximum absolute value (scale to [-1, 1];
+///                  compares profiles independent of magnitude). All-zero
+///                  subtables stay zero.
+///   - kUnitMean:   divide by the subtable mean (the natural scaling for
+///                  count data such as call volumes or traffic bytes:
+///                  compares relative profiles). Zero-mean subtables are
+///                  left unchanged.
+///   - kLog1p:      sign-preserving log(1 + |x|) compression (damps the
+///                  dynamic range of bursty counts).
+enum class TileTransform {
+  kIdentity,
+  kMeanCenter,
+  kZScore,
+  kUnitPeak,
+  kUnitMean,
+  kLog1p,
+};
+
+/// Human-readable transform name ("identity", "z-score", ...).
+const char* TileTransformName(TileTransform transform);
+
+/// Applies `transform` to a copy of `view`.
+Matrix ApplyTransform(const TableView& view, TileTransform transform);
+
+/// Applies `transform` independently to every aligned tile_rows x tile_cols
+/// tile of `input` (trailing partial tiles are copied unchanged), returning
+/// the transformed table. Sketching the result makes sketch distances
+/// reflect the transformed objects — transforms compose with everything
+/// downstream because they are plain preprocessing.
+util::Result<Matrix> TransformTiles(const Matrix& input, size_t tile_rows,
+                                    size_t tile_cols,
+                                    TileTransform transform);
+
+}  // namespace tabsketch::table
+
+#endif  // TABSKETCH_TABLE_TRANSFORMS_H_

@@ -1,0 +1,39 @@
+#include "util/median.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tabsketch::util {
+
+double MedianInPlace(std::span<double> values) {
+  TABSKETCH_CHECK(!values.empty()) << "median of empty range";
+  const size_t n = values.size();
+  const size_t mid = n / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (n % 2 == 1) return upper;
+  // Even length: the lower middle element is the max of the left partition.
+  const double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double Median(std::span<const double> values) {
+  std::vector<double> scratch(values.begin(), values.end());
+  return MedianInPlace(scratch);
+}
+
+double MedianAbsDifference(std::span<const double> a,
+                           std::span<const double> b,
+                           std::vector<double>* scratch) {
+  TABSKETCH_CHECK(a.size() == b.size()) << "size mismatch in sketch compare";
+  TABSKETCH_CHECK(!a.empty()) << "empty sketches";
+  scratch->resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    (*scratch)[i] = std::fabs(a[i] - b[i]);
+  }
+  return MedianInPlace(*scratch);
+}
+
+}  // namespace tabsketch::util

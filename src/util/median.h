@@ -1,0 +1,31 @@
+#ifndef TABSKETCH_UTIL_MEDIAN_H_
+#define TABSKETCH_UTIL_MEDIAN_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tabsketch::util {
+
+/// Returns the median of `values`, destroying their order (the span is
+/// partially sorted in place). For even-length input, returns the mean of the
+/// two middle elements. `values` must be non-empty.
+///
+/// Uses nth_element selection: O(n) expected time. The sketch distance
+/// estimator calls this in its inner loop, so no allocation happens here.
+double MedianInPlace(std::span<double> values);
+
+/// Returns the median of `values` without modifying them (copies into an
+/// internal scratch vector). `values` must be non-empty.
+double Median(std::span<const double> values);
+
+/// Returns the median of |a[i] - b[i]| over i, using `scratch` as workspace
+/// (resized as needed). `a` and `b` must be the same non-zero length. This is
+/// the kernel of the p-stable sketch distance estimator.
+double MedianAbsDifference(std::span<const double> a,
+                           std::span<const double> b,
+                           std::vector<double>* scratch);
+
+}  // namespace tabsketch::util
+
+#endif  // TABSKETCH_UTIL_MEDIAN_H_

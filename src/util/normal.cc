@@ -1,0 +1,46 @@
+#include "util/normal.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tabsketch::util {
+
+double InverseNormalCdf(double q) {
+  TABSKETCH_CHECK(q > 0.0 && q < 1.0) << "probit requires q in (0,1), got "
+                                      << q;
+  // Acklam (2003) coefficients.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+
+  if (q < kLow) {
+    const double u = std::sqrt(-2.0 * std::log(q));
+    return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+            c[5]) /
+           ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  if (q > 1.0 - kLow) {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - q));
+    return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+             c[5]) /
+           ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  const double u = q - 0.5;
+  const double r = u * u;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         u /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace tabsketch::util

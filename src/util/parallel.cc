@@ -1,0 +1,43 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tabsketch::util {
+
+size_t DefaultThreadCount() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+void ParallelFor(size_t count, size_t threads,
+                 const std::function<void(size_t)>& body) {
+  TABSKETCH_CHECK(body != nullptr);
+  if (count == 0) return;
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  // Contiguous chunks: iteration i belongs to thread i * threads / count's
+  // inverse mapping; compute explicit [begin, end) per worker instead.
+  const size_t base = count / threads;
+  const size_t remainder = count % threads;
+  size_t begin = 0;
+  for (size_t worker = 0; worker < threads; ++worker) {
+    const size_t size = base + (worker < remainder ? 1 : 0);
+    const size_t end = begin + size;
+    workers.emplace_back([begin, end, &body] {
+      for (size_t i = begin; i < end; ++i) body(i);
+    });
+    begin = end;
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace tabsketch::util

@@ -1,0 +1,24 @@
+#ifndef TABSKETCH_UTIL_PARALLEL_H_
+#define TABSKETCH_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace tabsketch::util {
+
+/// Number of hardware threads (>= 1).
+size_t DefaultThreadCount();
+
+/// Runs body(i) for every i in [0, count), distributing contiguous chunks
+/// over `threads` worker threads and blocking until all complete. With
+/// threads <= 1 (or count small) everything runs inline on the caller's
+/// thread. `body` must be safe to invoke concurrently for distinct i.
+///
+/// Sketch construction is embarrassingly parallel across tiles and across
+/// the k random matrices; this is the minimal primitive those loops need.
+void ParallelFor(size_t count, size_t threads,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace tabsketch::util
+
+#endif  // TABSKETCH_UTIL_PARALLEL_H_

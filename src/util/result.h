@@ -1,0 +1,88 @@
+#ifndef TABSKETCH_UTIL_RESULT_H_
+#define TABSKETCH_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace tabsketch::util {
+
+/// Value-or-error wrapper, modeled on absl::StatusOr / arrow::Result.
+///
+/// A `Result<T>` holds either a `T` (success) or a non-OK `Status`. Accessing
+/// the value of an errored result aborts with a diagnostic, so callers must
+/// check `ok()` (or use `ValueOrDie()` only where failure is a programming
+/// error).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT: implicit by design
+      : state_(std::move(status)) {
+    TABSKETCH_CHECK(!std::get<Status>(state_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns the error status, or OK if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Returns the held value; aborts if this result is an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    TABSKETCH_CHECK(ok()) << "Accessing value of errored Result: "
+                          << std::get<Status>(state_).ToString();
+  }
+
+  std::variant<T, Status> state_;
+};
+
+}  // namespace tabsketch::util
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define TABSKETCH_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  TABSKETCH_ASSIGN_OR_RETURN_IMPL_(                             \
+      TABSKETCH_CONCAT_(_tabsketch_result, __LINE__), lhs, rexpr)
+
+#define TABSKETCH_CONCAT_INNER_(a, b) a##b
+#define TABSKETCH_CONCAT_(a, b) TABSKETCH_CONCAT_INNER_(a, b)
+#define TABSKETCH_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                     \
+  if (!result.ok()) return result.status();                  \
+  lhs = std::move(result).value()
+
+#endif  // TABSKETCH_UTIL_RESULT_H_

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+#include "cli/flags.h"
+
+namespace tabsketch::cli {
+namespace {
+
+util::Result<Flags> ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "tabsketch");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesCommandAndFlags) {
+  auto flags = ParseArgs({"cluster", "--table=x.tbl", "--k=20"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->command(), "cluster");
+  EXPECT_TRUE(flags->Has("table"));
+  EXPECT_EQ(flags->GetString("table", "").value(), "x.tbl");
+  EXPECT_EQ(flags->GetInt("k", 0).value(), 20);
+}
+
+TEST(FlagsTest, SpaceSeparatedValues) {
+  auto flags = ParseArgs({"info", "--table", "y.tbl"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("table", "").value(), "y.tbl");
+}
+
+TEST(FlagsTest, ValuelessFlagIsBooleanTrue) {
+  auto flags = ParseArgs({"run", "--verbose"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("verbose", false).value());
+}
+
+TEST(FlagsTest, EmptyArgvHasNoCommand) {
+  auto flags = ParseArgs({});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->command().empty());
+}
+
+TEST(FlagsTest, RejectsPositionalAfterFlags) {
+  EXPECT_FALSE(ParseArgs({"cmd", "--a=1", "stray"}).ok());
+}
+
+TEST(FlagsTest, RejectsDuplicateFlags) {
+  EXPECT_FALSE(ParseArgs({"cmd", "--a=1", "--a=2"}).ok());
+}
+
+TEST(FlagsTest, TypedGetterErrors) {
+  auto flags = ParseArgs({"cmd", "--n=abc", "--x=1.2.3", "--b=maybe"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->GetInt("n", 0).ok());
+  EXPECT_FALSE(flags->GetDouble("x", 0.0).ok());
+  EXPECT_FALSE(flags->GetBool("b", false).ok());
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  auto flags = ParseArgs({"cmd"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 7).value(), 7);
+  EXPECT_EQ(flags->GetDouble("x", 1.5).value(), 1.5);
+  EXPECT_EQ(flags->GetString("s", "d").value(), "d");
+  EXPECT_FALSE(flags->GetRequired("s").ok());
+}
+
+TEST(FlagsTest, AllowOnlyCatchesTypos) {
+  auto flags = ParseArgs({"cmd", "--tile-row=8"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->AllowOnly({"tile-rows"}).ok());
+  EXPECT_TRUE(flags->AllowOnly({"tile-row"}).ok());
+}
+
+TEST(ParseSizeListTest, ParsesExactCount) {
+  auto parsed = ParseSizeList("1,2,30,4", 4);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, (std::vector<size_t>{1, 2, 30, 4}));
+}
+
+TEST(ParseSizeListTest, RejectsWrongCountAndGarbage) {
+  EXPECT_FALSE(ParseSizeList("1,2,3", 4).ok());
+  EXPECT_FALSE(ParseSizeList("1,x,3,4", 4).ok());
+  EXPECT_FALSE(ParseSizeList("1,-2,3,4", 4).ok());
+}
+
+/// Runs the CLI with the given args; returns {exit code, stdout, stderr}.
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunCli(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "tabsketch");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunTabsketchCli(static_cast<int>(argv.size()),
+                                   argv.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CliTest, NoCommandPrintsUsageAndFails) {
+  const CliRun run = RunCli({});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  const CliRun run = RunCli({"help"});
+  EXPECT_EQ(run.code, 0);
+  EXPECT_NE(run.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliRun run = RunCli({"frobnicate"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRequiresDataset) {
+  const CliRun run = RunCli({"generate", "--out=/tmp/x.tbl"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("--dataset"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRejectsUnknownDataset) {
+  const CliRun run =
+      RunCli({"generate", "--dataset=nope", "--out=/tmp/x.tbl"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("unknown --dataset"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRejectsUnknownFlag) {
+  const CliRun run = RunCli({"generate", "--dataset=six-region",
+                          "--out=/tmp/x.tbl", "--bogus=1"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("unknown flag"), std::string::npos);
+}
+
+TEST(CliTest, EndToEndPipeline) {
+  const std::string table_path = TempPath("cli_test_table.tbl");
+  const std::string sketch_path = TempPath("cli_test_sketches.bin");
+  const std::string assign_path = TempPath("cli_test_assign.csv");
+  const std::string table_flag = "--table=" + table_path;
+
+  // generate
+  {
+    const std::string out_flag = "--out=" + table_path;
+    const CliRun run =
+        RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+             "--rows=64", "--cols=128", "--seed=7"});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("64x128"), std::string::npos);
+  }
+  // info
+  {
+    const CliRun run = RunCli({"info", table_flag.c_str()});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("64x128"), std::string::npos);
+    EXPECT_NE(run.out.find("mean"), std::string::npos);
+  }
+  // sketch
+  {
+    const std::string out_flag = "--out=" + sketch_path;
+    const CliRun run =
+        RunCli({"sketch", table_flag.c_str(), out_flag.c_str(),
+             "--tile-rows=8", "--tile-cols=8", "--p=0.5", "--k=32"});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("sketched 128 tiles"), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(sketch_path));
+  }
+  // distance
+  {
+    const CliRun run =
+        RunCli({"distance", table_flag.c_str(), "--rect1=0,0,16,16",
+             "--rect2=40,40,16,16", "--p=1", "--k=128"});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("exact:"), std::string::npos);
+    EXPECT_NE(run.out.find("estimated:"), std::string::npos);
+  }
+  // cluster (kmeans, precomputed) with CSV output
+  {
+    const std::string out_flag = "--out=" + assign_path;
+    const CliRun run =
+        RunCli({"cluster", table_flag.c_str(), "--tile-rows=8",
+             "--tile-cols=8", "--algo=kmeans", "--k=6", "--p=0.5",
+             out_flag.c_str()});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("kmeans:"), std::string::npos);
+    std::ifstream csv(assign_path);
+    std::string header;
+    std::getline(csv, header);
+    EXPECT_EQ(header, "tile,grid_row,grid_col,cluster");
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(csv, line)) {
+      if (!line.empty()) ++lines;
+    }
+    EXPECT_EQ(lines, 128u);
+  }
+  // cluster (kmedoids, exact mode)
+  {
+    const CliRun run =
+        RunCli({"cluster", table_flag.c_str(), "--tile-rows=8",
+             "--tile-cols=8", "--algo=kmedoids", "--k=3", "--mode=exact"});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("medoids:"), std::string::npos);
+  }
+  // cluster (dbscan, on-demand sketches)
+  {
+    const CliRun run = RunCli({"cluster", table_flag.c_str(), "--tile-rows=8",
+                            "--tile-cols=8", "--algo=dbscan",
+                            "--epsilon=100000", "--min-points=3",
+                            "--mode=ondemand"});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("dbscan:"), std::string::npos);
+  }
+
+  std::remove(table_path.c_str());
+  std::remove(sketch_path.c_str());
+  std::remove(assign_path.c_str());
+}
+
+TEST(CliTest, PoolBuildAndQuery) {
+  const std::string table_path = TempPath("cli_pool_table.tbl");
+  const std::string pool_path = TempPath("cli_pool.pool");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string pool_flag = "--pool=" + pool_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64"})
+                  .code,
+              0);
+  }
+  {
+    const std::string out_flag = "--out=" + pool_path;
+    const CliRun run =
+        RunCli({"pool-build", table_flag.c_str(), out_flag.c_str(),
+                "--k=8", "--min-log2=3", "--max-log2=4"});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("canonical sizes"), std::string::npos);
+  }
+  {
+    const CliRun run = RunCli({"pool-query", pool_flag.c_str(),
+                               "--rect1=0,0,12,12", "--rect2=40,40,12,12",
+                               table_flag.c_str()});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("compound-sketch estimate"), std::string::npos);
+    EXPECT_NE(run.out.find("exact reference"), std::string::npos);
+  }
+  {
+    // Query below the minimum canonical size must fail cleanly.
+    const CliRun run = RunCli({"pool-query", pool_flag.c_str(),
+                               "--rect1=0,0,4,4", "--rect2=8,8,4,4"});
+    EXPECT_EQ(run.code, 1);
+    EXPECT_NE(run.err.find("NotFound"), std::string::npos);
+  }
+  std::remove(table_path.c_str());
+  std::remove(pool_path.c_str());
+}
+
+TEST(CliTest, DistanceRejectsMismatchedRectangles) {
+  const std::string table_path = TempPath("cli_test_rect.tbl");
+  const std::string out_flag = "--out=" + table_path;
+  ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                 "--rows=32", "--cols=32"})
+                .code,
+            0);
+  const std::string table_flag = "--table=" + table_path;
+  const CliRun run = RunCli({"distance", table_flag.c_str(),
+                          "--rect1=0,0,8,8", "--rect2=0,0,8,9"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("equal dimensions"), std::string::npos);
+  std::remove(table_path.c_str());
+}
+
+TEST(CliTest, ClusterRejectsUnknownAlgoAndMode) {
+  const std::string table_path = TempPath("cli_test_algo.tbl");
+  const std::string out_flag = "--out=" + table_path;
+  ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                 "--rows=32", "--cols=32"})
+                .code,
+            0);
+  const std::string table_flag = "--table=" + table_path;
+  EXPECT_EQ(RunCli({"cluster", table_flag.c_str(), "--tile-rows=8",
+                 "--tile-cols=8", "--algo=zzz"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"cluster", table_flag.c_str(), "--tile-rows=8",
+                 "--tile-cols=8", "--mode=zzz"})
+                .code,
+            1);
+  std::remove(table_path.c_str());
+}
+
+TEST(CliTest, InfoMissingFileFails) {
+  const CliRun run = RunCli({"info", "--table=/tmp/definitely_missing.tbl"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tabsketch::cli

@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cluster/exact_backend.h"
+#include "cluster/kmeans.h"
+#include "cluster/seeding.h"
+#include "cluster/sketch_backend.h"
+#include "eval/confusion.h"
+#include "eval/quality.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+#include "table/tiling.h"
+
+namespace tabsketch::cluster {
+namespace {
+
+/// Table with `bands` horizontal bands of well-separated levels plus small
+/// noise; tiled by rows, ground truth = band id.
+struct BandedData {
+  table::Matrix data;
+  std::vector<int> truth;  // per tile, for the grid below
+  size_t tile_rows, tile_cols;
+};
+
+BandedData MakeBanded(size_t bands, size_t rows_per_band, size_t cols,
+                      size_t tile_rows, size_t tile_cols, uint64_t seed) {
+  BandedData out;
+  out.tile_rows = tile_rows;
+  out.tile_cols = tile_cols;
+  const size_t rows = bands * rows_per_band;
+  out.data = table::Matrix(rows, cols);
+  rng::Xoshiro256 gen(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    const double level = 100.0 * static_cast<double>(1 + r / rows_per_band);
+    for (size_t c = 0; c < cols; ++c) {
+      out.data(r, c) = level + gen.NextDouble();
+    }
+  }
+  const size_t grid_rows = rows / tile_rows;
+  const size_t grid_cols = cols / tile_cols;
+  for (size_t gr = 0; gr < grid_rows; ++gr) {
+    for (size_t gc = 0; gc < grid_cols; ++gc) {
+      out.truth.push_back(
+          static_cast<int>((gr * tile_rows + tile_rows / 2) / rows_per_band));
+    }
+  }
+  return out;
+}
+
+TEST(SeedingTest, RandomDistinctIndicesAreDistinctAndInRange) {
+  const auto indices = RandomDistinctIndices(100, 20, 5);
+  EXPECT_EQ(indices.size(), 20u);
+  std::set<size_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t index : indices) EXPECT_LT(index, 100u);
+}
+
+TEST(SeedingTest, RandomDistinctFullDraw) {
+  const auto indices = RandomDistinctIndices(5, 5, 7);
+  std::set<size_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(SeedingTest, DeterministicPerSeed) {
+  EXPECT_EQ(RandomDistinctIndices(50, 10, 3), RandomDistinctIndices(50, 10, 3));
+  EXPECT_NE(RandomDistinctIndices(50, 10, 3), RandomDistinctIndices(50, 10, 4));
+}
+
+TEST(SeedingTest, PlusPlusSpreadsAcrossBands) {
+  // With two far-apart bands, ++ seeding with k=2 should pick one tile from
+  // each band essentially always.
+  BandedData banded = MakeBanded(2, 8, 16, 4, 4, 11);
+  auto grid = table::TileGrid::Create(&banded.data, banded.tile_rows,
+                                      banded.tile_cols);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  const auto seeds = KMeansPlusPlusIndices(&*backend, 2, 9);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_NE(banded.truth[seeds[0]], banded.truth[seeds[1]]);
+}
+
+TEST(ExactBackendTest, RejectsBadP) {
+  table::Matrix data(4, 4);
+  auto grid = table::TileGrid::Create(&data, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_FALSE(ExactBackend::Create(&*grid, 0.0).ok());
+  EXPECT_FALSE(ExactBackend::Create(&*grid, 2.5).ok());
+}
+
+TEST(ExactBackendTest, CentroidIsMeanOfMembers) {
+  table::Matrix data(2, 4, {0, 0, 10, 10,
+                            0, 0, 20, 20});
+  auto grid = table::TileGrid::Create(&data, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  backend->InitCentroidsFromObjects({0});
+  backend->UpdateCentroids({0, 0});
+  // Mean of the two tiles: [(0+10)/2, ...] = 5/5/10/10... row0: (0+10)/2=5,
+  // (0+10)/2=5; row1: (0+20)/2=10, (0+20)/2=10.
+  const table::Matrix& centroid = backend->centroid(0);
+  EXPECT_DOUBLE_EQ(centroid(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(centroid(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(centroid(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(centroid(1, 1), 10.0);
+}
+
+TEST(ExactBackendTest, EmptyClusterKeepsCentroid) {
+  table::Matrix data(2, 4, {1, 1, 9, 9, 1, 1, 9, 9});
+  auto grid = table::TileGrid::Create(&data, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  backend->InitCentroidsFromObjects({0, 1});
+  const table::Matrix before = backend->centroid(1);
+  backend->UpdateCentroids({0, 0});  // cluster 1 empty
+  EXPECT_TRUE(backend->centroid(1) == before);
+}
+
+TEST(ExactBackendTest, DistanceCountsEvaluations) {
+  table::Matrix data(2, 4);
+  auto grid = table::TileGrid::Create(&data, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  backend->InitCentroidsFromObjects({0});
+  EXPECT_EQ(backend->distance_evaluations(), 0u);
+  backend->Distance(0, 0);
+  backend->ObjectDistance(0, 1);
+  EXPECT_EQ(backend->distance_evaluations(), 2u);
+}
+
+TEST(SketchBackendTest, PrecomputedSketchesAllTilesUpFront) {
+  BandedData banded = MakeBanded(2, 4, 16, 4, 4, 21);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = SketchBackend::Create(&*grid, {.p = 1.0, .k = 32, .seed = 3},
+                                       SketchMode::kPrecomputed);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ(backend->sketches_computed(), grid->num_tiles());
+  EXPECT_EQ(backend->name(), "sketch-precomputed");
+}
+
+TEST(SketchBackendTest, OnDemandSketchesLazily) {
+  BandedData banded = MakeBanded(2, 4, 16, 4, 4, 22);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = SketchBackend::Create(&*grid, {.p = 1.0, .k = 32, .seed = 3},
+                                       SketchMode::kOnDemand);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ(backend->sketches_computed(), 0u);
+  backend->ObjectDistance(0, 1);
+  EXPECT_EQ(backend->sketches_computed(), 2u);
+  EXPECT_EQ(backend->name(), "sketch-on-demand");
+}
+
+TEST(SketchBackendTest, CentroidSketchIsMeanOfMemberSketches) {
+  BandedData banded = MakeBanded(2, 4, 16, 4, 4, 23);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = SketchBackend::Create(&*grid, {.p = 1.0, .k = 8, .seed = 3},
+                                       SketchMode::kPrecomputed);
+  ASSERT_TRUE(backend.ok());
+  backend->InitCentroidsFromObjects({0});
+  std::vector<int> assignment(grid->num_tiles(), -1);
+  assignment[0] = 0;
+  assignment[1] = 0;
+  backend->UpdateCentroids(assignment);
+  // Distance from the centroid to itself is zero only if centroid = mean of
+  // sketches 0,1; check against a manual mean via ObjectDistance symmetry:
+  // d(centroid, tile0) must equal d(centroid, tile1) when tiles are
+  // symmetric... simpler: verify zero distance to the manual mean.
+  // Reconstruct the mean sketch manually.
+  auto sketcher = core::Sketcher::Create({.p = 1.0, .k = 8, .seed = 3});
+  ASSERT_TRUE(sketcher.ok());
+  core::Sketch mean = sketcher->SketchOf(grid->Tile(0));
+  mean.Add(sketcher->SketchOf(grid->Tile(1)));
+  mean.Scale(0.5);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(backend->centroid(0).values[i], mean.values[i], 1e-9);
+  }
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  table::Matrix data(4, 4);
+  auto grid = table::TileGrid::Create(&data, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_FALSE(RunKMeans(&*backend, {.k = 0}).ok());
+  EXPECT_FALSE(RunKMeans(&*backend, {.k = 5}).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBandsExact) {
+  BandedData banded = MakeBanded(3, 8, 32, 4, 4, 31);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeans(&*backend, {.k = 3, .max_iterations = 50,
+                                      .seed = 17});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_DOUBLE_EQ(
+      eval::BestMatchAgreement(banded.truth, result->assignment, 3), 1.0);
+}
+
+class KMeansSketchRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<double, SketchMode>> {};
+
+TEST_P(KMeansSketchRecoveryTest, RecoversWellSeparatedBands) {
+  const double p = std::get<0>(GetParam());
+  const SketchMode mode = std::get<1>(GetParam());
+  BandedData banded = MakeBanded(3, 8, 32, 4, 4, 37);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = SketchBackend::Create(&*grid, {.p = p, .k = 64, .seed = 5},
+                                       mode);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeans(&*backend, {.k = 3, .max_iterations = 50,
+                                      .seed = 17});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(
+      eval::BestMatchAgreement(banded.truth, result->assignment, 3), 1.0)
+      << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PsAndModes, KMeansSketchRecoveryTest,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values(SketchMode::kPrecomputed,
+                                         SketchMode::kOnDemand)));
+
+TEST(KMeansTest, SketchAndExactClusteringsAgree) {
+  BandedData banded = MakeBanded(4, 8, 32, 4, 4, 41);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto exact = ExactBackend::Create(&*grid, 1.0);
+  auto sketch = SketchBackend::Create(&*grid, {.p = 1.0, .k = 64, .seed = 5},
+                                      SketchMode::kPrecomputed);
+  ASSERT_TRUE(exact.ok() && sketch.ok());
+  KMeansOptions options{.k = 4, .max_iterations = 50, .seed = 19};
+  auto exact_result = RunKMeansBestOfRestarts(&*exact, options, 3);
+  auto sketch_result = RunKMeansBestOfRestarts(&*sketch, options, 3);
+  ASSERT_TRUE(exact_result.ok() && sketch_result.ok());
+  // The two routines may settle in different local minima; the paper's
+  // claim is that the sketched clustering is *as good*, with label
+  // agreement usually (not always) high. Assert quality parity strictly
+  // and agreement loosely.
+  const double spread_exact =
+      eval::ClusteringSpread(*grid, exact_result->assignment, 4, 1.0);
+  const double spread_sketch =
+      eval::ClusteringSpread(*grid, sketch_result->assignment, 4, 1.0);
+  EXPECT_LT(spread_sketch, 1.1 * spread_exact);
+  EXPECT_GE(eval::BestMatchAgreement(exact_result->assignment,
+                                     sketch_result->assignment, 4),
+            0.75);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  BandedData banded = MakeBanded(2, 8, 32, 4, 4, 43);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto b1 = ExactBackend::Create(&*grid, 1.0);
+  auto b2 = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  KMeansOptions options{.k = 2, .max_iterations = 20, .seed = 7};
+  auto r1 = RunKMeans(&*b1, options);
+  auto r2 = RunKMeans(&*b2, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->assignment, r2->assignment);
+  EXPECT_EQ(r1->iterations, r2->iterations);
+}
+
+TEST(KMeansTest, EveryObjectAssigned) {
+  BandedData banded = MakeBanded(2, 8, 32, 4, 4, 47);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 0.5);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeans(&*backend, {.k = 3, .max_iterations = 10,
+                                      .seed = 23});
+  ASSERT_TRUE(result.ok());
+  for (int cluster : result->assignment) {
+    EXPECT_GE(cluster, 0);
+    EXPECT_LT(cluster, 3);
+  }
+}
+
+TEST(KMeansTest, NoEmptyClustersOnDuplicateHeavyData) {
+  // All tiles identical except one: k=3 forces empty-cluster revival.
+  table::Matrix data(4, 16);
+  data.Fill(5.0);
+  data(0, 0) = 500.0;
+  auto grid = table::TileGrid::Create(&data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeans(&*backend, {.k = 3, .max_iterations = 20,
+                                      .seed = 29});
+  ASSERT_TRUE(result.ok());
+  // The run must terminate and assign everything.
+  for (int cluster : result->assignment) EXPECT_GE(cluster, 0);
+}
+
+TEST(KMeansTest, PlusPlusSeedingWorksEndToEnd) {
+  BandedData banded = MakeBanded(3, 8, 32, 4, 4, 53);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeans(&*backend,
+                          {.k = 3, .max_iterations = 50, .seed = 31,
+                           .seeding = SeedingMethod::kPlusPlus});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(
+      eval::BestMatchAgreement(banded.truth, result->assignment, 3), 1.0);
+}
+
+TEST(KMeansTest, ObjectiveIsSumOfAssignedDistances) {
+  BandedData banded = MakeBanded(2, 4, 16, 4, 4, 61);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeans(&*backend, {.k = 2, .max_iterations = 20,
+                                      .seed = 41});
+  ASSERT_TRUE(result.ok());
+  double expected = 0.0;
+  for (size_t object = 0; object < grid->num_tiles(); ++object) {
+    expected += backend->Distance(
+        object, static_cast<size_t>(result->assignment[object]));
+  }
+  EXPECT_NEAR(result->objective, expected, 1e-9);
+}
+
+TEST(KMeansTest, BestOfRestartsRejectsZero) {
+  table::Matrix data(4, 4);
+  auto grid = table::TileGrid::Create(&data, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_FALSE(RunKMeansBestOfRestarts(&*backend, {.k = 2}, 0).ok());
+}
+
+TEST(KMeansTest, BestOfRestartsNeverWorseThanFirstAttempt) {
+  BandedData banded = MakeBanded(4, 8, 32, 4, 4, 67);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+
+  KMeansOptions options{.k = 4, .max_iterations = 30, .seed = 5};
+  auto single_backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(single_backend.ok());
+  KMeansOptions first = options;
+  first.seed = rng::MixSeeds(options.seed, 0);
+  auto single = RunKMeans(&*single_backend, first);
+  ASSERT_TRUE(single.ok());
+
+  auto multi_backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(multi_backend.ok());
+  auto multi = RunKMeansBestOfRestarts(&*multi_backend, options, 4);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_LE(multi->objective, single->objective + 1e-9);
+}
+
+TEST(KMeansTest, BestOfRestartsAccumulatesEvaluations) {
+  BandedData banded = MakeBanded(2, 4, 16, 4, 4, 71);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeansBestOfRestarts(
+      &*backend, {.k = 2, .max_iterations = 10, .seed = 3}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distance_evaluations, backend->distance_evaluations());
+}
+
+TEST(KMeansTest, ReportsDistanceEvaluations) {
+  BandedData banded = MakeBanded(2, 4, 16, 4, 4, 59);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto result = RunKMeans(&*backend, {.k = 2, .max_iterations = 10,
+                                      .seed = 37});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->distance_evaluations, 0u);
+  EXPECT_EQ(result->distance_evaluations, backend->distance_evaluations());
+}
+
+}  // namespace
+}  // namespace tabsketch::cluster

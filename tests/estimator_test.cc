@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketcher.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+
+namespace tabsketch::core {
+namespace {
+
+TEST(EstimatorTest, AutoResolvesToL2ForPTwo) {
+  auto estimator = DistanceEstimator::Create({.p = 2.0, .k = 16, .seed = 1});
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_EQ(estimator->kind(), EstimatorKind::kL2);
+  EXPECT_DOUBLE_EQ(estimator->scale(), 1.0);
+}
+
+TEST(EstimatorTest, AutoResolvesToMedianOtherwise) {
+  auto estimator = DistanceEstimator::Create({.p = 1.0, .k = 16, .seed = 1});
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_EQ(estimator->kind(), EstimatorKind::kMedian);
+  EXPECT_DOUBLE_EQ(estimator->scale(), 1.0);  // B(1) = 1
+}
+
+TEST(EstimatorTest, L2KindRejectedForOtherP) {
+  auto estimator = DistanceEstimator::Create({.p = 1.0, .k = 16, .seed = 1},
+                                             EstimatorKind::kL2);
+  EXPECT_FALSE(estimator.ok());
+  EXPECT_EQ(estimator.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(EstimatorTest, MedianKindAllowedForPTwo) {
+  auto estimator = DistanceEstimator::Create({.p = 2.0, .k = 16, .seed = 1},
+                                             EstimatorKind::kMedian);
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_EQ(estimator->kind(), EstimatorKind::kMedian);
+  EXPECT_NEAR(estimator->scale(), 0.6744897501960817, 1e-12);
+}
+
+TEST(EstimatorTest, RejectsInvalidParams) {
+  EXPECT_FALSE(DistanceEstimator::Create({.p = 3.0, .k = 16, .seed = 1}).ok());
+  EXPECT_FALSE(DistanceEstimator::Create({.p = 1.0, .k = 0, .seed = 1}).ok());
+}
+
+TEST(EstimatorTest, L2EstimateHandComputed) {
+  auto estimator = DistanceEstimator::Create({.p = 2.0, .k = 4, .seed = 1});
+  ASSERT_TRUE(estimator.ok());
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 0.0};
+  // ||a-b||_2 / sqrt(4) = 4 / 2 = 2.
+  EXPECT_DOUBLE_EQ(estimator->Estimate(a, b), 2.0);
+}
+
+TEST(EstimatorTest, MedianEstimateHandComputed) {
+  auto estimator = DistanceEstimator::Create({.p = 1.0, .k = 3, .seed = 1});
+  ASSERT_TRUE(estimator.ok());
+  const std::vector<double> a = {5.0, 0.0, 2.0};
+  const std::vector<double> b = {1.0, 1.0, 0.0};
+  // |diffs| = {4, 1, 2}; median = 2; B(1) = 1.
+  EXPECT_DOUBLE_EQ(estimator->Estimate(a, b), 2.0);
+}
+
+TEST(EstimatorTest, IdenticalSketchesGiveZero) {
+  for (double p : {0.5, 1.0, 2.0}) {
+    auto estimator = DistanceEstimator::Create({.p = p, .k = 8, .seed = 1});
+    ASSERT_TRUE(estimator.ok());
+    const std::vector<double> a = {1.0, -2.0, 3.5, 0.0, 9.0, -1.0, 4.0, 2.0};
+    EXPECT_DOUBLE_EQ(estimator->Estimate(a, a), 0.0) << "p=" << p;
+  }
+}
+
+TEST(EstimatorTest, ScratchReuseMatchesFreshScratch) {
+  auto estimator = DistanceEstimator::Create({.p = 0.5, .k = 64, .seed = 3});
+  ASSERT_TRUE(estimator.ok());
+  rng::Xoshiro256 gen(9);
+  std::vector<double> scratch;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> a(64), b(64);
+    for (auto& v : a) v = gen.NextDouble();
+    for (auto& v : b) v = gen.NextDouble();
+    EXPECT_DOUBLE_EQ(estimator->EstimateWithScratch(a, b, &scratch),
+                     estimator->Estimate(a, b));
+  }
+}
+
+TEST(EstimatorTest, L2AndMedianAgreeOnPTwoSketches) {
+  // Both estimators are consistent for p=2; with a large k they should land
+  // near each other and near the exact distance.
+  SketchParams params{.p = 2.0, .k = 600, .seed = 77};
+  auto sketcher = Sketcher::Create(params);
+  auto l2 = DistanceEstimator::Create(params, EstimatorKind::kL2);
+  auto median = DistanceEstimator::Create(params, EstimatorKind::kMedian);
+  ASSERT_TRUE(sketcher.ok() && l2.ok() && median.ok());
+
+  rng::Xoshiro256 gen(5);
+  table::Matrix x(8, 8), y(8, 8);
+  for (double& v : x.Values()) v = gen.NextDouble() * 10.0;
+  for (double& v : y.Values()) v = gen.NextDouble() * 10.0;
+  const double exact = LpDistance(x.View(), y.View(), 2.0);
+  const Sketch sx = sketcher->SketchOf(x.View());
+  const Sketch sy = sketcher->SketchOf(y.View());
+  EXPECT_NEAR(l2->Estimate(sx, sy) / exact, 1.0, 0.15);
+  EXPECT_NEAR(median->Estimate(sx, sy) / exact, 1.0, 0.15);
+}
+
+TEST(EstimatorDeathTest, MismatchedSketchSizesAbort) {
+  auto estimator = DistanceEstimator::Create({.p = 1.0, .k = 4, .seed = 1});
+  ASSERT_TRUE(estimator.ok());
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_DEATH(estimator->Estimate(a, b), "mismatched");
+}
+
+}  // namespace
+}  // namespace tabsketch::core

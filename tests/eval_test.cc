@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "eval/confusion.h"
+#include "eval/hungarian.h"
+#include "eval/measures.h"
+#include "eval/quality.h"
+#include "table/matrix.h"
+#include "table/tiling.h"
+
+namespace tabsketch::eval {
+namespace {
+
+TEST(MeasuresTest, CumulativeCorrectnessExactMatch) {
+  const std::vector<double> exact = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(CumulativeCorrectness(exact, exact), 1.0);
+}
+
+TEST(MeasuresTest, CumulativeCorrectnessAveragesOutNoise) {
+  const std::vector<double> exact = {10.0, 10.0};
+  const std::vector<double> approx = {9.0, 11.0};  // errors cancel
+  EXPECT_DOUBLE_EQ(CumulativeCorrectness(exact, approx), 1.0);
+}
+
+TEST(MeasuresTest, CumulativeCorrectnessBias) {
+  const std::vector<double> exact = {10.0, 10.0};
+  const std::vector<double> approx = {12.0, 12.0};
+  EXPECT_DOUBLE_EQ(CumulativeCorrectness(exact, approx), 1.2);
+}
+
+TEST(MeasuresTest, AverageCorrectnessPenalizesBothDirections) {
+  const std::vector<double> exact = {10.0, 10.0};
+  const std::vector<double> approx = {9.0, 11.0};
+  // Per-pair relative errors are 0.1 each -> 1 - 0.1 = 0.9.
+  EXPECT_DOUBLE_EQ(AverageCorrectness(exact, approx), 0.9);
+}
+
+TEST(MeasuresTest, AverageCorrectnessPerfect) {
+  const std::vector<double> exact = {3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(AverageCorrectness(exact, exact), 1.0);
+}
+
+TEST(MeasuresTest, AverageCorrectnessZeroExactHandled) {
+  const std::vector<double> exact = {0.0, 10.0};
+  const std::vector<double> approx_good = {0.0, 10.0};
+  const std::vector<double> approx_bad = {1.0, 10.0};
+  EXPECT_DOUBLE_EQ(AverageCorrectness(exact, approx_good), 1.0);
+  EXPECT_DOUBLE_EQ(AverageCorrectness(exact, approx_bad), 0.5);
+}
+
+TEST(MeasuresTest, PairwiseComparisonAllCorrect) {
+  const std::vector<double> exy = {1.0, 5.0};
+  const std::vector<double> exz = {2.0, 3.0};
+  const std::vector<double> axy = {1.1, 4.9};
+  const std::vector<double> axz = {1.9, 3.1};
+  EXPECT_DOUBLE_EQ(PairwiseComparisonCorrectness(exy, exz, axy, axz), 1.0);
+}
+
+TEST(MeasuresTest, PairwiseComparisonHalfCorrect) {
+  const std::vector<double> exy = {1.0, 5.0};
+  const std::vector<double> exz = {2.0, 3.0};
+  const std::vector<double> axy = {1.1, 2.0};  // second flipped
+  const std::vector<double> axz = {1.9, 3.0};
+  EXPECT_DOUBLE_EQ(PairwiseComparisonCorrectness(exy, exz, axy, axz), 0.5);
+}
+
+TEST(HungarianTest, IdentityCostPicksDiagonal) {
+  table::Matrix cost(3, 3);
+  cost.Fill(1.0);
+  cost(0, 0) = 0.0;
+  cost(1, 1) = 0.0;
+  cost(2, 2) = 0.0;
+  const std::vector<int> match = MinCostAssignment(cost);
+  EXPECT_EQ(match, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, PermutedOptimum) {
+  // Cheapest assignment is the anti-diagonal.
+  table::Matrix cost(3, 3, {9, 9, 1,
+                            9, 1, 9,
+                            1, 9, 9});
+  const std::vector<int> match = MinCostAssignment(cost);
+  EXPECT_EQ(match, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(HungarianTest, NontrivialOptimum) {
+  // Classic example where greedy row-wise assignment is suboptimal.
+  table::Matrix cost(3, 3, {4, 1, 3,
+                            2, 0, 5,
+                            3, 2, 2});
+  const std::vector<int> match = MinCostAssignment(cost);
+  // Optimal total = 1 + 2 + 2 = 5 via (0->1, 1->0, 2->2).
+  double total = 0.0;
+  for (size_t r = 0; r < 3; ++r) total += cost(r, match[r]);
+  EXPECT_DOUBLE_EQ(total, 5.0);
+  EXPECT_EQ(match, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(HungarianTest, OneByOne) {
+  table::Matrix cost(1, 1, {42.0});
+  EXPECT_EQ(MinCostAssignment(cost), (std::vector<int>{0}));
+}
+
+TEST(HungarianTest, MaxWeightIsMinCostOfNegation) {
+  table::Matrix weight(2, 2, {5, 1,
+                              2, 6});
+  const std::vector<int> match = MaxWeightAssignment(weight);
+  EXPECT_EQ(match, (std::vector<int>{0, 1}));
+}
+
+TEST(HungarianTest, AssignmentIsPermutation) {
+  table::Matrix cost(5, 5);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      cost(r, c) = static_cast<double>((r * 7 + c * 3) % 11);
+    }
+  }
+  const std::vector<int> match = MinCostAssignment(cost);
+  std::vector<bool> seen(5, false);
+  for (int column : match) {
+    ASSERT_GE(column, 0);
+    ASSERT_LT(column, 5);
+    EXPECT_FALSE(seen[column]);
+    seen[column] = true;
+  }
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomMatrices) {
+  // Exhaustive check against all n! permutations for small n.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    constexpr size_t kN = 6;
+    table::Matrix cost(kN, kN);
+    // Simple deterministic pseudo-random fill.
+    uint64_t state = seed * 2654435761ULL + 12345;
+    for (double& value : cost.Values()) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      value = static_cast<double>((state >> 33) % 1000);
+    }
+    const std::vector<int> match = MinCostAssignment(cost);
+    double hungarian_total = 0.0;
+    for (size_t r = 0; r < kN; ++r) {
+      hungarian_total += cost(r, static_cast<size_t>(match[r]));
+    }
+    std::vector<int> permutation = {0, 1, 2, 3, 4, 5};
+    double best = 1e300;
+    do {
+      double total = 0.0;
+      for (size_t r = 0; r < kN; ++r) {
+        total += cost(r, static_cast<size_t>(permutation[r]));
+      }
+      best = std::min(best, total);
+    } while (std::next_permutation(permutation.begin(), permutation.end()));
+    EXPECT_DOUBLE_EQ(hungarian_total, best) << "seed " << seed;
+  }
+}
+
+TEST(ConfusionTest, BestMatchAtLeastLiteralAgreement) {
+  // Property: optimal relabeling can only improve on literal labels.
+  uint64_t state = 99;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> a(40), b(40);
+    for (size_t i = 0; i < a.size(); ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      a[i] = static_cast<int>((state >> 33) % 4);
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      b[i] = static_cast<int>((state >> 33) % 4);
+    }
+    const table::Matrix confusion = ConfusionMatrix(a, b, 4);
+    EXPECT_GE(BestMatchAgreement(confusion), Agreement(confusion) - 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(ConfusionTest, CountsPlacements) {
+  const std::vector<int> a = {0, 0, 1, 1, 2};
+  const std::vector<int> b = {0, 1, 1, 1, 2};
+  const table::Matrix confusion = ConfusionMatrix(a, b, 3);
+  EXPECT_DOUBLE_EQ(confusion(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(confusion(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(confusion(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(confusion(2, 2), 1.0);
+}
+
+TEST(ConfusionTest, SkipsUnassigned) {
+  const std::vector<int> a = {0, -1, 1};
+  const std::vector<int> b = {0, 0, -1};
+  const table::Matrix confusion = ConfusionMatrix(a, b, 2);
+  double total = 0.0;
+  for (double v : confusion.Values()) total += v;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(ConfusionTest, LiteralAgreement) {
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(Agreement(ConfusionMatrix(a, b, 2)), 0.75);
+}
+
+TEST(ConfusionTest, BestMatchAgreementHandlesRelabeling) {
+  // b is a with labels swapped: literal agreement 0, best-match 1.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(Agreement(ConfusionMatrix(a, b, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(BestMatchAgreement(a, b, 2), 1.0);
+}
+
+TEST(ConfusionTest, BestMatchAgreementPartial) {
+  const std::vector<int> a = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> b = {2, 2, 0, 0, 0, 1};
+  // Best matching: a0 -> b2 (2 tiles), a1 -> b0 (2 tiles) = 4/6.
+  EXPECT_NEAR(BestMatchAgreement(a, b, 3), 4.0 / 6.0, 1e-12);
+}
+
+TEST(QualityTest, SpreadOfPerfectClusteringIsSmall) {
+  table::Matrix data(4, 4);
+  // Two horizontal bands of constant value -> zero spread when clustered
+  // by band.
+  for (size_t c = 0; c < 4; ++c) {
+    data(0, c) = 5.0;
+    data(1, c) = 5.0;
+    data(2, c) = 50.0;
+    data(3, c) = 50.0;
+  }
+  auto grid = table::TileGrid::Create(&data, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  // Tiles 0,1 = top band; 2,3 = bottom band.
+  const std::vector<int> by_band = {0, 0, 1, 1};
+  const std::vector<int> mixed = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(ClusteringSpread(*grid, by_band, 2, 1.0), 0.0);
+  EXPECT_GT(ClusteringSpread(*grid, mixed, 2, 1.0), 0.0);
+}
+
+TEST(QualityTest, SpreadHandComputed) {
+  table::Matrix data(1, 4, {0.0, 2.0, 10.0, 14.0});
+  auto grid = table::TileGrid::Create(&data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  const std::vector<int> assignment = {0, 0, 1, 1};
+  // Cluster 0 centroid = 1 -> spread 1+1 = 2; cluster 1 centroid = 12 ->
+  // spread 2+2 = 4. Total 6.
+  EXPECT_DOUBLE_EQ(ClusteringSpread(*grid, assignment, 2, 1.0), 6.0);
+}
+
+TEST(QualityTest, QualityPercentOrientation) {
+  // Sketched clustering with smaller spread scores above 100%.
+  EXPECT_DOUBLE_EQ(QualityOfSketchedClusteringPercent(110.0, 100.0), 110.0);
+  EXPECT_DOUBLE_EQ(QualityOfSketchedClusteringPercent(90.0, 100.0), 90.0);
+}
+
+}  // namespace
+}  // namespace tabsketch::eval

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "fft/complex_fft.h"
+#include "fft/correlate.h"
+#include "fft/fft2d.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+
+namespace tabsketch::fft {
+namespace {
+
+using Complex = std::complex<double>;
+
+table::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  table::Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble() * 2.0 - 1.0;
+  return out;
+}
+
+TEST(NextPowerOfTwoTest, KnownValues) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(17), 32u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(IsPowerOfTwoTest, KnownValues) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+}
+
+TEST(ComplexFftTest, SizeOneIsIdentity) {
+  std::vector<Complex> data = {Complex(3.0, -2.0)};
+  Forward(data);
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -2.0);
+}
+
+TEST(ComplexFftTest, DeltaTransformsToAllOnes) {
+  std::vector<Complex> data(8, Complex(0.0, 0.0));
+  data[0] = Complex(1.0, 0.0);
+  Forward(data);
+  for (const auto& value : data) {
+    EXPECT_NEAR(value.real(), 1.0, 1e-12);
+    EXPECT_NEAR(value.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(ComplexFftTest, ConstantTransformsToScaledDelta) {
+  std::vector<Complex> data(8, Complex(1.0, 0.0));
+  Forward(data);
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+  for (size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(ComplexFftTest, MatchesDirectDftOnSmallInput) {
+  rng::Xoshiro256 gen(5);
+  constexpr size_t kN = 16;
+  std::vector<Complex> data(kN);
+  for (auto& value : data) {
+    value = Complex(gen.NextDouble() - 0.5, gen.NextDouble() - 0.5);
+  }
+  std::vector<Complex> expected(kN);
+  for (size_t k = 0; k < kN; ++k) {
+    Complex acc(0.0, 0.0);
+    for (size_t n = 0; n < kN; ++n) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k * n) / kN;
+      acc += data[n] * Complex(std::cos(angle), std::sin(angle));
+    }
+    expected[k] = acc;
+  }
+  Forward(data);
+  for (size_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-10);
+    EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-10);
+  }
+}
+
+class FftRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftRoundTripTest, ForwardThenInverseIsIdentity) {
+  const size_t n = GetParam();
+  rng::Xoshiro256 gen(n);
+  std::vector<Complex> data(n);
+  for (auto& value : data) {
+    value = Complex(gen.NextDouble() - 0.5, gen.NextDouble() - 0.5);
+  }
+  const std::vector<Complex> original = data;
+  Forward(data);
+  Inverse(data);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 1024, 4096));
+
+TEST(ComplexFftTest, ParsevalEnergyConservation) {
+  constexpr size_t kN = 512;
+  rng::Xoshiro256 gen(77);
+  std::vector<Complex> data(kN);
+  double time_energy = 0.0;
+  for (auto& value : data) {
+    value = Complex(gen.NextDouble() - 0.5, 0.0);
+    time_energy += std::norm(value);
+  }
+  Forward(data);
+  double freq_energy = 0.0;
+  for (const auto& value : data) freq_energy += std::norm(value);
+  EXPECT_NEAR(freq_energy / static_cast<double>(kN), time_energy, 1e-9);
+}
+
+TEST(Fft2dTest, RoundTrip) {
+  constexpr size_t kRows = 16;
+  constexpr size_t kCols = 32;
+  rng::Xoshiro256 gen(88);
+  ComplexGrid grid(kRows, kCols);
+  std::vector<Complex> original;
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t c = 0; c < kCols; ++c) {
+      grid.At(r, c) = Complex(gen.NextDouble() - 0.5, gen.NextDouble() - 0.5);
+      original.push_back(grid.At(r, c));
+    }
+  }
+  Forward2D(&grid);
+  Inverse2D(&grid);
+  size_t index = 0;
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t c = 0; c < kCols; ++c, ++index) {
+      EXPECT_NEAR(grid.At(r, c).real(), original[index].real(), 1e-10);
+      EXPECT_NEAR(grid.At(r, c).imag(), original[index].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(Fft2dTest, SeparabilityMatchesDirect2dDft) {
+  // A rank-1 grid outer(u, v) has FFT outer(FFT(u), FFT(v)).
+  constexpr size_t kN = 8;
+  rng::Xoshiro256 gen(99);
+  std::vector<Complex> u(kN), v(kN);
+  for (auto& value : u) value = Complex(gen.NextDouble(), 0.0);
+  for (auto& value : v) value = Complex(gen.NextDouble(), 0.0);
+
+  ComplexGrid grid(kN, kN);
+  for (size_t r = 0; r < kN; ++r) {
+    for (size_t c = 0; c < kN; ++c) grid.At(r, c) = u[r] * v[c];
+  }
+  Forward2D(&grid);
+
+  std::vector<Complex> fu = u;
+  std::vector<Complex> fv = v;
+  Forward(fu);
+  Forward(fv);
+  for (size_t r = 0; r < kN; ++r) {
+    for (size_t c = 0; c < kN; ++c) {
+      const Complex expected = fu[r] * fv[c];
+      EXPECT_NEAR(grid.At(r, c).real(), expected.real(), 1e-9);
+      EXPECT_NEAR(grid.At(r, c).imag(), expected.imag(), 1e-9);
+    }
+  }
+}
+
+TEST(CrossCorrelateNaiveTest, HandComputedExample) {
+  table::Matrix data(2, 3, {1, 2, 3,
+                            4, 5, 6});
+  table::Matrix kernel(1, 2, {1, 10});
+  // Valid positions: 2 rows x 2 cols.
+  table::Matrix out = CrossCorrelateNaive(data, kernel);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1 + 20);
+  EXPECT_DOUBLE_EQ(out(0, 1), 2 + 30);
+  EXPECT_DOUBLE_EQ(out(1, 0), 4 + 50);
+  EXPECT_DOUBLE_EQ(out(1, 1), 5 + 60);
+}
+
+TEST(CrossCorrelateNaiveTest, KernelSameSizeAsDataGivesDotProduct) {
+  table::Matrix data(2, 2, {1, 2, 3, 4});
+  table::Matrix kernel(2, 2, {5, 6, 7, 8});
+  table::Matrix out = CrossCorrelateNaive(data, kernel);
+  ASSERT_EQ(out.rows(), 1u);
+  ASSERT_EQ(out.cols(), 1u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 5.0 + 12.0 + 21.0 + 32.0);
+}
+
+struct XCorrCase {
+  size_t data_rows, data_cols, kernel_rows, kernel_cols;
+};
+
+class CorrelationPlanTest : public ::testing::TestWithParam<XCorrCase> {};
+
+TEST_P(CorrelationPlanTest, FftMatchesNaive) {
+  const XCorrCase c = GetParam();
+  const table::Matrix data = RandomMatrix(c.data_rows, c.data_cols, 1234);
+  const table::Matrix kernel =
+      RandomMatrix(c.kernel_rows, c.kernel_cols, 5678);
+
+  const table::Matrix naive = CrossCorrelateNaive(data, kernel);
+  CorrelationPlan plan(data);
+  const table::Matrix fast = plan.Correlate(kernel);
+
+  ASSERT_EQ(naive.rows(), fast.rows());
+  ASSERT_EQ(naive.cols(), fast.cols());
+  for (size_t i = 0; i < naive.rows(); ++i) {
+    for (size_t j = 0; j < naive.cols(); ++j) {
+      EXPECT_NEAR(fast(i, j), naive(i, j), 1e-8)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CorrelationPlanTest,
+    ::testing::Values(XCorrCase{8, 8, 4, 4}, XCorrCase{16, 16, 16, 16},
+                      XCorrCase{10, 7, 3, 2},      // non-power-of-two data
+                      XCorrCase{33, 65, 8, 16},    // odd data dims
+                      XCorrCase{64, 64, 1, 1},     // trivial kernel
+                      XCorrCase{5, 31, 5, 4},      // full-height kernel
+                      XCorrCase{128, 32, 32, 32}));
+
+TEST(CorrelationPlanTest, PlanReusedAcrossKernels) {
+  const table::Matrix data = RandomMatrix(24, 24, 42);
+  CorrelationPlan plan(data);
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const table::Matrix kernel = RandomMatrix(6, 9, seed);
+    const table::Matrix naive = CrossCorrelateNaive(data, kernel);
+    const table::Matrix fast = plan.Correlate(kernel);
+    for (size_t i = 0; i < naive.rows(); ++i) {
+      for (size_t j = 0; j < naive.cols(); ++j) {
+        EXPECT_NEAR(fast(i, j), naive(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FftDeathTest, NonPowerOfTwoLengthAborts) {
+  std::vector<Complex> data(3);
+  EXPECT_DEATH(Forward(data), "not a power of two");
+}
+
+}  // namespace
+}  // namespace tabsketch::fft

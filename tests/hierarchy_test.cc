@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/exact_backend.h"
+#include "cluster/hierarchy.h"
+#include "cluster/sketch_backend.h"
+#include "eval/confusion.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+#include "table/tiling.h"
+
+namespace tabsketch::cluster {
+namespace {
+
+/// 1 x n table of scalar "tiles" at the given positions: distances are just
+/// absolute differences, so dendrograms are easy to reason about.
+struct ScalarTiles {
+  table::Matrix data;
+};
+
+ScalarTiles MakeScalar(const std::vector<double>& values) {
+  ScalarTiles out;
+  out.data = table::Matrix(1, values.size(),
+                           std::vector<double>(values.begin(), values.end()));
+  return out;
+}
+
+TEST(HierarchyTest, TwoObjectsOneMerge) {
+  ScalarTiles tiles = MakeScalar({0.0, 5.0});
+  auto grid = table::TileGrid::Create(&tiles.data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto dendrogram = AgglomerativeCluster(&*backend, Linkage::kSingle);
+  ASSERT_TRUE(dendrogram.ok());
+  ASSERT_EQ(dendrogram->merges.size(), 1u);
+  EXPECT_DOUBLE_EQ(dendrogram->merges[0].distance, 5.0);
+}
+
+TEST(HierarchyTest, SingleLinkageChainsMergeFirst) {
+  // Points 0, 1, 2 close together; 10 far. First two merges join the chain.
+  ScalarTiles tiles = MakeScalar({0.0, 1.0, 2.0, 10.0});
+  auto grid = table::TileGrid::Create(&tiles.data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto dendrogram = AgglomerativeCluster(&*backend, Linkage::kSingle);
+  ASSERT_TRUE(dendrogram.ok());
+  ASSERT_EQ(dendrogram->merges.size(), 3u);
+  EXPECT_DOUBLE_EQ(dendrogram->merges[0].distance, 1.0);
+  EXPECT_DOUBLE_EQ(dendrogram->merges[1].distance, 1.0);
+  // The final merge attaches the outlier at single-linkage distance 8.
+  EXPECT_DOUBLE_EQ(dendrogram->merges[2].distance, 8.0);
+}
+
+TEST(HierarchyTest, CompleteLinkageUsesFarthestPair) {
+  ScalarTiles tiles = MakeScalar({0.0, 1.0, 2.0, 10.0});
+  auto grid = table::TileGrid::Create(&tiles.data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto dendrogram = AgglomerativeCluster(&*backend, Linkage::kComplete);
+  ASSERT_TRUE(dendrogram.ok());
+  // Final merge distance = farthest pair across the two last clusters = 10.
+  EXPECT_DOUBLE_EQ(dendrogram->merges.back().distance, 10.0);
+}
+
+TEST(HierarchyTest, AverageLinkageUsesMeanDistance) {
+  ScalarTiles tiles = MakeScalar({0.0, 2.0, 10.0});
+  auto grid = table::TileGrid::Create(&tiles.data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto dendrogram = AgglomerativeCluster(&*backend, Linkage::kAverage);
+  ASSERT_TRUE(dendrogram.ok());
+  ASSERT_EQ(dendrogram->merges.size(), 2u);
+  EXPECT_DOUBLE_EQ(dendrogram->merges[0].distance, 2.0);
+  // Average of |0-10| and |2-10| = 9.
+  EXPECT_DOUBLE_EQ(dendrogram->merges[1].distance, 9.0);
+}
+
+TEST(HierarchyTest, CutAtKValidation) {
+  ScalarTiles tiles = MakeScalar({0.0, 1.0, 2.0});
+  auto grid = table::TileGrid::Create(&tiles.data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto dendrogram = AgglomerativeCluster(&*backend, Linkage::kSingle);
+  ASSERT_TRUE(dendrogram.ok());
+  EXPECT_FALSE(dendrogram->CutAtK(0).ok());
+  EXPECT_FALSE(dendrogram->CutAtK(4).ok());
+  auto all_separate = dendrogram->CutAtK(3);
+  ASSERT_TRUE(all_separate.ok());
+  EXPECT_EQ(*all_separate, (std::vector<int>{0, 1, 2}));
+  auto all_together = dendrogram->CutAtK(1);
+  ASSERT_TRUE(all_together.ok());
+  EXPECT_EQ(*all_together, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(HierarchyTest, CutRecoversWellSeparatedGroups) {
+  ScalarTiles tiles = MakeScalar({0.0, 1.0, 2.0, 100.0, 101.0, 200.0});
+  auto grid = table::TileGrid::Create(&tiles.data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    auto dendrogram = AgglomerativeCluster(&*backend, linkage);
+    ASSERT_TRUE(dendrogram.ok());
+    auto cut = dendrogram->CutAtK(3);
+    ASSERT_TRUE(cut.ok());
+    const std::vector<int> truth = {0, 0, 0, 1, 1, 2};
+    EXPECT_DOUBLE_EQ(eval::BestMatchAgreement(truth, *cut, 3), 1.0);
+  }
+}
+
+TEST(HierarchyTest, SketchedDistancesRecoverGroupsToo) {
+  // Banded tiles, 2 groups; hierarchical clustering on sketched distances.
+  table::Matrix data(4, 32);
+  rng::Xoshiro256 gen(3);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 32; ++c) {
+      data(r, c) = (c < 16 ? 10.0 : 500.0) + gen.NextDouble();
+    }
+  }
+  auto grid = table::TileGrid::Create(&data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto backend = SketchBackend::Create(&*grid, {.p = 1.0, .k = 64, .seed = 1},
+                                       SketchMode::kPrecomputed);
+  ASSERT_TRUE(backend.ok());
+  auto dendrogram = AgglomerativeCluster(&*backend, Linkage::kAverage);
+  ASSERT_TRUE(dendrogram.ok());
+  auto cut = dendrogram->CutAtK(2);
+  ASSERT_TRUE(cut.ok());
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(eval::BestMatchAgreement(truth, *cut, 2), 1.0);
+}
+
+TEST(HierarchyTest, SingleObjectDendrogramIsEmpty) {
+  ScalarTiles tiles = MakeScalar({42.0});
+  auto grid = table::TileGrid::Create(&tiles.data, 1, 1);
+  ASSERT_TRUE(grid.ok());
+  auto backend = ExactBackend::Create(&*grid, 1.0);
+  ASSERT_TRUE(backend.ok());
+  auto dendrogram = AgglomerativeCluster(&*backend, Linkage::kSingle);
+  ASSERT_TRUE(dendrogram.ok());
+  EXPECT_TRUE(dendrogram->merges.empty());
+  auto cut = dendrogram->CutAtK(1);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(*cut, (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace tabsketch::cluster

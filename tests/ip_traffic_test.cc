@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/ip_traffic.h"
+
+namespace tabsketch::data {
+namespace {
+
+TEST(IpTrafficTest, ValidatesOptions) {
+  IpTrafficOptions options;
+  options.num_hosts = 0;
+  EXPECT_FALSE(GenerateIpTraffic(options).ok());
+  options = IpTrafficOptions{};
+  options.hosts_per_subnet = 0;
+  EXPECT_FALSE(GenerateIpTraffic(options).ok());
+  options = IpTrafficOptions{};
+  options.hosts_per_subnet = options.num_hosts + 1;
+  EXPECT_FALSE(GenerateIpTraffic(options).ok());
+  options = IpTrafficOptions{};
+  options.pareto_alpha = 0.0;
+  EXPECT_FALSE(GenerateIpTraffic(options).ok());
+  options = IpTrafficOptions{};
+  options.noise_sigma = -1.0;
+  EXPECT_FALSE(GenerateIpTraffic(options).ok());
+}
+
+TEST(IpTrafficTest, ShapeAndGroundTruth) {
+  IpTrafficOptions options;
+  options.num_hosts = 128;
+  options.hosts_per_subnet = 16;
+  options.num_bins = 96;
+  auto data = GenerateIpTraffic(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table.rows(), 128u);
+  EXPECT_EQ(data->table.cols(), 96u);
+  ASSERT_EQ(data->subnet_of_host.size(), 128u);
+  EXPECT_EQ(data->profile_of_subnet.size(), 8u);
+  EXPECT_EQ(data->subnet_of_host[0], 0);
+  EXPECT_EQ(data->subnet_of_host[15], 0);
+  EXPECT_EQ(data->subnet_of_host[16], 1);
+  EXPECT_EQ(data->subnet_of_host[127], 7);
+}
+
+TEST(IpTrafficTest, DeterministicPerSeed) {
+  IpTrafficOptions options;
+  options.num_hosts = 64;
+  options.num_bins = 48;
+  auto a = GenerateIpTraffic(options);
+  auto b = GenerateIpTraffic(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->table == b->table);
+  options.seed ^= 7;
+  auto c = GenerateIpTraffic(options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->table == c->table);
+}
+
+TEST(IpTrafficTest, AllValuesPositive) {
+  IpTrafficOptions options;
+  options.num_hosts = 64;
+  options.num_bins = 48;
+  auto data = GenerateIpTraffic(options);
+  ASSERT_TRUE(data.ok());
+  for (double value : data->table.Values()) EXPECT_GT(value, 0.0);
+}
+
+TEST(IpTrafficTest, RatesAreHeavyTailed) {
+  IpTrafficOptions options;
+  options.num_hosts = 512;
+  options.num_bins = 32;
+  options.noise_sigma = 0.0;
+  options.flash_events = 0.0;
+  auto data = GenerateIpTraffic(options);
+  ASSERT_TRUE(data.ok());
+  // Top host's total traffic dwarfs the median host's (Pareto tail).
+  std::vector<double> totals(data->table.rows());
+  for (size_t h = 0; h < data->table.rows(); ++h) {
+    double total = 0.0;
+    for (double v : data->table.Row(h)) total += v;
+    totals[h] = total;
+  }
+  std::sort(totals.begin(), totals.end());
+  EXPECT_GT(totals.back(), 20.0 * totals[totals.size() / 2]);
+}
+
+TEST(IpTrafficTest, SubnetMatesShareTemporalShape) {
+  // Hosts of the same subnet have correlated (normalized) time profiles;
+  // hosts of subnets with different classes generally do not. Check a weak
+  // version: correlation within one diurnal subnet exceeds correlation
+  // between a diurnal and a bursty subnet host.
+  IpTrafficOptions options;
+  options.num_hosts = 256;
+  options.hosts_per_subnet = 32;
+  options.num_bins = 192;
+  options.noise_sigma = 0.05;
+  options.flash_events = 0.0;
+  auto data = GenerateIpTraffic(options);
+  ASSERT_TRUE(data.ok());
+
+  // Locate one diurnal and one bursty subnet.
+  int diurnal = -1, bursty = -1;
+  for (size_t s = 0; s < data->profile_of_subnet.size(); ++s) {
+    if (data->profile_of_subnet[s] == SubnetProfile::kDiurnal && diurnal < 0)
+      diurnal = static_cast<int>(s);
+    if (data->profile_of_subnet[s] == SubnetProfile::kBursty && bursty < 0)
+      bursty = static_cast<int>(s);
+  }
+  ASSERT_GE(diurnal, 0);
+  ASSERT_GE(bursty, 0);
+
+  auto correlation = [&](size_t host_a, size_t host_b) {
+    auto a = data->table.Row(host_a);
+    auto b = data->table.Row(host_b);
+    double mean_a = 0.0, mean_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      mean_a += a[i];
+      mean_b += b[i];
+    }
+    mean_a /= static_cast<double>(a.size());
+    mean_b /= static_cast<double>(b.size());
+    double cov = 0.0, var_a = 0.0, var_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      cov += (a[i] - mean_a) * (b[i] - mean_b);
+      var_a += (a[i] - mean_a) * (a[i] - mean_a);
+      var_b += (b[i] - mean_b) * (b[i] - mean_b);
+    }
+    return cov / std::sqrt(var_a * var_b);
+  };
+
+  const size_t d0 = static_cast<size_t>(diurnal) * 32;
+  const size_t b0 = static_cast<size_t>(bursty) * 32;
+  EXPECT_GT(correlation(d0, d0 + 1), correlation(d0, b0));
+}
+
+}  // namespace
+}  // namespace tabsketch::data

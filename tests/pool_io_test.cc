@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/pool_io.h"
+#include "core/sketch_pool.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+
+namespace tabsketch::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+table::Matrix RandomTable(size_t rows, size_t cols, uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  table::Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble() * 10.0;
+  return out;
+}
+
+SketchPool BuildSmallPool(const table::Matrix& data) {
+  PoolOptions options;
+  options.log2_min_rows = 2;
+  options.log2_min_cols = 2;
+  return SketchPool::Build(data, {.p = 1.0, .k = 5, .seed = 31}, options)
+      .value();
+}
+
+TEST(PoolIoTest, RoundTripAnswersIdenticalQueries) {
+  const table::Matrix data = RandomTable(16, 32, 1);
+  const SketchPool original = BuildSmallPool(data);
+  const std::string path = TempPath("tabsketch_pool.bin");
+  ASSERT_TRUE(WriteSketchPool(original, path).ok());
+  auto loaded = ReadSketchPool(path);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->params(), original.params());
+  EXPECT_EQ(loaded->data_rows(), original.data_rows());
+  EXPECT_EQ(loaded->data_cols(), original.data_cols());
+  EXPECT_EQ(loaded->CanonicalSizes(), original.CanonicalSizes());
+
+  // Identical query answers, canonical and compound.
+  for (size_t row : {0u, 3u}) {
+    for (size_t cols : {4u, 7u, 12u}) {
+      auto before = original.Query(row, 1, 5, cols);
+      auto after = loaded->Query(row, 1, 5, cols);
+      ASSERT_TRUE(before.ok() && after.ok());
+      EXPECT_EQ(before->values, after->values)
+          << "row=" << row << " cols=" << cols;
+    }
+  }
+  auto canonical_before = original.CanonicalSketchAt(2, 6, 4, 8);
+  auto canonical_after = loaded->CanonicalSketchAt(2, 6, 4, 8);
+  ASSERT_TRUE(canonical_before.ok() && canonical_after.ok());
+  EXPECT_EQ(canonical_before->values, canonical_after->values);
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoTest, RejectsGarbage) {
+  const std::string path = TempPath("tabsketch_pool_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a pool at all";
+  }
+  EXPECT_FALSE(ReadSketchPool(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoTest, RejectsTruncation) {
+  const table::Matrix data = RandomTable(16, 16, 2);
+  const SketchPool pool = BuildSmallPool(data);
+  const std::string path = TempPath("tabsketch_pool_trunc.bin");
+  ASSERT_TRUE(WriteSketchPool(pool, path).ok());
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  EXPECT_FALSE(ReadSketchPool(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoTest, MissingFileIsIOError) {
+  auto loaded = ReadSketchPool(TempPath("no_such_pool.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+}
+
+TEST(PoolFromPartsTest, RejectsEmptyFields) {
+  EXPECT_FALSE(SketchPool::FromParts({.p = 1.0, .k = 2, .seed = 1}, 8, 8, {})
+                   .ok());
+}
+
+TEST(PoolFromPartsTest, RejectsInvalidParams) {
+  const table::Matrix data = RandomTable(8, 8, 3);
+  const SketchPool pool = BuildSmallPool(data);
+  std::map<std::pair<size_t, size_t>, SketchField> fields(
+      pool.fields().begin(), pool.fields().end());
+  EXPECT_FALSE(SketchPool::FromParts({.p = 0.0, .k = 2, .seed = 1}, 8, 8,
+                                     std::move(fields))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tabsketch::core

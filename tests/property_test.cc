@@ -1,0 +1,231 @@
+// Property-based sweeps over the p grid and object shapes: algebraic
+// invariants that must hold exactly (linearity, symmetry, scaling) or
+// statistically (estimator behavior), complementing the per-module unit
+// tests with broad parameter coverage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketch_pool.h"
+#include "core/sketcher.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+
+namespace tabsketch::core {
+namespace {
+
+table::Matrix RandomTable(size_t rows, size_t cols, uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  table::Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble() * 20.0 - 10.0;
+  return out;
+}
+
+constexpr double kPGrid[] = {0.2, 0.4, 0.6, 0.8, 1.0, 1.2,
+                             1.4, 1.6, 1.8, 2.0};
+
+/// Exact Lp distance: absolute homogeneity d(a*x, a*y) = |a| d(x, y).
+class LpHomogeneityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LpHomogeneityTest, ScalingBothArgumentsScalesTheDistance) {
+  const double p = GetParam();
+  const table::Matrix x = RandomTable(6, 6, 1);
+  const table::Matrix y = RandomTable(6, 6, 2);
+  const double base = LpDistance(x.View(), y.View(), p);
+  for (double a : {0.5, 2.0, -3.0}) {
+    table::Matrix ax(6, 6), ay(6, 6);
+    for (size_t i = 0; i < x.Values().size(); ++i) {
+      ax.Values()[i] = a * x.Values()[i];
+      ay.Values()[i] = a * y.Values()[i];
+    }
+    EXPECT_NEAR(LpDistance(ax.View(), ay.View(), p), std::fabs(a) * base,
+                1e-9 * std::fabs(a) * base)
+        << "p=" << p << " a=" << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, LpHomogeneityTest, ::testing::ValuesIn(kPGrid));
+
+/// Exact Lp distance: translation invariance d(x + c, y + c) = d(x, y).
+class LpTranslationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LpTranslationTest, AddingAConstantTableChangesNothing) {
+  const double p = GetParam();
+  const table::Matrix x = RandomTable(5, 7, 3);
+  const table::Matrix y = RandomTable(5, 7, 4);
+  const table::Matrix shift = RandomTable(5, 7, 5);
+  table::Matrix xs(5, 7), ys(5, 7);
+  for (size_t i = 0; i < x.Values().size(); ++i) {
+    xs.Values()[i] = x.Values()[i] + shift.Values()[i];
+    ys.Values()[i] = y.Values()[i] + shift.Values()[i];
+  }
+  EXPECT_NEAR(LpDistance(xs.View(), ys.View(), p),
+              LpDistance(x.View(), y.View(), p), 1e-8)
+      << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, LpTranslationTest, ::testing::ValuesIn(kPGrid));
+
+/// Sketch estimates inherit homogeneity *exactly* (not just statistically):
+/// sketches are linear, the median of |a * v| is |a| * median |v|, and the
+/// L2 norm scales the same way.
+class EstimatorHomogeneityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorHomogeneityTest, EstimateScalesExactlyWithTheData) {
+  const double p = GetParam();
+  SketchParams params{.p = p, .k = 32, .seed = 77};
+  auto sketcher = Sketcher::Create(params);
+  auto estimator = DistanceEstimator::Create(params);
+  ASSERT_TRUE(sketcher.ok() && estimator.ok());
+  const table::Matrix x = RandomTable(4, 4, 6);
+  const table::Matrix y = RandomTable(4, 4, 7);
+  const double base = estimator->Estimate(sketcher->SketchOf(x.View()),
+                                          sketcher->SketchOf(y.View()));
+  const double a = 7.25;
+  table::Matrix ax(4, 4), ay(4, 4);
+  for (size_t i = 0; i < x.Values().size(); ++i) {
+    ax.Values()[i] = a * x.Values()[i];
+    ay.Values()[i] = a * y.Values()[i];
+  }
+  const double scaled = estimator->Estimate(sketcher->SketchOf(ax.View()),
+                                            sketcher->SketchOf(ay.View()));
+  EXPECT_NEAR(scaled, a * base, 1e-9 * a * base) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, EstimatorHomogeneityTest,
+                         ::testing::ValuesIn(kPGrid));
+
+/// Estimator symmetry and identity across the grid.
+class EstimatorAxiomsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorAxiomsTest, SymmetricAndZeroOnIdentical) {
+  const double p = GetParam();
+  SketchParams params{.p = p, .k = 48, .seed = 13};
+  auto sketcher = Sketcher::Create(params);
+  auto estimator = DistanceEstimator::Create(params);
+  ASSERT_TRUE(sketcher.ok() && estimator.ok());
+  const table::Matrix x = RandomTable(5, 5, 8);
+  const table::Matrix y = RandomTable(5, 5, 9);
+  const Sketch sx = sketcher->SketchOf(x.View());
+  const Sketch sy = sketcher->SketchOf(y.View());
+  EXPECT_DOUBLE_EQ(estimator->Estimate(sx, sy), estimator->Estimate(sy, sx))
+      << "p=" << p;
+  EXPECT_DOUBLE_EQ(estimator->Estimate(sx, sx), 0.0) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, EstimatorAxiomsTest,
+                         ::testing::ValuesIn(kPGrid));
+
+/// Sketch shape-independence: the sketch of an object depends only on its
+/// linearized content and shape key, not on where it sits in a parent
+/// table.
+class SketchLocationInvarianceTest : public ::testing::TestWithParam<double> {
+};
+
+TEST_P(SketchLocationInvarianceTest, WindowsWithEqualContentSketchEqually) {
+  const double p = GetParam();
+  SketchParams params{.p = p, .k = 16, .seed = 5};
+  auto sketcher = Sketcher::Create(params);
+  ASSERT_TRUE(sketcher.ok());
+  // Build a table where two disjoint windows hold identical content.
+  table::Matrix parent(8, 12);
+  const table::Matrix content = RandomTable(4, 4, 10);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      parent(r, c) = content(r, c);           // window A at (0, 0)
+      parent(r + 4, c + 8) = content(r, c);   // window B at (4, 8)
+    }
+  }
+  const Sketch a = sketcher->SketchOf(parent.Window(0, 0, 4, 4));
+  const Sketch b = sketcher->SketchOf(parent.Window(4, 8, 4, 4));
+  EXPECT_EQ(a.values, b.values) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, SketchLocationInvarianceTest,
+                         ::testing::ValuesIn(kPGrid));
+
+/// Compound-sketch queries across a grid of rectangle shapes: Definition 4
+/// must hold structurally for every (height, width) in range.
+struct RectCase {
+  size_t rows, cols;
+};
+
+class CompoundStructureTest : public ::testing::TestWithParam<RectCase> {};
+
+TEST_P(CompoundStructureTest, FourCornerSumForEveryShape) {
+  const RectCase rect = GetParam();
+  const table::Matrix data = RandomTable(32, 32, 21);
+  SketchParams params{.p = 1.0, .k = 4, .seed = 3};
+  PoolOptions options;
+  options.log2_min_rows = 2;
+  options.log2_min_cols = 2;
+  auto pool = SketchPool::Build(data, params, options);
+  auto sketcher = Sketcher::Create(params);
+  ASSERT_TRUE(pool.ok() && sketcher.ok());
+
+  const size_t row = 3, col = 2;
+  auto compound = pool->Query(row, col, rect.rows, rect.cols);
+  ASSERT_TRUE(compound.ok()) << rect.rows << "x" << rect.cols;
+
+  auto largest_pow2 = [](size_t n) {
+    size_t p2 = 1;
+    while ((p2 << 1) <= n) p2 <<= 1;
+    return p2;
+  };
+  const size_t a = largest_pow2(rect.rows);
+  const size_t b = largest_pow2(rect.cols);
+  Sketch expected = sketcher->SketchOf(data.Window(row, col, a, b));
+  expected.Add(
+      sketcher->SketchOf(data.Window(row + rect.rows - a, col, a, b)));
+  expected.Add(
+      sketcher->SketchOf(data.Window(row, col + rect.cols - b, a, b)));
+  expected.Add(sketcher->SketchOf(
+      data.Window(row + rect.rows - a, col + rect.cols - b, a, b)));
+  for (size_t i = 0; i < params.k; ++i) {
+    EXPECT_NEAR(compound->values[i], expected.values[i], 1e-7)
+        << rect.rows << "x" << rect.cols << " component " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CompoundStructureTest,
+    ::testing::Values(RectCase{4, 4}, RectCase{4, 7}, RectCase{5, 4},
+                      RectCase{5, 9}, RectCase{7, 7}, RectCase{8, 15},
+                      RectCase{9, 6}, RectCase{15, 15}, RectCase{16, 21},
+                      RectCase{21, 16}, RectCase{27, 27}));
+
+/// Estimator monotonicity in the data: moving y farther from x along a ray
+/// increases the estimate (exact for the median/L2 of scaled differences).
+class EstimatorMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorMonotonicityTest, EstimateGrowsAlongARay) {
+  const double p = GetParam();
+  SketchParams params{.p = p, .k = 64, .seed = 55};
+  auto sketcher = Sketcher::Create(params);
+  auto estimator = DistanceEstimator::Create(params);
+  ASSERT_TRUE(sketcher.ok() && estimator.ok());
+  const table::Matrix x = RandomTable(4, 4, 30);
+  const table::Matrix direction = RandomTable(4, 4, 31);
+  double previous = 0.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    table::Matrix y(4, 4);
+    for (size_t i = 0; i < x.Values().size(); ++i) {
+      y.Values()[i] = x.Values()[i] + t * direction.Values()[i];
+    }
+    const double estimate = estimator->Estimate(
+        sketcher->SketchOf(x.View()), sketcher->SketchOf(y.View()));
+    EXPECT_GT(estimate, previous) << "p=" << p << " t=" << t;
+    previous = estimate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, EstimatorMonotonicityTest,
+                         ::testing::ValuesIn(kPGrid));
+
+}  // namespace
+}  // namespace tabsketch::core

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketcher.h"
+#include "eval/rand_index.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+#include "util/normal.h"
+
+namespace tabsketch {
+namespace {
+
+using eval::AdjustedRandIndex;
+using eval::RandIndex;
+
+TEST(RandIndexTest, IdenticalClusterings) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(RandIndex(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(RandIndexTest, LabelPermutationInvariant) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> b = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(RandIndexTest, HandComputedExample) {
+  // a: {0,1}{2,3}; b: {0,1,2}{3}. Pairs: (01) together/together agree,
+  // (23) together/apart disagree, (02),(12) apart/together disagree,
+  // (03),(13) apart/apart agree. Agreements 3 of 6.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 0.5);
+}
+
+TEST(RandIndexTest, SkipsUnassigned) {
+  const std::vector<int> a = {0, 0, 1, 1, -1};
+  const std::vector<int> b = {0, 0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 1.0);
+}
+
+TEST(RandIndexTest, AdjustedNearZeroForIndependentClusterings) {
+  rng::Xoshiro256 gen(7);
+  std::vector<int> a(600), b(600);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(gen.NextBounded(4));
+    b[i] = static_cast<int>(gen.NextBounded(4));
+  }
+  // The plain Rand index of independent clusterings is far above 0...
+  EXPECT_GT(RandIndex(a, b), 0.5);
+  // ...while the adjusted index is ~0.
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 0.05);
+}
+
+TEST(RandIndexTest, AdjustedDetectsPartialStructure) {
+  // b equals a with a quarter of the labels randomized: ARI should sit
+  // clearly between 0 and 1.
+  rng::Xoshiro256 gen(11);
+  std::vector<int> a(400), b(400);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(gen.NextBounded(4));
+    b[i] = (i % 4 == 0) ? static_cast<int>(gen.NextBounded(4)) : a[i];
+  }
+  const double ari = AdjustedRandIndex(a, b);
+  EXPECT_GT(ari, 0.4);
+  EXPECT_LT(ari, 0.95);
+}
+
+TEST(RandIndexTest, DegenerateSingleClusterConvention) {
+  const std::vector<int> a = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(util::InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(util::InverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(util::InverseNormalCdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(util::InverseNormalCdf(0.84134474), 1.0, 1e-5);
+  EXPECT_NEAR(util::InverseNormalCdf(0.999), 3.090232306, 1e-6);
+}
+
+TEST(InverseNormalCdfTest, SymmetryAndMonotonicity) {
+  for (double q : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(util::InverseNormalCdf(q), -util::InverseNormalCdf(1.0 - q),
+                1e-9);
+  }
+  double previous = util::InverseNormalCdf(0.001);
+  for (double q = 0.01; q < 1.0; q += 0.01) {
+    const double value = util::InverseNormalCdf(q);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(EstimateIntervalTest, ContainsEstimateAndOrdersBounds) {
+  for (double p : {0.5, 1.0, 2.0}) {
+    core::SketchParams params{.p = p, .k = 256, .seed = 3};
+    auto sketcher = core::Sketcher::Create(params);
+    auto estimator = core::DistanceEstimator::Create(params);
+    ASSERT_TRUE(sketcher.ok() && estimator.ok());
+    rng::Xoshiro256 gen(5);
+    table::Matrix x(8, 8), y(8, 8);
+    for (double& v : x.Values()) v = gen.NextDouble();
+    for (double& v : y.Values()) v = gen.NextDouble();
+    const core::Sketch sx = sketcher->SketchOf(x.View());
+    const core::Sketch sy = sketcher->SketchOf(y.View());
+    std::vector<double> scratch;
+    const auto interval = estimator->EstimateWithInterval(
+        sx.values, sy.values, 0.95, &scratch);
+    EXPECT_LE(interval.lower, interval.estimate) << "p=" << p;
+    EXPECT_LE(interval.estimate, interval.upper) << "p=" << p;
+    EXPECT_GT(interval.lower, 0.0) << "p=" << p;
+  }
+}
+
+TEST(EstimateIntervalTest, WiderAtHigherConfidence) {
+  core::SketchParams params{.p = 1.0, .k = 256, .seed = 3};
+  auto sketcher = core::Sketcher::Create(params);
+  auto estimator = core::DistanceEstimator::Create(params);
+  ASSERT_TRUE(sketcher.ok() && estimator.ok());
+  rng::Xoshiro256 gen(9);
+  table::Matrix x(8, 8), y(8, 8);
+  for (double& v : x.Values()) v = gen.NextDouble();
+  for (double& v : y.Values()) v = gen.NextDouble();
+  const core::Sketch sx = sketcher->SketchOf(x.View());
+  const core::Sketch sy = sketcher->SketchOf(y.View());
+  std::vector<double> scratch;
+  const auto narrow =
+      estimator->EstimateWithInterval(sx.values, sy.values, 0.80, &scratch);
+  const auto wide =
+      estimator->EstimateWithInterval(sx.values, sy.values, 0.99, &scratch);
+  EXPECT_LE(wide.lower, narrow.lower);
+  EXPECT_GE(wide.upper, narrow.upper);
+}
+
+class IntervalCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IntervalCoverageTest, TrueDistanceCoveredAtNominalRate) {
+  const double p = GetParam();
+  rng::Xoshiro256 gen(21);
+  table::Matrix x(10, 10), y(10, 10);
+  for (double& v : x.Values()) v = gen.NextDouble() * 50.0;
+  for (double& v : y.Values()) v = gen.NextDouble() * 50.0;
+  const double exact = core::LpDistance(x.View(), y.View(), p);
+
+  constexpr int kTrials = 120;
+  int covered = 0;
+  std::vector<double> scratch;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    core::SketchParams params{.p = p, .k = 300,
+                              .seed = 5000 + static_cast<uint64_t>(trial)};
+    auto sketcher = core::Sketcher::Create(params);
+    auto estimator = core::DistanceEstimator::Create(params);
+    ASSERT_TRUE(sketcher.ok() && estimator.ok());
+    const auto interval = estimator->EstimateWithInterval(
+        sketcher->SketchOf(x.View()).values,
+        sketcher->SketchOf(y.View()).values, 0.95, &scratch);
+    if (exact >= interval.lower && exact <= interval.upper) ++covered;
+  }
+  // 95% nominal; allow binomial noise and the asymptotic approximations.
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.88) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, IntervalCoverageTest,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace tabsketch

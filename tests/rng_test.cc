@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.h"
+#include "rng/splitmix64.h"
+#include "rng/xoshiro256.h"
+#include "util/median.h"
+
+namespace tabsketch::rng {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceFromSeedZero) {
+  // Reference values of SplitMix64 from seed 0 (widely published).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.Next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.Next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64Test, DeterministicPerSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Mix64Test, DistinctInputsGiveDistinctOutputs) {
+  // Not a proof, but catches gross mixing regressions.
+  std::vector<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.push_back(Mix64(i));
+  std::sort(outputs.begin(), outputs.end());
+  EXPECT_EQ(std::unique(outputs.begin(), outputs.end()), outputs.end());
+}
+
+TEST(MixSeedsTest, OrderSensitive) {
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(2, 1));
+  EXPECT_EQ(MixSeeds(1, 2), MixSeeds(1, 2));
+}
+
+TEST(Xoshiro256Test, DeterministicPerSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 gen(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleOpenNeverZeroOrOne) {
+  Xoshiro256 gen(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.NextDoubleOpen();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedStaysInRange) {
+  Xoshiro256 gen(9);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(gen.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedRoughlyUniform) {
+  Xoshiro256 gen(11);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.NextBounded(kBound)];
+  for (int count : counts) {
+    // Expected 10000 per bucket; 4-sigma band ~ +-380.
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(Xoshiro256Test, MeanOfUniformsNearHalf) {
+  Xoshiro256 gen(13);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += gen.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(GaussianSamplerTest, MomentsMatchStandardNormal) {
+  Xoshiro256 gen(17);
+  GaussianSampler sampler;
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = sampler.Sample(gen);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.02);
+}
+
+TEST(GaussianSamplerTest, SymmetricTails) {
+  Xoshiro256 gen(19);
+  GaussianSampler sampler;
+  int positive = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (sampler.Sample(gen) > 0.0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / kDraws, 0.5, 0.01);
+}
+
+TEST(CauchySamplerTest, MedianOfAbsIsOne) {
+  // For standard Cauchy, median(|X|) = tan(pi/4) = 1.
+  Xoshiro256 gen(23);
+  CauchySampler sampler;
+  constexpr int kDraws = 200000;
+  std::vector<double> draws(kDraws);
+  for (double& d : draws) d = std::fabs(sampler.Sample(gen));
+  EXPECT_NEAR(util::MedianInPlace(draws), 1.0, 0.02);
+}
+
+TEST(CauchySamplerTest, QuartilesMatchTheory) {
+  // CDF(x) = 1/2 + atan(x)/pi; the 0.75 quantile is tan(pi/4) = 1 and the
+  // 0.25 quantile is -1.
+  Xoshiro256 gen(29);
+  CauchySampler sampler;
+  constexpr int kDraws = 200000;
+  std::vector<double> draws(kDraws);
+  for (double& d : draws) d = sampler.Sample(gen);
+  std::sort(draws.begin(), draws.end());
+  EXPECT_NEAR(draws[kDraws / 4], -1.0, 0.03);
+  EXPECT_NEAR(draws[3 * kDraws / 4], 1.0, 0.03);
+}
+
+TEST(ExponentialSamplerTest, MeanIsOne) {
+  Xoshiro256 gen(31);
+  ExponentialSampler sampler;
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = sampler.Sample(gen);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace tabsketch::rng

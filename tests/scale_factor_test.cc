@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scale_factor.h"
+
+namespace tabsketch::core {
+namespace {
+
+TEST(ScaleFactorTest, ClosedFormAtPOne) {
+  EXPECT_DOUBLE_EQ(MedianAbsStable(1.0), 1.0);
+}
+
+TEST(ScaleFactorTest, ClosedFormAtPTwo) {
+  // Median of |N(0,1)| = Phi^-1(0.75).
+  EXPECT_NEAR(MedianAbsStable(2.0), 0.674489750196, 1e-9);
+}
+
+TEST(ScaleFactorTest, MonteCarloIsDeterministic) {
+  const double first = MedianAbsStable(0.5);
+  const double second = MedianAbsStable(0.5);
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(ScaleFactorTest, ValuesArePositiveAcrossRange) {
+  for (double p : {0.2, 0.4, 0.6, 0.8, 1.2, 1.4, 1.6, 1.8}) {
+    EXPECT_GT(MedianAbsStable(p, 200'000), 0.0) << "p=" << p;
+  }
+}
+
+TEST(ScaleFactorTest, ContinuityNearPOne) {
+  // The CMS transform is continuous at alpha = 1, so Monte-Carlo values just
+  // off p=1 should be near the Cauchy closed form.
+  EXPECT_NEAR(MedianAbsStable(0.999), 1.0, 0.02);
+  EXPECT_NEAR(MedianAbsStable(1.001), 1.0, 0.02);
+}
+
+TEST(ScaleFactorTest, ConventionStepAtPTwo) {
+  // Our alpha = 2 sampler returns N(0,1) while CMS at alpha -> 2 tends to
+  // N(0,2); B(p) mirrors the sampler at every p, so just below 2 it must be
+  // sqrt(2) times the p = 2 closed form. (Estimates stay correct at every p
+  // because sampler and scale factor share the convention.)
+  EXPECT_NEAR(MedianAbsStable(1.999), 0.6744897501960817 * std::sqrt(2.0),
+              0.02);
+}
+
+TEST(ScaleFactorTest, SampleCountChangesCacheKeyNotValueMuch) {
+  const double coarse = MedianAbsStable(0.75, 500'000);
+  const double fine = MedianAbsStable(0.75, 2'000'000);
+  EXPECT_NEAR(coarse / fine, 1.0, 0.01);
+}
+
+TEST(ScaleFactorDeathTest, RejectsOutOfRangeP) {
+  EXPECT_DEATH(MedianAbsStable(0.0), "p must be in");
+  EXPECT_DEATH(MedianAbsStable(2.5), "p must be in");
+}
+
+}  // namespace
+}  // namespace tabsketch::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/sketch_io.h"
+#include "rng/xoshiro256.h"
+
+namespace tabsketch::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SketchSet MakeSet() {
+  SketchSet set;
+  set.params = {.p = 0.5, .k = 6, .seed = 1234};
+  set.object_rows = 8;
+  set.object_cols = 16;
+  rng::Xoshiro256 gen(5);
+  for (int i = 0; i < 10; ++i) {
+    Sketch sketch;
+    sketch.values.resize(6);
+    for (double& v : sketch.values) v = gen.NextDouble() * 100.0 - 50.0;
+    set.sketches.push_back(std::move(sketch));
+  }
+  return set;
+}
+
+TEST(SketchIoTest, RoundTrip) {
+  const SketchSet original = MakeSet();
+  const std::string path = TempPath("tabsketch_sketchset.bin");
+  ASSERT_TRUE(WriteSketchSet(original, path).ok());
+  auto loaded = ReadSketchSet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->params, original.params);
+  EXPECT_EQ(loaded->object_rows, original.object_rows);
+  EXPECT_EQ(loaded->object_cols, original.object_cols);
+  ASSERT_EQ(loaded->sketches.size(), original.sketches.size());
+  for (size_t i = 0; i < original.sketches.size(); ++i) {
+    EXPECT_EQ(loaded->sketches[i].values, original.sketches[i].values);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, EmptySetRoundTrips) {
+  SketchSet set;
+  set.params = {.p = 1.0, .k = 4, .seed = 1};
+  const std::string path = TempPath("tabsketch_sketchset_empty.bin");
+  ASSERT_TRUE(WriteSketchSet(set, path).ok());
+  auto loaded = ReadSketchSet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->sketches.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, RejectsInconsistentSketchLengths) {
+  SketchSet set = MakeSet();
+  set.sketches[3].values.resize(2);  // violates k = 6
+  const std::string path = TempPath("tabsketch_sketchset_bad.bin");
+  EXPECT_FALSE(WriteSketchSet(set, path).ok());
+}
+
+TEST(SketchIoTest, RejectsInvalidParams) {
+  SketchSet set = MakeSet();
+  set.params.p = 9.0;
+  EXPECT_FALSE(WriteSketchSet(set, TempPath("x.bin")).ok());
+}
+
+TEST(SketchIoTest, RejectsGarbageFile) {
+  const std::string path = TempPath("tabsketch_sketchset_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(ReadSketchSet(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, RejectsTruncatedFile) {
+  const SketchSet original = MakeSet();
+  const std::string path = TempPath("tabsketch_sketchset_trunc.bin");
+  ASSERT_TRUE(WriteSketchSet(original, path).ok());
+  // Truncate the payload.
+  std::filesystem::resize_file(path, 64);
+  EXPECT_FALSE(ReadSketchSet(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, MissingFileIsIOError) {
+  auto loaded = ReadSketchSet(TempPath("does_not_exist_tsks.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace tabsketch::core

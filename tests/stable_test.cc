@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/scale_factor.h"
+#include "rng/stable.h"
+#include "rng/xoshiro256.h"
+#include "util/median.h"
+
+namespace tabsketch::rng {
+namespace {
+
+TEST(StableSamplerTest, RejectsBadAlpha) {
+  EXPECT_FALSE(StableSampler::Create(0.0).ok());
+  EXPECT_FALSE(StableSampler::Create(-1.0).ok());
+  EXPECT_FALSE(StableSampler::Create(2.5).ok());
+}
+
+TEST(StableSamplerTest, AcceptsFullRange) {
+  for (double alpha : {0.1, 0.5, 1.0, 1.5, 2.0}) {
+    auto sampler = StableSampler::Create(alpha);
+    ASSERT_TRUE(sampler.ok()) << alpha;
+    EXPECT_DOUBLE_EQ(sampler->alpha(), alpha);
+  }
+}
+
+TEST(StableSamplerTest, AlphaTwoMatchesStandardNormal) {
+  auto sampler = StableSampler::Create(2.0);
+  ASSERT_TRUE(sampler.ok());
+  Xoshiro256 gen(101);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = sampler->Sample(gen);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.02);  // N(0,1) by our convention
+}
+
+TEST(StableSamplerTest, AlphaOneMatchesCauchyQuartiles) {
+  auto sampler = StableSampler::Create(1.0);
+  ASSERT_TRUE(sampler.ok());
+  Xoshiro256 gen(103);
+  constexpr int kDraws = 200000;
+  std::vector<double> draws(kDraws);
+  for (double& d : draws) d = std::fabs(sampler->Sample(gen));
+  EXPECT_NEAR(util::MedianInPlace(draws), 1.0, 0.02);
+}
+
+class StableSymmetryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StableSymmetryTest, DistributionIsSymmetric) {
+  const double alpha = GetParam();
+  auto sampler = StableSampler::Create(alpha);
+  ASSERT_TRUE(sampler.ok());
+  Xoshiro256 gen(107);
+  constexpr int kDraws = 100000;
+  int positive = 0;
+  std::vector<double> draws(kDraws);
+  for (double& d : draws) {
+    d = sampler->Sample(gen);
+    if (d > 0.0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / kDraws, 0.5, 0.01)
+      << "alpha=" << alpha;
+  // Median of a symmetric law is ~0.
+  EXPECT_NEAR(util::MedianInPlace(draws), 0.0,
+              0.03 * core::MedianAbsStable(alpha))
+      << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, StableSymmetryTest,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0, 1.25, 1.5,
+                                           1.75, 2.0));
+
+/// The stability property itself (paper Section 3.2): for iid X_i ~
+/// SaS(alpha) and coefficients a, the combination sum a_i X_i has the same
+/// distribution as ||a||_alpha * X. We verify via the median of absolute
+/// values: median|sum a_i X_i| should equal ||a||_alpha * B(alpha).
+class StabilityPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StabilityPropertyTest, LinearCombinationScalesByLpNorm) {
+  const double alpha = GetParam();
+  auto sampler = StableSampler::Create(alpha);
+  ASSERT_TRUE(sampler.ok());
+  Xoshiro256 gen(109);
+
+  const std::vector<double> coeffs = {3.0, -1.5, 0.5, 2.0, -4.0};
+  double norm_pow = 0.0;
+  for (double c : coeffs) norm_pow += std::pow(std::fabs(c), alpha);
+  const double lp_norm = std::pow(norm_pow, 1.0 / alpha);
+
+  constexpr int kTrials = 60000;
+  std::vector<double> combos(kTrials);
+  for (double& combo : combos) {
+    double acc = 0.0;
+    for (double c : coeffs) acc += c * sampler->Sample(gen);
+    combo = std::fabs(acc);
+  }
+  const double observed_median = util::MedianInPlace(combos);
+  const double expected_median = lp_norm * core::MedianAbsStable(alpha);
+  EXPECT_NEAR(observed_median / expected_median, 1.0, 0.05)
+      << "alpha=" << alpha << " observed=" << observed_median
+      << " expected=" << expected_median;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, StabilityPropertyTest,
+                         ::testing::Values(0.25, 0.4, 0.5, 0.6, 0.75, 1.0,
+                                           1.25, 1.5, 1.75, 2.0));
+
+TEST(StableSamplerTest, HeavyTailsGrowAsAlphaShrinks) {
+  // Smaller alpha => heavier tails => larger high quantiles of |X|.
+  Xoshiro256 gen(113);
+  auto quantile99 = [&gen](double alpha) {
+    auto sampler = StableSampler::Create(alpha);
+    EXPECT_TRUE(sampler.ok());
+    constexpr int kDraws = 50000;
+    std::vector<double> draws(kDraws);
+    for (double& d : draws) d = std::fabs(sampler->Sample(gen));
+    std::nth_element(draws.begin(), draws.begin() + kDraws * 99 / 100,
+                     draws.end());
+    return draws[kDraws * 99 / 100];
+  };
+  const double q_half = quantile99(0.5);
+  const double q_one = quantile99(1.0);
+  const double q_two = quantile99(2.0);
+  EXPECT_GT(q_half, q_one);
+  EXPECT_GT(q_one, q_two);
+}
+
+}  // namespace
+}  // namespace tabsketch::rng

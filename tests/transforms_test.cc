@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "table/matrix.h"
+#include "table/transforms.h"
+
+namespace tabsketch::table {
+namespace {
+
+TEST(TransformsTest, NamesAreStable) {
+  EXPECT_STREQ(TileTransformName(TileTransform::kIdentity), "identity");
+  EXPECT_STREQ(TileTransformName(TileTransform::kMeanCenter), "mean-center");
+  EXPECT_STREQ(TileTransformName(TileTransform::kZScore), "z-score");
+  EXPECT_STREQ(TileTransformName(TileTransform::kUnitPeak), "unit-peak");
+  EXPECT_STREQ(TileTransformName(TileTransform::kLog1p), "log1p");
+}
+
+TEST(TransformsTest, IdentityCopies) {
+  Matrix m(2, 2, {1, -2, 3, 4});
+  EXPECT_TRUE(ApplyTransform(m.View(), TileTransform::kIdentity) == m);
+}
+
+TEST(TransformsTest, MeanCenterZeroesTheMean) {
+  Matrix m(1, 4, {1, 2, 3, 6});  // mean 3
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kMeanCenter);
+  EXPECT_TRUE(out == Matrix(1, 4, {-2, -1, 0, 3}));
+}
+
+TEST(TransformsTest, ZScoreUnitVariance) {
+  Matrix m(1, 4, {2, 4, 6, 8});
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kZScore);
+  double mean = 0.0;
+  double variance = 0.0;
+  for (double value : out.Values()) mean += value;
+  mean /= 4.0;
+  for (double value : out.Values()) variance += (value - mean) * (value - mean);
+  variance /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(variance, 1.0, 1e-12);
+}
+
+TEST(TransformsTest, ZScoreConstantTileBecomesZero) {
+  Matrix m(2, 2);
+  m.Fill(7.0);
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kZScore);
+  for (double value : out.Values()) EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(TransformsTest, UnitPeakScalesToOne) {
+  Matrix m(1, 3, {-8, 2, 4});
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kUnitPeak);
+  EXPECT_DOUBLE_EQ(out(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(out(0, 2), 0.5);
+}
+
+TEST(TransformsTest, UnitPeakAllZeroStaysZero) {
+  Matrix m(2, 2);
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kUnitPeak);
+  for (double value : out.Values()) EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(TransformsTest, UnitMeanScalesMeanToOne) {
+  Matrix m(1, 4, {2, 4, 6, 8});  // mean 5
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kUnitMean);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.4);
+  EXPECT_DOUBLE_EQ(out(0, 3), 1.6);
+  double mean = 0.0;
+  for (double value : out.Values()) mean += value;
+  EXPECT_DOUBLE_EQ(mean / 4.0, 1.0);
+}
+
+TEST(TransformsTest, UnitMeanZeroMeanUnchanged) {
+  Matrix m(1, 2, {-3.0, 3.0});
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kUnitMean);
+  EXPECT_TRUE(out == m);
+}
+
+TEST(TransformsTest, Log1pSignPreserving) {
+  Matrix m(1, 3, {0.0, std::exp(1.0) - 1.0, -(std::exp(2.0) - 1.0)});
+  const Matrix out = ApplyTransform(m.View(), TileTransform::kLog1p);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_NEAR(out(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(out(0, 2), -2.0, 1e-12);
+}
+
+TEST(TransformsTest, TransformTilesActsPerTile) {
+  // Two 1x2 tiles with different means: mean-centering per tile must use
+  // each tile's own mean, not the global one.
+  Matrix m(1, 4, {0, 2, 10, 14});
+  auto out = TransformTiles(m, 1, 2, TileTransform::kMeanCenter);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*out == Matrix(1, 4, {-1, 1, -2, 2}));
+}
+
+TEST(TransformsTest, TransformTilesKeepsTrailingRemainder) {
+  Matrix m(1, 5, {0, 2, 10, 14, 99});
+  auto out = TransformTiles(m, 1, 2, TileTransform::kMeanCenter);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->At(0, 4), 99.0);  // partial tile untouched
+}
+
+TEST(TransformsTest, TransformTilesRejectsOversizedTiles) {
+  Matrix m(2, 2);
+  EXPECT_FALSE(TransformTiles(m, 3, 1, TileTransform::kIdentity).ok());
+}
+
+TEST(TransformsTest, ZScoreMakesScaledTilesEqual) {
+  // The motivating property: two tiles that differ only by offset and
+  // dilation become identical after z-scoring.
+  Matrix a(1, 4, {1, 2, 3, 4});
+  Matrix b(1, 4, {10, 30, 50, 70});  // 20 * a - 10... affine image of a
+  const Matrix za = ApplyTransform(a.View(), TileTransform::kZScore);
+  const Matrix zb = ApplyTransform(b.View(), TileTransform::kZScore);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(za(0, c), zb(0, c), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tabsketch::table

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lp_distance.h"
+#include "core/sketcher.h"
+#include "core/stable_matrix.h"
+#include "core/updatable_sketch.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+
+namespace tabsketch::core {
+namespace {
+
+table::Matrix RandomTable(size_t rows, size_t cols, uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  table::Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble() * 10.0;
+  return out;
+}
+
+TEST(StableEntryTest, MatchesBulkMatrix) {
+  SketchParams params{.p = 0.75, .k = 3, .seed = 42};
+  const table::Matrix bulk = StableRandomMatrix(params, 1, 5, 7);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 7; ++c) {
+      EXPECT_DOUBLE_EQ(bulk.At(r, c), StableEntry(params, 1, 5, 7, r, c))
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(StableEntryTest, MatchesBulkMatrixAtClassicP) {
+  for (double p : {1.0, 2.0}) {
+    SketchParams params{.p = p, .k = 2, .seed = 9};
+    const table::Matrix bulk = StableRandomMatrix(params, 0, 4, 4);
+    for (size_t r = 0; r < 4; ++r) {
+      for (size_t c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(bulk.At(r, c), StableEntry(params, 0, 4, 4, r, c))
+            << "p=" << p;
+      }
+    }
+  }
+}
+
+TEST(UpdatableSketchTest, CreateValidates) {
+  EXPECT_FALSE(
+      UpdatableSketch::CreateEmpty({.p = 0.0, .k = 4, .seed = 1}, 2, 2).ok());
+  EXPECT_FALSE(
+      UpdatableSketch::CreateEmpty({.p = 1.0, .k = 4, .seed = 1}, 0, 2).ok());
+  EXPECT_TRUE(
+      UpdatableSketch::CreateEmpty({.p = 1.0, .k = 4, .seed = 1}, 2, 2).ok());
+}
+
+TEST(UpdatableSketchTest, EmptyStartsAtZero) {
+  auto sketch = UpdatableSketch::CreateEmpty({.p = 1.0, .k = 8, .seed = 1},
+                                             4, 4);
+  ASSERT_TRUE(sketch.ok());
+  for (double value : sketch->sketch().values) {
+    EXPECT_DOUBLE_EQ(value, 0.0);
+  }
+  EXPECT_EQ(sketch->updates_applied(), 0u);
+}
+
+TEST(UpdatableSketchTest, UpdatesMatchResketchingFromScratch) {
+  SketchParams params{.p = 0.5, .k = 16, .seed = 77};
+  auto sketcher = Sketcher::Create(params);
+  ASSERT_TRUE(sketcher.ok());
+
+  table::Matrix data = RandomTable(6, 9, 3);
+  auto updatable = UpdatableSketch::FromView(*sketcher, data.View());
+  ASSERT_TRUE(updatable.ok());
+
+  // Apply a series of point updates to both the sketch and the data.
+  rng::Xoshiro256 gen(5);
+  for (int update = 0; update < 25; ++update) {
+    const size_t r = gen.NextBounded(6);
+    const size_t c = gen.NextBounded(9);
+    const double delta = gen.NextDouble() * 4.0 - 2.0;
+    updatable->ApplyUpdate(r, c, delta);
+    data(r, c) += delta;
+  }
+  EXPECT_EQ(updatable->updates_applied(), 25u);
+
+  const Sketch fresh = sketcher->SketchOf(data.View());
+  ASSERT_EQ(updatable->sketch().size(), fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_NEAR(updatable->sketch().values[i], fresh.values[i], 1e-9)
+        << "component " << i;
+  }
+}
+
+TEST(UpdatableSketchTest, BuildFromEmptyByUpdatesEqualsDirectSketch) {
+  SketchParams params{.p = 1.0, .k = 12, .seed = 11};
+  auto sketcher = Sketcher::Create(params);
+  ASSERT_TRUE(sketcher.ok());
+  const table::Matrix data = RandomTable(4, 5, 7);
+
+  auto built = UpdatableSketch::CreateEmpty(params, 4, 5);
+  ASSERT_TRUE(built.ok());
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      built->ApplyUpdate(r, c, data.At(r, c));
+    }
+  }
+  const Sketch direct = sketcher->SketchOf(data.View());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(built->sketch().values[i], direct.values[i], 1e-9);
+  }
+}
+
+TEST(UpdatableSketchTest, UpdatedSketchComparableWithStaticSketches) {
+  // Distance between an updated sketch and a static sketch tracks the true
+  // distance of the updated data.
+  SketchParams params{.p = 1.0, .k = 400, .seed = 13};
+  auto sketcher = Sketcher::Create(params);
+  auto estimator = DistanceEstimator::Create(params);
+  ASSERT_TRUE(sketcher.ok() && estimator.ok());
+
+  table::Matrix x = RandomTable(8, 8, 21);
+  const table::Matrix y = RandomTable(8, 8, 22);
+  auto updatable = UpdatableSketch::FromView(*sketcher, x.View());
+  ASSERT_TRUE(updatable.ok());
+  const Sketch sketch_y = sketcher->SketchOf(y.View());
+
+  // Drift x toward y in a corner region.
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      const double delta = y.At(r, c) - x.At(r, c);
+      updatable->ApplyUpdate(r, c, delta);
+      x(r, c) += delta;
+    }
+  }
+  const double exact = core::LpDistance(x.View(), y.View(), 1.0);
+  const double approx = estimator->Estimate(updatable->sketch(), sketch_y);
+  EXPECT_NEAR(approx / exact, 1.0, 0.25);
+}
+
+TEST(UpdatableSketchDeathTest, OutOfShapeUpdateAborts) {
+  auto sketch = UpdatableSketch::CreateEmpty({.p = 1.0, .k = 2, .seed = 1},
+                                             2, 3);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_DEATH(sketch->ApplyUpdate(2, 0, 1.0), "outside");
+}
+
+}  // namespace
+}  // namespace tabsketch::core

@@ -1,0 +1,10 @@
+// The `tabsketch` command-line tool. All logic lives in cli/commands.h so
+// it is unit-tested; this is just the process shell.
+
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return tabsketch::cli::RunTabsketchCli(argc, argv, std::cout, std::cerr);
+}
