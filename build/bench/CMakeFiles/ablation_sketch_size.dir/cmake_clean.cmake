@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sketch_size.dir/ablation_sketch_size.cc.o"
+  "CMakeFiles/ablation_sketch_size.dir/ablation_sketch_size.cc.o.d"
+  "ablation_sketch_size"
+  "ablation_sketch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sketch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

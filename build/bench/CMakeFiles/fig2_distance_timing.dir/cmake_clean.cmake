@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_distance_timing.dir/fig2_distance_timing.cc.o"
+  "CMakeFiles/fig2_distance_timing.dir/fig2_distance_timing.cc.o.d"
+  "fig2_distance_timing"
+  "fig2_distance_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_distance_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_kmeans_vary_p.dir/fig3_kmeans_vary_p.cc.o"
+  "CMakeFiles/fig3_kmeans_vary_p.dir/fig3_kmeans_vary_p.cc.o.d"
+  "fig3_kmeans_vary_p"
+  "fig3_kmeans_vary_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kmeans_vary_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_kmeans_vary_k.dir/fig4a_kmeans_vary_k.cc.o"
+  "CMakeFiles/fig4a_kmeans_vary_k.dir/fig4a_kmeans_vary_k.cc.o.d"
+  "fig4a_kmeans_vary_k"
+  "fig4a_kmeans_vary_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_kmeans_vary_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_known_clustering.dir/fig4b_known_clustering.cc.o"
+  "CMakeFiles/fig4b_known_clustering.dir/fig4b_known_clustering.cc.o.d"
+  "fig4b_known_clustering"
+  "fig4b_known_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_known_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_visualization.dir/fig5_visualization.cc.o"
+  "CMakeFiles/fig5_visualization.dir/fig5_visualization.cc.o.d"
+  "fig5_visualization"
+  "fig5_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_volume_clustering.dir/call_volume_clustering.cpp.o"
+  "CMakeFiles/call_volume_clustering.dir/call_volume_clustering.cpp.o.d"
+  "call_volume_clustering"
+  "call_volume_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_volume_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

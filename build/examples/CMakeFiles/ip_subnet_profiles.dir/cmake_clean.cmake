@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_subnet_profiles.dir/ip_subnet_profiles.cpp.o"
+  "CMakeFiles/ip_subnet_profiles.dir/ip_subnet_profiles.cpp.o.d"
+  "ip_subnet_profiles"
+  "ip_subnet_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_subnet_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

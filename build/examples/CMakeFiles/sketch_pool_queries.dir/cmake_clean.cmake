@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_pool_queries.dir/sketch_pool_queries.cpp.o"
+  "CMakeFiles/sketch_pool_queries.dir/sketch_pool_queries.cpp.o.d"
+  "sketch_pool_queries"
+  "sketch_pool_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_pool_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_series_trends.dir/time_series_trends.cpp.o"
+  "CMakeFiles/time_series_trends.dir/time_series_trends.cpp.o.d"
+  "time_series_trends"
+  "time_series_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_series_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

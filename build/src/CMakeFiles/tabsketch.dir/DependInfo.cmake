@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/commands.cc" "src/CMakeFiles/tabsketch.dir/cli/commands.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cli/commands.cc.o.d"
+  "/root/repo/src/cli/flags.cc" "src/CMakeFiles/tabsketch.dir/cli/flags.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cli/flags.cc.o.d"
+  "/root/repo/src/cluster/backend.cc" "src/CMakeFiles/tabsketch.dir/cluster/backend.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/backend.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/tabsketch.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/exact_backend.cc" "src/CMakeFiles/tabsketch.dir/cluster/exact_backend.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/exact_backend.cc.o.d"
+  "/root/repo/src/cluster/hierarchy.cc" "src/CMakeFiles/tabsketch.dir/cluster/hierarchy.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/hierarchy.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/tabsketch.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/kmedoids.cc" "src/CMakeFiles/tabsketch.dir/cluster/kmedoids.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/kmedoids.cc.o.d"
+  "/root/repo/src/cluster/seeding.cc" "src/CMakeFiles/tabsketch.dir/cluster/seeding.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/seeding.cc.o.d"
+  "/root/repo/src/cluster/sketch_backend.cc" "src/CMakeFiles/tabsketch.dir/cluster/sketch_backend.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/cluster/sketch_backend.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/tabsketch.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/growing.cc" "src/CMakeFiles/tabsketch.dir/core/growing.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/growing.cc.o.d"
+  "/root/repo/src/core/knn.cc" "src/CMakeFiles/tabsketch.dir/core/knn.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/knn.cc.o.d"
+  "/root/repo/src/core/lp_distance.cc" "src/CMakeFiles/tabsketch.dir/core/lp_distance.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/lp_distance.cc.o.d"
+  "/root/repo/src/core/ondemand.cc" "src/CMakeFiles/tabsketch.dir/core/ondemand.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/ondemand.cc.o.d"
+  "/root/repo/src/core/pool_io.cc" "src/CMakeFiles/tabsketch.dir/core/pool_io.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/pool_io.cc.o.d"
+  "/root/repo/src/core/scale_factor.cc" "src/CMakeFiles/tabsketch.dir/core/scale_factor.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/scale_factor.cc.o.d"
+  "/root/repo/src/core/series_sketch.cc" "src/CMakeFiles/tabsketch.dir/core/series_sketch.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/series_sketch.cc.o.d"
+  "/root/repo/src/core/sketch_io.cc" "src/CMakeFiles/tabsketch.dir/core/sketch_io.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/sketch_io.cc.o.d"
+  "/root/repo/src/core/sketch_pool.cc" "src/CMakeFiles/tabsketch.dir/core/sketch_pool.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/sketch_pool.cc.o.d"
+  "/root/repo/src/core/sketcher.cc" "src/CMakeFiles/tabsketch.dir/core/sketcher.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/sketcher.cc.o.d"
+  "/root/repo/src/core/stable_matrix.cc" "src/CMakeFiles/tabsketch.dir/core/stable_matrix.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/stable_matrix.cc.o.d"
+  "/root/repo/src/core/updatable_sketch.cc" "src/CMakeFiles/tabsketch.dir/core/updatable_sketch.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/core/updatable_sketch.cc.o.d"
+  "/root/repo/src/data/call_volume.cc" "src/CMakeFiles/tabsketch.dir/data/call_volume.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/data/call_volume.cc.o.d"
+  "/root/repo/src/data/ip_traffic.cc" "src/CMakeFiles/tabsketch.dir/data/ip_traffic.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/data/ip_traffic.cc.o.d"
+  "/root/repo/src/data/six_region.cc" "src/CMakeFiles/tabsketch.dir/data/six_region.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/data/six_region.cc.o.d"
+  "/root/repo/src/eval/confusion.cc" "src/CMakeFiles/tabsketch.dir/eval/confusion.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/eval/confusion.cc.o.d"
+  "/root/repo/src/eval/hungarian.cc" "src/CMakeFiles/tabsketch.dir/eval/hungarian.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/eval/hungarian.cc.o.d"
+  "/root/repo/src/eval/measures.cc" "src/CMakeFiles/tabsketch.dir/eval/measures.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/eval/measures.cc.o.d"
+  "/root/repo/src/eval/quality.cc" "src/CMakeFiles/tabsketch.dir/eval/quality.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/eval/quality.cc.o.d"
+  "/root/repo/src/eval/rand_index.cc" "src/CMakeFiles/tabsketch.dir/eval/rand_index.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/eval/rand_index.cc.o.d"
+  "/root/repo/src/fft/complex_fft.cc" "src/CMakeFiles/tabsketch.dir/fft/complex_fft.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/fft/complex_fft.cc.o.d"
+  "/root/repo/src/fft/correlate.cc" "src/CMakeFiles/tabsketch.dir/fft/correlate.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/fft/correlate.cc.o.d"
+  "/root/repo/src/fft/correlate1d.cc" "src/CMakeFiles/tabsketch.dir/fft/correlate1d.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/fft/correlate1d.cc.o.d"
+  "/root/repo/src/fft/fft2d.cc" "src/CMakeFiles/tabsketch.dir/fft/fft2d.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/fft/fft2d.cc.o.d"
+  "/root/repo/src/rng/distributions.cc" "src/CMakeFiles/tabsketch.dir/rng/distributions.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/rng/distributions.cc.o.d"
+  "/root/repo/src/rng/stable.cc" "src/CMakeFiles/tabsketch.dir/rng/stable.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/rng/stable.cc.o.d"
+  "/root/repo/src/table/matrix.cc" "src/CMakeFiles/tabsketch.dir/table/matrix.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/table/matrix.cc.o.d"
+  "/root/repo/src/table/table_io.cc" "src/CMakeFiles/tabsketch.dir/table/table_io.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/table/table_io.cc.o.d"
+  "/root/repo/src/table/tiling.cc" "src/CMakeFiles/tabsketch.dir/table/tiling.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/table/tiling.cc.o.d"
+  "/root/repo/src/table/transforms.cc" "src/CMakeFiles/tabsketch.dir/table/transforms.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/table/transforms.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/tabsketch.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/median.cc" "src/CMakeFiles/tabsketch.dir/util/median.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/util/median.cc.o.d"
+  "/root/repo/src/util/normal.cc" "src/CMakeFiles/tabsketch.dir/util/normal.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/util/normal.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/CMakeFiles/tabsketch.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/util/parallel.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/tabsketch.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tabsketch.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

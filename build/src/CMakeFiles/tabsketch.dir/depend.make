@@ -1,0 +1,2 @@
+# Empty dependencies file for tabsketch.
+# This may be replaced when dependencies are built.

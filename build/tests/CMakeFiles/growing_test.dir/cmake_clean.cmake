@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growing_test.dir/growing_test.cc.o"
+  "CMakeFiles/growing_test.dir/growing_test.cc.o.d"
+  "growing_test"
+  "growing_test.pdb"
+  "growing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarantees_test.dir/guarantees_test.cc.o"
+  "CMakeFiles/guarantees_test.dir/guarantees_test.cc.o.d"
+  "guarantees_test"
+  "guarantees_test.pdb"
+  "guarantees_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

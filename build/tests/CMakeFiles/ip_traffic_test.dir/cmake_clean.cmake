@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_traffic_test.dir/ip_traffic_test.cc.o"
+  "CMakeFiles/ip_traffic_test.dir/ip_traffic_test.cc.o.d"
+  "ip_traffic_test"
+  "ip_traffic_test.pdb"
+  "ip_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

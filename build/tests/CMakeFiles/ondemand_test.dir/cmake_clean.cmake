@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondemand_test.dir/ondemand_test.cc.o"
+  "CMakeFiles/ondemand_test.dir/ondemand_test.cc.o.d"
+  "ondemand_test"
+  "ondemand_test.pdb"
+  "ondemand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondemand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

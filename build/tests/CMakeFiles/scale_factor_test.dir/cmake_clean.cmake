@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_factor_test.dir/scale_factor_test.cc.o"
+  "CMakeFiles/scale_factor_test.dir/scale_factor_test.cc.o.d"
+  "scale_factor_test"
+  "scale_factor_test.pdb"
+  "scale_factor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

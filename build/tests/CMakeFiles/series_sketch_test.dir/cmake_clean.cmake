@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_sketch_test.dir/series_sketch_test.cc.o"
+  "CMakeFiles/series_sketch_test.dir/series_sketch_test.cc.o.d"
+  "series_sketch_test"
+  "series_sketch_test.pdb"
+  "series_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updatable_sketch_test.dir/updatable_sketch_test.cc.o"
+  "CMakeFiles/updatable_sketch_test.dir/updatable_sketch_test.cc.o.d"
+  "updatable_sketch_test"
+  "updatable_sketch_test.pdb"
+  "updatable_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updatable_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

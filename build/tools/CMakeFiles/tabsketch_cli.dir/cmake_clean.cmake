@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabsketch_cli.dir/tabsketch_main.cc.o"
+  "CMakeFiles/tabsketch_cli.dir/tabsketch_main.cc.o.d"
+  "tabsketch"
+  "tabsketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabsketch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
