@@ -1,0 +1,163 @@
+// Ablation: thread scaling of the dyadic pool build (Theorem 6's
+// O(k N log^3 N) precompute). One CorrelationPlan — i.e. one forward FFT of
+// the data — is shared across every (canonical size x kernel) work item, and
+// the items fan out over util::ParallelFor. Reports wall-clock per thread
+// count, the speedup over single-threaded, verifies the pool is bit-identical
+// across thread counts and that exactly one plan is constructed per build,
+// and writes the rows to BENCH_pool_build.json.
+//
+// usage: ablation_threads [side] [k] [min_log2] [thread_list]
+//   defaults: 1024 64 3 1,2,4,8   (the acceptance configuration)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sketch_pool.h"
+#include "data/call_volume.h"
+#include "fft/correlate.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+using tabsketch::core::PoolOptions;
+using tabsketch::core::SketchParams;
+using tabsketch::core::SketchPool;
+
+std::vector<size_t> ParseThreadList(const std::string& text) {
+  std::vector<size_t> out;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(static_cast<size_t>(
+        std::strtoull(text.substr(begin, end - begin).c_str(), nullptr, 10)));
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// Order-independent fingerprint of every plane value in the pool; equal
+/// fingerprints across thread counts back the bit-identical claim.
+double PoolChecksum(const SketchPool& pool) {
+  double checksum = 0.0;
+  for (const auto& [size, field] : pool.fields()) {
+    for (size_t i = 0; i < field.k(); ++i) {
+      for (double value : field.plane(i).Values()) checksum += value;
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t side = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
+  const size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const size_t min_log2 = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+  const std::vector<size_t> thread_counts =
+      argc > 4 ? ParseThreadList(argv[4])
+               : std::vector<size_t>{1, 2, 4, 8};
+
+  std::printf("=== Ablation: pool-build thread scaling ===\n");
+  std::printf("table %zux%zu, k=%zu, canonical sizes from 2^%zu "
+              "(machine has %zu hardware threads)\n\n",
+              side, side, k, min_log2, tabsketch::util::DefaultThreadCount());
+
+  tabsketch::data::CallVolumeOptions data_options;
+  data_options.num_stations = side;
+  data_options.bins_per_day = side;
+  auto volume = tabsketch::data::GenerateCallVolume(data_options);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+
+  SketchParams params{.p = 1.0, .k = k, .seed = 17};
+  std::printf("%8s %12s %10s %12s %12s\n", "threads", "seconds", "speedup",
+              "plans", "checksum");
+
+  double base_seconds = 0.0;
+  double base_checksum = 0.0;
+  bool checksums_agree = true;
+  bool one_plan_per_build = true;
+  struct Row {
+    size_t threads;
+    double seconds;
+    double speedup;
+    size_t plans;
+  };
+  std::vector<Row> rows;
+
+  for (size_t threads : thread_counts) {
+    PoolOptions options;
+    options.log2_min_rows = min_log2;
+    options.log2_min_cols = min_log2;
+    options.threads = threads;
+
+    const size_t plans_before =
+        tabsketch::fft::CorrelationPlan::plans_constructed();
+    tabsketch::util::WallTimer timer;
+    auto pool = SketchPool::Build(*volume, params, options);
+    const double seconds = timer.ElapsedSeconds();
+    const size_t plans =
+        tabsketch::fft::CorrelationPlan::plans_constructed() - plans_before;
+    if (!pool.ok()) {
+      std::fprintf(stderr, "pool build failed: %s\n",
+                   pool.status().ToString().c_str());
+      return 1;
+    }
+
+    const double checksum = PoolChecksum(*pool);
+    if (rows.empty()) {
+      base_seconds = seconds;
+      base_checksum = checksum;
+    }
+    if (checksum != base_checksum) checksums_agree = false;
+    if (plans != 1) one_plan_per_build = false;
+    const double speedup = base_seconds / seconds;
+    rows.push_back({threads, seconds, speedup, plans});
+    std::printf("%8zu %12.2f %9.2fx %12zu %12.6g\n", threads, seconds,
+                speedup, plans, checksum);
+  }
+
+  std::printf("\nbit-identical across thread counts: %s\n",
+              checksums_agree ? "yes" : "NO — BUG");
+  std::printf("one data-FFT (plan) per build:      %s\n",
+              one_plan_per_build ? "yes" : "NO — BUG");
+
+  const char* json_path = "BENCH_pool_build.json";
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"pool_build_thread_scaling\",\n"
+               "  \"table\": [%zu, %zu],\n"
+               "  \"k\": %zu,\n"
+               "  \"min_log2\": %zu,\n"
+               "  \"hardware_threads\": %zu,\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"one_plan_per_build\": %s,\n"
+               "  \"results\": [\n",
+               side, side, k, min_log2,
+               tabsketch::util::DefaultThreadCount(),
+               checksums_agree ? "true" : "false",
+               one_plan_per_build ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"seconds\": %.4f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 rows[i].threads, rows[i].seconds, rows[i].speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("results -> %s\n", json_path);
+
+  return (checksums_agree && one_plan_per_build) ? 0 : 1;
+}

@@ -217,7 +217,8 @@ bench/CMakeFiles/ablation_sketch_size.dir/ablation_sketch_size.cc.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/lp_distance.h /root/repo/src/core/ondemand.h \
- /usr/include/c++/12/optional /root/repo/src/table/tiling.h \
- /root/repo/src/data/call_volume.h /root/repo/src/eval/measures.h \
- /root/repo/src/rng/xoshiro256.h /root/repo/src/rng/splitmix64.h \
- /root/repo/src/util/timer.h /usr/include/c++/12/chrono
+ /usr/include/c++/12/atomic /usr/include/c++/12/optional \
+ /root/repo/src/table/tiling.h /root/repo/src/data/call_volume.h \
+ /root/repo/src/eval/measures.h /root/repo/src/rng/xoshiro256.h \
+ /root/repo/src/rng/splitmix64.h /root/repo/src/util/timer.h \
+ /usr/include/c++/12/chrono

@@ -219,5 +219,5 @@ examples/CMakeFiles/similarity_search.dir/similarity_search.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/knn.h /usr/include/c++/12/optional \
  /root/repo/src/table/tiling.h /root/repo/src/core/ondemand.h \
- /root/repo/src/data/call_volume.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono
+ /usr/include/c++/12/atomic /root/repo/src/data/call_volume.h \
+ /root/repo/src/util/timer.h /usr/include/c++/12/chrono

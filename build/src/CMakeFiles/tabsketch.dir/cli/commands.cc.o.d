@@ -186,20 +186,7 @@ src/CMakeFiles/tabsketch.dir/cli/commands.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/util/status.h /root/repo/src/cluster/dbscan.h \
  /usr/include/c++/12/cstddef /root/repo/src/cluster/backend.h \
- /root/repo/src/cluster/exact_backend.h /root/repo/src/table/matrix.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/table/tiling.h /root/repo/src/cluster/kmeans.h \
- /root/repo/src/cluster/kmedoids.h \
- /root/repo/src/cluster/sketch_backend.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -222,6 +209,19 @@ src/CMakeFiles/tabsketch.dir/cli/commands.cc.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
  /usr/include/c++/12/bits/std_mutex.h \
+ /root/repo/src/cluster/exact_backend.h /root/repo/src/table/matrix.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/table/tiling.h /root/repo/src/cluster/kmeans.h \
+ /root/repo/src/cluster/kmedoids.h \
+ /root/repo/src/cluster/sketch_backend.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
@@ -235,5 +235,9 @@ src/CMakeFiles/tabsketch.dir/cli/commands.cc.o: \
  /root/repo/src/core/pool_io.h /root/repo/src/core/sketch_pool.h \
  /root/repo/src/core/sketch_io.h /root/repo/src/data/call_volume.h \
  /root/repo/src/data/ip_traffic.h /root/repo/src/data/six_region.h \
- /root/repo/src/table/table_io.h /root/repo/src/util/timer.h \
+ /root/repo/src/table/table_io.h /root/repo/src/util/parallel.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/util/timer.h \
  /usr/include/c++/12/chrono

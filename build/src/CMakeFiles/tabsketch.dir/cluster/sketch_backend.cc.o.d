@@ -198,10 +198,11 @@ src/CMakeFiles/tabsketch.dir/cluster/sketch_backend.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/cluster/backend.h \
- /usr/include/c++/12/cstddef /root/repo/src/core/estimator.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/core/sketch_params.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/core/estimator.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/core/sketch_params.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/sketcher.h /usr/include/c++/12/map \

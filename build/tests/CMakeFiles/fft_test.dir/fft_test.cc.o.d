@@ -318,4 +318,5 @@ tests/CMakeFiles/fft_test.dir/fft_test.cc.o: /root/repo/tests/fft_test.cc \
  /root/repo/src/fft/complex_fft.h /usr/include/c++/12/span \
  /root/repo/src/fft/correlate.h /root/repo/src/fft/fft2d.h \
  /root/repo/src/table/matrix.h /root/repo/src/util/logging.h \
- /root/repo/src/rng/xoshiro256.h /root/repo/src/rng/splitmix64.h
+ /root/repo/src/rng/xoshiro256.h /root/repo/src/rng/splitmix64.h \
+ /root/repo/src/util/parallel.h

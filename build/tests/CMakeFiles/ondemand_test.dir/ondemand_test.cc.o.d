@@ -293,11 +293,11 @@ tests/CMakeFiles/ondemand_test.dir/ondemand_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/ondemand.h /root/repo/src/core/sketcher.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/ondemand.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/sketcher.h \
  /root/repo/src/core/sketch_params.h /root/repo/src/util/status.h \
  /root/repo/src/table/matrix.h /usr/include/c++/12/span \
  /root/repo/src/util/logging.h /root/repo/src/util/result.h \
  /root/repo/src/table/tiling.h /root/repo/src/rng/xoshiro256.h \
- /root/repo/src/rng/splitmix64.h
+ /root/repo/src/rng/splitmix64.h /root/repo/src/util/parallel.h

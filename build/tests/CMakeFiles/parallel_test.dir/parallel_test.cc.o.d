@@ -295,9 +295,9 @@ tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/ondemand.h /root/repo/src/core/sketcher.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/ondemand.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/sketcher.h \
  /root/repo/src/core/sketch_params.h /root/repo/src/util/status.h \
  /root/repo/src/table/matrix.h /usr/include/c++/12/span \
  /root/repo/src/util/logging.h /root/repo/src/util/result.h \

@@ -321,5 +321,6 @@ tests/CMakeFiles/pool_test.dir/pool_test.cc.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/table/matrix.h /root/repo/src/util/logging.h \
  /root/repo/src/util/result.h /root/repo/src/core/lp_distance.h \
- /root/repo/src/core/sketch_pool.h /root/repo/src/rng/xoshiro256.h \
- /root/repo/src/rng/splitmix64.h
+ /root/repo/src/core/sketch_pool.h /root/repo/src/fft/correlate.h \
+ /root/repo/src/fft/fft2d.h /usr/include/c++/12/complex \
+ /root/repo/src/rng/xoshiro256.h /root/repo/src/rng/splitmix64.h

@@ -23,6 +23,7 @@
 #include "data/six_region.h"
 #include "table/table_io.h"
 #include "table/tiling.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace tabsketch::cli {
@@ -49,10 +50,10 @@ commands:
              --table=FILE --tile-rows=N --tile-cols=N
              [--algo=kmeans|kmedoids|dbscan] [--k=N --p=P --seed=N]
              [--mode=exact|precomputed|ondemand] [--sketch-k=K]
-             [--epsilon=E --min-points=M] [--out=FILE]
+             [--epsilon=E --min-points=M] [--threads=N] [--out=FILE]
   pool-build build a dyadic sketch pool over a table and persist it
              --table=FILE --out=FILE [--p=P --k=K --seed=N
-             --min-log2=N --max-log2=N]
+             --min-log2=N --max-log2=N --threads=N]
   pool-query O(k) sketch distance between two equal-size rectangles
              --pool=FILE --rect1=r,c,h,w --rect2=r,c,h,w
              [--table=FILE for an exact reference]
@@ -81,6 +82,11 @@ int Fail(std::ostream& err, const util::Status& status) {
   auto result = (rexpr);                                  \
   if (!result.ok()) return Fail(err, result.status());    \
   lhs = std::move(result).value()
+
+/// Clamps a --threads flag value to a sane worker count (>= 1).
+size_t ThreadsFromFlag(int64_t threads) {
+  return static_cast<size_t>(std::max<int64_t>(threads, 1));
+}
 
 int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
@@ -168,7 +174,10 @@ int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
   TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
-  TABSKETCH_ASSIGN_CLI(const int64_t threads, flags.GetInt("threads", 1));
+  TABSKETCH_ASSIGN_CLI(
+      const int64_t threads,
+      flags.GetInt("threads",
+                   static_cast<int64_t>(util::DefaultThreadCount())));
 
   auto matrix = table::ReadBinary(table_path);
   if (!matrix.ok()) return Fail(err, matrix.status());
@@ -187,8 +196,8 @@ int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
   set.params = params;
   set.object_rows = grid->tile_rows();
   set.object_cols = grid->tile_cols();
-  set.sketches = core::SketchAllTilesParallel(
-      *sketcher, *grid, static_cast<size_t>(std::max<int64_t>(threads, 1)));
+  set.sketches =
+      core::SketchAllTilesParallel(*sketcher, *grid, ThreadsFromFlag(threads));
   const double seconds = timer.ElapsedSeconds();
 
   const util::Status written = core::WriteSketchSet(set, out_path);
@@ -254,7 +263,7 @@ int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "algo", "k", "p", "seed", "mode",
-       "sketch-k", "epsilon", "min-points", "out"}));
+       "sketch-k", "epsilon", "min-points", "threads", "out"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -272,8 +281,13 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const double epsilon, flags.GetDouble("epsilon", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t min_points,
                        flags.GetInt("min-points", 4));
+  TABSKETCH_ASSIGN_CLI(
+      const int64_t threads_flag,
+      flags.GetInt("threads",
+                   static_cast<int64_t>(util::DefaultThreadCount())));
   TABSKETCH_ASSIGN_CLI(const std::string out_path,
                        flags.GetString("out", ""));
+  const size_t threads = ThreadsFromFlag(threads_flag);
 
   auto matrix = table::ReadBinary(table_path);
   if (!matrix.ok()) return Fail(err, matrix.status());
@@ -295,7 +309,8 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
         {.p = p, .k = static_cast<size_t>(sketch_k),
          .seed = static_cast<uint64_t>(seed)},
         mode == "precomputed" ? cluster::SketchMode::kPrecomputed
-                              : cluster::SketchMode::kOnDemand);
+                              : cluster::SketchMode::kOnDemand,
+        core::EstimatorKind::kAuto, threads);
     if (!sketch.ok()) return Fail(err, sketch.status());
     backend = std::make_unique<cluster::SketchBackend>(
         std::move(sketch).value());
@@ -310,7 +325,8 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
     auto result = cluster::RunKMeans(
         backend.get(), {.k = static_cast<size_t>(num_clusters),
                         .max_iterations = 50,
-                        .seed = static_cast<uint64_t>(seed)});
+                        .seed = static_cast<uint64_t>(seed),
+                        .threads = threads});
     if (!result.ok()) return Fail(err, result.status());
     out << "kmeans: " << result->iterations << " iterations, "
         << (result->converged ? "converged" : "iteration cap") << ", "
@@ -372,7 +388,7 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
 
 int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"table", "out", "p", "k", "seed", "min-log2", "max-log2"}));
+      {"table", "out", "p", "k", "seed", "min-log2", "max-log2", "threads"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
@@ -381,6 +397,10 @@ int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
   TABSKETCH_ASSIGN_CLI(const int64_t min_log2, flags.GetInt("min-log2", 3));
   TABSKETCH_ASSIGN_CLI(const int64_t max_log2, flags.GetInt("max-log2", 63));
+  TABSKETCH_ASSIGN_CLI(
+      const int64_t threads,
+      flags.GetInt("threads",
+                   static_cast<int64_t>(util::DefaultThreadCount())));
 
   auto matrix = table::ReadBinary(table_path);
   if (!matrix.ok()) return Fail(err, matrix.status());
@@ -389,6 +409,7 @@ int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.log2_min_cols = static_cast<size_t>(min_log2);
   options.log2_max_rows = static_cast<size_t>(max_log2);
   options.log2_max_cols = static_cast<size_t>(max_log2);
+  options.threads = ThreadsFromFlag(threads);
   util::WallTimer timer;
   auto pool = core::SketchPool::Build(
       *matrix, {.p = p, .k = static_cast<size_t>(k),

@@ -1,6 +1,7 @@
 #ifndef TABSKETCH_CLUSTER_BACKEND_H_
 #define TABSKETCH_CLUSTER_BACKEND_H_
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -20,6 +21,16 @@ namespace tabsketch::cluster {
 /// whatever space the backend uses (data space for exact, sketch space for
 /// sketches — sketch linearity makes the mean of member sketches exactly the
 /// sketch of the mean tile).
+///
+/// Thread-safety contract (what the parallel k-means assignment loop relies
+/// on): between centroid mutations, Distance() and ObjectDistance() must be
+/// safe to call concurrently from multiple threads. Centroid-mutating calls
+/// (InitCentroidsFromObjects, UpdateCentroids, ResetCentroidToObject) require
+/// exclusive access — the clustering loops alternate a concurrent assignment
+/// phase with a sequential update phase, never overlapping the two. Every
+/// in-tree backend satisfies this: exact and precomputed-sketch distances are
+/// read-only, and the on-demand sketch cache fills its slots under per-slot
+/// std::once_flag.
 class ClusteringBackend {
  public:
   virtual ~ClusteringBackend() = default;
@@ -55,10 +66,32 @@ class ClusteringBackend {
 
   /// Total Distance()/ObjectDistance() evaluations so far; the comparison
   /// count whose unit cost the paper's approach shrinks.
-  size_t distance_evaluations() const { return distance_evaluations_; }
+  size_t distance_evaluations() const {
+    return distance_evaluations_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  size_t distance_evaluations_ = 0;
+  // Atomic so concurrent Distance() calls can tally without a data race;
+  // backends increment with ++distance_evaluations_. Atomics are neither
+  // copyable nor movable, so the value is carried across copies/moves by
+  // hand (backends are moved out of util::Result on construction).
+  ClusteringBackend() = default;
+  ClusteringBackend(const ClusteringBackend& other)
+      : distance_evaluations_(other.distance_evaluations()) {}
+  ClusteringBackend(ClusteringBackend&& other) noexcept
+      : distance_evaluations_(other.distance_evaluations()) {}
+  ClusteringBackend& operator=(const ClusteringBackend& other) {
+    distance_evaluations_.store(other.distance_evaluations(),
+                                std::memory_order_relaxed);
+    return *this;
+  }
+  ClusteringBackend& operator=(ClusteringBackend&& other) noexcept {
+    distance_evaluations_.store(other.distance_evaluations(),
+                                std::memory_order_relaxed);
+    return *this;
+  }
+
+  std::atomic<size_t> distance_evaluations_{0};
 };
 
 }  // namespace tabsketch::cluster

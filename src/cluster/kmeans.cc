@@ -1,27 +1,39 @@
 #include "cluster/kmeans.h"
 
+#include <atomic>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "cluster/seeding.h"
 #include "rng/splitmix64.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace tabsketch::cluster {
 namespace {
 
-/// Assigns every object to its nearest centroid; returns how many
-/// assignments changed.
-size_t AssignAll(ClusteringBackend* backend, std::vector<int>* assignment) {
+/// Assigns every object to its nearest centroid, fanning objects over
+/// `threads` workers (each object's scan is independent, so the result is
+/// bit-identical for any thread count); returns how many assignments
+/// changed. NaN distances are treated as +infinity: a NaN never wins the
+/// argmin, and an object whose every distance is NaN stays at -1
+/// (unassigned) rather than poisoning the assignment — downstream passes
+/// guard against -1.
+size_t AssignAll(ClusteringBackend* backend, size_t threads,
+                 std::vector<int>* assignment) {
   const size_t n = backend->num_objects();
   const size_t k = backend->num_centroids();
-  size_t changed = 0;
-  for (size_t object = 0; object < n; ++object) {
+  std::atomic<size_t> changed{0};
+  util::ParallelFor(n, threads, [&](size_t object) {
     int best = -1;
     double best_distance = std::numeric_limits<double>::infinity();
     for (size_t centroid = 0; centroid < k; ++centroid) {
       const double d = backend->Distance(object, centroid);
+      // NaN fails every comparison, so `d < best_distance` already skips it;
+      // the explicit test documents the contract and guards reordering.
+      if (std::isnan(d)) continue;
       if (d < best_distance) {
         best_distance = d;
         best = static_cast<int>(centroid);
@@ -29,10 +41,10 @@ size_t AssignAll(ClusteringBackend* backend, std::vector<int>* assignment) {
     }
     if ((*assignment)[object] != best) {
       (*assignment)[object] = best;
-      ++changed;
+      changed.fetch_add(1, std::memory_order_relaxed);
     }
-  }
-  return changed;
+  });
+  return changed.load();
 }
 
 /// Revives clusters with no members by moving their centroid onto the object
@@ -98,7 +110,8 @@ util::Result<KMeansResult> RunKMeans(ClusteringBackend* backend,
   result.assignment.assign(n, -1);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    const size_t changed = AssignAll(backend, &result.assignment);
+    const size_t changed =
+        AssignAll(backend, options.threads, &result.assignment);
     const bool revived = ReviveEmptyClusters(backend, &result.assignment);
     if (changed == 0 && !revived) {
       result.converged = true;
@@ -107,11 +120,21 @@ util::Result<KMeansResult> RunKMeans(ClusteringBackend* backend,
     backend->UpdateCentroids(result.assignment);
   }
 
-  // Final objective for restart selection, on the final centroids.
+  // Final objective for restart selection, on the final centroids. The
+  // distances are gathered in parallel but summed sequentially so the
+  // floating-point result does not depend on the thread count. Objects left
+  // unassigned (every distance NaN) are skipped rather than indexed with
+  // assignment -1, which used to cast to SIZE_MAX and read out of bounds.
+  std::vector<double> per_object(n, 0.0);
+  util::ParallelFor(n, options.threads, [&](size_t object) {
+    const int cluster = result.assignment[object];
+    if (cluster < 0) return;
+    per_object[object] =
+        backend->Distance(object, static_cast<size_t>(cluster));
+  });
   double objective = 0.0;
-  for (size_t object = 0; object < n; ++object) {
-    objective += backend->Distance(
-        object, static_cast<size_t>(result.assignment[object]));
+  for (double d : per_object) {
+    if (!std::isnan(d)) objective += d;
   }
   result.objective = objective;
 

@@ -26,6 +26,11 @@ struct KMeansOptions {
   /// Seed for centroid initialization (and ++ seeding).
   uint64_t seed = 1;
   SeedingMethod seeding = SeedingMethod::kRandom;
+  /// Worker threads for the assignment and objective passes (the hot loop's
+  /// distance evaluations). Relies on the backend's thread-safety contract
+  /// (see ClusteringBackend); assignments and the objective are bit-identical
+  /// for every thread count.
+  size_t threads = 1;
 };
 
 struct KMeansResult {

@@ -8,7 +8,7 @@ namespace tabsketch::cluster {
 
 util::Result<SketchBackend> SketchBackend::Create(
     const table::TileGrid* grid, const core::SketchParams& params,
-    SketchMode mode, core::EstimatorKind estimator_kind) {
+    SketchMode mode, core::EstimatorKind estimator_kind, size_t threads) {
   TABSKETCH_CHECK(grid != nullptr);
   TABSKETCH_ASSIGN_OR_RETURN(core::Sketcher sketcher,
                              core::Sketcher::Create(params));
@@ -19,7 +19,8 @@ util::Result<SketchBackend> SketchBackend::Create(
   SketchBackend backend(grid, std::move(shared_sketcher),
                         std::move(estimator), mode);
   if (mode == SketchMode::kPrecomputed) {
-    backend.precomputed_ = core::SketchAllTiles(*backend.sketcher_, *grid);
+    backend.precomputed_ =
+        core::SketchAllTilesParallel(*backend.sketcher_, *grid, threads);
   } else {
     backend.cache_ = std::make_unique<core::OnDemandSketchCache>(
         backend.sketcher_.get(), grid);
@@ -53,12 +54,23 @@ void SketchBackend::InitCentroidsFromObjects(
   }
 }
 
+namespace {
+
+/// Median-estimator workspace, one per thread so concurrent Distance calls
+/// never share mutable state (a per-backend scratch would race).
+std::vector<double>* ThreadScratch() {
+  static thread_local std::vector<double> scratch;
+  return &scratch;
+}
+
+}  // namespace
+
 double SketchBackend::Distance(size_t object, size_t centroid) {
   ++distance_evaluations_;
   TABSKETCH_CHECK(centroid < centroids_.size());
   return estimator_.EstimateWithScratch(TileSketch(object).values,
                                         centroids_[centroid].values,
-                                        &scratch_);
+                                        ThreadScratch());
 }
 
 double SketchBackend::ObjectDistance(size_t a, size_t b) {
@@ -69,7 +81,7 @@ double SketchBackend::ObjectDistance(size_t a, size_t b) {
   const core::Sketch& sketch_a = TileSketch(a);
   const core::Sketch& sketch_b = TileSketch(b);
   return estimator_.EstimateWithScratch(sketch_a.values, sketch_b.values,
-                                        &scratch_);
+                                        ThreadScratch());
 }
 
 void SketchBackend::UpdateCentroids(const std::vector<int>& assignment) {

@@ -30,14 +30,21 @@ enum class SketchMode {
 /// of tile size. Centroids are maintained directly in sketch space: by
 /// linearity of the dot product, the mean of the member sketches *is* the
 /// sketch of the mean tile, so centroid updates never touch the data.
+///
+/// Distance()/ObjectDistance() are safe to call concurrently in both modes:
+/// estimator scratch is per-thread, precomputed sketches are read-only, and
+/// the on-demand cache is internally synchronized (per-slot once_flag).
 class SketchBackend : public ClusteringBackend {
  public:
   /// `grid` must outlive the backend. In kPrecomputed mode this sketches
-  /// every tile eagerly before returning.
+  /// every tile eagerly before returning, fanning the tiles over `threads`
+  /// workers (bit-identical output for any thread count; ignored in
+  /// kOnDemand mode).
   static util::Result<SketchBackend> Create(
       const table::TileGrid* grid, const core::SketchParams& params,
       SketchMode mode,
-      core::EstimatorKind estimator = core::EstimatorKind::kAuto);
+      core::EstimatorKind estimator = core::EstimatorKind::kAuto,
+      size_t threads = 1);
 
   size_t num_objects() const override { return grid_->num_tiles(); }
   void InitCentroidsFromObjects(
@@ -73,7 +80,6 @@ class SketchBackend : public ClusteringBackend {
   /// ... or the lazy cache (kOnDemand).
   std::unique_ptr<core::OnDemandSketchCache> cache_;
   std::vector<core::Sketch> centroids_;
-  std::vector<double> scratch_;
 };
 
 }  // namespace tabsketch::cluster

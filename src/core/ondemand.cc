@@ -9,19 +9,21 @@ const Sketch& OnDemandSketchCache::ForTile(size_t index) {
   TABSKETCH_CHECK(index < sketches_.size())
       << "tile " << index << " out of " << sketches_.size();
   std::optional<Sketch>& slot = sketches_[index];
-  if (!slot.has_value()) {
+  bool missed = false;
+  std::call_once(once_[index], [&] {
     slot = sketcher_->SketchOf(grid_->Tile(index));
-    ++computed_;
-  } else {
-    ++hits_;
-  }
+    computed_.fetch_add(1, std::memory_order_relaxed);
+    missed = true;
+  });
+  if (!missed) hits_.fetch_add(1, std::memory_order_relaxed);
   return *slot;
 }
 
 void OnDemandSketchCache::Clear() {
   for (auto& slot : sketches_) slot.reset();
-  computed_ = 0;
-  hits_ = 0;
+  once_ = std::vector<std::once_flag>(sketches_.size());
+  computed_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<Sketch> SketchAllTiles(const Sketcher& sketcher,

@@ -1,7 +1,9 @@
 #ifndef TABSKETCH_CORE_ONDEMAND_H_
 #define TABSKETCH_CORE_ONDEMAND_H_
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -16,32 +18,44 @@ namespace tabsketch::core {
 /// on demand", then stored for reuse, so the first comparison of a tile pays
 /// O(k * tile_size) and every later comparison pays O(k).
 ///
-/// Not thread-safe (the clustering loop is sequential). The grid and the
-/// sketcher must outlive the cache.
+/// Thread-safe: each slot is filled exactly once under a per-slot
+/// std::once_flag, so concurrent ForTile calls (the parallel k-means
+/// assignment loop) are safe and the cached sketch is bit-identical no matter
+/// which thread computed it. Clear() requires exclusive access. The grid and
+/// the sketcher must outlive the cache.
 class OnDemandSketchCache {
  public:
   OnDemandSketchCache(const Sketcher* sketcher, const table::TileGrid* grid)
       : sketcher_(sketcher),
         grid_(grid),
-        sketches_(grid->num_tiles()) {}
+        sketches_(grid->num_tiles()),
+        once_(grid->num_tiles()) {}
 
   /// The sketch of tile `index`, computing and caching it on first access.
+  /// Safe to call concurrently; the returned reference stays valid until
+  /// Clear().
   const Sketch& ForTile(size_t index);
 
   /// Number of sketches computed so far (cache misses).
-  size_t computed() const { return computed_; }
+  size_t computed() const {
+    return computed_.load(std::memory_order_relaxed);
+  }
   /// Number of ForTile calls served from the cache.
-  size_t hits() const { return hits_; }
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
 
-  /// Drops all cached sketches and counters.
+  /// Drops all cached sketches and counters. Not safe to call concurrently
+  /// with ForTile.
   void Clear();
 
  private:
   const Sketcher* sketcher_;
   const table::TileGrid* grid_;
   std::vector<std::optional<Sketch>> sketches_;
-  size_t computed_ = 0;
-  size_t hits_ = 0;
+  // One flag per slot; a vector (not deque) is fine because the slot count
+  // is fixed at construction and Clear() replaces the whole vector.
+  std::vector<std::once_flag> once_;
+  std::atomic<size_t> computed_{0};
+  std::atomic<size_t> hits_{0};
 };
 
 /// Eagerly sketches every tile of `grid` — the paper's scenario (1), where

@@ -1,9 +1,12 @@
 #include "core/sketch_pool.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
+#include "fft/correlate.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace tabsketch::core {
 
@@ -28,7 +31,9 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
   }
   TABSKETCH_ASSIGN_OR_RETURN(Sketcher sketcher, Sketcher::Create(params));
 
-  SketchPool pool(params, data.rows(), data.cols());
+  // Enumerate the canonical sizes up front so the per-kernel correlations of
+  // *all* sizes form one flat work list.
+  std::vector<std::pair<size_t, size_t>> sizes;
   for (size_t i = options.log2_min_rows;
        i <= options.log2_max_rows && (static_cast<size_t>(1) << i) <= data.rows();
        ++i) {
@@ -37,16 +42,50 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
          j <= options.log2_max_cols &&
          (static_cast<size_t>(1) << j) <= data.cols();
          ++j) {
-      const size_t window_cols = static_cast<size_t>(1) << j;
-      pool.fields_.emplace(
-          std::make_pair(window_rows, window_cols),
-          sketcher.SketchAllPositions(data, window_rows, window_cols,
-                                      options.algorithm));
+      sizes.emplace_back(window_rows, static_cast<size_t>(1) << j);
     }
   }
-  if (pool.fields_.empty()) {
+  if (sizes.empty()) {
     return util::Status::InvalidArgument(
         "no canonical dyadic size fits the table under the given options");
+  }
+
+  // Materialize every size's random matrices before fanning out, so workers
+  // only read the sketcher's cache (generation is deterministic per shape,
+  // but pre-filling avoids duplicated generation racing on the cache lock).
+  for (const auto& [window_rows, window_cols] : sizes) {
+    sketcher.MatricesFor(window_rows, window_cols);
+  }
+
+  // One forward FFT of the data, shared by all canonical sizes and kernels
+  // (Correlate is const and concurrency-safe). The naive path has no shared
+  // state at all.
+  std::unique_ptr<const fft::CorrelationPlan> plan;
+  if (options.algorithm == SketchAlgorithm::kFft) {
+    plan = std::make_unique<const fft::CorrelationPlan>(data);
+  }
+
+  // Flat fan-out over (canonical size x kernel): work item w computes plane
+  // w % k of size w / k. Every item writes a distinct slot, so the result is
+  // bit-identical for any thread count.
+  const size_t k = params.k;
+  std::vector<std::vector<table::Matrix>> planes(sizes.size());
+  for (auto& size_planes : planes) size_planes.resize(k);
+  util::ParallelFor(sizes.size() * k, options.threads, [&](size_t w) {
+    const size_t size_index = w / k;
+    const size_t kernel_index = w % k;
+    const auto [window_rows, window_cols] = sizes[size_index];
+    const table::Matrix& kernel =
+        sketcher.MatricesFor(window_rows, window_cols)[kernel_index];
+    planes[size_index][kernel_index] =
+        plan ? plan->Correlate(kernel) : fft::CrossCorrelateNaive(data, kernel);
+  });
+
+  SketchPool pool(params, data.rows(), data.cols());
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    pool.fields_.emplace(
+        sizes[s], SketchField(sizes[s].first, sizes[s].second,
+                              std::move(planes[s])));
   }
   return pool;
 }

@@ -23,6 +23,13 @@ struct PoolOptions {
 
   /// Algorithm for the all-positions precompute.
   SketchAlgorithm algorithm = SketchAlgorithm::kFft;
+
+  /// Worker threads for the precompute. The (canonical size x kernel) work
+  /// items are independent, so the build fans them over util::ParallelFor;
+  /// the resulting pool is bit-identical for every thread count. On the FFT
+  /// path all workers share one CorrelationPlan, i.e. the forward FFT of the
+  /// data is computed exactly once per build.
+  size_t threads = 1;
 };
 
 /// Precomputed sketches for every position of every canonical dyadic window

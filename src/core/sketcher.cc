@@ -5,6 +5,7 @@
 #include "core/stable_matrix.h"
 #include "fft/correlate.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace tabsketch::core {
 
@@ -98,26 +99,41 @@ Sketch Sketcher::SketchOf(const table::TableView& view) const {
 SketchField Sketcher::SketchAllPositions(const table::Matrix& data,
                                          size_t window_rows,
                                          size_t window_cols,
-                                         SketchAlgorithm algorithm) const {
+                                         SketchAlgorithm algorithm,
+                                         size_t threads) const {
   TABSKETCH_CHECK(window_rows >= 1 && window_cols >= 1 &&
                   window_rows <= data.rows() && window_cols <= data.cols())
       << "window " << window_rows << "x" << window_cols
       << " does not fit table " << data.rows() << "x" << data.cols();
 
-  const auto& matrices = MatricesFor(window_rows, window_cols);
-  std::vector<table::Matrix> planes;
-  planes.reserve(params_.k);
-
   if (algorithm == SketchAlgorithm::kFft) {
-    fft::CorrelationPlan plan(data);
-    for (size_t i = 0; i < params_.k; ++i) {
-      planes.push_back(plan.Correlate(matrices[i]));
-    }
-  } else {
-    for (size_t i = 0; i < params_.k; ++i) {
-      planes.push_back(fft::CrossCorrelateNaive(data, matrices[i]));
-    }
+    const fft::CorrelationPlan plan(data);
+    return SketchAllPositions(plan, window_rows, window_cols, threads);
   }
+  const auto& matrices = MatricesFor(window_rows, window_cols);
+  std::vector<table::Matrix> planes(params_.k);
+  util::ParallelFor(params_.k, threads, [&](size_t i) {
+    planes[i] = fft::CrossCorrelateNaive(data, matrices[i]);
+  });
+  return SketchField(window_rows, window_cols, std::move(planes));
+}
+
+SketchField Sketcher::SketchAllPositions(const fft::CorrelationPlan& plan,
+                                         size_t window_rows,
+                                         size_t window_cols,
+                                         size_t threads) const {
+  TABSKETCH_CHECK(window_rows >= 1 && window_cols >= 1 &&
+                  window_rows <= plan.data_rows() &&
+                  window_cols <= plan.data_cols())
+      << "window " << window_rows << "x" << window_cols
+      << " does not fit planned table " << plan.data_rows() << "x"
+      << plan.data_cols();
+
+  const auto& matrices = MatricesFor(window_rows, window_cols);
+  std::vector<table::Matrix> planes(params_.k);
+  util::ParallelFor(params_.k, threads, [&](size_t i) {
+    planes[i] = plan.Correlate(matrices[i]);
+  });
   return SketchField(window_rows, window_cols, std::move(planes));
 }
 

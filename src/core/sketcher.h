@@ -10,6 +10,10 @@
 #include "table/matrix.h"
 #include "util/result.h"
 
+namespace tabsketch::fft {
+class CorrelationPlan;
+}  // namespace tabsketch::fft
+
 namespace tabsketch::core {
 
 /// An Lp sketch: the k dot products of one object (a subtable, linearized
@@ -92,10 +96,21 @@ class Sketcher {
 
   /// Sketches of all positions of a (window_rows x window_cols) window over
   /// `data` (paper Theorem 3). The FFT path and the naive path agree to
-  /// floating-point rounding.
+  /// floating-point rounding. The k per-kernel correlations are independent
+  /// and fan out over `threads` workers; the result is bit-identical for
+  /// every thread count.
   SketchField SketchAllPositions(const table::Matrix& data,
                                  size_t window_rows, size_t window_cols,
-                                 SketchAlgorithm algorithm) const;
+                                 SketchAlgorithm algorithm,
+                                 size_t threads = 1) const;
+
+  /// FFT-path SketchAllPositions against a caller-provided plan, so one
+  /// forward FFT of the data can be shared across many window shapes (the
+  /// dyadic pool build constructs the plan once for all canonical sizes).
+  /// The plan must have been built over the same table the windows address.
+  SketchField SketchAllPositions(const fft::CorrelationPlan& plan,
+                                 size_t window_rows, size_t window_cols,
+                                 size_t threads = 1) const;
 
   /// The k random matrices for a window shape (cached).
   const std::vector<table::Matrix>& MatricesFor(size_t rows,

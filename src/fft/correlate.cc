@@ -1,9 +1,20 @@
 #include "fft/correlate.h"
 
+#include <atomic>
+
 #include "fft/complex_fft.h"
 #include "util/logging.h"
 
 namespace tabsketch::fft {
+namespace {
+
+std::atomic<size_t> plan_constructions{0};
+
+}  // namespace
+
+size_t CorrelationPlan::plans_constructed() {
+  return plan_constructions.load(std::memory_order_relaxed);
+}
 
 table::Matrix CrossCorrelateNaive(const table::Matrix& data,
                                   const table::Matrix& kernel) {
@@ -37,6 +48,7 @@ CorrelationPlan::CorrelationPlan(const table::Matrix& data)
       padded_cols_(NextPowerOfTwo(data.cols())),
       data_freq_(padded_rows_, padded_cols_) {
   TABSKETCH_CHECK(!data.empty()) << "cannot plan over an empty table";
+  plan_constructions.fetch_add(1, std::memory_order_relaxed);
   for (size_t r = 0; r < data_rows_; ++r) {
     auto row = data.Row(r);
     for (size_t c = 0; c < data_cols_; ++c) {

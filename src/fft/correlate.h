@@ -25,6 +25,11 @@ table::Matrix CrossCorrelateNaive(const table::Matrix& data,
 /// construction; each Correlate() call then costs one forward transform of
 /// the kernel, a pointwise multiply, and one inverse transform.
 ///
+/// Thread safety: Correlate() is const and works on a per-call workspace, so
+/// any number of threads may correlate different kernels against one shared
+/// plan concurrently. This is what lets a whole dyadic pool build (all
+/// canonical sizes, all k kernels) share a single forward FFT of the data.
+///
 /// Wrap-around correctness: positions are only read from the valid region
 /// i <= rows-kr, j <= cols-kc, where the circular convolution at padded size
 /// >= data size never wraps, so the result equals the naive computation up to
@@ -43,8 +48,13 @@ class CorrelationPlan {
   size_t data_cols() const { return data_cols_; }
 
   /// Valid-mode cross-correlation of the planned data with `kernel`.
-  /// `kernel` must fit inside the data.
+  /// `kernel` must fit inside the data. Safe to call concurrently.
   table::Matrix Correlate(const table::Matrix& kernel) const;
+
+  /// Process-wide count of plans constructed so far (moves excluded). Test
+  /// hook: a pool build over one table must raise this by exactly one, i.e.
+  /// the data's forward FFT is computed once and shared.
+  static size_t plans_constructed();
 
  private:
   size_t data_rows_;

@@ -1,6 +1,9 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -24,6 +27,11 @@ void ParallelFor(size_t count, size_t threads,
   }
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  // An exception escaping a worker would call std::terminate; capture the
+  // first one and rethrow it on the calling thread after the join instead.
+  std::exception_ptr first_error;
+  std::atomic<bool> have_error{false};
+  std::mutex error_mutex;
   // Contiguous chunks: iteration i belongs to thread i * threads / count's
   // inverse mapping; compute explicit [begin, end) per worker instead.
   const size_t base = count / threads;
@@ -32,12 +40,25 @@ void ParallelFor(size_t count, size_t threads,
   for (size_t worker = 0; worker < threads; ++worker) {
     const size_t size = base + (worker < remainder ? 1 : 0);
     const size_t end = begin + size;
-    workers.emplace_back([begin, end, &body] {
-      for (size_t i = begin; i < end; ++i) body(i);
-    });
+    workers.emplace_back(
+        [begin, end, &body, &first_error, &have_error, &error_mutex] {
+          try {
+            for (size_t i = begin; i < end; ++i) {
+              if (have_error.load(std::memory_order_relaxed)) return;
+              body(i);
+            }
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!have_error.load(std::memory_order_relaxed)) {
+              first_error = std::current_exception();
+              have_error.store(true, std::memory_order_relaxed);
+            }
+          }
+        });
     begin = end;
   }
   for (std::thread& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace tabsketch::util

@@ -14,6 +14,11 @@ size_t DefaultThreadCount();
 /// threads <= 1 (or count small) everything runs inline on the caller's
 /// thread. `body` must be safe to invoke concurrently for distinct i.
 ///
+/// If a body invocation throws, the first exception (by completion order) is
+/// captured and rethrown on the calling thread after every worker has
+/// joined; remaining iterations may be skipped. Which iterations ran besides
+/// the throwing one is unspecified.
+///
 /// Sketch construction is embarrassingly parallel across tiles and across
 /// the k random matrices; this is the minimal primitive those loops need.
 void ParallelFor(size_t count, size_t threads,

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/exact_backend.h"
@@ -377,6 +381,130 @@ TEST(KMeansTest, BestOfRestartsAccumulatesEvaluations) {
       &*backend, {.k = 2, .max_iterations = 10, .seed = 3}, 3);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->distance_evaluations, backend->distance_evaluations());
+}
+
+/// Backend whose distances to a chosen centroid (or from a chosen object)
+/// are NaN — models corrupt data (e.g. tiles containing NaN cells), the
+/// regression behind the out-of-bounds objective crash.
+class NanBackend : public ClusteringBackend {
+ public:
+  /// `poison_objects`: objects whose every distance evaluates to NaN.
+  NanBackend(std::vector<double> positions, std::set<size_t> poison_objects)
+      : positions_(std::move(positions)),
+        poison_objects_(std::move(poison_objects)) {}
+
+  size_t num_objects() const override { return positions_.size(); }
+  void InitCentroidsFromObjects(
+      const std::vector<size_t>& object_indices) override {
+    centroids_.clear();
+    for (size_t index : object_indices) {
+      centroids_.push_back(positions_[index]);
+    }
+  }
+  size_t num_centroids() const override { return centroids_.size(); }
+  double Distance(size_t object, size_t centroid) override {
+    ++distance_evaluations_;
+    EXPECT_LT(object, positions_.size()) << "OOB object index";
+    EXPECT_LT(centroid, centroids_.size()) << "OOB centroid index";
+    if (poison_objects_.count(object) > 0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return std::abs(positions_[object] - centroids_[centroid]);
+  }
+  double ObjectDistance(size_t a, size_t b) override {
+    ++distance_evaluations_;
+    return std::abs(positions_[a] - positions_[b]);
+  }
+  void UpdateCentroids(const std::vector<int>& assignment) override {
+    std::vector<double> sums(centroids_.size(), 0.0);
+    std::vector<size_t> counts(centroids_.size(), 0);
+    for (size_t object = 0; object < assignment.size(); ++object) {
+      if (assignment[object] < 0) continue;
+      sums[static_cast<size_t>(assignment[object])] += positions_[object];
+      ++counts[static_cast<size_t>(assignment[object])];
+    }
+    for (size_t cluster = 0; cluster < centroids_.size(); ++cluster) {
+      if (counts[cluster] > 0) {
+        centroids_[cluster] =
+            sums[cluster] / static_cast<double>(counts[cluster]);
+      }
+    }
+  }
+  void ResetCentroidToObject(size_t centroid, size_t object) override {
+    centroids_[centroid] = positions_[object];
+  }
+  std::string name() const override { return "nan-mock"; }
+
+ private:
+  std::vector<double> positions_;
+  std::set<size_t> poison_objects_;
+  std::vector<double> centroids_;
+};
+
+TEST(KMeansTest, NanDistancesDoNotCrashOrEscape) {
+  // Objects 2 and 5 produce NaN against every centroid. Before the fix,
+  // AssignAll left them at -1 and the objective pass cast -1 to size_t —
+  // an out-of-bounds centroid index. Now: the run completes, unassigned
+  // objects are skipped in the objective, and the objective is finite.
+  NanBackend backend({0.0, 0.1, 10.0, 5.0, 5.2, 7.0, 0.2, 5.1}, {2, 5});
+  auto result = RunKMeans(&backend, {.k = 2, .max_iterations = 10, .seed = 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result->objective));
+  EXPECT_EQ(result->assignment[2], -1);
+  EXPECT_EQ(result->assignment[5], -1);
+  for (size_t object : {0u, 1u, 3u, 4u, 6u, 7u}) {
+    EXPECT_GE(result->assignment[object], 0) << "object " << object;
+    EXPECT_LT(result->assignment[object], 2) << "object " << object;
+  }
+}
+
+TEST(KMeansTest, AllNanDistancesStillTerminate) {
+  // Every object poisoned: nothing can be assigned; the run must terminate
+  // with a zero objective instead of crashing.
+  NanBackend backend({1.0, 2.0, 3.0, 4.0}, {0, 1, 2, 3});
+  auto result = RunKMeans(&backend, {.k = 2, .max_iterations = 5, .seed = 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->objective, 0.0);
+  for (int cluster : result->assignment) EXPECT_EQ(cluster, -1);
+}
+
+TEST(KMeansTest, ParallelAssignmentsMatchSequential) {
+  // The acceptance contract of the threaded hot loop: identical assignments
+  // (and objective) for every thread count, on every backend flavor.
+  BandedData banded = MakeBanded(3, 8, 32, 4, 4, 73);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+
+  const auto run = [&](const char* which, size_t threads) {
+    KMeansOptions options{.k = 3, .max_iterations = 30, .seed = 13,
+                          .threads = threads};
+    if (std::string(which) == "exact") {
+      auto backend = ExactBackend::Create(&*grid, 1.0);
+      EXPECT_TRUE(backend.ok());
+      return RunKMeans(&*backend, options).value();
+    }
+    const SketchMode mode = std::string(which) == "precomputed"
+                                ? SketchMode::kPrecomputed
+                                : SketchMode::kOnDemand;
+    auto backend = SketchBackend::Create(
+        &*grid, {.p = 1.0, .k = 64, .seed = 5}, mode,
+        core::EstimatorKind::kAuto, threads);
+    EXPECT_TRUE(backend.ok());
+    return RunKMeans(&*backend, options).value();
+  };
+
+  for (const char* which : {"exact", "precomputed", "ondemand"}) {
+    const KMeansResult sequential = run(which, 1);
+    for (size_t threads : {2u, 8u}) {
+      const KMeansResult parallel = run(which, threads);
+      EXPECT_EQ(parallel.assignment, sequential.assignment)
+          << which << " threads=" << threads;
+      EXPECT_EQ(parallel.iterations, sequential.iterations)
+          << which << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(parallel.objective, sequential.objective)
+          << which << " threads=" << threads;
+    }
+  }
 }
 
 TEST(KMeansTest, ReportsDistanceEvaluations) {

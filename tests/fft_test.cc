@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <complex>
+#include <utility>
 #include <vector>
 
 #include "fft/complex_fft.h"
@@ -9,6 +10,7 @@
 #include "fft/fft2d.h"
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
+#include "util/parallel.h"
 
 namespace tabsketch::fft {
 namespace {
@@ -244,6 +246,43 @@ TEST(CorrelationPlanTest, PlanReusedAcrossKernels) {
       }
     }
   }
+}
+
+TEST(CorrelationPlanTest, ConcurrentCorrelateMatchesSequential) {
+  // The pool build shares one plan across worker threads; concurrent
+  // Correlate calls must be bit-identical to sequential ones (Correlate is
+  // const and owns its workspace).
+  const table::Matrix data = RandomMatrix(32, 32, 77);
+  const CorrelationPlan plan(data);
+  constexpr size_t kKernels = 16;
+  std::vector<table::Matrix> kernels;
+  kernels.reserve(kKernels);
+  for (uint64_t seed = 0; seed < kKernels; ++seed) {
+    kernels.push_back(RandomMatrix(8, 8, 1000 + seed));
+  }
+  std::vector<table::Matrix> sequential(kKernels);
+  for (size_t i = 0; i < kKernels; ++i) {
+    sequential[i] = plan.Correlate(kernels[i]);
+  }
+  std::vector<table::Matrix> concurrent(kKernels);
+  util::ParallelFor(kKernels, 8, [&](size_t i) {
+    concurrent[i] = plan.Correlate(kernels[i]);
+  });
+  for (size_t i = 0; i < kKernels; ++i) {
+    EXPECT_TRUE(concurrent[i] == sequential[i]) << "kernel " << i;
+  }
+}
+
+TEST(CorrelationPlanTest, ConstructionCounterCountsPlans) {
+  const table::Matrix data = RandomMatrix(8, 8, 5);
+  const size_t before = CorrelationPlan::plans_constructed();
+  {
+    CorrelationPlan first(data);
+    CorrelationPlan second(data);
+    CorrelationPlan moved(std::move(first));  // moves are not constructions
+    (void)moved;
+  }
+  EXPECT_EQ(CorrelationPlan::plans_constructed() - before, 2u);
 }
 
 TEST(FftDeathTest, NonPowerOfTwoLengthAborts) {

@@ -5,6 +5,7 @@
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
 #include "table/tiling.h"
+#include "util/parallel.h"
 
 namespace tabsketch::core {
 namespace {
@@ -70,6 +71,22 @@ TEST_F(OnDemandTest, EagerSketchCountMatchesTiles) {
   const std::vector<Sketch> eager = SketchAllTiles(sketcher_, grid_);
   EXPECT_EQ(eager.size(), 16u);
   for (const Sketch& sketch : eager) EXPECT_EQ(sketch.size(), 8u);
+}
+
+TEST_F(OnDemandTest, ConcurrentForTileComputesEachSlotOnce) {
+  // Hammer every tile from several threads at once: per-slot once_flags must
+  // yield exactly one computation per tile, correct values, and
+  // hits + computed == total calls.
+  OnDemandSketchCache cache(&sketcher_, &grid_);
+  const std::vector<Sketch> eager = SketchAllTiles(sketcher_, grid_);
+  const size_t tiles = grid_.num_tiles();
+  constexpr size_t kRounds = 8;
+  util::ParallelFor(tiles * kRounds, 8, [&](size_t i) {
+    const size_t tile = i % tiles;
+    EXPECT_EQ(cache.ForTile(tile).values, eager[tile].values);
+  });
+  EXPECT_EQ(cache.computed(), tiles);
+  EXPECT_EQ(cache.hits(), tiles * kRounds - tiles);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/ondemand.h"
@@ -47,6 +48,46 @@ TEST(ParallelForTest, SumMatchesSequential) {
 
 TEST(DefaultThreadCountTest, AtLeastOne) {
   EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(ParallelForTest, WorkerExceptionIsRethrownOnCaller) {
+  // An exception thrown on a worker thread used to hit std::terminate; it
+  // must surface on the calling thread instead.
+  EXPECT_THROW(
+      ParallelFor(100, 4,
+                  [](size_t i) {
+                    if (i == 57) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, WorkerExceptionKeepsMessage) {
+  try {
+    ParallelFor(8, 4, [](size_t i) {
+      if (i == 3) throw std::runtime_error("item 3 failed");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "item 3 failed");
+  }
+}
+
+TEST(ParallelForTest, InlineExceptionStillPropagates) {
+  // threads <= 1 runs inline; the exception path must behave the same.
+  EXPECT_THROW(ParallelFor(4, 1,
+                           [](size_t i) {
+                             if (i == 2) throw std::logic_error("inline");
+                           }),
+               std::logic_error);
+}
+
+TEST(ParallelForTest, AllWorkersThrowingRethrowsExactlyOne) {
+  try {
+    ParallelFor(16, 8, [](size_t) { throw std::runtime_error("all"); });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "all");
+  }
 }
 
 TEST(ParallelSketchTest, MatchesSequentialForAnyThreadCount) {

@@ -7,6 +7,7 @@
 #include "core/lp_distance.h"
 #include "core/sketch_pool.h"
 #include "core/sketcher.h"
+#include "fft/correlate.h"
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
 
@@ -62,6 +63,76 @@ TEST(SketchPoolTest, FailsWhenNothingFits) {
   options.log2_min_cols = 2;
   auto pool = SketchPool::Build(data, {.p = 1.0, .k = 2, .seed = 9}, options);
   EXPECT_FALSE(pool.ok());
+}
+
+TEST(SketchPoolTest, ParallelBuildIsBitIdentical) {
+  const table::Matrix data = RandomTable(32, 32, 21);
+  SketchParams params{.p = 1.0, .k = 6, .seed = 33};
+  PoolOptions sequential_options = SmallPool();
+  sequential_options.threads = 1;
+  auto sequential = SketchPool::Build(data, params, sequential_options);
+  ASSERT_TRUE(sequential.ok());
+  for (size_t threads : {2u, 8u}) {
+    PoolOptions parallel_options = SmallPool();
+    parallel_options.threads = threads;
+    auto parallel = SketchPool::Build(data, params, parallel_options);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->CanonicalSizes(), sequential->CanonicalSizes());
+    for (const auto& [size, field] : sequential->fields()) {
+      const SketchField& other = parallel->fields().at(size);
+      ASSERT_EQ(other.k(), field.k());
+      for (size_t i = 0; i < field.k(); ++i) {
+        EXPECT_TRUE(other.plane(i) == field.plane(i))
+            << "threads=" << threads << " size=" << size.first << "x"
+            << size.second << " plane=" << i;
+      }
+    }
+  }
+}
+
+TEST(SketchPoolTest, ParallelNaiveBuildIsBitIdentical) {
+  const table::Matrix data = RandomTable(16, 16, 22);
+  SketchParams params{.p = 2.0, .k = 4, .seed = 5};
+  PoolOptions naive = SmallPool();
+  naive.algorithm = SketchAlgorithm::kNaive;
+  naive.threads = 1;
+  auto sequential = SketchPool::Build(data, params, naive);
+  ASSERT_TRUE(sequential.ok());
+  naive.threads = 8;
+  auto parallel = SketchPool::Build(data, params, naive);
+  ASSERT_TRUE(parallel.ok());
+  for (const auto& [size, field] : sequential->fields()) {
+    const SketchField& other = parallel->fields().at(size);
+    for (size_t i = 0; i < field.k(); ++i) {
+      EXPECT_TRUE(other.plane(i) == field.plane(i));
+    }
+  }
+}
+
+TEST(SketchPoolTest, FftBuildConstructsExactlyOnePlan) {
+  // The whole point of hoisting the plan: one forward FFT of the data per
+  // build, no matter how many canonical sizes / kernels / threads.
+  const table::Matrix data = RandomTable(32, 32, 23);
+  for (size_t threads : {1u, 4u}) {
+    PoolOptions options = SmallPool();
+    options.threads = threads;
+    const size_t before = fft::CorrelationPlan::plans_constructed();
+    auto pool =
+        SketchPool::Build(data, {.p = 1.0, .k = 5, .seed = 7}, options);
+    ASSERT_TRUE(pool.ok());
+    EXPECT_EQ(fft::CorrelationPlan::plans_constructed() - before, 1u)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SketchPoolTest, NaiveBuildConstructsNoPlan) {
+  const table::Matrix data = RandomTable(8, 8, 24);
+  PoolOptions options = SmallPool();
+  options.algorithm = SketchAlgorithm::kNaive;
+  const size_t before = fft::CorrelationPlan::plans_constructed();
+  auto pool = SketchPool::Build(data, {.p = 1.0, .k = 3, .seed = 7}, options);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(fft::CorrelationPlan::plans_constructed() - before, 0u);
 }
 
 TEST(SketchPoolTest, CanonicalSketchMatchesDirectSketcher) {
