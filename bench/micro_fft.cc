@@ -1,0 +1,166 @@
+// Micro-benchmark of the FFT engine: 1-D and 2-D transform throughput plus
+// valid-mode correlate latency per kernel — single-kernel Correlate vs the
+// real-pair-packed CorrelatePair — across transform sizes. Writes the rows
+// to BENCH_fft.json so future FFT changes have a trajectory to compare
+// against (twiddle tables, blocked 2-D passes, pair packing, ...).
+//
+// usage: micro_fft [size_list]
+//   default sizes: 256,512,1024,2048
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fft/complex_fft.h"
+#include "fft/correlate.h"
+#include "fft/fft2d.h"
+#include "rng/xoshiro256.h"
+#include "table/matrix.h"
+#include "util/timer.h"
+
+namespace {
+
+using tabsketch::fft::ComplexGrid;
+using tabsketch::fft::CorrelationPlan;
+using tabsketch::table::Matrix;
+
+std::vector<size_t> ParseSizeList(const std::string& text) {
+  std::vector<size_t> out;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(static_cast<size_t>(
+        std::strtoull(text.substr(begin, end - begin).c_str(), nullptr, 10)));
+    begin = end + 1;
+  }
+  return out;
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  tabsketch::rng::Xoshiro256 gen(seed);
+  Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble() * 2.0 - 1.0;
+  return out;
+}
+
+struct Row {
+  size_t n;
+  double fft1d_us;        // per 1-D transform of length n
+  double fft2d_ms;        // per 2-D transform of an n x n grid
+  double correlate_ms;    // per kernel, single-kernel Correlate
+  double pair_ms;         // per kernel, CorrelatePair (2 kernels per call)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<size_t> sizes =
+      argc > 1 ? ParseSizeList(argv[1])
+               : std::vector<size_t>{256, 512, 1024, 2048};
+
+  std::printf("=== Micro-benchmark: FFT engine ===\n");
+  std::printf("%6s %12s %12s %16s %16s %10s\n", "n", "fft1d_us", "fft2d_ms",
+              "corr_ms/kern", "pair_ms/kern", "pair_gain");
+
+  std::vector<Row> rows;
+  for (size_t n : sizes) {
+    Row row{};
+    row.n = n;
+    tabsketch::rng::Xoshiro256 gen(n);
+
+    {
+      // 1-D: forward/inverse round trips keep the signal bounded.
+      std::vector<std::complex<double>> line(n);
+      for (auto& value : line) {
+        value = {gen.NextDouble() - 0.5, gen.NextDouble() - 0.5};
+      }
+      const size_t reps = (1u << 22) / n + 1;
+      tabsketch::fft::Forward(line);  // warm the twiddle cache
+      tabsketch::fft::Inverse(line);
+      tabsketch::util::WallTimer timer;
+      for (size_t r = 0; r < reps; ++r) {
+        tabsketch::fft::Forward(line);
+        tabsketch::fft::Inverse(line);
+      }
+      row.fft1d_us =
+          timer.ElapsedSeconds() * 1e6 / (2.0 * static_cast<double>(reps));
+    }
+
+    {
+      ComplexGrid grid(n, n);
+      for (auto& value : grid.values()) {
+        value = {gen.NextDouble() - 0.5, gen.NextDouble() - 0.5};
+      }
+      const size_t reps = (1u << 26) / (n * n) + 1;
+      tabsketch::fft::Forward2D(&grid);
+      tabsketch::fft::Inverse2D(&grid);
+      tabsketch::util::WallTimer timer;
+      for (size_t r = 0; r < reps; ++r) {
+        tabsketch::fft::Forward2D(&grid);
+        tabsketch::fft::Inverse2D(&grid);
+      }
+      row.fft2d_ms =
+          timer.ElapsedSeconds() * 1e3 / (2.0 * static_cast<double>(reps));
+    }
+
+    {
+      // Correlate at the pool build's shape: data n x n, kernels n/4 x n/4
+      // (a middle rung of the dyadic ladder).
+      const Matrix data = RandomMatrix(n, n, 17 * n + 1);
+      const size_t kernel_side = n >= 4 ? n / 4 : 1;
+      const Matrix kernel_a = RandomMatrix(kernel_side, kernel_side, 29);
+      const Matrix kernel_b = RandomMatrix(kernel_side, kernel_side, 31);
+      const CorrelationPlan plan(data);
+      const size_t reps = (1u << 24) / (n * n) + 4;
+
+      (void)plan.Correlate(kernel_a);  // warm per-thread workspaces
+      tabsketch::util::WallTimer single;
+      for (size_t r = 0; r < reps; ++r) {
+        (void)plan.Correlate(kernel_a);
+        (void)plan.Correlate(kernel_b);
+      }
+      row.correlate_ms =
+          single.ElapsedSeconds() * 1e3 / (2.0 * static_cast<double>(reps));
+
+      tabsketch::util::WallTimer paired;
+      for (size_t r = 0; r < reps; ++r) {
+        (void)plan.CorrelatePair(kernel_a, kernel_b);
+      }
+      row.pair_ms =
+          paired.ElapsedSeconds() * 1e3 / (2.0 * static_cast<double>(reps));
+    }
+
+    rows.push_back(row);
+    std::printf("%6zu %12.2f %12.3f %16.3f %16.3f %9.2fx\n", row.n,
+                row.fft1d_us, row.fft2d_ms, row.correlate_ms, row.pair_ms,
+                row.correlate_ms / row.pair_ms);
+  }
+
+  const char* json_path = "BENCH_fft.json";
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"micro_fft\",\n"
+               "  \"kernel_side\": \"n/4\",\n"
+               "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"n\": %zu, \"fft1d_us\": %.3f, \"fft2d_ms\": %.4f, "
+                 "\"correlate_ms_per_kernel\": %.4f, "
+                 "\"pair_ms_per_kernel\": %.4f, \"pair_speedup\": %.3f}%s\n",
+                 rows[i].n, rows[i].fft1d_us, rows[i].fft2d_ms,
+                 rows[i].correlate_ms, rows[i].pair_ms,
+                 rows[i].correlate_ms / rows[i].pair_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("results -> %s\n", json_path);
+  return 0;
+}

@@ -71,24 +71,39 @@ DistanceEstimator::Interval DistanceEstimator::EstimateWithInterval(
   }
 
   // Median path: order statistics of |a_i - b_i| at the binomial-normal
-  // ranks around the median.
-  scratch->resize(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
+  // ranks around the median. Only 3-4 order statistics are needed, so each
+  // is selected in O(k) with nth_element on a shrinking suffix (ascending
+  // ranks leave earlier selections in place) instead of fully sorting.
+  const size_t n = a.size();
+  scratch->resize(n);
+  for (size_t i = 0; i < n; ++i) {
     (*scratch)[i] = std::fabs(a[i] - b[i]);
   }
-  std::sort(scratch->begin(), scratch->end());
-  const double estimate =
-      (a.size() % 2 == 1)
-          ? (*scratch)[a.size() / 2]
-          : 0.5 * ((*scratch)[a.size() / 2 - 1] + (*scratch)[a.size() / 2]);
   const double half_width = 0.5 * z * std::sqrt(k);
   const auto clamp_rank = [&](double rank) {
     if (rank < 0.0) return static_cast<size_t>(0);
-    if (rank > k - 1.0) return a.size() - 1;
+    if (rank > k - 1.0) return n - 1;
     return static_cast<size_t>(rank);
   };
   const size_t lo_rank = clamp_rank(std::floor(k / 2.0 - half_width));
   const size_t hi_rank = clamp_rank(std::ceil(k / 2.0 + half_width));
+  size_t ranks[4];
+  size_t num_ranks = 0;
+  ranks[num_ranks++] = lo_rank;
+  if (n % 2 == 0) ranks[num_ranks++] = n / 2 - 1;
+  ranks[num_ranks++] = n / 2;
+  ranks[num_ranks++] = hi_rank;
+  std::sort(ranks, ranks + num_ranks);
+  num_ranks = std::unique(ranks, ranks + num_ranks) - ranks;
+  size_t from = 0;
+  for (size_t i = 0; i < num_ranks; ++i) {
+    std::nth_element(scratch->begin() + from, scratch->begin() + ranks[i],
+                     scratch->end());
+    from = ranks[i] + 1;
+  }
+  const double estimate =
+      (n % 2 == 1) ? (*scratch)[n / 2]
+                   : 0.5 * ((*scratch)[n / 2 - 1] + (*scratch)[n / 2]);
   return Interval{(*scratch)[lo_rank] / scale_, estimate / scale_,
                   (*scratch)[hi_rank] / scale_};
 }

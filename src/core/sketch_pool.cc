@@ -65,20 +65,39 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
     plan = std::make_unique<const fft::CorrelationPlan>(data);
   }
 
-  // Flat fan-out over (canonical size x kernel): work item w computes plane
-  // w % k of size w / k. Every item writes a distinct slot, so the result is
-  // bit-identical for any thread count.
+  // Flat fan-out over (canonical size x kernel pair): work item w computes
+  // planes 2j and 2j+1 of size w / pairs, where j = w % pairs. Pairing lets
+  // the FFT path push two kernels through one forward/inverse transform
+  // (CorrelatePair real-pair packing); an odd k leaves one unpaired kernel
+  // per size on the single-kernel path. The pairing is fixed by index, and
+  // every item writes distinct slots, so the result is bit-identical for any
+  // thread count.
   const size_t k = params.k;
+  const size_t pairs = (k + 1) / 2;
   std::vector<std::vector<table::Matrix>> planes(sizes.size());
   for (auto& size_planes : planes) size_planes.resize(k);
-  util::ParallelFor(sizes.size() * k, options.threads, [&](size_t w) {
-    const size_t size_index = w / k;
-    const size_t kernel_index = w % k;
+  util::ParallelFor(sizes.size() * pairs, options.threads, [&](size_t w) {
+    const size_t size_index = w / pairs;
+    const size_t first = 2 * (w % pairs);
+    const size_t second = first + 1;
     const auto [window_rows, window_cols] = sizes[size_index];
-    const table::Matrix& kernel =
-        sketcher.MatricesFor(window_rows, window_cols)[kernel_index];
-    planes[size_index][kernel_index] =
-        plan ? plan->Correlate(kernel) : fft::CrossCorrelateNaive(data, kernel);
+    const auto& kernels = sketcher.MatricesFor(window_rows, window_cols);
+    if (plan) {
+      if (second < k) {
+        auto [plane_a, plane_b] =
+            plan->CorrelatePair(kernels[first], kernels[second]);
+        planes[size_index][first] = std::move(plane_a);
+        planes[size_index][second] = std::move(plane_b);
+      } else {
+        planes[size_index][first] = plan->Correlate(kernels[first]);
+      }
+    } else {
+      planes[size_index][first] = fft::CrossCorrelateNaive(data, kernels[first]);
+      if (second < k) {
+        planes[size_index][second] =
+            fft::CrossCorrelateNaive(data, kernels[second]);
+      }
+    }
   });
 
   SketchPool pool(params, data.rows(), data.cols());

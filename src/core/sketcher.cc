@@ -129,10 +129,22 @@ SketchField Sketcher::SketchAllPositions(const fft::CorrelationPlan& plan,
       << " does not fit planned table " << plan.data_rows() << "x"
       << plan.data_cols();
 
+  // Kernels ride the FFT two at a time (CorrelatePair real-pair packing);
+  // index-fixed pairing keeps the planes bit-identical across thread counts.
   const auto& matrices = MatricesFor(window_rows, window_cols);
   std::vector<table::Matrix> planes(params_.k);
-  util::ParallelFor(params_.k, threads, [&](size_t i) {
-    planes[i] = plan.Correlate(matrices[i]);
+  const size_t pairs = (params_.k + 1) / 2;
+  util::ParallelFor(pairs, threads, [&](size_t j) {
+    const size_t first = 2 * j;
+    const size_t second = first + 1;
+    if (second < params_.k) {
+      auto [plane_a, plane_b] =
+          plan.CorrelatePair(matrices[first], matrices[second]);
+      planes[first] = std::move(plane_a);
+      planes[second] = std::move(plane_b);
+    } else {
+      planes[first] = plan.Correlate(matrices[first]);
+    }
   });
   return SketchField(window_rows, window_cols, std::move(planes));
 }

@@ -1,11 +1,52 @@
 #include "fft/complex_fft.h"
 
-#include <cmath>
-#include <numbers>
+#include <utility>
 
+#include "fft/twiddle.h"
 #include "util/logging.h"
 
 namespace tabsketch::fft {
+namespace {
+
+/// Butterfly passes over bit-reversed data, twiddles from the shared table.
+/// Templated on the direction so the conjugation of the inverse twiddles is
+/// resolved at compile time, and written in explicit real arithmetic so the
+/// complex products compile to plain mul/add (std::complex operator* carries
+/// NaN-recovery branches that dominate this loop otherwise).
+template <bool kInverse>
+void Butterflies(std::complex<double>* data, size_t n, const FftTables& tables) {
+  // First stage (len == 2): the twiddle is 1, so it is a pure add/sub pass.
+  for (size_t start = 0; start < n; start += 2) {
+    const std::complex<double> even = data[start];
+    const std::complex<double> odd = data[start + 1];
+    data[start] = even + odd;
+    data[start + 1] = even - odd;
+  }
+  const std::complex<double>* twiddles = tables.twiddles.data();
+  for (size_t len = 4; len <= n; len <<= 1) {
+    const size_t half = len >> 1;
+    const size_t stride = n / len;
+    for (size_t start = 0; start < n; start += len) {
+      std::complex<double>* lo = data + start;
+      std::complex<double>* hi = lo + half;
+      for (size_t j = 0; j < half; ++j) {
+        const std::complex<double> w = twiddles[j * stride];
+        const double wr = w.real();
+        const double wi = kInverse ? -w.imag() : w.imag();
+        const double xr = hi[j].real();
+        const double xi = hi[j].imag();
+        const double tr = xr * wr - xi * wi;
+        const double ti = xr * wi + xi * wr;
+        const double er = lo[j].real();
+        const double ei = lo[j].imag();
+        lo[j] = {er + tr, ei + ti};
+        hi[j] = {er - tr, ei - ti};
+      }
+    }
+  }
+}
+
+}  // namespace
 
 size_t NextPowerOfTwo(size_t n) {
   TABSKETCH_CHECK(n >= 1);
@@ -23,39 +64,21 @@ void Transform(std::span<std::complex<double>> data, bool inverse) {
                                    << " is not a power of two";
   if (n == 1) return;
 
-  // Bit-reversal permutation.
-  for (size_t i = 1, j = 0; i < n; ++i) {
-    size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
+  const FftTables& tables = TablesFor(n);
+
+  // Bit-reversal permutation via the cached index table.
+  const uint32_t* reverse = tables.bit_reverse.data();
+  for (size_t i = 1; i < n; ++i) {
+    const size_t j = reverse[i];
     if (i < j) std::swap(data[i], data[j]);
   }
 
-  // Butterflies. Twiddle factors are generated per stage by repeated
-  // multiplication from a trigonometrically exact stage root; the error
-  // growth over the <= 2^26 sizes used here stays far below the estimator
-  // noise floor (and is covered by round-trip tests).
-  const double sign = inverse ? 1.0 : -1.0;
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-    const std::complex<double> root(std::cos(angle), std::sin(angle));
-    for (size_t start = 0; start < n; start += len) {
-      std::complex<double> w(1.0, 0.0);
-      const size_t half = len / 2;
-      for (size_t i = 0; i < half; ++i) {
-        const std::complex<double> even = data[start + i];
-        const std::complex<double> odd = data[start + i + half] * w;
-        data[start + i] = even + odd;
-        data[start + i + half] = even - odd;
-        w *= root;
-      }
-    }
-  }
-
   if (inverse) {
+    Butterflies<true>(data.data(), n, tables);
     const double scale = 1.0 / static_cast<double>(n);
     for (auto& value : data) value *= scale;
+  } else {
+    Butterflies<false>(data.data(), n, tables);
   }
 }
 

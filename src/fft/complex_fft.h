@@ -17,6 +17,10 @@ size_t NextPowerOfTwo(size_t n);
 /// be a power of two. `inverse` selects the inverse transform, which includes
 /// the 1/n normalization (so Forward then Inverse is the identity).
 ///
+/// Twiddle factors and the bit-reversal permutation come from the
+/// process-wide per-length table cache (fft/twiddle.h), so steady-state calls
+/// do no trigonometry and allocate nothing.
+///
 /// This is the workhorse behind the O(k N log M) all-subtables sketching of
 /// paper Theorem 3.
 void Transform(std::span<std::complex<double>> data, bool inverse);

@@ -1,9 +1,11 @@
 #ifndef TABSKETCH_FFT_CORRELATE_H_
 #define TABSKETCH_FFT_CORRELATE_H_
 
+#include <complex>
 #include <cstddef>
+#include <utility>
+#include <vector>
 
-#include "fft/fft2d.h"
 #include "table/matrix.h"
 
 namespace tabsketch::fft {
@@ -22,13 +24,27 @@ table::Matrix CrossCorrelateNaive(const table::Matrix& data,
 /// kernels of varying sizes (the k random stable matrices of a sketch).
 ///
 /// The forward transform of the zero-padded data is computed once at
-/// construction; each Correlate() call then costs one forward transform of
-/// the kernel, a pointwise multiply, and one inverse transform.
+/// construction (and stored in transposed layout, which is what the engine
+/// multiplies against); each Correlate() call then costs one forward
+/// transform of the kernel, a pointwise multiply, and one inverse transform.
+/// CorrelatePair() halves that again: two real kernels ride in the real and
+/// imaginary halves of ONE complex grid, their spectra are separated by
+/// conjugate symmetry, and both correlations come back through one inverse
+/// transform — two kernels per forward/inverse pair.
 ///
-/// Thread safety: Correlate() is const and works on a per-call workspace, so
-/// any number of threads may correlate different kernels against one shared
-/// plan concurrently. This is what lets a whole dyadic pool build (all
-/// canonical sizes, all k kernels) share a single forward FFT of the data.
+/// The engine prunes the row passes: the forward transform only runs over
+/// the kernel's nonzero rows and the inverse only over the valid output
+/// rows, which together cost one full row pass instead of two. Column passes
+/// run as blocked transposes + contiguous transforms (fft2d.h).
+///
+/// Thread safety: Correlate()/CorrelatePair() are const and use thread-local
+/// workspaces (allocation-free after each thread's first call at a given
+/// padded size), so any number of threads may correlate different kernels
+/// against one shared plan concurrently. This is what lets a whole dyadic
+/// pool build (all canonical sizes, all k kernels) share a single forward
+/// FFT of the data. Results depend only on the kernel arguments, never on
+/// which thread runs the call, keeping pool builds bit-identical across
+/// thread counts.
 ///
 /// Wrap-around correctness: positions are only read from the valid region
 /// i <= rows-kr, j <= cols-kc, where the circular convolution at padded size
@@ -51,6 +67,16 @@ class CorrelationPlan {
   /// `kernel` must fit inside the data. Safe to call concurrently.
   table::Matrix Correlate(const table::Matrix& kernel) const;
 
+  /// Valid-mode cross-correlations of the planned data with `kernel_a` and
+  /// `kernel_b`, computed with ONE forward and ONE inverse 2-D transform via
+  /// real-pair packing (a in the real half, b in the imaginary half; spectra
+  /// split by conjugate symmetry). Equivalent to
+  /// {Correlate(kernel_a), Correlate(kernel_b)} up to floating-point
+  /// rounding, at about half the FFT cost. The kernels may have different
+  /// shapes; each output has its own valid size. Safe to call concurrently.
+  std::pair<table::Matrix, table::Matrix> CorrelatePair(
+      const table::Matrix& kernel_a, const table::Matrix& kernel_b) const;
+
   /// Process-wide count of plans constructed so far (moves excluded). Test
   /// hook: a pool build over one table must raise this by exactly one, i.e.
   /// the data's forward FFT is computed once and shared.
@@ -61,7 +87,10 @@ class CorrelationPlan {
   size_t data_cols_;
   size_t padded_rows_;
   size_t padded_cols_;
-  ComplexGrid data_freq_;
+  /// Forward spectrum of the zero-padded data in TRANSPOSED (padded_cols x
+  /// padded_rows) row-major layout — the layout the pointwise multiply and
+  /// the inverse column pass consume, saving two transposes per Correlate.
+  std::vector<std::complex<double>> data_freq_t_;
 };
 
 }  // namespace tabsketch::fft

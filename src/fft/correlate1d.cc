@@ -38,7 +38,10 @@ std::vector<double> CorrelationPlan1D::Correlate(
   TABSKETCH_CHECK(!kernel.empty() && kernel.size() <= series_length_)
       << "kernel length " << kernel.size() << " does not fit series length "
       << series_length_;
-  std::vector<std::complex<double>> work(padded_length_);
+  // Thread-local scratch: Correlate stays const and concurrency-safe while
+  // steady-state calls at a stable padded length allocate nothing.
+  thread_local std::vector<std::complex<double>> work;
+  work.assign(padded_length_, {0.0, 0.0});
   for (size_t i = 0; i < kernel.size(); ++i) work[i] = kernel[i];
   Forward(work);
   for (size_t i = 0; i < padded_length_; ++i) {

@@ -35,9 +35,26 @@ class ComplexGrid {
   std::vector<std::complex<double>> values_;
 };
 
-/// In-place 2-D FFT of `grid` (row transforms followed by column transforms).
-/// Both dimensions must be powers of two. `inverse` includes the full 1/(R*C)
-/// normalization.
+/// Cache-blocked out-of-place transpose: `dst` (cols x rows, row-major)
+/// receives the transpose of `src` (rows x cols, row-major). Tiled so both
+/// the source reads and destination writes stay within a few cache lines per
+/// tile; this is what turns the 2-D column pass into contiguous row
+/// transforms. `src` and `dst` must not alias.
+void TransposeInto(const std::complex<double>* src, size_t rows, size_t cols,
+                   std::complex<double>* dst);
+
+/// In-place 2-D FFT of `grid`. Both dimensions must be powers of two.
+/// `inverse` includes the full 1/(R*C) normalization.
+///
+/// The column pass is computed as blocked transpose -> contiguous row
+/// transforms -> blocked transpose back, using `scratch` (resized to
+/// rows*cols) as the transposed workspace, so no strided element-at-a-time
+/// gathers touch the grid.
+void Transform2D(ComplexGrid* grid, bool inverse,
+                 std::vector<std::complex<double>>* scratch);
+
+/// Convenience overload using a thread-local scratch buffer: safe to call
+/// concurrently on different grids, allocation-free in steady state.
 void Transform2D(ComplexGrid* grid, bool inverse);
 
 inline void Forward2D(ComplexGrid* grid) { Transform2D(grid, false); }

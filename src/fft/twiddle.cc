@@ -1,0 +1,77 @@
+#include "fft/twiddle.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numbers>
+#include <shared_mutex>
+
+#include "fft/complex_fft.h"
+#include "util/logging.h"
+
+namespace tabsketch::fft {
+namespace {
+
+struct TableCache {
+  std::shared_mutex mutex;
+  // unique_ptr values keep FftTables addresses stable across rehashing, so
+  // returned references outlive any later insertions.
+  std::map<size_t, std::unique_ptr<FftTables>> by_length;
+};
+
+TableCache& Cache() {
+  static TableCache* cache = new TableCache();  // never destroyed
+  return *cache;
+}
+
+std::unique_ptr<FftTables> BuildTables(size_t n) {
+  auto tables = std::make_unique<FftTables>();
+  tables->n = n;
+
+  tables->bit_reverse.resize(n);
+  tables->bit_reverse[0] = 0;
+  for (size_t i = 1; i < n; ++i) {
+    // rev(i) from rev(i >> 1): shift right, bring in the dropped low bit as
+    // the new high bit.
+    tables->bit_reverse[i] = static_cast<uint32_t>(
+        (tables->bit_reverse[i >> 1] >> 1) | ((i & 1) ? (n >> 1) : 0));
+  }
+
+  tables->twiddles.resize(n / 2);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (size_t j = 0; j < n / 2; ++j) {
+    const double angle = step * static_cast<double>(j);
+    tables->twiddles[j] = {std::cos(angle), std::sin(angle)};
+  }
+  return tables;
+}
+
+}  // namespace
+
+const FftTables& TablesFor(size_t n) {
+  TABSKETCH_CHECK(IsPowerOfTwo(n))
+      << "FFT tables requested for non-power-of-two length " << n;
+  TABSKETCH_CHECK(n <= (static_cast<size_t>(1) << 31))
+      << "FFT length " << n << " exceeds the 32-bit bit-reversal table";
+  TableCache& cache = Cache();
+  {
+    std::shared_lock lock(cache.mutex);
+    auto it = cache.by_length.find(n);
+    if (it != cache.by_length.end()) return *it->second;
+  }
+  // Build outside any lock (cold path); on a race the first insert wins and
+  // the losing build is discarded.
+  auto built = BuildTables(n);
+  std::unique_lock lock(cache.mutex);
+  auto [it, inserted] = cache.by_length.emplace(n, std::move(built));
+  return *it->second;
+}
+
+size_t CachedTableLengths() {
+  TableCache& cache = Cache();
+  std::shared_lock lock(cache.mutex);
+  return cache.by_length.size();
+}
+
+}  // namespace tabsketch::fft

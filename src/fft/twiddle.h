@@ -1,0 +1,42 @@
+#ifndef TABSKETCH_FFT_TWIDDLE_H_
+#define TABSKETCH_FFT_TWIDDLE_H_
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tabsketch::fft {
+
+/// Precomputed tables for one radix-2 transform length: forward twiddle
+/// factors and the bit-reversal permutation. Built lazily, once per length,
+/// and cached process-wide, so the transform kernel does table lookups
+/// instead of cos/sin calls or error-accumulating repeated multiplication.
+struct FftTables {
+  /// Transform length (a power of two).
+  size_t n = 0;
+
+  /// twiddles[j] = exp(-2*pi*i*j / n) for j in [0, n/2), each entry computed
+  /// directly from cos/sin (no recurrence, so per-entry error is 1 ulp-ish).
+  /// The butterfly stage of length `len` reads w_j = twiddles[j * (n / len)];
+  /// the inverse transform conjugates, which is exact (it only flips the sign
+  /// of the imaginary part).
+  std::vector<std::complex<double>> twiddles;
+
+  /// bit_reverse[i] = i with its log2(n) low bits reversed. The permutation
+  /// pass swaps data[i] with data[bit_reverse[i]] once per pair.
+  std::vector<uint32_t> bit_reverse;
+};
+
+/// Returns the tables for length `n` (must be a power of two, n >= 1).
+/// Thread-safe; the returned reference stays valid for the process lifetime
+/// (tables are never evicted — the dyadic ladder only uses a handful of
+/// lengths, so the cache stays small).
+const FftTables& TablesFor(size_t n);
+
+/// Number of distinct lengths cached so far (introspection / test hook).
+size_t CachedTableLengths();
+
+}  // namespace tabsketch::fft
+
+#endif  // TABSKETCH_FFT_TWIDDLE_H_

@@ -8,6 +8,7 @@
 #include "fft/complex_fft.h"
 #include "fft/correlate.h"
 #include "fft/fft2d.h"
+#include "fft/twiddle.h"
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
 #include "util/parallel.h"
@@ -87,6 +88,63 @@ TEST(ComplexFftTest, MatchesDirectDftOnSmallInput) {
     EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-10);
     EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-10);
   }
+}
+
+/// Naive O(n^2) DFT reference; the k*t product is reduced mod n before the
+/// angle so the reference itself stays accurate at the larger lengths.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& in) {
+  const size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      const double angle =
+          -2.0 * M_PI * static_cast<double>((k * t) % n) / static_cast<double>(n);
+      acc += in[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+/// The twiddle-table transform against the naive reference, every
+/// power-of-two length up to 2^10.
+class TwiddleTableDftTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TwiddleTableDftTest, MatchesNaiveDftReference) {
+  const size_t n = GetParam();
+  rng::Xoshiro256 gen(7 * n + 1);
+  std::vector<Complex> data(n);
+  for (auto& value : data) {
+    value = Complex(gen.NextDouble() - 0.5, gen.NextDouble() - 0.5);
+  }
+  const std::vector<Complex> expected = NaiveDft(data);
+  Forward(data);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-9) << "n=" << n;
+    EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-9) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPowersOfTwoTo1024, TwiddleTableDftTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           512, 1024));
+
+TEST(TwiddleTableTest, TablesAreCachedAndStable) {
+  const FftTables& first = TablesFor(64);
+  const FftTables& second = TablesFor(64);
+  EXPECT_EQ(&first, &second) << "same length must reuse one table";
+  EXPECT_EQ(first.n, 64u);
+  ASSERT_EQ(first.twiddles.size(), 32u);
+  ASSERT_EQ(first.bit_reverse.size(), 64u);
+  // Spot values: w^0 = 1, w^16 = exp(-i*pi/2) = -i; reversing 1 over 6 bits
+  // gives 0b100000.
+  EXPECT_DOUBLE_EQ(first.twiddles[0].real(), 1.0);
+  EXPECT_NEAR(first.twiddles[16].real(), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(first.twiddles[16].imag(), -1.0);
+  EXPECT_EQ(first.bit_reverse[0], 0u);
+  EXPECT_EQ(first.bit_reverse[1], 32u);
+  EXPECT_GE(CachedTableLengths(), 1u);
 }
 
 class FftRoundTripTest : public ::testing::TestWithParam<size_t> {};
@@ -269,6 +327,99 @@ TEST(CorrelationPlanTest, ConcurrentCorrelateMatchesSequential) {
     concurrent[i] = plan.Correlate(kernels[i]);
   });
   for (size_t i = 0; i < kKernels; ++i) {
+    EXPECT_TRUE(concurrent[i] == sequential[i]) << "kernel " << i;
+  }
+}
+
+void ExpectMatchesNaive(const table::Matrix& data, const table::Matrix& kernel,
+                        const table::Matrix& fast, double tolerance,
+                        const char* label) {
+  const table::Matrix naive = CrossCorrelateNaive(data, kernel);
+  ASSERT_EQ(naive.rows(), fast.rows()) << label;
+  ASSERT_EQ(naive.cols(), fast.cols()) << label;
+  for (size_t i = 0; i < naive.rows(); ++i) {
+    for (size_t j = 0; j < naive.cols(); ++j) {
+      EXPECT_NEAR(fast(i, j), naive(i, j), tolerance)
+          << label << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(CorrelatePairTest, OddKernelPairMatchesNaive) {
+  const table::Matrix data = RandomMatrix(20, 17, 301);
+  const table::Matrix kernel_a = RandomMatrix(3, 5, 302);
+  const table::Matrix kernel_b = RandomMatrix(7, 3, 303);
+  CorrelationPlan plan(data);
+  const auto [fast_a, fast_b] = plan.CorrelatePair(kernel_a, kernel_b);
+  ExpectMatchesNaive(data, kernel_a, fast_a, 1e-9, "kernel a");
+  ExpectMatchesNaive(data, kernel_b, fast_b, 1e-9, "kernel b");
+}
+
+TEST(CorrelatePairTest, MismatchedKernelShapesMatchNaive) {
+  // The two halves of the packed grid carry kernels of different shapes, so
+  // each output has its own valid size.
+  const table::Matrix data = RandomMatrix(24, 31, 311);
+  const table::Matrix kernel_a = RandomMatrix(4, 4, 312);
+  const table::Matrix kernel_b = RandomMatrix(2, 7, 313);
+  CorrelationPlan plan(data);
+  const auto [fast_a, fast_b] = plan.CorrelatePair(kernel_a, kernel_b);
+  ExpectMatchesNaive(data, kernel_a, fast_a, 1e-9, "4x4 kernel");
+  ExpectMatchesNaive(data, kernel_b, fast_b, 1e-9, "2x7 kernel");
+}
+
+TEST(CorrelatePairTest, FullSizeAndTrivialKernelPair) {
+  // Extremes in one pair: a kernel covering the whole table (1x1 output)
+  // packed with a 1x1 kernel (full-size output).
+  const table::Matrix data = RandomMatrix(16, 16, 321);
+  const table::Matrix kernel_a = RandomMatrix(16, 16, 322);
+  const table::Matrix kernel_b = RandomMatrix(1, 1, 323);
+  CorrelationPlan plan(data);
+  const auto [fast_a, fast_b] = plan.CorrelatePair(kernel_a, kernel_b);
+  ExpectMatchesNaive(data, kernel_a, fast_a, 1e-8, "full-size kernel");
+  ExpectMatchesNaive(data, kernel_b, fast_b, 1e-9, "1x1 kernel");
+}
+
+TEST(CorrelatePairTest, AgreesWithSingleKernelCorrelate) {
+  // The pair-packed path and the single-kernel path are different transform
+  // pipelines, so they agree to rounding, not bitwise.
+  const table::Matrix data = RandomMatrix(33, 65, 331);
+  const table::Matrix kernel_a = RandomMatrix(8, 16, 332);
+  const table::Matrix kernel_b = RandomMatrix(8, 16, 333);
+  CorrelationPlan plan(data);
+  const auto [fast_a, fast_b] = plan.CorrelatePair(kernel_a, kernel_b);
+  const table::Matrix single_a = plan.Correlate(kernel_a);
+  const table::Matrix single_b = plan.Correlate(kernel_b);
+  for (size_t i = 0; i < single_a.rows(); ++i) {
+    for (size_t j = 0; j < single_a.cols(); ++j) {
+      EXPECT_NEAR(fast_a(i, j), single_a(i, j), 1e-9);
+      EXPECT_NEAR(fast_b(i, j), single_b(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(CorrelatePairTest, ConcurrentPairsAreBitIdenticalToSequential) {
+  // The pool build fans pairs over threads against one shared plan; each
+  // pair's arithmetic must not depend on which thread runs it.
+  const table::Matrix data = RandomMatrix(32, 32, 341);
+  const CorrelationPlan plan(data);
+  constexpr size_t kPairs = 8;
+  std::vector<table::Matrix> kernels;
+  for (uint64_t seed = 0; seed < 2 * kPairs; ++seed) {
+    kernels.push_back(RandomMatrix(8, 8, 2000 + seed));
+  }
+  std::vector<table::Matrix> sequential(2 * kPairs);
+  for (size_t j = 0; j < kPairs; ++j) {
+    auto [a, b] = plan.CorrelatePair(kernels[2 * j], kernels[2 * j + 1]);
+    sequential[2 * j] = std::move(a);
+    sequential[2 * j + 1] = std::move(b);
+  }
+  std::vector<table::Matrix> concurrent(2 * kPairs);
+  util::ParallelFor(kPairs, 8, [&](size_t j) {
+    auto [a, b] = plan.CorrelatePair(kernels[2 * j], kernels[2 * j + 1]);
+    concurrent[2 * j] = std::move(a);
+    concurrent[2 * j + 1] = std::move(b);
+  });
+  for (size_t i = 0; i < 2 * kPairs; ++i) {
     EXPECT_TRUE(concurrent[i] == sequential[i]) << "kernel " << i;
   }
 }

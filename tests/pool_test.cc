@@ -90,6 +90,58 @@ TEST(SketchPoolTest, ParallelBuildIsBitIdentical) {
   }
 }
 
+TEST(SketchPoolTest, OddKParallelBuildIsBitIdentical) {
+  // Odd k leaves one unpaired kernel per canonical size on the single-kernel
+  // path while the rest ride CorrelatePair; the split must not depend on the
+  // thread count.
+  const table::Matrix data = RandomTable(32, 32, 25);
+  SketchParams params{.p = 1.0, .k = 5, .seed = 44};
+  PoolOptions sequential_options = SmallPool();
+  sequential_options.threads = 1;
+  auto sequential = SketchPool::Build(data, params, sequential_options);
+  ASSERT_TRUE(sequential.ok());
+  for (size_t threads : {2u, 8u}) {
+    PoolOptions parallel_options = SmallPool();
+    parallel_options.threads = threads;
+    auto parallel = SketchPool::Build(data, params, parallel_options);
+    ASSERT_TRUE(parallel.ok());
+    for (const auto& [size, field] : sequential->fields()) {
+      const SketchField& other = parallel->fields().at(size);
+      for (size_t i = 0; i < field.k(); ++i) {
+        EXPECT_TRUE(other.plane(i) == field.plane(i))
+            << "threads=" << threads << " size=" << size.first << "x"
+            << size.second << " plane=" << i;
+      }
+    }
+  }
+}
+
+TEST(SketchPoolTest, OddKFftPlanesMatchNaiveCorrelation) {
+  // Every plane of an FFT pool build — paired kernels and the odd leftover —
+  // is the valid-mode correlation of the data with that kernel.
+  const table::Matrix data = RandomTable(16, 16, 26);
+  SketchParams params{.p = 1.0, .k = 5, .seed = 45};
+  auto pool = SketchPool::Build(data, params, SmallPool());
+  auto sketcher = Sketcher::Create(params);
+  ASSERT_TRUE(pool.ok() && sketcher.ok());
+  for (const auto& [size, field] : pool->fields()) {
+    const auto& kernels = sketcher->MatricesFor(size.first, size.second);
+    for (size_t i = 0; i < field.k(); ++i) {
+      const table::Matrix expected =
+          fft::CrossCorrelateNaive(data, kernels[i]);
+      const table::Matrix& plane = field.plane(i);
+      ASSERT_EQ(plane.rows(), expected.rows());
+      ASSERT_EQ(plane.cols(), expected.cols());
+      for (size_t r = 0; r < expected.rows(); ++r) {
+        for (size_t c = 0; c < expected.cols(); ++c) {
+          EXPECT_NEAR(plane.At(r, c), expected.At(r, c), 1e-8)
+              << "size=" << size.first << "x" << size.second << " plane=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(SketchPoolTest, ParallelNaiveBuildIsBitIdentical) {
   const table::Matrix data = RandomTable(16, 16, 22);
   SketchParams params{.p = 2.0, .k = 4, .seed = 5};
