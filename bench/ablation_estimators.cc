@@ -21,6 +21,7 @@
 #include "eval/measures.h"
 #include "rng/xoshiro256.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -76,7 +77,9 @@ void AccuracyAndCost(const tabsketch::table::TileGrid& grid,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf("=== Ablation: median vs L2 estimator for p = 2 ===\n");
 
   tabsketch::data::CallVolumeOptions options;
@@ -127,5 +130,5 @@ int main() {
       "\nExpected shape: both estimators are accurate; the L2 estimator is\n"
       "several times cheaper per comparison (no selection), which is why\n"
       "the library uses it automatically when p = 2 (EstimatorKind::kAuto).\n");
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

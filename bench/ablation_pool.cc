@@ -13,6 +13,7 @@
 #include "core/sketch_pool.h"
 #include "data/call_volume.h"
 #include "rng/xoshiro256.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -35,7 +36,9 @@ size_t PoolBytes(const SketchPool& pool) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf("=== Ablation: dyadic sketch pools (Theorem 6) ===\n");
 
   SketchParams params{.p = 1.0, .k = 32, .seed = 11};
@@ -162,5 +165,5 @@ int main() {
       "query latency is flat in the rectangle size (it is 4 gathers + a\n"
       "vector add); compound estimates order pairs correctly the vast\n"
       "majority of the time despite the Theorem-5 inflation band.\n");
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "eval/measures.h"
 #include "rng/xoshiro256.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -33,7 +34,9 @@ constexpr size_t kNumPairs = 4000;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf("=== Ablation: sketch size k (accuracy vs cost) ===\n");
 
   tabsketch::data::CallVolumeOptions options;
@@ -115,5 +118,5 @@ int main() {
       "Expected shape: accuracy rises with k roughly as 1 - c/sqrt(k) and\n"
       "cost rises linearly in k; the paper's clustering settings (k = 256)\n"
       "sit where pairwise correctness has largely saturated.\n");
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "core/sketch_pool.h"
 #include "data/call_volume.h"
 #include "fft/correlate.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -54,6 +55,8 @@ double PoolChecksum(const SketchPool& pool) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   const size_t side = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
   const size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
   const size_t min_log2 = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
@@ -159,5 +162,9 @@ int main(int argc, char** argv) {
   std::fclose(json);
   std::printf("results -> %s\n", json_path);
 
-  return (checksums_agree && one_plan_per_build) ? 0 : 1;
+  const bool metrics_ok =
+      tabsketch::util::FlushMetricsJson(metrics_path);
+  return (checksums_agree && one_plan_per_build && metrics_ok)
+             ? 0
+             : 1;
 }

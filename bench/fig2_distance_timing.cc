@@ -23,6 +23,7 @@
 #include "eval/measures.h"
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -131,7 +132,9 @@ void RunNorm(const tabsketch::table::Matrix& data, double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf(
       "=== Figure 2: distance assessment, %zu random pairs, k = %zu ===\n",
       kNumPairs, kSketchSize);
@@ -158,5 +161,5 @@ int main() {
       "(it depends on the table size, not the tile size); accuracy within\n"
       "a few percent, with pairwise correctness dipping for the largest\n"
       "L1 tiles where all pairs are nearly equidistant.\n");
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

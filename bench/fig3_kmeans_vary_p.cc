@@ -29,6 +29,7 @@
 #include "eval/confusion.h"
 #include "eval/quality.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -45,7 +46,9 @@ constexpr size_t kSketchEntries = 256;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf(
       "=== Figure 3: 20-means over stitched days, tile = 64 stations x 1 day "
       "===\n");
@@ -141,5 +144,5 @@ int main() {
       "no median); agreement is high for small p and dips for p = 2, while\n"
       "quality stays ~100%% — the sketched clustering is as good as exact\n"
       "even when it is a different local minimum.\n");
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "cluster/sketch_backend.h"
 #include "data/call_volume.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -27,7 +28,9 @@ constexpr double kNorm = 1.0;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf(
       "=== Figure 4(a): k-means time vs number of clusters, p = 1 ===\n");
 
@@ -91,5 +94,5 @@ int main() {
       "with k; both sketch curves rise much more slowly and their offset is\n"
       "the (k-independent) on-demand sketching cost; for the smallest k the\n"
       "comparisons saved may not buy back that cost.\n");
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

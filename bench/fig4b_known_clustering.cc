@@ -16,6 +16,7 @@
 #include "data/six_region.h"
 #include "eval/confusion.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -27,7 +28,9 @@ using tabsketch::cluster::SketchMode;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf(
       "=== Figure 4(b): finding a known 6-clustering vs p (sketched "
       "k-means) ===\n");
@@ -87,5 +90,5 @@ int main() {
       "noted in EXPERIMENTS.md: the paper also reports poor accuracy at\n"
       "p = 1; with our outlier recipe the linear penalty is still small\n"
       "relative to the inter-region signal, so the collapse starts above 1.\n");
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include "cluster/sketch_backend.h"
 #include "data/call_volume.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -59,7 +60,9 @@ void Render(const tabsketch::table::TileGrid& grid,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   std::printf("=== Figure 5: one day's clustering at p = 2.0 and p = 0.25 "
               "===\n");
 
@@ -103,5 +106,5 @@ int main() {
                 p);
     Render(*grid, result->assignment);
   }
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

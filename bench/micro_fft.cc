@@ -4,7 +4,7 @@
 // to BENCH_fft.json so future FFT changes have a trajectory to compare
 // against (twiddle tables, blocked 2-D passes, pair packing, ...).
 //
-// usage: micro_fft [size_list]
+// usage: micro_fft [size_list] [--metrics-json=FILE]
 //   default sizes: 256,512,1024,2048
 
 #include <cstdio>
@@ -17,6 +17,7 @@
 #include "fft/fft2d.h"
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -56,6 +57,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_path =
+      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
   const std::vector<size_t> sizes =
       argc > 1 ? ParseSizeList(argv[1])
                : std::vector<size_t>{256, 512, 1024, 2048};
@@ -162,5 +165,5 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("results -> %s\n", json_path);
-  return 0;
+  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
 }

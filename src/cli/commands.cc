@@ -23,6 +23,7 @@
 #include "data/six_region.h"
 #include "table/table_io.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -58,6 +59,10 @@ commands:
              --pool=FILE --rect1=r,c,h,w --rect2=r,c,h,w
              [--table=FILE for an exact reference]
   help       show this message
+
+global flags (every command):
+  --metrics-json=FILE  dump per-stage timings and counters as JSON
+                       ("tabsketch-metrics-v1", see docs/FORMATS.md)
 )";
 
 /// Prints `status` to err and returns 1 (for `return Fail(...)`).
@@ -90,7 +95,7 @@ size_t ThreadsFromFlag(int64_t threads) {
 
 int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"dataset", "out", "rows", "cols", "days", "seed"}));
+      {"dataset", "out", "rows", "cols", "days", "seed", "metrics-json"}));
   TABSKETCH_ASSIGN_CLI(const std::string dataset,
                        flags.GetRequired("dataset"));
   TABSKETCH_ASSIGN_CLI(const std::string path, flags.GetRequired("out"));
@@ -141,7 +146,7 @@ int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdInfo(const Flags& flags, std::ostream& out, std::ostream& err) {
-  TABSKETCH_RETURN_CLI(flags.AllowOnly({"table"}));
+  TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "metrics-json"}));
   TABSKETCH_ASSIGN_CLI(const std::string path, flags.GetRequired("table"));
   auto matrix = table::ReadBinary(path);
   if (!matrix.ok()) return Fail(err, matrix.status());
@@ -163,7 +168,7 @@ int CmdInfo(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "out", "tile-rows",
                                         "tile-cols", "p", "k", "seed",
-                                        "threads"}));
+                                        "threads", "metrics-json"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
@@ -210,7 +215,7 @@ int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
 
 int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "rect1", "rect2", "p", "k",
-                                        "seed"}));
+                                        "seed", "metrics-json"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string rect1_text,
@@ -263,7 +268,8 @@ int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "algo", "k", "p", "seed", "mode",
-       "sketch-k", "epsilon", "min-points", "threads", "out"}));
+       "sketch-k", "epsilon", "min-points", "threads", "out",
+       "metrics-json"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -388,7 +394,8 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
 
 int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"table", "out", "p", "k", "seed", "min-log2", "max-log2", "threads"}));
+      {"table", "out", "p", "k", "seed", "min-log2", "max-log2", "threads",
+       "metrics-json"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
@@ -426,7 +433,8 @@ int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdPoolQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
-  TABSKETCH_RETURN_CLI(flags.AllowOnly({"pool", "rect1", "rect2", "table"}));
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"pool", "rect1", "rect2", "table", "metrics-json"}));
   TABSKETCH_ASSIGN_CLI(const std::string pool_path,
                        flags.GetRequired("pool"));
   TABSKETCH_ASSIGN_CLI(const std::string rect1_text,
@@ -479,15 +487,48 @@ int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
     out << kUsage;
     return command.empty() ? 1 : 0;
   }
-  if (command == "generate") return CmdGenerate(*flags, out, err);
-  if (command == "info") return CmdInfo(*flags, out, err);
-  if (command == "sketch") return CmdSketch(*flags, out, err);
-  if (command == "distance") return CmdDistance(*flags, out, err);
-  if (command == "cluster") return CmdCluster(*flags, out, err);
-  if (command == "pool-build") return CmdPoolBuild(*flags, out, err);
-  if (command == "pool-query") return CmdPoolQuery(*flags, out, err);
-  err << "error: unknown command '" << command << "'\n\n" << kUsage;
-  return 1;
+  // --metrics-json is handled here, outside the commands: enable the global
+  // registry (reset first, so repeated in-process invocations — the tests —
+  // each dump only their own run) before dispatch, dump it after. Commands
+  // only have to list the flag in AllowOnly.
+  auto metrics_path = flags->GetString("metrics-json", "");
+  if (!metrics_path.ok()) return Fail(err, metrics_path.status());
+  if (!metrics_path->empty()) {
+    util::MetricsRegistry& registry = util::MetricsRegistry::Global();
+    util::PreregisterCoreMetrics(&registry);
+    registry.ResetValues();
+    util::MetricsRegistry::SetEnabled(true);
+  }
+
+  int code = 1;
+  if (command == "generate") {
+    code = CmdGenerate(*flags, out, err);
+  } else if (command == "info") {
+    code = CmdInfo(*flags, out, err);
+  } else if (command == "sketch") {
+    code = CmdSketch(*flags, out, err);
+  } else if (command == "distance") {
+    code = CmdDistance(*flags, out, err);
+  } else if (command == "cluster") {
+    code = CmdCluster(*flags, out, err);
+  } else if (command == "pool-build") {
+    code = CmdPoolBuild(*flags, out, err);
+  } else if (command == "pool-query") {
+    code = CmdPoolQuery(*flags, out, err);
+  } else {
+    err << "error: unknown command '" << command << "'\n\n" << kUsage;
+    return 1;
+  }
+
+  if (!metrics_path->empty()) {
+    util::MetricsRegistry::SetEnabled(false);
+    const util::Status written =
+        util::WriteMetricsJsonFile(util::MetricsRegistry::Global(),
+                                   *metrics_path);
+    if (!written.ok()) return Fail(err, written);
+    out << "metrics written to " << *metrics_path << "\n";
+  }
+  return code;
 }
 
 }  // namespace tabsketch::cli

@@ -1,4 +1,16 @@
 #include "cluster/backend.h"
 
-// The interface is header-only; this translation unit anchors the vtable.
-namespace tabsketch::cluster {}  // namespace tabsketch::cluster
+#include "util/metrics.h"
+
+namespace tabsketch::cluster {
+
+void RecordDistanceEvaluations(const ClusteringBackend& backend,
+                               size_t delta) {
+  if (!util::MetricsRegistry::Enabled() || delta == 0) return;
+  const char* key = backend.name() == "exact"
+                        ? "cluster.distance_evals.exact"
+                        : "cluster.distance_evals.sketch";
+  util::MetricsRegistry::Global().GetCounter(key)->Increment(delta);
+}
+
+}  // namespace tabsketch::cluster

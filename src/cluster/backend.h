@@ -94,6 +94,12 @@ class ClusteringBackend {
   std::atomic<size_t> distance_evaluations_{0};
 };
 
+/// Adds `delta` distance evaluations to the global metrics registry, split
+/// into cluster.distance_evals.exact vs .sketch by the backend's name().
+/// No-op while metrics are disabled; called once per clustering run with the
+/// run's evaluation delta, so it is never on a hot path.
+void RecordDistanceEvaluations(const ClusteringBackend& backend, size_t delta);
+
 }  // namespace tabsketch::cluster
 
 #endif  // TABSKETCH_CLUSTER_BACKEND_H_

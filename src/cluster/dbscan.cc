@@ -3,7 +3,9 @@
 #include <deque>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace tabsketch::cluster {
 namespace {
@@ -11,6 +13,7 @@ namespace {
 /// Indices of all objects within epsilon of `center` (including itself).
 std::vector<size_t> RangeQuery(ClusteringBackend* backend, size_t center,
                                double epsilon) {
+  TABSKETCH_TRACE_SPAN("cluster.assign");
   std::vector<size_t> neighbors;
   const size_t n = backend->num_objects();
   for (size_t other = 0; other < n; ++other) {
@@ -79,6 +82,8 @@ util::Result<DbscanResult> RunDbscan(ClusteringBackend* backend,
   result.seconds = timer.ElapsedSeconds();
   result.distance_evaluations =
       backend->distance_evaluations() - evals_before;
+  TABSKETCH_METRIC_GAUGE_SET("cluster.dbscan.clusters", result.num_clusters);
+  RecordDistanceEvaluations(*backend, result.distance_evaluations);
   return result;
 }
 

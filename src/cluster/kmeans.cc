@@ -8,8 +8,10 @@
 #include "cluster/seeding.h"
 #include "rng/splitmix64.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace tabsketch::cluster {
 namespace {
@@ -110,13 +112,17 @@ util::Result<KMeansResult> RunKMeans(ClusteringBackend* backend,
   result.assignment.assign(n, -1);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    const size_t changed =
-        AssignAll(backend, options.threads, &result.assignment);
+    size_t changed;
+    {
+      TABSKETCH_TRACE_SPAN("cluster.assign");
+      changed = AssignAll(backend, options.threads, &result.assignment);
+    }
     const bool revived = ReviveEmptyClusters(backend, &result.assignment);
     if (changed == 0 && !revived) {
       result.converged = true;
       break;
     }
+    TABSKETCH_TRACE_SPAN("cluster.update");
     backend->UpdateCentroids(result.assignment);
   }
 
@@ -141,6 +147,10 @@ util::Result<KMeansResult> RunKMeans(ClusteringBackend* backend,
   result.seconds = timer.ElapsedSeconds();
   result.distance_evaluations =
       backend->distance_evaluations() - evals_before;
+  TABSKETCH_METRIC_GAUGE_SET("cluster.kmeans.iterations", result.iterations);
+  TABSKETCH_METRIC_GAUGE_SET("cluster.kmeans.converged",
+                             result.converged ? 1 : 0);
+  RecordDistanceEvaluations(*backend, result.distance_evaluations);
   return result;
 }
 

@@ -5,7 +5,9 @@
 
 #include "cluster/seeding.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace tabsketch::cluster {
 namespace {
@@ -94,11 +96,17 @@ util::Result<KMedoidsResult> RunKMedoids(ClusteringBackend* backend,
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    const size_t changed = AssignToMedoids(backend, result.medoids,
-                                           &result.assignment,
-                                           &result.objective);
-    const bool moved = UpdateMedoids(backend, result.assignment,
-                                     &result.medoids);
+    size_t changed;
+    {
+      TABSKETCH_TRACE_SPAN("cluster.assign");
+      changed = AssignToMedoids(backend, result.medoids, &result.assignment,
+                                &result.objective);
+    }
+    bool moved;
+    {
+      TABSKETCH_TRACE_SPAN("cluster.update");
+      moved = UpdateMedoids(backend, result.assignment, &result.medoids);
+    }
     if (changed == 0 && !moved) {
       result.converged = true;
       break;
@@ -111,6 +119,11 @@ util::Result<KMedoidsResult> RunKMedoids(ClusteringBackend* backend,
   result.seconds = timer.ElapsedSeconds();
   result.distance_evaluations =
       backend->distance_evaluations() - evals_before;
+  TABSKETCH_METRIC_GAUGE_SET("cluster.kmedoids.iterations",
+                             result.iterations);
+  TABSKETCH_METRIC_GAUGE_SET("cluster.kmedoids.converged",
+                             result.converged ? 1 : 0);
+  RecordDistanceEvaluations(*backend, result.distance_evaluations);
   return result;
 }
 

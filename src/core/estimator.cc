@@ -5,6 +5,7 @@
 
 #include "core/scale_factor.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/normal.h"
 #include "util/median.h"
 
@@ -30,6 +31,7 @@ double DistanceEstimator::EstimateWithScratch(
     std::vector<double>* scratch) const {
   TABSKETCH_CHECK(a.size() == b.size() && !a.empty())
       << "estimating from mismatched or empty sketches";
+  TABSKETCH_METRIC_COUNT("estimator.estimate.calls");
   if (kind_ == EstimatorKind::kL2) {
     double acc = 0.0;
     for (size_t i = 0; i < a.size(); ++i) {

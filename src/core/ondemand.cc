@@ -1,7 +1,9 @@
 #include "core/ondemand.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace tabsketch::core {
 
@@ -15,11 +17,19 @@ const Sketch& OnDemandSketchCache::ForTile(size_t index) {
     computed_.fetch_add(1, std::memory_order_relaxed);
     missed = true;
   });
-  if (!missed) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (missed) {
+    TABSKETCH_METRIC_COUNT("ondemand.cache.misses");
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    TABSKETCH_METRIC_COUNT("ondemand.cache.hits");
+  }
   return *slot;
 }
 
 void OnDemandSketchCache::Clear() {
+  size_t evicted = 0;
+  for (const auto& slot : sketches_) evicted += slot.has_value() ? 1 : 0;
+  TABSKETCH_METRIC_COUNT_N("ondemand.cache.evictions", evicted);
   for (auto& slot : sketches_) slot.reset();
   once_ = std::vector<std::once_flag>(sketches_.size());
   computed_.store(0, std::memory_order_relaxed);
@@ -39,6 +49,7 @@ std::vector<Sketch> SketchAllTiles(const Sketcher& sketcher,
 std::vector<Sketch> SketchAllTilesParallel(const Sketcher& sketcher,
                                            const table::TileGrid& grid,
                                            size_t threads) {
+  TABSKETCH_TRACE_SPAN("sketcher.sketch_tiles");
   // Pre-generate the shared random matrices once so workers only read the
   // cache (SketchOf is thread-safe regardless; this avoids a duplicate
   // generation race burning CPU).

@@ -6,7 +6,10 @@
 
 #include "fft/correlate.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace tabsketch::core {
 
@@ -49,6 +52,24 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
     return util::Status::InvalidArgument(
         "no canonical dyadic size fits the table under the given options");
   }
+  TABSKETCH_TRACE_SPAN("pool.build");
+  TABSKETCH_METRIC_GAUGE_SET("pool.build.canonical_sizes", sizes.size());
+
+  // Per-canonical-size busy-time histograms, resolved before the fan-out so
+  // workers record through cached pointers instead of the registry lock. One
+  // observation per work item (a kernel pair), so `sum` is the size's total
+  // correlation time across threads and `count` its number of work items.
+  std::vector<util::Histogram*> size_histograms;
+  if (util::MetricsRegistry::Enabled()) {
+    size_histograms.reserve(sizes.size());
+    for (const auto& [window_rows, window_cols] : sizes) {
+      std::ostringstream name;
+      name << "span.pool.build.size_" << window_rows << "x" << window_cols
+           << ".seconds";
+      size_histograms.push_back(
+          util::MetricsRegistry::Global().GetHistogram(name.str()));
+    }
+  }
 
   // Materialize every size's random matrices before fanning out, so workers
   // only read the sketcher's cache (generation is deterministic per shape,
@@ -80,6 +101,7 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
     const size_t size_index = w / pairs;
     const size_t first = 2 * (w % pairs);
     const size_t second = first + 1;
+    const util::WallTimer item_timer;
     const auto [window_rows, window_cols] = sizes[size_index];
     const auto& kernels = sketcher.MatricesFor(window_rows, window_cols);
     if (plan) {
@@ -97,6 +119,9 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
         planes[size_index][second] =
             fft::CrossCorrelateNaive(data, kernels[second]);
       }
+    }
+    if (!size_histograms.empty()) {
+      size_histograms[size_index]->Observe(item_timer.ElapsedSeconds());
     }
   });
 

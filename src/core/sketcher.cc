@@ -5,7 +5,9 @@
 #include "core/stable_matrix.h"
 #include "fft/correlate.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace tabsketch::core {
 
@@ -78,6 +80,7 @@ const std::vector<table::Matrix>& Sketcher::MatricesFor(size_t rows,
 
 Sketch Sketcher::SketchOf(const table::TableView& view) const {
   TABSKETCH_CHECK(!view.empty()) << "cannot sketch an empty subtable";
+  TABSKETCH_METRIC_COUNT("sketcher.sketch_of.calls");
   const auto& matrices = MatricesFor(view.rows(), view.cols());
   Sketch out;
   out.values.resize(params_.k);
@@ -128,6 +131,7 @@ SketchField Sketcher::SketchAllPositions(const fft::CorrelationPlan& plan,
       << "window " << window_rows << "x" << window_cols
       << " does not fit planned table " << plan.data_rows() << "x"
       << plan.data_cols();
+  TABSKETCH_TRACE_SPAN("sketcher.all_positions");
 
   // Kernels ride the FFT two at a time (CorrelatePair real-pair packing);
   // index-fixed pairing keeps the planes bit-identical across thread counts.

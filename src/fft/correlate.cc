@@ -7,6 +7,8 @@
 #include "fft/complex_fft.h"
 #include "fft/fft2d.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tabsketch::fft {
 namespace {
@@ -123,6 +125,7 @@ CorrelationPlan::CorrelationPlan(const table::Matrix& data)
       padded_cols_(NextPowerOfTwo(data.cols())) {
   TABSKETCH_CHECK(!data.empty()) << "cannot plan over an empty table";
   plan_constructions.fetch_add(1, std::memory_order_relaxed);
+  TABSKETCH_METRIC_COUNT("fft.plan.constructions");
   std::vector<std::complex<double>> time(padded_rows_ * padded_cols_);
   for (size_t r = 0; r < data_rows_; ++r) {
     auto row = data.Row(r);
@@ -137,6 +140,8 @@ table::Matrix CorrelationPlan::Correlate(const table::Matrix& kernel) const {
   TABSKETCH_CHECK(kernel.rows() <= data_rows_ && kernel.cols() <= data_cols_)
       << "kernel " << kernel.rows() << "x" << kernel.cols()
       << " exceeds data " << data_rows_ << "x" << data_cols_;
+  TABSKETCH_METRIC_COUNT("fft.correlate.calls");
+  TABSKETCH_TRACE_SPAN("fft.correlate");
 
   CorrelateWorkspace& workspace = ThreadWorkspace();
   workspace.time.assign(padded_rows_ * padded_cols_, {0.0, 0.0});
@@ -182,6 +187,8 @@ std::pair<table::Matrix, table::Matrix> CorrelationPlan::CorrelatePair(
       << "kernel pair " << kernel_a.rows() << "x" << kernel_a.cols() << " / "
       << kernel_b.rows() << "x" << kernel_b.cols() << " exceeds data "
       << data_rows_ << "x" << data_cols_;
+  TABSKETCH_METRIC_COUNT("fft.correlate_pair.calls");
+  TABSKETCH_TRACE_SPAN("fft.correlate");
 
   CorrelateWorkspace& workspace = ThreadWorkspace();
   workspace.time.assign(padded_rows_ * padded_cols_, {0.0, 0.0});

@@ -1,0 +1,301 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace tabsketch::util {
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+size_t Histogram::BucketFor(double value) {
+  if (!(value >= kBucketBase)) return 0;  // also catches NaN
+  const int exponent =
+      static_cast<int>(std::ceil(std::log2(value / kBucketBase)));
+  if (exponent < 1) return 1;
+  if (exponent >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<size_t>(exponent);
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+
+  // sum/min/max via CAS loops: atomic<double> has no fetch_add pre-C++20 on
+  // all targets, and min/max need it regardless.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+  // First observation initializes min/max; count_ going 0->1 publishes them
+  // only for reporting purposes, which tolerates a transient where another
+  // thread reads count()==1 before min/max settle.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    double seen = min_.load(std::memory_order_relaxed);
+    while (value < seen && !min_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank =
+      std::min<uint64_t>(total, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank && cumulative > 0) {
+      // Report the bucket's upper edge, clamped to the observed extremes so
+      // a single-sample histogram reports the sample itself.
+      const double edge = i == 0 ? kBucketBase
+                                 : kBucketBase * std::ldexp(1.0, static_cast<int>(i));
+      return std::clamp(edge, min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();  // leaked:
+  // outlives every static-destruction-order hazard from cached pointers.
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace {
+
+void WriteJsonString(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void WriteJsonNumber(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os << buf;
+  // %.17g never emits a bare integer-looking token with exponent/point for
+  // whole numbers like "3" — that is still valid JSON, so no fixup needed.
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"schema\": \"tabsketch-metrics-v1\",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": " << counter->value();
+  }
+  os << (first ? "},\n" : "\n  },\n");
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": ";
+    WriteJsonNumber(os, gauge->value());
+  }
+  os << (first ? "},\n" : "\n  },\n");
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"count\": " << histogram->count() << ", \"sum\": ";
+    WriteJsonNumber(os, histogram->sum());
+    os << ", \"min\": ";
+    WriteJsonNumber(os, histogram->min());
+    os << ", \"max\": ";
+    WriteJsonNumber(os, histogram->max());
+    os << ", \"p50\": ";
+    WriteJsonNumber(os, histogram->Percentile(0.5));
+    os << ", \"p90\": ";
+    WriteJsonNumber(os, histogram->Percentile(0.9));
+    os << ", \"p99\": ";
+    WriteJsonNumber(os, histogram->Percentile(0.99));
+    os << "}";
+  }
+  os << (first ? "}\n" : "\n  }\n");
+  os << "}\n";
+}
+
+void PreregisterCoreMetrics(MetricsRegistry* registry) {
+  static const char* const kCounters[] = {
+      "fft.plan.constructions",
+      "fft.correlate.calls",
+      "fft.correlate_pair.calls",
+      "sketcher.sketch_of.calls",
+      "estimator.estimate.calls",
+      "ondemand.cache.hits",
+      "ondemand.cache.misses",
+      "ondemand.cache.evictions",
+      "cluster.distance_evals.exact",
+      "cluster.distance_evals.sketch",
+  };
+  static const char* const kGauges[] = {
+      "pool.build.canonical_sizes",
+      "cluster.kmeans.iterations",
+      "cluster.kmeans.converged",
+      "cluster.kmedoids.iterations",
+      "cluster.kmedoids.converged",
+      "cluster.dbscan.clusters",
+  };
+  static const char* const kHistograms[] = {
+      "span.fft.correlate.seconds",
+      "span.pool.build.seconds",
+      "span.sketcher.all_positions.seconds",
+      "span.sketcher.sketch_tiles.seconds",
+      "span.cluster.assign.seconds",
+      "span.cluster.update.seconds",
+  };
+  for (const char* name : kCounters) registry->GetCounter(name);
+  for (const char* name : kGauges) registry->GetGauge(name);
+  for (const char* name : kHistograms) registry->GetHistogram(name);
+}
+
+Status WriteMetricsJsonFile(const MetricsRegistry& registry,
+                            const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    return Status::IOError("cannot open metrics output file: " + path);
+  }
+  registry.WriteJson(os);
+  os.flush();
+  if (!os) {
+    return Status::IOError("failed writing metrics output file: " + path);
+  }
+  return Status::OK();
+}
+
+std::string EnableMetricsFromArgs(int* argc, char** argv) {
+  static constexpr char kPrefix[] = "--metrics-json=";
+  static constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  std::string path;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    if (std::strncmp(argv[read], kPrefix, kPrefixLen) == 0) {
+      path.assign(argv[read] + kPrefixLen);
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  *argc = write;
+  if (!path.empty()) {
+    PreregisterCoreMetrics(&MetricsRegistry::Global());
+    MetricsRegistry::SetEnabled(true);
+  }
+  return path;
+}
+
+bool FlushMetricsJson(const std::string& path) {
+  if (path.empty()) return true;
+  MetricsRegistry::SetEnabled(false);
+  const Status status = WriteMetricsJsonFile(MetricsRegistry::Global(), path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics: %s\n", status.message().c_str());
+    return false;
+  }
+  std::printf("metrics -> %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace tabsketch::util

@@ -1,0 +1,220 @@
+#ifndef TABSKETCH_UTIL_METRICS_H_
+#define TABSKETCH_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// Compile-time switch for the whole observability layer. Defaults to on;
+/// building with -DTABSKETCH_METRICS_ENABLED=0 (CMake option
+/// TABSKETCH_METRICS=OFF) compiles every TABSKETCH_METRIC_* macro and every
+/// trace span to nothing, so instrumented hot paths carry zero cost.
+#ifndef TABSKETCH_METRICS_ENABLED
+#define TABSKETCH_METRICS_ENABLED 1
+#endif
+
+namespace tabsketch::util {
+
+/// Monotonically increasing event count. All operations are relaxed atomics:
+/// counters are tallies, not synchronization points, so concurrent
+/// Increment() calls from the parallel k-means assignment loop never race and
+/// never order other memory.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (iteration counts, sizes, 0/1 switches).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe log-bucketed histogram for positive values (durations in
+/// seconds, mostly). Exact count/sum/min/max; percentiles are approximate,
+/// resolved to the upper edge of the containing power-of-two bucket (factor-2
+/// resolution, which is plenty for "where did the time go").
+///
+/// Buckets: bucket 0 holds values < kBucketBase (1 ns); bucket i holds
+/// [kBucketBase * 2^(i-1), kBucketBase * 2^i); the last bucket holds the
+/// overflow. Every member is a relaxed atomic, so concurrent Observe() calls
+/// are race-free and reads give a consistent-enough snapshot for reporting.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+  static constexpr double kBucketBase = 1e-9;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  double min() const;
+  double max() const;
+  /// Approximate q-quantile (q in [0, 1]); 0 when empty.
+  double Percentile(double q) const;
+
+  void Reset();
+
+ private:
+  static size_t BucketFor(double value);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Named registry of counters, gauges and histograms. One process-wide
+/// singleton (Global()) backs the TABSKETCH_METRIC_* macros and the CLI's
+/// --metrics-json dump; independent instances can be constructed for tests.
+///
+/// Metric objects are created on first lookup and never destroyed or moved
+/// for the registry's lifetime, so call sites may cache the returned pointers
+/// (the macros do, in a function-local static) and increment them lock-free.
+/// ResetValues() zeroes every metric in place without invalidating pointers.
+///
+/// The runtime enable flag gates the hot paths: when disabled (the default),
+/// every macro reduces to one relaxed atomic load and instrumented code is
+/// numerically bit-identical to uninstrumented code (instrumentation only
+/// ever reads clocks and bumps tallies — it never touches data values).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the macros and the CLI.
+  static MetricsRegistry& Global();
+
+  /// Runtime on/off switch for the global registry's hot-path macros.
+  static bool Enabled() {
+#if TABSKETCH_METRICS_ENABLED
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the named metric. The returned pointer stays valid for
+  /// the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric; registered names (and cached pointers)
+  /// survive.
+  void ResetValues();
+
+  /// Writes the registry as the stable JSON document described in
+  /// docs/FORMATS.md ("tabsketch-metrics-v1"): three sections (counters,
+  /// gauges, histograms), keys sorted lexicographically within each.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+
+  static std::atomic<bool> enabled_;
+};
+
+/// Registers every metric name documented in docs/FORMATS.md (values zero),
+/// so a dump always carries the full documented key set even when a run
+/// never touched some subsystem (e.g. `cluster` runs that never build a
+/// pool still report span.pool.build.seconds with count 0).
+void PreregisterCoreMetrics(MetricsRegistry* registry);
+
+/// Dumps `registry` as JSON to `path` (see WriteJson).
+Status WriteMetricsJsonFile(const MetricsRegistry& registry,
+                            const std::string& path);
+
+/// Bench-binary helper: scans argv[1..argc) for "--metrics-json=PATH"; if
+/// found, removes the argument (compacting argv and decrementing *argc),
+/// preregisters the core metrics, enables the global registry, and returns
+/// PATH. Returns "" when the flag is absent.
+std::string EnableMetricsFromArgs(int* argc, char** argv);
+
+/// Bench-binary helper: no-op when `path` is empty, otherwise writes the
+/// global registry to `path` and prints "metrics -> path" (diagnostics to
+/// stderr on failure). Returns true on success or empty path.
+bool FlushMetricsJson(const std::string& path);
+
+}  // namespace tabsketch::util
+
+/// Hot-path instrumentation macros. Cost when the registry is disabled: one
+/// relaxed atomic load. Cost when compiled out: nothing. `name` must be a
+/// string constant (it seeds a function-local static pointer cache).
+#if TABSKETCH_METRICS_ENABLED
+
+#define TABSKETCH_METRIC_COUNT_N(name, n)                                 \
+  do {                                                                    \
+    if (::tabsketch::util::MetricsRegistry::Enabled()) {                  \
+      static ::tabsketch::util::Counter* const _tabsketch_counter =       \
+          ::tabsketch::util::MetricsRegistry::Global().GetCounter(name);  \
+      _tabsketch_counter->Increment(                                      \
+          static_cast<uint64_t>(n));                                      \
+    }                                                                     \
+  } while (false)
+
+#define TABSKETCH_METRIC_GAUGE_SET(name, value)                           \
+  do {                                                                    \
+    if (::tabsketch::util::MetricsRegistry::Enabled()) {                  \
+      static ::tabsketch::util::Gauge* const _tabsketch_gauge =           \
+          ::tabsketch::util::MetricsRegistry::Global().GetGauge(name);    \
+      _tabsketch_gauge->Set(static_cast<double>(value));                  \
+    }                                                                     \
+  } while (false)
+
+#define TABSKETCH_METRIC_OBSERVE(name, value)                              \
+  do {                                                                     \
+    if (::tabsketch::util::MetricsRegistry::Enabled()) {                   \
+      static ::tabsketch::util::Histogram* const _tabsketch_histogram =    \
+          ::tabsketch::util::MetricsRegistry::Global().GetHistogram(name); \
+      _tabsketch_histogram->Observe(static_cast<double>(value));           \
+    }                                                                      \
+  } while (false)
+
+#else  // !TABSKETCH_METRICS_ENABLED
+
+#define TABSKETCH_METRIC_COUNT_N(name, n) \
+  do {                                    \
+  } while (false)
+#define TABSKETCH_METRIC_GAUGE_SET(name, value) \
+  do {                                          \
+  } while (false)
+#define TABSKETCH_METRIC_OBSERVE(name, value) \
+  do {                                        \
+  } while (false)
+
+#endif  // TABSKETCH_METRICS_ENABLED
+
+#define TABSKETCH_METRIC_COUNT(name) TABSKETCH_METRIC_COUNT_N(name, 1)
+
+#endif  // TABSKETCH_UTIL_METRICS_H_

@@ -1,0 +1,28 @@
+#include "util/trace.h"
+
+namespace tabsketch::util {
+
+ScopedSpan::ScopedSpan(const std::string& name, MetricsRegistry* registry) {
+  // An explicit registry records unconditionally — even in metrics-disabled
+  // builds — so tests can exercise spans without the global flag.
+  if (registry != nullptr) {
+    seconds_ = registry->GetHistogram("span." + name + ".seconds");
+  }
+#if TABSKETCH_METRICS_ENABLED
+  else if (MetricsRegistry::Enabled()) {
+    seconds_ = MetricsRegistry::Global().GetHistogram("span." + name +
+                                                      ".seconds");
+  }
+#endif
+  if (seconds_ != nullptr) timer_.Restart();
+}
+
+double ScopedSpan::Stop() {
+  if (seconds_ == nullptr) return 0.0;
+  const double elapsed = timer_.ElapsedSeconds();
+  seconds_->Observe(elapsed);
+  seconds_ = nullptr;
+  return elapsed;
+}
+
+}  // namespace tabsketch::util

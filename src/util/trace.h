@@ -1,0 +1,56 @@
+#ifndef TABSKETCH_UTIL_TRACE_H_
+#define TABSKETCH_UTIL_TRACE_H_
+
+#include <string>
+
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace tabsketch::util {
+
+/// RAII wall-time span. Construction snapshots the clock; destruction (or an
+/// explicit Stop()) observes the elapsed seconds into the histogram
+/// "span.<name>.seconds" of the target registry.
+///
+/// When metrics are disabled at construction time the span holds a null
+/// histogram and both the constructor and destructor are a relaxed load plus
+/// a branch — cheap enough to leave in hot paths unconditionally. Dynamic
+/// names (e.g. per-canonical-size pool spans) are supported because the
+/// histogram is resolved once per span, not per call site.
+class ScopedSpan {
+ public:
+  /// `registry` defaults to the global registry; spans against an explicit
+  /// registry record regardless of the global enable flag (useful in tests).
+  explicit ScopedSpan(const std::string& name,
+                      MetricsRegistry* registry = nullptr);
+  ~ScopedSpan() { Stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records the span now (idempotent). Returns the elapsed seconds recorded,
+  /// or 0.0 when the span was disabled or already stopped.
+  double Stop();
+
+ private:
+  Histogram* seconds_ = nullptr;
+  WallTimer timer_;
+};
+
+}  // namespace tabsketch::util
+
+/// Statement macro: times the enclosing scope into "span.<name>.seconds" of
+/// the global registry. `name` is any string expression; evaluation is
+/// skipped entirely while metrics are disabled.
+#define TABSKETCH_TRACE_CONCAT_INNER_(a, b) a##b
+#define TABSKETCH_TRACE_CONCAT_(a, b) TABSKETCH_TRACE_CONCAT_INNER_(a, b)
+#if TABSKETCH_METRICS_ENABLED
+#define TABSKETCH_TRACE_SPAN(name)                                     \
+  ::tabsketch::util::ScopedSpan TABSKETCH_TRACE_CONCAT_(               \
+      _tabsketch_span_, __LINE__)(name)
+#else
+// Compiles away entirely (the name expression is never evaluated).
+#define TABSKETCH_TRACE_SPAN(name) ((void)0)
+#endif
+
+#endif  // TABSKETCH_UTIL_TRACE_H_

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "cli/commands.h"
 #include "cli/flags.h"
+#include "json_checker.h"
 
 namespace tabsketch::cli {
 namespace {
@@ -308,6 +310,164 @@ TEST(CliTest, InfoMissingFileFails) {
   const CliRun run = RunCli({"info", "--table=/tmp/definitely_missing.tbl"});
   EXPECT_EQ(run.code, 1);
   EXPECT_NE(run.err.find("error"), std::string::npos);
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Extracts the numeric value of `"key": <number>` from a metrics dump.
+/// Returns -1 when the key is absent (all real metric values are >= 0).
+double MetricValue(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+// The ISSUE-3 acceptance scenario: cluster a 256x256 demo table with
+// --metrics-json and validate that the dump is well-formed JSON carrying the
+// documented per-stage timings and the exact-vs-sketch evaluation split.
+TEST(CliMetricsTest, ClusterDumpCarriesDocumentedSchema) {
+  const std::string table_path = TempPath("cli_metrics_table.tbl");
+  const std::string json_path = TempPath("cli_metrics_cluster.json");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=256", "--cols=256", "--seed=3"})
+                  .code,
+              0);
+  }
+  const CliRun run =
+      RunCli({"cluster", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              "--algo=kmeans", "--k=6", "--sketch-k=64", json_flag.c_str()});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("metrics written to"), std::string::npos);
+
+  const std::string json = ReadWholeFile(json_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(tabsketch::testing::JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"tabsketch-metrics-v1\""),
+            std::string::npos);
+
+  // Per-stage timing keys are always present (preregistered), and the stages
+  // this run exercises have recorded samples.
+  for (const char* stage :
+       {"span.fft.correlate.seconds", "span.pool.build.seconds",
+        "span.cluster.assign.seconds"}) {
+    EXPECT_NE(json.find(std::string("\"") + stage + "\""), std::string::npos)
+        << "missing stage " << stage;
+  }
+  EXPECT_GE(MetricValue(json, "span.cluster.assign.seconds"), 0.0);
+
+  // Precomputed sketch mode: every distance evaluation is a sketch estimate.
+  const double sketch_evals =
+      MetricValue(json, "cluster.distance_evals.sketch");
+  const double exact_evals = MetricValue(json, "cluster.distance_evals.exact");
+  EXPECT_GT(sketch_evals, 0.0);
+  EXPECT_EQ(exact_evals, 0.0);
+  EXPECT_GT(MetricValue(json, "estimator.estimate.calls"), 0.0);
+  EXPECT_GT(MetricValue(json, "sketcher.sketch_of.calls"), 0.0);
+  EXPECT_GT(MetricValue(json, "cluster.kmeans.iterations"), 0.0);
+
+  std::remove(table_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(CliMetricsTest, ExactModeSplitsEvaluationsToExact) {
+  const std::string table_path = TempPath("cli_metrics_exact.tbl");
+  const std::string json_path = TempPath("cli_metrics_exact.json");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64"})
+                  .code,
+              0);
+  }
+  const CliRun run =
+      RunCli({"cluster", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              "--algo=kmeans", "--k=4", "--mode=exact", json_flag.c_str()});
+  ASSERT_EQ(run.code, 0) << run.err;
+  const std::string json = ReadWholeFile(json_path);
+  EXPECT_TRUE(tabsketch::testing::JsonChecker::Valid(json)) << json;
+  EXPECT_GT(MetricValue(json, "cluster.distance_evals.exact"), 0.0);
+  EXPECT_EQ(MetricValue(json, "cluster.distance_evals.sketch"), 0.0);
+  std::remove(table_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(CliMetricsTest, PoolBuildDumpRecordsFftAndPoolStages) {
+  const std::string table_path = TempPath("cli_metrics_pool.tbl");
+  const std::string pool_path = TempPath("cli_metrics_pool.pool");
+  const std::string json_path = TempPath("cli_metrics_pool.json");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64"})
+                  .code,
+              0);
+  }
+  const std::string out_flag = "--out=" + pool_path;
+  const CliRun run =
+      RunCli({"pool-build", table_flag.c_str(), out_flag.c_str(), "--k=8",
+              "--min-log2=3", "--max-log2=5", json_flag.c_str()});
+  ASSERT_EQ(run.code, 0) << run.err;
+
+  const std::string json = ReadWholeFile(json_path);
+  EXPECT_TRUE(tabsketch::testing::JsonChecker::Valid(json)) << json;
+  EXPECT_EQ(MetricValue(json, "fft.plan.constructions"), 1.0);
+  EXPECT_GT(MetricValue(json, "fft.correlate_pair.calls"), 0.0);
+  EXPECT_EQ(MetricValue(json, "pool.build.canonical_sizes"), 9.0);
+  // The overall build span and one per-canonical-size histogram.
+  EXPECT_GE(MetricValue(json, "span.pool.build.seconds"), 0.0);
+  EXPECT_NE(json.find("\"span.pool.build.size_8x8.seconds\""),
+            std::string::npos);
+  // The fft stage span recorded at least one sample.
+  const size_t fft_span = json.find("\"span.fft.correlate.seconds\"");
+  ASSERT_NE(fft_span, std::string::npos);
+  const std::string fft_entry = json.substr(fft_span, 80);
+  EXPECT_EQ(fft_entry.find("\"count\": 0,"), std::string::npos) << fft_entry;
+
+  std::remove(table_path.c_str());
+  std::remove(pool_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(CliMetricsTest, RepeatedRunsResetBetweenDumps) {
+  const std::string table_path = TempPath("cli_metrics_reset.tbl");
+  const std::string json_path = TempPath("cli_metrics_reset.json");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=32", "--cols=32"})
+                  .code,
+              0);
+  }
+  auto sketch_calls = [&] {
+    const CliRun run = RunCli({"distance", table_flag.c_str(),
+                               "--rect1=0,0,8,8", "--rect2=16,16,8,8",
+                               "--k=16", json_flag.c_str()});
+    EXPECT_EQ(run.code, 0) << run.err;
+    return MetricValue(ReadWholeFile(json_path), "sketcher.sketch_of.calls");
+  };
+  // Identical runs dump identical counts — the registry resets per run
+  // instead of accumulating across in-process invocations.
+  const double first = sketch_calls();
+  EXPECT_GT(first, 0.0);
+  EXPECT_EQ(sketch_calls(), first);
+  std::remove(table_path.c_str());
+  std::remove(json_path.c_str());
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pool_io.h"
 #include "core/sketch_pool.h"
@@ -87,6 +91,125 @@ TEST(PoolIoTest, MissingFileIsIOError) {
   auto loaded = ReadSketchPool(TempPath("no_such_pool.bin"));
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-file tests: tests/golden/pool_v1.pool pins the exact on-disk bytes
+// of the pool format. The pool is rebuilt here from the same literal values
+// the generator (tests/golden/generate_golden.py) uses — every value is a
+// small multiple of 0.5, exactly representable — so a byte mismatch means
+// the serialization format itself changed.
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(TABSKETCH_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+double GoldenPlaneValue(size_t field, size_t plane, size_t index) {
+  return static_cast<double>(field) * 100.0 +
+         static_cast<double>(plane) * 10.0 +
+         static_cast<double>(index) * 0.5 - 3.0;
+}
+
+SketchPool GoldenPool() {
+  // Mirrors generate_golden.py: fields (2x2) -> 7x7 positions and
+  // (4x4) -> 5x5 positions, k = 2 planes each, over an 8x8 table.
+  const struct {
+    size_t window_rows, window_cols, position_rows, position_cols;
+  } kFields[] = {{2, 2, 7, 7}, {4, 4, 5, 5}};
+  std::map<std::pair<size_t, size_t>, SketchField> fields;
+  size_t field_index = 0;
+  for (const auto& f : kFields) {
+    std::vector<table::Matrix> planes;
+    for (size_t plane = 0; plane < 2; ++plane) {
+      table::Matrix m(f.position_rows, f.position_cols);
+      auto values = m.Values();
+      for (size_t i = 0; i < values.size(); ++i) {
+        values[i] = GoldenPlaneValue(field_index, plane, i);
+      }
+      planes.push_back(std::move(m));
+    }
+    fields.emplace(std::make_pair(f.window_rows, f.window_cols),
+                   SketchField(f.window_rows, f.window_cols,
+                               std::move(planes)));
+    ++field_index;
+  }
+  return SketchPool::FromParts({.p = 1.0, .k = 2, .seed = 31}, 8, 8,
+                               std::move(fields))
+      .value();
+}
+
+TEST(PoolIoGoldenTest, SerializationIsByteStable) {
+  const std::string golden = ReadFileBytes(GoldenPath("pool_v1.pool"));
+  ASSERT_FALSE(golden.empty()) << "missing golden fixture";
+  const std::string path = TempPath("tabsketch_pool_golden.bin");
+  ASSERT_TRUE(WriteSketchPool(GoldenPool(), path).ok());
+  EXPECT_EQ(ReadFileBytes(path), golden)
+      << "pool serialization bytes changed; if intentional, bump the format "
+         "version and regenerate tests/golden";
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoGoldenTest, GoldenFileRoundTrips) {
+  auto loaded = ReadSketchPool(GoldenPath("pool_v1.pool"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SketchPool expected = GoldenPool();
+  EXPECT_EQ(loaded->params(), expected.params());
+  EXPECT_EQ(loaded->data_rows(), expected.data_rows());
+  EXPECT_EQ(loaded->data_cols(), expected.data_cols());
+  ASSERT_EQ(loaded->fields().size(), expected.fields().size());
+  for (const auto& [shape, field] : expected.fields()) {
+    const auto it = loaded->fields().find(shape);
+    ASSERT_NE(it, loaded->fields().end())
+        << "missing field " << shape.first << "x" << shape.second;
+    ASSERT_EQ(it->second.k(), field.k());
+    for (size_t plane = 0; plane < field.k(); ++plane) {
+      const auto got = it->second.plane(plane).Values();
+      const auto want = field.plane(plane).Values();
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]) << "plane " << plane << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(PoolIoGoldenTest, CorruptedMagicIsCleanIOError) {
+  std::string bytes = ReadFileBytes(GoldenPath("pool_v1.pool"));
+  ASSERT_FALSE(bytes.empty());
+  bytes[1] = '?';  // break the magic
+  const std::string path = TempPath("tabsketch_pool_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadSketchPool(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoGoldenTest, TruncatedHeaderIsCleanIOError) {
+  const std::string bytes = ReadFileBytes(GoldenPath("pool_v1.pool"));
+  ASSERT_FALSE(bytes.empty());
+  const std::string path = TempPath("tabsketch_pool_shorthdr.bin");
+  // 56-byte pool header, then a 32-byte field header: cut inside both.
+  for (const size_t keep : {size_t{0}, size_t{5}, size_t{40}, size_t{70}}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    auto loaded = ReadSketchPool(path);
+    EXPECT_FALSE(loaded.ok()) << "header truncated to " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(PoolFromPartsTest, RejectsEmptyFields) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/sketch_io.h"
@@ -94,6 +96,114 @@ TEST(SketchIoTest, MissingFileIsIOError) {
   auto loaded = ReadSketchSet(TempPath("does_not_exist_tsks.bin"));
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-file tests: tests/golden/sketch_set_v1.skt pins the exact on-disk
+// bytes (header layout, field order, payload packing). The set is rebuilt
+// here from the same literal, exactly-representable values the generator
+// (tests/golden/generate_golden.py) uses, so a byte mismatch means the
+// serialization format changed — which requires a version bump, not a
+// silently different file.
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(TABSKETCH_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+SketchSet GoldenSet() {
+  SketchSet set;
+  set.params = {.p = 0.5, .k = 6, .seed = 1234};
+  set.object_rows = 8;
+  set.object_cols = 16;
+  for (int s = 0; s < 3; ++s) {
+    Sketch sketch;
+    sketch.values.resize(6);
+    for (int j = 0; j < 6; ++j) {
+      sketch.values[j] = s * 1.5 + j * 0.25 - 2.0;
+    }
+    set.sketches.push_back(std::move(sketch));
+  }
+  return set;
+}
+
+TEST(SketchIoGoldenTest, SerializationIsByteStable) {
+  const std::string golden = ReadFileBytes(GoldenPath("sketch_set_v1.skt"));
+  ASSERT_FALSE(golden.empty()) << "missing golden fixture";
+  const std::string path = TempPath("tabsketch_sketchset_golden.bin");
+  ASSERT_TRUE(WriteSketchSet(GoldenSet(), path).ok());
+  EXPECT_EQ(ReadFileBytes(path), golden)
+      << "sketch-set serialization bytes changed; if intentional, bump the "
+         "format version and regenerate tests/golden";
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoGoldenTest, GoldenFileRoundTrips) {
+  auto loaded = ReadSketchSet(GoldenPath("sketch_set_v1.skt"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SketchSet expected = GoldenSet();
+  EXPECT_EQ(loaded->params, expected.params);
+  EXPECT_EQ(loaded->object_rows, expected.object_rows);
+  EXPECT_EQ(loaded->object_cols, expected.object_cols);
+  ASSERT_EQ(loaded->sketches.size(), expected.sketches.size());
+  for (size_t i = 0; i < expected.sketches.size(); ++i) {
+    EXPECT_EQ(loaded->sketches[i].values, expected.sketches[i].values);
+  }
+}
+
+TEST(SketchIoGoldenTest, CorruptedMagicIsCleanIOError) {
+  std::string bytes = ReadFileBytes(GoldenPath("sketch_set_v1.skt"));
+  ASSERT_FALSE(bytes.empty());
+  bytes[0] = 'X';  // break the magic
+  const std::string path = TempPath("tabsketch_sketchset_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadSketchSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoGoldenTest, TruncatedHeaderIsCleanIOError) {
+  const std::string bytes = ReadFileBytes(GoldenPath("sketch_set_v1.skt"));
+  ASSERT_FALSE(bytes.empty());
+  const std::string path = TempPath("tabsketch_sketchset_shorthdr.bin");
+  for (const size_t keep : {size_t{0}, size_t{3}, size_t{17}, size_t{55}}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    auto loaded = ReadSketchSet(path);
+    EXPECT_FALSE(loaded.ok()) << "header truncated to " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoGoldenTest, OversizedCountIsCleanIOError) {
+  // Blow the count field up to claim far more payload than the file holds;
+  // the overflow-safe size check must reject it without allocating.
+  std::string bytes = ReadFileBytes(GoldenPath("sketch_set_v1.skt"));
+  ASSERT_FALSE(bytes.empty());
+  const uint64_t huge = ~uint64_t{0} / 16;
+  std::memcpy(bytes.data() + 48, &huge, sizeof(huge));  // count at offset 48
+  const std::string path = TempPath("tabsketch_sketchset_hugecount.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadSketchSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
 }
 
 }  // namespace
