@@ -22,6 +22,7 @@
 #include "rng/xoshiro256.h"
 #include "table/tiling.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/timer.h"
 
 namespace {
@@ -78,8 +79,8 @@ void AccuracyAndCost(const tabsketch::table::TileGrid& grid,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf("=== Ablation: median vs L2 estimator for p = 2 ===\n");
 
   tabsketch::data::CallVolumeOptions options;
@@ -130,5 +131,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: both estimators are accurate; the L2 estimator is\n"
       "several times cheaper per comparison (no selection), which is why\n"
       "the library uses it automatically when p = 2 (EstimatorKind::kAuto).\n");
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

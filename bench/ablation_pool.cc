@@ -14,6 +14,7 @@
 #include "data/call_volume.h"
 #include "rng/xoshiro256.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/timer.h"
 
 namespace {
@@ -37,8 +38,8 @@ size_t PoolBytes(const SketchPool& pool) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf("=== Ablation: dyadic sketch pools (Theorem 6) ===\n");
 
   SketchParams params{.p = 1.0, .k = 32, .seed = 11};
@@ -165,5 +166,5 @@ int main(int argc, char** argv) {
       "query latency is flat in the rectangle size (it is 4 gathers + a\n"
       "vector add); compound estimates order pairs correctly the vast\n"
       "majority of the time despite the Theorem-5 inflation band.\n");
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

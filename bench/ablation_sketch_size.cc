@@ -19,6 +19,7 @@
 #include "rng/xoshiro256.h"
 #include "table/tiling.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/timer.h"
 
 namespace {
@@ -35,8 +36,8 @@ constexpr size_t kNumPairs = 4000;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf("=== Ablation: sketch size k (accuracy vs cost) ===\n");
 
   tabsketch::data::CallVolumeOptions options;
@@ -118,5 +119,5 @@ int main(int argc, char** argv) {
       "Expected shape: accuracy rises with k roughly as 1 - c/sqrt(k) and\n"
       "cost rises linearly in k; the paper's clustering settings (k = 256)\n"
       "sit where pairwise correctness has largely saturated.\n");
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "data/call_volume.h"
 #include "fft/correlate.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -55,8 +56,8 @@ double PoolChecksum(const SketchPool& pool) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   const size_t side = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
   const size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
   const size_t min_log2 = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
@@ -163,7 +164,7 @@ int main(int argc, char** argv) {
   std::printf("results -> %s\n", json_path);
 
   const bool metrics_ok =
-      tabsketch::util::FlushMetricsJson(metrics_path);
+      tabsketch::util::FlushObservability(observability);
   return (checksums_agree && one_plan_per_build && metrics_ok)
              ? 0
              : 1;

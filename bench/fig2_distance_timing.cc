@@ -24,6 +24,7 @@
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/timer.h"
 
 namespace {
@@ -133,8 +134,8 @@ void RunNorm(const tabsketch::table::Matrix& data, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf(
       "=== Figure 2: distance assessment, %zu random pairs, k = %zu ===\n",
       kNumPairs, kSketchSize);
@@ -161,5 +162,5 @@ int main(int argc, char** argv) {
       "(it depends on the table size, not the tile size); accuracy within\n"
       "a few percent, with pairwise correctness dipping for the largest\n"
       "L1 tiles where all pairs are nearly equidistant.\n");
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

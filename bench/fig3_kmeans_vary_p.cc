@@ -30,6 +30,7 @@
 #include "eval/quality.h"
 #include "table/tiling.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/timer.h"
 
 namespace {
@@ -47,8 +48,8 @@ constexpr size_t kSketchEntries = 256;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf(
       "=== Figure 3: 20-means over stitched days, tile = 64 stations x 1 day "
       "===\n");
@@ -144,5 +145,5 @@ int main(int argc, char** argv) {
       "no median); agreement is high for small p and dips for p = 2, while\n"
       "quality stays ~100%% — the sketched clustering is as good as exact\n"
       "even when it is a different local minimum.\n");
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "data/call_volume.h"
 #include "table/tiling.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/timer.h"
 
 namespace {
@@ -29,8 +30,8 @@ constexpr double kNorm = 1.0;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf(
       "=== Figure 4(a): k-means time vs number of clusters, p = 1 ===\n");
 
@@ -94,5 +95,5 @@ int main(int argc, char** argv) {
       "with k; both sketch curves rise much more slowly and their offset is\n"
       "the (k-independent) on-demand sketching cost; for the smallest k the\n"
       "comparisons saved may not buy back that cost.\n");
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

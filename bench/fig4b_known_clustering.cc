@@ -17,6 +17,7 @@
 #include "eval/confusion.h"
 #include "table/tiling.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 
 namespace {
 
@@ -29,8 +30,8 @@ using tabsketch::cluster::SketchMode;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf(
       "=== Figure 4(b): finding a known 6-clustering vs p (sketched "
       "k-means) ===\n");
@@ -90,5 +91,5 @@ int main(int argc, char** argv) {
       "noted in EXPERIMENTS.md: the paper also reports poor accuracy at\n"
       "p = 1; with our outlier recipe the linear penalty is still small\n"
       "relative to the inter-region signal, so the collapse starts above 1.\n");
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

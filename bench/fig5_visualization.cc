@@ -20,6 +20,7 @@
 #include "data/call_volume.h"
 #include "table/tiling.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 
 namespace {
 
@@ -61,8 +62,8 @@ void Render(const tabsketch::table::TileGrid& grid,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   std::printf("=== Figure 5: one day's clustering at p = 2.0 and p = 0.25 "
               "===\n");
 
@@ -106,5 +107,5 @@ int main(int argc, char** argv) {
                 p);
     Render(*grid, result->assignment);
   }
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/timer.h"
 
 namespace {
@@ -57,8 +58,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_path =
-      tabsketch::util::EnableMetricsFromArgs(&argc, argv);
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
   const std::vector<size_t> sizes =
       argc > 1 ? ParseSizeList(argv[1])
                : std::vector<size_t>{256, 512, 1024, 2048};
@@ -165,5 +166,5 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("results -> %s\n", json_path);
-  return tabsketch::util::FlushMetricsJson(metrics_path) ? 0 : 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "rng/xoshiro256.h"
 #include "table/matrix.h"
 #include "util/median.h"
+#include "util/observability.h"
 
 namespace {
 
@@ -169,4 +170,15 @@ BENCHMARK(BM_MedianSelection)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared observability flags
+// (--metrics-json / --trace-json / --audit-rate) are stripped before
+// google-benchmark sees the argument list.
+int main(int argc, char** argv) {
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
+}

@@ -21,9 +21,11 @@
 #include "data/call_volume.h"
 #include "data/ip_traffic.h"
 #include "data/six_region.h"
+#include "eval/audit.h"
 #include "table/table_io.h"
 #include "table/tiling.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -63,6 +65,12 @@ commands:
 global flags (every command):
   --metrics-json=FILE  dump per-stage timings and counters as JSON
                        ("tabsketch-metrics-v1", see docs/FORMATS.md)
+  --trace-json=FILE    record a flight-recorder timeline and write it as
+                       Chrome trace-event JSON ("tabsketch-trace-v1");
+                       open in Perfetto or chrome://tracing
+  --audit-rate=R       shadow-check an R-fraction (0..1, default 0) of
+                       sketch distance estimates against the exact Lp
+                       distance; errors land in audit.* metrics
 )";
 
 /// Prints `status` to err and returns 1 (for `return Fail(...)`).
@@ -95,7 +103,7 @@ size_t ThreadsFromFlag(int64_t threads) {
 
 int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"dataset", "out", "rows", "cols", "days", "seed", "metrics-json"}));
+      {"dataset", "out", "rows", "cols", "days", "seed", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string dataset,
                        flags.GetRequired("dataset"));
   TABSKETCH_ASSIGN_CLI(const std::string path, flags.GetRequired("out"));
@@ -146,7 +154,7 @@ int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdInfo(const Flags& flags, std::ostream& out, std::ostream& err) {
-  TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "metrics-json"}));
+  TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string path, flags.GetRequired("table"));
   auto matrix = table::ReadBinary(path);
   if (!matrix.ok()) return Fail(err, matrix.status());
@@ -168,7 +176,7 @@ int CmdInfo(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "out", "tile-rows",
                                         "tile-cols", "p", "k", "seed",
-                                        "threads", "metrics-json"}));
+                                        "threads", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
@@ -215,7 +223,7 @@ int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
 
 int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "rect1", "rect2", "p", "k",
-                                        "seed", "metrics-json"}));
+                                        "seed", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string rect1_text,
@@ -258,6 +266,13 @@ int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!estimator.ok()) return Fail(err, estimator.status());
   const double approx = estimator->Estimate(sketcher->SketchOf(view1),
                                             sketcher->SketchOf(view2));
+  // The exact distance is already on hand here, so auditing costs nothing
+  // extra: record the pair whenever the auditor is on.
+  if (eval::SketchAuditor::Enabled()) {
+    eval::SketchAuditor::Global()
+        .ChannelFor(params.p, params.k)
+        ->Record(exact, approx);
+  }
   out << "L" << p << " distance, " << r1[2] << "x" << r1[3]
       << " rectangles:\n"
       << "  exact:     " << exact << "\n"
@@ -269,7 +284,7 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "algo", "k", "p", "seed", "mode",
        "sketch-k", "epsilon", "min-points", "threads", "out",
-       "metrics-json"}));
+       "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -376,6 +391,17 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   for (size_t size : sizes) out << " " << size;
   out << "\n";
 
+  // End-of-run accuracy audit summary (only when --audit-rate sampled
+  // sketch estimates; exact-mode runs have nothing to audit).
+  if (eval::SketchAuditor::Enabled()) {
+    for (const auto& audit : eval::SketchAuditor::Global().Summaries()) {
+      out << "audit p=" << audit.p << " k=" << audit.k << ": "
+          << audit.samples << " sampled, median relerr "
+          << audit.median_relerr << ", worst " << audit.worst_relerr << ", "
+          << audit.violations << " over eps=" << audit.epsilon << "\n";
+    }
+  }
+
   if (!out_path.empty()) {
     std::ofstream csv(out_path, std::ios::trunc);
     if (!csv) {
@@ -395,7 +421,7 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "out", "p", "k", "seed", "min-log2", "max-log2", "threads",
-       "metrics-json"}));
+       "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
@@ -434,7 +460,7 @@ int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
 
 int CmdPoolQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"pool", "rect1", "rect2", "table", "metrics-json"}));
+      {"pool", "rect1", "rect2", "table", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string pool_path,
                        flags.GetRequired("pool"));
   TABSKETCH_ASSIGN_CLI(const std::string rect1_text,
@@ -487,18 +513,23 @@ int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
     out << kUsage;
     return command.empty() ? 1 : 0;
   }
-  // --metrics-json is handled here, outside the commands: enable the global
-  // registry (reset first, so repeated in-process invocations — the tests —
-  // each dump only their own run) before dispatch, dump it after. Commands
-  // only have to list the flag in AllowOnly.
+  // The observability flags are handled here, outside the commands: enable
+  // the requested subsystems (metrics reset first, so repeated in-process
+  // invocations — the tests — each dump only their own run) before dispatch,
+  // flush them after. Commands only have to list the flags in AllowOnly.
   auto metrics_path = flags->GetString("metrics-json", "");
   if (!metrics_path.ok()) return Fail(err, metrics_path.status());
-  if (!metrics_path->empty()) {
-    util::MetricsRegistry& registry = util::MetricsRegistry::Global();
-    util::PreregisterCoreMetrics(&registry);
-    registry.ResetValues();
-    util::MetricsRegistry::SetEnabled(true);
+  auto trace_path = flags->GetString("trace-json", "");
+  if (!trace_path.ok()) return Fail(err, trace_path.status());
+  auto audit_rate = flags->GetDouble("audit-rate", 0.0);
+  if (!audit_rate.ok()) return Fail(err, audit_rate.status());
+  if (!(*audit_rate >= 0.0) || *audit_rate > 1.0) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--audit-rate must be in [0, 1]"));
   }
+  const util::ObservabilityArgs observability{*metrics_path, *trace_path,
+                                              *audit_rate};
+  util::SetupObservability(observability);
 
   int code = 1;
   if (command == "generate") {
@@ -520,14 +551,7 @@ int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
     return 1;
   }
 
-  if (!metrics_path->empty()) {
-    util::MetricsRegistry::SetEnabled(false);
-    const util::Status written =
-        util::WriteMetricsJsonFile(util::MetricsRegistry::Global(),
-                                   *metrics_path);
-    if (!written.ok()) return Fail(err, written);
-    out << "metrics written to " << *metrics_path << "\n";
-  }
+  if (!util::FlushObservability(observability, &out, &err)) return 1;
   return code;
 }
 

@@ -58,6 +58,7 @@ util::Result<DbscanResult> RunDbscan(ClusteringBackend* backend,
     }
     // New cluster: expand from the seed's neighborhood.
     const int cluster = static_cast<int>(result.num_clusters++);
+    TABSKETCH_TRACE_INSTANT("cluster.dbscan.new_cluster", cluster);
     result.assignment[seed] = cluster;
     std::deque<size_t> frontier(neighbors.begin(), neighbors.end());
     while (!frontier.empty()) {

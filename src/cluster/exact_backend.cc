@@ -4,6 +4,7 @@
 
 #include "core/lp_distance.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace tabsketch::cluster {
 
@@ -39,6 +40,7 @@ double ExactBackend::ObjectDistance(size_t a, size_t b) {
 }
 
 void ExactBackend::UpdateCentroids(const std::vector<int>& assignment) {
+  TABSKETCH_TRACE_SPAN("cluster.exact_update");
   TABSKETCH_CHECK(assignment.size() == num_objects());
   const size_t k = centroids_.size();
   std::vector<table::Matrix> sums(

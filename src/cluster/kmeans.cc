@@ -117,6 +117,7 @@ util::Result<KMeansResult> RunKMeans(ClusteringBackend* backend,
       TABSKETCH_TRACE_SPAN("cluster.assign");
       changed = AssignAll(backend, options.threads, &result.assignment);
     }
+    TABSKETCH_TRACE_INSTANT("cluster.kmeans.changed", changed);
     const bool revived = ReviveEmptyClusters(backend, &result.assignment);
     if (changed == 0 && !revived) {
       result.converged = true;

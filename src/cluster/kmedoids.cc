@@ -102,6 +102,7 @@ util::Result<KMedoidsResult> RunKMedoids(ClusteringBackend* backend,
       changed = AssignToMedoids(backend, result.medoids, &result.assignment,
                                 &result.objective);
     }
+    TABSKETCH_TRACE_INSTANT("cluster.kmedoids.changed", changed);
     bool moved;
     {
       TABSKETCH_TRACE_SPAN("cluster.update");

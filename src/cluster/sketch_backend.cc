@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/lp_distance.h"
 #include "util/logging.h"
 
 namespace tabsketch::cluster {
@@ -24,6 +25,10 @@ util::Result<SketchBackend> SketchBackend::Create(
   } else {
     backend.cache_ = std::make_unique<core::OnDemandSketchCache>(
         backend.sketcher_.get(), grid);
+  }
+  if (eval::SketchAuditor::Enabled()) {
+    backend.audit_ =
+        eval::SketchAuditor::Global().ChannelFor(params.p, params.k);
   }
   return backend;
 }
@@ -52,6 +57,13 @@ void SketchBackend::InitCentroidsFromObjects(
   for (size_t index : object_indices) {
     centroids_.push_back(TileSketch(index));
   }
+  if (audit_ != nullptr) {
+    audit_centroids_.clear();
+    audit_centroids_.reserve(object_indices.size());
+    for (size_t index : object_indices) {
+      audit_centroids_.push_back(grid_->Tile(index).ToMatrix());
+    }
+  }
 }
 
 namespace {
@@ -68,9 +80,17 @@ std::vector<double>* ThreadScratch() {
 double SketchBackend::Distance(size_t object, size_t centroid) {
   ++distance_evaluations_;
   TABSKETCH_CHECK(centroid < centroids_.size());
-  return estimator_.EstimateWithScratch(TileSketch(object).values,
-                                        centroids_[centroid].values,
-                                        ThreadScratch());
+  const double estimate = estimator_.EstimateWithScratch(
+      TileSketch(object).values, centroids_[centroid].values,
+      ThreadScratch());
+  if (audit_ != nullptr && centroid < audit_centroids_.size() &&
+      eval::SketchAuditor::Global().ShouldSample()) {
+    audit_->Record(core::LpDistance(grid_->Tile(object),
+                                    audit_centroids_[centroid].View(),
+                                    sketcher_->params().p),
+                   estimate);
+  }
+  return estimate;
 }
 
 double SketchBackend::ObjectDistance(size_t a, size_t b) {
@@ -80,8 +100,15 @@ double SketchBackend::ObjectDistance(size_t a, size_t b) {
   // but sequencing the calls keeps the invariant obvious.
   const core::Sketch& sketch_a = TileSketch(a);
   const core::Sketch& sketch_b = TileSketch(b);
-  return estimator_.EstimateWithScratch(sketch_a.values, sketch_b.values,
-                                        ThreadScratch());
+  const double estimate = estimator_.EstimateWithScratch(
+      sketch_a.values, sketch_b.values, ThreadScratch());
+  if (audit_ != nullptr && eval::SketchAuditor::Global().ShouldSample()) {
+    audit_->Record(
+        core::LpDistance(grid_->Tile(a), grid_->Tile(b),
+                         sketcher_->params().p),
+        estimate);
+  }
+  return estimate;
 }
 
 void SketchBackend::UpdateCentroids(const std::vector<int>& assignment) {
@@ -103,11 +130,48 @@ void SketchBackend::UpdateCentroids(const std::vector<int>& assignment) {
     sums[cluster].Scale(1.0 / static_cast<double>(counts[cluster]));
     centroids_[cluster] = std::move(sums[cluster]);
   }
+  if (audit_ != nullptr) UpdateAuditCentroids(assignment);
+}
+
+/// Shadow mirror of ExactBackend::UpdateCentroids: the mean member tile per
+/// cluster, in data space. By sketch linearity the sketch centroid above *is*
+/// the sketch of this matrix, which is exactly what makes the audited
+/// object-to-centroid comparison meaningful.
+void SketchBackend::UpdateAuditCentroids(const std::vector<int>& assignment) {
+  const size_t k = centroids_.size();
+  std::vector<table::Matrix> sums(
+      k, table::Matrix(grid_->tile_rows(), grid_->tile_cols()));
+  std::vector<size_t> counts(k, 0);
+  for (size_t object = 0; object < assignment.size(); ++object) {
+    const int cluster = assignment[object];
+    if (cluster < 0) continue;
+    table::TableView tile = grid_->Tile(object);
+    table::Matrix& sum = sums[cluster];
+    for (size_t r = 0; r < tile.rows(); ++r) {
+      auto src = tile.Row(r);
+      auto dst = sum.Row(r);
+      for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c];
+    }
+    ++counts[cluster];
+  }
+  if (audit_centroids_.size() != k) {
+    audit_centroids_.assign(
+        k, table::Matrix(grid_->tile_rows(), grid_->tile_cols()));
+  }
+  for (size_t cluster = 0; cluster < k; ++cluster) {
+    if (counts[cluster] == 0) continue;  // keep previous centroid
+    const double inv = 1.0 / static_cast<double>(counts[cluster]);
+    for (double& value : sums[cluster].Values()) value *= inv;
+    audit_centroids_[cluster] = std::move(sums[cluster]);
+  }
 }
 
 void SketchBackend::ResetCentroidToObject(size_t centroid, size_t object) {
   TABSKETCH_CHECK(centroid < centroids_.size());
   centroids_[centroid] = TileSketch(object);
+  if (audit_ != nullptr && centroid < audit_centroids_.size()) {
+    audit_centroids_[centroid] = grid_->Tile(object).ToMatrix();
+  }
 }
 
 std::string SketchBackend::name() const {

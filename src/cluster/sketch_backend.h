@@ -10,6 +10,8 @@
 #include "core/ondemand.h"
 #include "core/sketch_params.h"
 #include "core/sketcher.h"
+#include "eval/audit.h"
+#include "table/matrix.h"
 #include "table/tiling.h"
 #include "util/result.h"
 
@@ -34,6 +36,13 @@ enum class SketchMode {
 /// Distance()/ObjectDistance() are safe to call concurrently in both modes:
 /// estimator scratch is per-thread, precomputed sketches are read-only, and
 /// the on-demand cache is internally synchronized (per-slot once_flag).
+///
+/// When the global SketchAuditor is enabled at Create() time, a sampled
+/// fraction of estimates is shadow-checked against the exact Lp distance.
+/// Because sketch-space centroids have no data-space representation, the
+/// backend then also maintains exact shadow centroids (mean member tiles,
+/// mirroring ExactBackend) — pure bookkeeping that never feeds back into any
+/// estimate, so clustering output is identical with auditing on or off.
 class SketchBackend : public ClusteringBackend {
  public:
   /// `grid` must outlive the backend. In kPrecomputed mode this sketches
@@ -69,6 +78,9 @@ class SketchBackend : public ClusteringBackend {
   /// The (possibly lazily computed) sketch of a tile.
   const core::Sketch& TileSketch(size_t index);
 
+  /// Recomputes audit_centroids_ as mean member tiles (audit-mode only).
+  void UpdateAuditCentroids(const std::vector<int>& assignment);
+
   const table::TileGrid* grid_;
   // Behind a shared_ptr so its address survives moves of the backend (the
   // on-demand cache keeps a pointer to it).
@@ -80,6 +92,11 @@ class SketchBackend : public ClusteringBackend {
   /// ... or the lazy cache (kOnDemand).
   std::unique_ptr<core::OnDemandSketchCache> cache_;
   std::vector<core::Sketch> centroids_;
+  /// Non-null only while auditing; cached at Create() so the per-call cost
+  /// when auditing is off is a single null-pointer check.
+  eval::SketchAuditor::Channel* audit_ = nullptr;
+  /// Exact data-space mirrors of centroids_, maintained only while auditing.
+  std::vector<table::Matrix> audit_centroids_;
 };
 
 }  // namespace tabsketch::cluster

@@ -126,6 +126,7 @@ CorrelationPlan::CorrelationPlan(const table::Matrix& data)
   TABSKETCH_CHECK(!data.empty()) << "cannot plan over an empty table";
   plan_constructions.fetch_add(1, std::memory_order_relaxed);
   TABSKETCH_METRIC_COUNT("fft.plan.constructions");
+  TABSKETCH_TRACE_SPAN("fft.plan");
   std::vector<std::complex<double>> time(padded_rows_ * padded_cols_);
   for (size_t r = 0; r < data_rows_; ++r) {
     auto row = data.Row(r);

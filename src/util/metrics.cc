@@ -3,17 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
 namespace tabsketch::util {
 
-std::atomic<bool> MetricsRegistry::enabled_{false};
+std::atomic<uint32_t> MetricsRegistry::bits_{0};
 
 void Gauge::Add(double delta) {
   double current = value_.load(std::memory_order_relaxed);
   while (!value_.compare_exchange_weak(current, current + delta,
                                        std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Max(double value) {
+  double seen = value_.load(std::memory_order_relaxed);
+  while (value > seen && !value_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
   }
 }
 
@@ -230,6 +236,9 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "ondemand.cache.evictions",
       "cluster.distance_evals.exact",
       "cluster.distance_evals.sketch",
+      "trace.dropped",
+      "audit.samples",
+      "audit.violations",
   };
   static const char* const kGauges[] = {
       "pool.build.canonical_sizes",
@@ -240,12 +249,14 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "cluster.dbscan.clusters",
   };
   static const char* const kHistograms[] = {
+      "span.fft.plan.seconds",
       "span.fft.correlate.seconds",
       "span.pool.build.seconds",
       "span.sketcher.all_positions.seconds",
       "span.sketcher.sketch_tiles.seconds",
       "span.cluster.assign.seconds",
       "span.cluster.update.seconds",
+      "span.cluster.exact_update.seconds",
   };
   for (const char* name : kCounters) registry->GetCounter(name);
   for (const char* name : kGauges) registry->GetGauge(name);
@@ -264,38 +275,6 @@ Status WriteMetricsJsonFile(const MetricsRegistry& registry,
     return Status::IOError("failed writing metrics output file: " + path);
   }
   return Status::OK();
-}
-
-std::string EnableMetricsFromArgs(int* argc, char** argv) {
-  static constexpr char kPrefix[] = "--metrics-json=";
-  static constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
-  std::string path;
-  int write = 1;
-  for (int read = 1; read < *argc; ++read) {
-    if (std::strncmp(argv[read], kPrefix, kPrefixLen) == 0) {
-      path.assign(argv[read] + kPrefixLen);
-      continue;
-    }
-    argv[write++] = argv[read];
-  }
-  *argc = write;
-  if (!path.empty()) {
-    PreregisterCoreMetrics(&MetricsRegistry::Global());
-    MetricsRegistry::SetEnabled(true);
-  }
-  return path;
-}
-
-bool FlushMetricsJson(const std::string& path) {
-  if (path.empty()) return true;
-  MetricsRegistry::SetEnabled(false);
-  const Status status = WriteMetricsJsonFile(MetricsRegistry::Global(), path);
-  if (!status.ok()) {
-    std::fprintf(stderr, "metrics: %s\n", status.message().c_str());
-    return false;
-  }
-  std::printf("metrics -> %s\n", path.c_str());
-  return true;
 }
 
 }  // namespace tabsketch::util

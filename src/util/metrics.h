@@ -44,6 +44,9 @@ class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   void Add(double delta);
+  /// Raises the gauge to `value` if it is larger than the current value
+  /// (running-maximum semantics, e.g. worst observed audit error).
+  void Max(double value);
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -109,17 +112,32 @@ class MetricsRegistry {
   /// The process-wide registry used by the macros and the CLI.
   static MetricsRegistry& Global();
 
-  /// Runtime on/off switch for the global registry's hot-path macros.
-  static bool Enabled() {
+  /// Bits of the combined observability gate. Metrics (counter/gauge/
+  /// histogram macros) and the trace recorder are toggled independently, but
+  /// both live in a single atomic word so an instrumented call site that
+  /// feeds both (ScopedSpan) still pays exactly one relaxed load when
+  /// everything is off.
+  static constexpr uint32_t kMetricsBit = 1u << 0;
+  static constexpr uint32_t kTraceBit = 1u << 1;
+
+  /// The raw gate word; 0 means "all observability off".
+  static uint32_t ObservabilityBits() {
 #if TABSKETCH_METRICS_ENABLED
-    return enabled_.load(std::memory_order_relaxed);
+    return bits_.load(std::memory_order_relaxed);
 #else
-    return false;
+    return 0;
 #endif
   }
-  static void SetEnabled(bool enabled) {
-    enabled_.store(enabled, std::memory_order_relaxed);
-  }
+
+  /// Runtime on/off switch for the global registry's hot-path macros.
+  static bool Enabled() { return (ObservabilityBits() & kMetricsBit) != 0; }
+  static void SetEnabled(bool enabled) { SetBit(kMetricsBit, enabled); }
+
+  /// Runtime switch for event emission into TraceRecorder::Global().
+  /// Flipped by TraceRecorder::Start()/Stop(); call sites should not toggle
+  /// it directly.
+  static bool TraceActive() { return (ObservabilityBits() & kTraceBit) != 0; }
+  static void SetTraceActive(bool active) { SetBit(kTraceBit, active); }
 
   /// Finds or creates the named metric. The returned pointer stays valid for
   /// the registry's lifetime.
@@ -137,12 +155,20 @@ class MetricsRegistry {
   void WriteJson(std::ostream& os) const;
 
  private:
+  static void SetBit(uint32_t bit, bool on) {
+    if (on) {
+      bits_.fetch_or(bit, std::memory_order_relaxed);
+    } else {
+      bits_.fetch_and(~bit, std::memory_order_relaxed);
+    }
+  }
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 
-  static std::atomic<bool> enabled_;
+  static std::atomic<uint32_t> bits_;
 };
 
 /// Registers every metric name documented in docs/FORMATS.md (values zero),
@@ -155,16 +181,8 @@ void PreregisterCoreMetrics(MetricsRegistry* registry);
 Status WriteMetricsJsonFile(const MetricsRegistry& registry,
                             const std::string& path);
 
-/// Bench-binary helper: scans argv[1..argc) for "--metrics-json=PATH"; if
-/// found, removes the argument (compacting argv and decrementing *argc),
-/// preregisters the core metrics, enables the global registry, and returns
-/// PATH. Returns "" when the flag is absent.
-std::string EnableMetricsFromArgs(int* argc, char** argv);
-
-/// Bench-binary helper: no-op when `path` is empty, otherwise writes the
-/// global registry to `path` and prints "metrics -> path" (diagnostics to
-/// stderr on failure). Returns true on success or empty path.
-bool FlushMetricsJson(const std::string& path);
+// The bench-binary setup/flush helpers (--metrics-json plus the PR 4
+// --trace-json / --audit-rate flags) live in util/observability.h.
 
 }  // namespace tabsketch::util
 

@@ -1,0 +1,106 @@
+#include "util/observability.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "eval/audit.h"
+#include "util/metrics.h"
+#include "util/trace_recorder.h"
+
+namespace tabsketch::util {
+
+namespace {
+
+/// If `arg` is "<prefix>VALUE", returns VALUE, else nullptr.
+const char* MatchFlag(const char* arg, const char* prefix) {
+  const size_t len = std::strlen(prefix);
+  return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+}
+
+}  // namespace
+
+ObservabilityArgs EnableObservabilityFromArgs(int* argc, char** argv) {
+  ObservabilityArgs args;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    if (const char* value = MatchFlag(argv[read], "--metrics-json=")) {
+      args.metrics_path.assign(value);
+      continue;
+    }
+    if (const char* value = MatchFlag(argv[read], "--trace-json=")) {
+      args.trace_path.assign(value);
+      continue;
+    }
+    if (const char* value = MatchFlag(argv[read], "--audit-rate=")) {
+      char* end = nullptr;
+      const double rate = std::strtod(value, &end);
+      if (end == value || *end != '\0' || !(rate >= 0.0) || rate > 1.0) {
+        std::fprintf(stderr,
+                     "audit: --audit-rate must be in [0, 1], got \"%s\"; "
+                     "auditing disabled\n",
+                     value);
+      } else {
+        args.audit_rate = rate;
+      }
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  *argc = write;
+  SetupObservability(args);
+  return args;
+}
+
+void SetupObservability(const ObservabilityArgs& args) {
+  if (!args.metrics_path.empty()) {
+    PreregisterCoreMetrics(&MetricsRegistry::Global());
+    MetricsRegistry::Global().ResetValues();
+    MetricsRegistry::SetEnabled(true);
+  }
+  if (args.audit_rate > 0.0) {
+    eval::SketchAuditor::Global().Enable(args.audit_rate);
+  }
+  if (!args.trace_path.empty()) {
+    TraceRecorder::Global().Start();
+  }
+}
+
+bool FlushObservability(const ObservabilityArgs& args, std::ostream* out,
+                        std::ostream* err) {
+  std::ostream& sink = out != nullptr ? *out : std::cout;
+  std::ostream& diag = err != nullptr ? *err : std::cerr;
+  bool ok = true;
+  // Order matters: stopping the recorder mirrors its drop count into the
+  // "trace.dropped" counter, which must happen while metrics are still
+  // enabled so the count appears in the metrics dump below.
+  if (!args.trace_path.empty()) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    recorder.Stop();
+    const Status status = recorder.WriteChromeJsonFile(args.trace_path);
+    if (status.ok()) {
+      sink << "trace written to " << args.trace_path << "\n";
+    } else {
+      diag << "error: " << status.ToString() << "\n";
+      ok = false;
+    }
+  }
+  if (args.audit_rate > 0.0) {
+    eval::SketchAuditor::Global().Disable();
+  }
+  if (!args.metrics_path.empty()) {
+    MetricsRegistry::SetEnabled(false);
+    const Status status =
+        WriteMetricsJsonFile(MetricsRegistry::Global(), args.metrics_path);
+    if (status.ok()) {
+      sink << "metrics written to " << args.metrics_path << "\n";
+    } else {
+      diag << "error: " << status.ToString() << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace tabsketch::util

@@ -1,0 +1,48 @@
+#ifndef TABSKETCH_UTIL_OBSERVABILITY_H_
+#define TABSKETCH_UTIL_OBSERVABILITY_H_
+
+#include <ostream>
+#include <string>
+
+namespace tabsketch::util {
+
+/// Parsed observability flags shared by the CLI and every bench binary:
+///   --metrics-json=PATH   dump the metrics registry as tabsketch-metrics-v1
+///   --trace-json=PATH     record a flight-recorder trace, export as
+///                         tabsketch-trace-v1 (Chrome trace-event JSON)
+///   --audit-rate=R        shadow-audit an R-fraction of sketch distance
+///                         estimates against the exact Lp distance
+struct ObservabilityArgs {
+  std::string metrics_path;
+  std::string trace_path;
+  double audit_rate = 0.0;
+};
+
+/// Bench-binary setup helper (the CLI parses the same flags through its own
+/// flag machinery and then calls the Setup/Flush pair below): scans
+/// argv[1..argc) for the three flags, removes each one found (compacting
+/// argv and decrementing *argc), and enables the requested subsystems via
+/// SetupObservability(). A malformed --audit-rate (unparsable or outside
+/// [0, 1]) prints a diagnostic to stderr and is treated as 0.
+ObservabilityArgs EnableObservabilityFromArgs(int* argc, char** argv);
+
+/// Enables each subsystem requested by `args`: preregisters + enables the
+/// global metrics registry (values reset), starts the global TraceRecorder,
+/// and/or enables the global SketchAuditor.
+void SetupObservability(const ObservabilityArgs& args);
+
+/// Tears down and writes everything `args` requested, in the required order
+/// (recorder stopped first so trace.dropped lands in the metrics dump, then
+/// metrics disabled and dumped). Prints one line per artifact to stdout —
+/// "metrics written to PATH" / "trace written to PATH" — and diagnostics to
+/// stderr on failure. Returns true when every requested artifact was
+/// written (vacuously true when none was requested). `out`/`err` override
+/// the streams the per-artifact and diagnostic lines go to (the CLI passes
+/// its captured streams; benches leave them null for stdout/stderr).
+bool FlushObservability(const ObservabilityArgs& args,
+                        std::ostream* out = nullptr,
+                        std::ostream* err = nullptr);
+
+}  // namespace tabsketch::util
+
+#endif  // TABSKETCH_UTIL_OBSERVABILITY_H_

@@ -5,20 +5,35 @@
 
 #include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace_recorder.h"
 
 namespace tabsketch::util {
 
-/// RAII wall-time span. Construction snapshots the clock; destruction (or an
-/// explicit Stop()) observes the elapsed seconds into the histogram
-/// "span.<name>.seconds" of the target registry.
+/// RAII wall-time span with two independent sinks sharing one gate word:
+///  - metrics: elapsed seconds observed into the histogram
+///    "span.<name>.seconds" (when MetricsRegistry::Enabled());
+///  - flight recorder: a complete ('X') event emitted into
+///    TraceRecorder::Global() (when MetricsRegistry::TraceActive()).
 ///
-/// When metrics are disabled at construction time the span holds a null
-/// histogram and both the constructor and destructor are a relaxed load plus
-/// a branch — cheap enough to leave in hot paths unconditionally. Dynamic
-/// names (e.g. per-canonical-size pool spans) are supported because the
-/// histogram is resolved once per span, not per call site.
+/// When both sinks are off at construction time, the constructor is a single
+/// relaxed load of the combined gate plus a branch — cheap enough to leave in
+/// hot paths unconditionally (and nothing at all when compiled out, via the
+/// macro below). Dynamic names (e.g. per-canonical-size pool spans) are
+/// supported because sinks are resolved once per span, not per call site.
 class ScopedSpan {
  public:
+  /// Literal-name fast path used by the macros: no std::string is
+  /// constructed when the gate word is zero.
+  explicit ScopedSpan(const char* name) {
+#if TABSKETCH_METRICS_ENABLED
+    const uint32_t bits = MetricsRegistry::ObservabilityBits();
+    if (bits == 0) return;
+    Open(name, bits);
+#else
+    (void)name;
+#endif
+  }
+
   /// `registry` defaults to the global registry; spans against an explicit
   /// registry record regardless of the global enable flag (useful in tests).
   explicit ScopedSpan(const std::string& name,
@@ -33,24 +48,47 @@ class ScopedSpan {
   double Stop();
 
  private:
+  /// Slow path: resolves the active sinks and snapshots the clock(s).
+  void Open(const char* name, uint32_t bits);
+
   Histogram* seconds_ = nullptr;
   WallTimer timer_;
+#if TABSKETCH_METRICS_ENABLED
+  bool tracing_ = false;
+  uint64_t trace_start_ns_ = 0;
+  char trace_name_[TraceRecorder::kMaxNameLength + 1] = {0};
+#endif
 };
 
 }  // namespace tabsketch::util
 
 /// Statement macro: times the enclosing scope into "span.<name>.seconds" of
-/// the global registry. `name` is any string expression; evaluation is
-/// skipped entirely while metrics are disabled.
+/// the global registry and/or the global flight recorder. `name` is any
+/// string expression; evaluation is skipped entirely while both sinks are
+/// disabled (literal names never even construct a std::string).
 #define TABSKETCH_TRACE_CONCAT_INNER_(a, b) a##b
 #define TABSKETCH_TRACE_CONCAT_(a, b) TABSKETCH_TRACE_CONCAT_INNER_(a, b)
 #if TABSKETCH_METRICS_ENABLED
 #define TABSKETCH_TRACE_SPAN(name)                                     \
   ::tabsketch::util::ScopedSpan TABSKETCH_TRACE_CONCAT_(               \
       _tabsketch_span_, __LINE__)(name)
+/// Expression macro: drops a thread-scoped instant event carrying `value`
+/// into the global flight recorder (e.g. per-iteration reassignment counts).
+/// Cost when tracing is off: one relaxed load. `name` must be a string
+/// constant.
+#define TABSKETCH_TRACE_INSTANT(name, value)                           \
+  do {                                                                 \
+    if (::tabsketch::util::MetricsRegistry::TraceActive()) {           \
+      ::tabsketch::util::TraceRecorder::Global().RecordInstant(        \
+          name, /*has_value=*/true, static_cast<double>(value));       \
+    }                                                                  \
+  } while (false)
 #else
-// Compiles away entirely (the name expression is never evaluated).
+// Compiles away entirely (the name/value expressions are never evaluated).
 #define TABSKETCH_TRACE_SPAN(name) ((void)0)
+#define TABSKETCH_TRACE_INSTANT(name, value) \
+  do {                                       \
+  } while (false)
 #endif
 
 #endif  // TABSKETCH_UTIL_TRACE_H_

@@ -11,6 +11,7 @@
 #include "cli/commands.h"
 #include "cli/flags.h"
 #include "json_checker.h"
+#include "util/metrics.h"
 
 namespace tabsketch::cli {
 namespace {
@@ -365,7 +366,10 @@ TEST(CliMetricsTest, ClusterDumpCarriesDocumentedSchema) {
   }
   EXPECT_GE(MetricValue(json, "span.cluster.assign.seconds"), 0.0);
 
+#if TABSKETCH_METRICS_ENABLED
   // Precomputed sketch mode: every distance evaluation is a sketch estimate.
+  // (With the layer compiled out the dump still carries the preregistered
+  // keys, but every value is zero, so only the ON build asserts counts.)
   const double sketch_evals =
       MetricValue(json, "cluster.distance_evals.sketch");
   const double exact_evals = MetricValue(json, "cluster.distance_evals.exact");
@@ -374,6 +378,7 @@ TEST(CliMetricsTest, ClusterDumpCarriesDocumentedSchema) {
   EXPECT_GT(MetricValue(json, "estimator.estimate.calls"), 0.0);
   EXPECT_GT(MetricValue(json, "sketcher.sketch_of.calls"), 0.0);
   EXPECT_GT(MetricValue(json, "cluster.kmeans.iterations"), 0.0);
+#endif  // TABSKETCH_METRICS_ENABLED
 
   std::remove(table_path.c_str());
   std::remove(json_path.c_str());
@@ -397,8 +402,10 @@ TEST(CliMetricsTest, ExactModeSplitsEvaluationsToExact) {
   ASSERT_EQ(run.code, 0) << run.err;
   const std::string json = ReadWholeFile(json_path);
   EXPECT_TRUE(tabsketch::testing::JsonChecker::Valid(json)) << json;
+#if TABSKETCH_METRICS_ENABLED
   EXPECT_GT(MetricValue(json, "cluster.distance_evals.exact"), 0.0);
   EXPECT_EQ(MetricValue(json, "cluster.distance_evals.sketch"), 0.0);
+#endif  // TABSKETCH_METRICS_ENABLED
   std::remove(table_path.c_str());
   std::remove(json_path.c_str());
 }
@@ -424,6 +431,7 @@ TEST(CliMetricsTest, PoolBuildDumpRecordsFftAndPoolStages) {
 
   const std::string json = ReadWholeFile(json_path);
   EXPECT_TRUE(tabsketch::testing::JsonChecker::Valid(json)) << json;
+#if TABSKETCH_METRICS_ENABLED
   EXPECT_EQ(MetricValue(json, "fft.plan.constructions"), 1.0);
   EXPECT_GT(MetricValue(json, "fft.correlate_pair.calls"), 0.0);
   EXPECT_EQ(MetricValue(json, "pool.build.canonical_sizes"), 9.0);
@@ -436,6 +444,7 @@ TEST(CliMetricsTest, PoolBuildDumpRecordsFftAndPoolStages) {
   ASSERT_NE(fft_span, std::string::npos);
   const std::string fft_entry = json.substr(fft_span, 80);
   EXPECT_EQ(fft_entry.find("\"count\": 0,"), std::string::npos) << fft_entry;
+#endif  // TABSKETCH_METRICS_ENABLED
 
   std::remove(table_path.c_str());
   std::remove(pool_path.c_str());
@@ -462,10 +471,174 @@ TEST(CliMetricsTest, RepeatedRunsResetBetweenDumps) {
     return MetricValue(ReadWholeFile(json_path), "sketcher.sketch_of.calls");
   };
   // Identical runs dump identical counts — the registry resets per run
-  // instead of accumulating across in-process invocations.
+  // instead of accumulating across in-process invocations. (In OFF builds
+  // both runs dump zero, which still satisfies the reset invariant.)
   const double first = sketch_calls();
+#if TABSKETCH_METRICS_ENABLED
   EXPECT_GT(first, 0.0);
+#endif  // TABSKETCH_METRICS_ENABLED
   EXPECT_EQ(sketch_calls(), first);
+  std::remove(table_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+/// Extracts `"inner": <number>` from inside the one-line JSON object dumped
+/// for `"outer": {...}` — used to read a single histogram percentile.
+/// Returns -1 when either key is absent. (Only referenced when the
+/// observability layer is compiled in, hence maybe_unused.)
+[[maybe_unused]] double NestedMetricValue(const std::string& json,
+                                          const std::string& outer,
+                                          const std::string& inner) {
+  const size_t start = json.find("\"" + outer + "\": {");
+  if (start == std::string::npos) return -1.0;
+  const size_t end = json.find('}', start);
+  const std::string needle = "\"" + inner + "\": ";
+  const size_t pos = json.find(needle, start);
+  if (pos == std::string::npos || pos > end) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Returns the full line of `text` containing `needle` ("" when absent).
+std::string LineContaining(const std::string& text, const std::string& needle) {
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t begin = text.rfind('\n', pos);
+  const size_t line_start = begin == std::string::npos ? 0 : begin + 1;
+  const size_t line_end = text.find('\n', pos);
+  return text.substr(line_start, line_end == std::string::npos
+                                     ? std::string::npos
+                                     : line_end - line_start);
+}
+
+TEST(CliTraceTest, ClusterTraceJsonIsValidChromeTrace) {
+  const std::string table_path = TempPath("cli_trace_table.tbl");
+  const std::string trace_path = TempPath("cli_trace_cluster.trace.json");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string trace_flag = "--trace-json=" + trace_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64", "--seed=3"})
+                  .code,
+              0);
+  }
+  const CliRun run =
+      RunCli({"cluster", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              "--algo=kmeans", "--k=4", "--sketch-k=64", trace_flag.c_str()});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("trace written to"), std::string::npos);
+
+  const std::string json = ReadWholeFile(trace_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(tabsketch::testing::JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"tabsketch-trace-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+#if TABSKETCH_METRICS_ENABLED
+  // The instrumented spans show up as complete ('X') events; with the layer
+  // compiled out the file still carries valid (metadata-only) JSON.
+  EXPECT_NE(json.find("\"cluster.assign\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+#endif  // TABSKETCH_METRICS_ENABLED
+
+  std::remove(table_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+// Observability must observe, not perturb: the clustering output with
+// tracing and full-rate auditing enabled is byte-identical to a plain run.
+TEST(CliTraceTest, ObservabilityDoesNotPerturbClusterOutput) {
+  const std::string table_path = TempPath("cli_identity_table.tbl");
+  const std::string plain_csv = TempPath("cli_identity_plain.csv");
+  const std::string traced_csv = TempPath("cli_identity_traced.csv");
+  const std::string trace_path = TempPath("cli_identity.trace.json");
+  const std::string table_flag = "--table=" + table_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64", "--seed=3"})
+                  .code,
+              0);
+  }
+  const std::string plain_out_flag = "--out=" + plain_csv;
+  const CliRun plain =
+      RunCli({"cluster", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              "--algo=kmeans", "--k=4", "--sketch-k=64", "--seed=9",
+              plain_out_flag.c_str()});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+
+  const std::string traced_out_flag = "--out=" + traced_csv;
+  const std::string trace_flag = "--trace-json=" + trace_path;
+  const CliRun traced =
+      RunCli({"cluster", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              "--algo=kmeans", "--k=4", "--sketch-k=64", "--seed=9",
+              traced_out_flag.c_str(), trace_flag.c_str(),
+              "--audit-rate=1"});
+  ASSERT_EQ(traced.code, 0) << traced.err;
+
+  EXPECT_EQ(ReadWholeFile(plain_csv), ReadWholeFile(traced_csv));
+  // The human-readable summary matches too (the timing line carries a
+  // wall-clock figure, so compare the deterministic cluster-sizes line).
+  const std::string sizes = LineContaining(plain.out, "cluster sizes:");
+  ASSERT_FALSE(sizes.empty()) << plain.out;
+  EXPECT_EQ(LineContaining(traced.out, "cluster sizes:"), sizes);
+
+  std::remove(table_path.c_str());
+  std::remove(plain_csv.c_str());
+  std::remove(traced_csv.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliAuditTest, RejectsOutOfRangeRate) {
+  const CliRun run = RunCli({"cluster", "--table=/tmp/none.tbl",
+                             "--tile-rows=8", "--tile-cols=8",
+                             "--audit-rate=1.5"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("--audit-rate"), std::string::npos) << run.err;
+}
+
+// The ISSUE-4 acceptance scenario: a full-rate audit of a 64-sketch p = 1
+// run dumps a relative-error histogram whose median sits inside the
+// Theorem 1-2 envelope eps = C(p)/sqrt(k) = 4/sqrt(64) = 0.5.
+TEST(CliAuditTest, RateOneDumpReportsEnvelopeConsistentErrors) {
+  const std::string table_path = TempPath("cli_audit_table.tbl");
+  const std::string json_path = TempPath("cli_audit_metrics.json");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=128", "--cols=128", "--seed=3"})
+                  .code,
+              0);
+  }
+  const CliRun run =
+      RunCli({"cluster", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              "--algo=kmeans", "--k=4", "--sketch-k=64", "--p=1",
+              "--audit-rate=1", json_flag.c_str()});
+  ASSERT_EQ(run.code, 0) << run.err;
+
+  const std::string json = ReadWholeFile(json_path);
+  EXPECT_TRUE(tabsketch::testing::JsonChecker::Valid(json)) << json;
+#if TABSKETCH_METRICS_ENABLED
+  // End-of-run summary line on stdout.
+  EXPECT_NE(run.out.find("audit p=1 k=64:"), std::string::npos) << run.out;
+  const double samples = MetricValue(json, "audit.samples");
+  EXPECT_GT(samples, 0.0);
+  const double p50 = NestedMetricValue(json, "audit.relerr.p1", "p50");
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 0.5);
+  // Violations of the eps bound are the tail, never the bulk.
+  const double violations = MetricValue(json, "audit.violations");
+  EXPECT_GE(violations, 0.0);
+  EXPECT_LT(violations, samples / 2.0);
+#else
+  // With the layer compiled out the flag parses but the auditor is inert.
+  EXPECT_EQ(run.out.find("audit p="), std::string::npos) << run.out;
+#endif  // TABSKETCH_METRICS_ENABLED
+
   std::remove(table_path.c_str());
   std::remove(json_path.c_str());
 }
