@@ -13,11 +13,14 @@
 #include "cluster/sketch_backend.h"
 #include "core/estimator.h"
 #include "core/lp_distance.h"
+#include "core/lru_sketch_cache.h"
 #include "core/ondemand.h"
 #include "core/pool_io.h"
+#include "core/sketch_cache.h"
 #include "core/sketch_pool.h"
 #include "core/sketch_io.h"
 #include "core/sketcher.h"
+#include "serve/query_engine.h"
 #include "data/call_volume.h"
 #include "data/ip_traffic.h"
 #include "data/six_region.h"
@@ -53,6 +56,7 @@ commands:
              --table=FILE --tile-rows=N --tile-cols=N
              [--algo=kmeans|kmedoids|dbscan] [--k=N --p=P --seed=N]
              [--mode=exact|precomputed|ondemand] [--sketch-k=K]
+             [--cache-bytes=N bound the on-demand sketch cache, 0 = keep all]
              [--epsilon=E --min-points=M] [--threads=N] [--out=FILE]
   pool-build build a dyadic sketch pool over a table and persist it
              --table=FILE --out=FILE [--p=P --k=K --seed=N
@@ -60,6 +64,15 @@ commands:
   pool-query O(k) sketch distance between two equal-size rectangles
              --pool=FILE --rect1=r,c,h,w --rect2=r,c,h,w
              [--table=FILE for an exact reference]
+  query      answer a batch file of distance / knn requests over a table's
+             tiles (answers to stdout, cache statistics to stderr; output is
+             byte-identical for every --threads and --cache-bytes)
+             --table=FILE --tile-rows=N --tile-cols=N --batch=FILE
+             [--p=P --k=K --seed=N] [--sketches=FILE precomputed sketch set]
+             [--cache-bytes=N LRU sketch-cache budget, 0 = keep all]
+             [--threads=N] [--refine exact re-rank of knn candidates]
+             [--candidates=N refine candidate-set size, 0 = auto]
+             [--out=FILE write answers to a file instead of stdout]
   help       show this message
 
 global flags (every command):
@@ -283,7 +296,7 @@ int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "algo", "k", "p", "seed", "mode",
-       "sketch-k", "epsilon", "min-points", "threads", "out",
+       "sketch-k", "cache-bytes", "epsilon", "min-points", "threads", "out",
        "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
@@ -299,6 +312,8 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const std::string mode,
                        flags.GetString("mode", "precomputed"));
   TABSKETCH_ASSIGN_CLI(const int64_t sketch_k, flags.GetInt("sketch-k", 256));
+  TABSKETCH_ASSIGN_CLI(const int64_t cache_bytes,
+                       flags.GetInt("cache-bytes", 0));
   TABSKETCH_ASSIGN_CLI(const double epsilon, flags.GetDouble("epsilon", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t min_points,
                        flags.GetInt("min-points", 4));
@@ -325,13 +340,18 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
     backend = std::make_unique<cluster::ExactBackend>(
         std::move(exact).value());
   } else if (mode == "precomputed" || mode == "ondemand") {
+    if (cache_bytes < 0) {
+      return Fail(err, util::Status::InvalidArgument(
+                           "--cache-bytes must be >= 0"));
+    }
     auto sketch = cluster::SketchBackend::Create(
         &*grid,
         {.p = p, .k = static_cast<size_t>(sketch_k),
          .seed = static_cast<uint64_t>(seed)},
         mode == "precomputed" ? cluster::SketchMode::kPrecomputed
                               : cluster::SketchMode::kOnDemand,
-        core::EstimatorKind::kAuto, threads);
+        core::EstimatorKind::kAuto, threads,
+        static_cast<size_t>(cache_bytes));
     if (!sketch.ok()) return Fail(err, sketch.status());
     backend = std::make_unique<cluster::SketchBackend>(
         std::move(sketch).value());
@@ -502,6 +522,123 @@ int CmdPoolQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"table", "tile-rows", "tile-cols", "batch", "p", "k", "seed",
+       "sketches", "cache-bytes", "threads", "refine", "candidates", "out",
+       "metrics-json", "trace-json", "audit-rate"}));
+  TABSKETCH_ASSIGN_CLI(const std::string table_path,
+                       flags.GetRequired("table"));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
+                       flags.GetInt("tile-rows", 0));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_cols,
+                       flags.GetInt("tile-cols", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string batch_path,
+                       flags.GetRequired("batch"));
+  TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const std::string sketches_path,
+                       flags.GetString("sketches", ""));
+  TABSKETCH_ASSIGN_CLI(const int64_t cache_bytes,
+                       flags.GetInt("cache-bytes", 0));
+  TABSKETCH_ASSIGN_CLI(
+      const int64_t threads_flag,
+      flags.GetInt("threads",
+                   static_cast<int64_t>(util::DefaultThreadCount())));
+  TABSKETCH_ASSIGN_CLI(const bool refine, flags.GetBool("refine", false));
+  TABSKETCH_ASSIGN_CLI(const int64_t candidates,
+                       flags.GetInt("candidates", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string out_path,
+                       flags.GetString("out", ""));
+  if (cache_bytes < 0 || candidates < 0) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--cache-bytes and --candidates must be >= 0"));
+  }
+
+  auto matrix = table::ReadBinary(table_path);
+  if (!matrix.ok()) return Fail(err, matrix.status());
+  auto grid = table::TileGrid::Create(&*matrix,
+                                      static_cast<size_t>(tile_rows),
+                                      static_cast<size_t>(tile_cols));
+  if (!grid.ok()) return Fail(err, grid.status());
+  TABSKETCH_ASSIGN_CLI(const std::vector<serve::QueryRequest> batch,
+                       serve::ParseBatchFile(batch_path));
+
+  // Sketch source: a precomputed set from disk, or compute through a cache —
+  // unbounded on-demand by default, byte-budgeted LRU with --cache-bytes.
+  // All three yield byte-identical answers (sketches are deterministic).
+  core::SketchParams params{.p = p, .k = static_cast<size_t>(k),
+                            .seed = static_cast<uint64_t>(seed)};
+  std::unique_ptr<core::Sketcher> sketcher;
+  std::unique_ptr<core::TileSketchCache> cache;
+  if (!sketches_path.empty()) {
+    if (flags.Has("p") || flags.Has("k") || flags.Has("seed")) {
+      return Fail(err, util::Status::InvalidArgument(
+                           "--p/--k/--seed come from the --sketches file; "
+                           "drop the flags"));
+    }
+    auto set = core::ReadSketchSet(sketches_path);
+    if (!set.ok()) return Fail(err, set.status());
+    if (set->object_rows != grid->tile_rows() ||
+        set->object_cols != grid->tile_cols() ||
+        set->sketches.size() != grid->num_tiles()) {
+      return Fail(err, util::Status::InvalidArgument(
+                           "sketch set in " + sketches_path +
+                           " does not match the tile grid"));
+    }
+    params = set->params;
+    cache = std::make_unique<core::FixedSketchSource>(
+        std::move(set->sketches));
+  } else {
+    auto created = core::Sketcher::Create(params);
+    if (!created.ok()) return Fail(err, created.status());
+    sketcher = std::make_unique<core::Sketcher>(std::move(created).value());
+    if (cache_bytes > 0) {
+      core::LruSketchCache::Options options;
+      options.capacity_bytes = static_cast<size_t>(cache_bytes);
+      cache = std::make_unique<core::LruSketchCache>(sketcher.get(), &*grid,
+                                                     options);
+    } else {
+      cache = std::make_unique<core::OnDemandSketchCache>(sketcher.get(),
+                                                          &*grid);
+    }
+  }
+  auto estimator = core::DistanceEstimator::Create(params);
+  if (!estimator.ok()) return Fail(err, estimator.status());
+
+  serve::QueryEngineOptions options;
+  options.threads = ThreadsFromFlag(threads_flag);
+  options.refine = refine;
+  options.candidates = static_cast<size_t>(candidates);
+  serve::QueryEngine engine(&*grid, cache.get(), &*estimator, options);
+  util::WallTimer timer;
+  auto results = engine.Run(batch);
+  if (!results.ok()) return Fail(err, results.status());
+  const double seconds = timer.ElapsedSeconds();
+
+  if (!out_path.empty()) {
+    std::ofstream file(out_path, std::ios::trunc);
+    if (!file) {
+      return Fail(err, util::Status::IOError("cannot write " + out_path));
+    }
+    for (const std::string& line : *results) file << line << "\n";
+  } else {
+    for (const std::string& line : *results) out << line << "\n";
+  }
+  // Statistics go to stderr: they vary with --threads/--cache-bytes and
+  // timing, while the answers above must not.
+  err << "answered " << results->size() << " requests in " << seconds
+      << "s (" << cache->hits() << " cache hits, " << cache->computed()
+      << " sketches computed)\n";
+  if (const auto* lru = dynamic_cast<core::LruSketchCache*>(cache.get())) {
+    err << "lru cache: " << lru->evictions() << " evictions, peak "
+        << lru->peak_bytes() << " of " << lru->capacity_bytes()
+        << " budget bytes\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
@@ -546,6 +683,8 @@ int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
     code = CmdPoolBuild(*flags, out, err);
   } else if (command == "pool-query") {
     code = CmdPoolQuery(*flags, out, err);
+  } else if (command == "query") {
+    code = CmdQuery(*flags, out, err);
   } else {
     err << "error: unknown command '" << command << "'\n\n" << kUsage;
     return 1;

@@ -19,7 +19,10 @@ namespace tabsketch::cli {
 ///   cluster   --table=FILE --tile-rows=N --tile-cols=N
 ///             [--algo=kmeans|kmedoids|dbscan] [--k= --p= --seed=]
 ///             [--mode=exact|precomputed|ondemand] [--sketch-k=]
-///             [--epsilon= --min-points=] [--out=FILE]
+///             [--cache-bytes=] [--epsilon= --min-points=] [--out=FILE]
+///   query     --table=FILE --tile-rows=N --tile-cols=N --batch=FILE
+///             [--p= --k= --seed=] [--sketches=FILE] [--cache-bytes=]
+///             [--threads=] [--refine] [--candidates=] [--out=FILE]
 ///   help
 int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
                     std::ostream& err);

@@ -3,13 +3,16 @@
 #include <utility>
 
 #include "core/lp_distance.h"
+#include "core/lru_sketch_cache.h"
+#include "core/ondemand.h"
 #include "util/logging.h"
 
 namespace tabsketch::cluster {
 
 util::Result<SketchBackend> SketchBackend::Create(
     const table::TileGrid* grid, const core::SketchParams& params,
-    SketchMode mode, core::EstimatorKind estimator_kind, size_t threads) {
+    SketchMode mode, core::EstimatorKind estimator_kind, size_t threads,
+    size_t cache_bytes) {
   TABSKETCH_CHECK(grid != nullptr);
   TABSKETCH_ASSIGN_OR_RETURN(core::Sketcher sketcher,
                              core::Sketcher::Create(params));
@@ -20,8 +23,14 @@ util::Result<SketchBackend> SketchBackend::Create(
   SketchBackend backend(grid, std::move(shared_sketcher),
                         std::move(estimator), mode);
   if (mode == SketchMode::kPrecomputed) {
-    backend.precomputed_ =
-        core::SketchAllTilesParallel(*backend.sketcher_, *grid, threads);
+    backend.cache_ = std::make_unique<core::FixedSketchSource>(
+        core::SketchAllTilesParallel(*backend.sketcher_, *grid, threads));
+  } else if (cache_bytes > 0) {
+    core::LruSketchCache::Options options;
+    options.capacity_bytes = cache_bytes;
+    backend.cache_ = std::make_unique<core::LruSketchCache>(
+        backend.sketcher_.get(), grid, options);
+    backend.bounded_cache_ = true;
   } else {
     backend.cache_ = std::make_unique<core::OnDemandSketchCache>(
         backend.sketcher_.get(), grid);
@@ -42,12 +51,8 @@ SketchBackend::SketchBackend(const table::TileGrid* grid,
       estimator_(estimator),
       mode_(mode) {}
 
-const core::Sketch& SketchBackend::TileSketch(size_t index) {
-  if (mode_ == SketchMode::kPrecomputed) {
-    TABSKETCH_CHECK(index < precomputed_.size());
-    return precomputed_[index];
-  }
-  return cache_->ForTile(index);
+std::shared_ptr<const core::Sketch> SketchBackend::TileSketch(size_t index) {
+  return cache_->Get(index);
 }
 
 void SketchBackend::InitCentroidsFromObjects(
@@ -55,7 +60,7 @@ void SketchBackend::InitCentroidsFromObjects(
   centroids_.clear();
   centroids_.reserve(object_indices.size());
   for (size_t index : object_indices) {
-    centroids_.push_back(TileSketch(index));
+    centroids_.push_back(*TileSketch(index));
   }
   if (audit_ != nullptr) {
     audit_centroids_.clear();
@@ -81,7 +86,7 @@ double SketchBackend::Distance(size_t object, size_t centroid) {
   ++distance_evaluations_;
   TABSKETCH_CHECK(centroid < centroids_.size());
   const double estimate = estimator_.EstimateWithScratch(
-      TileSketch(object).values, centroids_[centroid].values,
+      TileSketch(object)->values, centroids_[centroid].values,
       ThreadScratch());
   if (audit_ != nullptr && centroid < audit_centroids_.size() &&
       eval::SketchAuditor::Global().ShouldSample()) {
@@ -95,13 +100,12 @@ double SketchBackend::Distance(size_t object, size_t centroid) {
 
 double SketchBackend::ObjectDistance(size_t a, size_t b) {
   ++distance_evaluations_;
-  // Two lookups kept separate: ForTile may invalidate references on growth
-  // only if the cache reallocated, which it cannot (slots are pre-sized),
-  // but sequencing the calls keeps the invariant obvious.
-  const core::Sketch& sketch_a = TileSketch(a);
-  const core::Sketch& sketch_b = TileSketch(b);
+  // Shared ownership keeps both sketches alive across the estimate even if a
+  // bounded cache evicts their entries in between.
+  const std::shared_ptr<const core::Sketch> sketch_a = TileSketch(a);
+  const std::shared_ptr<const core::Sketch> sketch_b = TileSketch(b);
   const double estimate = estimator_.EstimateWithScratch(
-      sketch_a.values, sketch_b.values, ThreadScratch());
+      sketch_a->values, sketch_b->values, ThreadScratch());
   if (audit_ != nullptr && eval::SketchAuditor::Global().ShouldSample()) {
     audit_->Record(
         core::LpDistance(grid_->Tile(a), grid_->Tile(b),
@@ -122,7 +126,7 @@ void SketchBackend::UpdateCentroids(const std::vector<int>& assignment) {
     const int cluster = assignment[object];
     if (cluster < 0) continue;
     TABSKETCH_CHECK(static_cast<size_t>(cluster) < k);
-    sums[cluster].Add(TileSketch(object));
+    sums[cluster].Add(*TileSketch(object));
     ++counts[cluster];
   }
   for (size_t cluster = 0; cluster < k; ++cluster) {
@@ -168,19 +172,21 @@ void SketchBackend::UpdateAuditCentroids(const std::vector<int>& assignment) {
 
 void SketchBackend::ResetCentroidToObject(size_t centroid, size_t object) {
   TABSKETCH_CHECK(centroid < centroids_.size());
-  centroids_[centroid] = TileSketch(object);
+  centroids_[centroid] = *TileSketch(object);
   if (audit_ != nullptr && centroid < audit_centroids_.size()) {
     audit_centroids_[centroid] = grid_->Tile(object).ToMatrix();
   }
 }
 
 std::string SketchBackend::name() const {
-  return mode_ == SketchMode::kPrecomputed ? "sketch-precomputed"
-                                           : "sketch-on-demand";
+  if (mode_ == SketchMode::kPrecomputed) return "sketch-precomputed";
+  return bounded_cache_ ? "sketch-lru" : "sketch-on-demand";
 }
 
 size_t SketchBackend::sketches_computed() const {
-  if (mode_ == SketchMode::kPrecomputed) return precomputed_.size();
+  // Precomputed sketches were all built at Create() (FixedSketchSource
+  // itself never computes, so report the eager count directly).
+  if (mode_ == SketchMode::kPrecomputed) return num_objects();
   return cache_->computed();
 }
 

@@ -7,7 +7,7 @@
 
 #include "cluster/backend.h"
 #include "core/estimator.h"
-#include "core/ondemand.h"
+#include "core/sketch_cache.h"
 #include "core/sketch_params.h"
 #include "core/sketcher.h"
 #include "eval/audit.h"
@@ -35,7 +35,8 @@ enum class SketchMode {
 ///
 /// Distance()/ObjectDistance() are safe to call concurrently in both modes:
 /// estimator scratch is per-thread, precomputed sketches are read-only, and
-/// the on-demand cache is internally synchronized (per-slot once_flag).
+/// the on-demand caches (unbounded or byte-budgeted LRU, see Create) are
+/// internally synchronized.
 ///
 /// When the global SketchAuditor is enabled at Create() time, a sampled
 /// fraction of estimates is shadow-checked against the exact Lp distance.
@@ -48,12 +49,17 @@ class SketchBackend : public ClusteringBackend {
   /// `grid` must outlive the backend. In kPrecomputed mode this sketches
   /// every tile eagerly before returning, fanning the tiles over `threads`
   /// workers (bit-identical output for any thread count; ignored in
-  /// kOnDemand mode).
+  /// kOnDemand mode). `cache_bytes` bounds the kOnDemand sketch cache: 0
+  /// keeps every computed sketch resident (the classic unbounded
+  /// OnDemandSketchCache), a positive budget swaps in the sharded
+  /// LruSketchCache so long runs over huge grids stay under a memory cap —
+  /// the clustering output is bit-identical either way, eviction only costs
+  /// recompute time. Ignored in kPrecomputed mode.
   static util::Result<SketchBackend> Create(
       const table::TileGrid* grid, const core::SketchParams& params,
       SketchMode mode,
       core::EstimatorKind estimator = core::EstimatorKind::kAuto,
-      size_t threads = 1);
+      size_t threads = 1, size_t cache_bytes = 0);
 
   size_t num_objects() const override { return grid_->num_tiles(); }
   void InitCentroidsFromObjects(
@@ -75,8 +81,9 @@ class SketchBackend : public ClusteringBackend {
                 std::shared_ptr<core::Sketcher> sketcher,
                 core::DistanceEstimator estimator, SketchMode mode);
 
-  /// The (possibly lazily computed) sketch of a tile.
-  const core::Sketch& TileSketch(size_t index);
+  /// The (possibly lazily computed) sketch of a tile. Shared ownership so a
+  /// bounded cache can evict the entry while a caller still holds it.
+  std::shared_ptr<const core::Sketch> TileSketch(size_t index);
 
   /// Recomputes audit_centroids_ as mean member tiles (audit-mode only).
   void UpdateAuditCentroids(const std::vector<int>& assignment);
@@ -87,10 +94,13 @@ class SketchBackend : public ClusteringBackend {
   std::shared_ptr<core::Sketcher> sketcher_;
   core::DistanceEstimator estimator_;
   SketchMode mode_;
-  /// Precomputed tile sketches (kPrecomputed) ...
-  std::vector<core::Sketch> precomputed_;
-  /// ... or the lazy cache (kOnDemand).
-  std::unique_ptr<core::OnDemandSketchCache> cache_;
+  /// True when a kOnDemand backend runs behind a byte-budgeted LRU cache
+  /// instead of the unbounded grow-only one (only affects name()).
+  bool bounded_cache_ = false;
+  /// Tile-sketch source: FixedSketchSource (kPrecomputed),
+  /// OnDemandSketchCache (kOnDemand, unbounded) or LruSketchCache
+  /// (kOnDemand with a byte budget).
+  std::unique_ptr<core::TileSketchCache> cache_;
   std::vector<core::Sketch> centroids_;
   /// Non-null only while auditing; cached at Create() so the per-call cost
   /// when auditing is off is a single null-pointer check.

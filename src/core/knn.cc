@@ -1,29 +1,35 @@
 #include "core/knn.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "core/lp_distance.h"
 #include "util/logging.h"
 
 namespace tabsketch::core {
-namespace {
 
-bool NeighborLess(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
+bool NeighborBefore(const Neighbor& a, const Neighbor& b) {
+  // `a.distance != b.distance` alone is not a valid ordering test when either
+  // side is NaN (it is true while neither `<` holds, violating strict weak
+  // ordering and making std::partial_sort UB). Order NaN after every real
+  // distance, and break all remaining ties by index so results are
+  // deterministic.
+  const bool a_nan = std::isnan(a.distance);
+  const bool b_nan = std::isnan(b.distance);
+  if (a_nan != b_nan) return b_nan;
+  if (!a_nan && a.distance != b.distance) return a.distance < b.distance;
   return a.index < b.index;
 }
 
-/// Keeps the smallest k of `all` in sorted order.
-std::vector<Neighbor> SmallestK(std::vector<Neighbor> all, size_t k) {
+std::vector<Neighbor> SmallestKNeighbors(std::vector<Neighbor> all,
+                                         size_t k) {
   k = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(k),
-                    all.end(), NeighborLess);
+                    all.end(), NeighborBefore);
   all.resize(k);
   return all;
 }
-
-}  // namespace
 
 std::vector<Neighbor> TopKBySketch(const Sketch& query,
                                    std::span<const Sketch> corpus,
@@ -38,7 +44,7 @@ std::vector<Neighbor> TopKBySketch(const Sketch& query,
         i, estimator.EstimateWithScratch(query.values, corpus[i].values,
                                          &scratch)});
   }
-  return SmallestK(std::move(all), k);
+  return SmallestKNeighbors(std::move(all), k);
 }
 
 util::Result<std::vector<Neighbor>> TopKFilterRefine(
@@ -73,7 +79,7 @@ util::Result<std::vector<Neighbor>> TopKFilterRefine(
         candidate.index,
         LpDistance(query_view, grid.Tile(candidate.index), estimator.p())});
   }
-  return SmallestK(std::move(refined), k);
+  return SmallestKNeighbors(std::move(refined), k);
 }
 
 std::vector<Neighbor> TopKExact(const table::TileGrid& grid, double p,
@@ -86,7 +92,7 @@ std::vector<Neighbor> TopKExact(const table::TileGrid& grid, double p,
     if (i == query_tile) continue;
     all.push_back(Neighbor{i, LpDistance(query_view, grid.Tile(i), p)});
   }
-  return SmallestK(std::move(all), k);
+  return SmallestKNeighbors(std::move(all), k);
 }
 
 }  // namespace tabsketch::core

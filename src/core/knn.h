@@ -24,6 +24,17 @@ struct Neighbor {
   }
 };
 
+/// Strict weak ordering over neighbors: ascending distance, ties broken by
+/// index. A NaN distance (a sketch estimate can be NaN when the underlying
+/// data carries NaNs) orders after every real distance — and NaN-vs-NaN falls
+/// back to the index tie-break — so the comparator stays a valid strict weak
+/// order and sorting with it is never UB.
+bool NeighborBefore(const Neighbor& a, const Neighbor& b);
+
+/// The smallest `k` of `all` under NeighborBefore, in sorted order
+/// (k is clamped to all.size()).
+std::vector<Neighbor> SmallestKNeighbors(std::vector<Neighbor> all, size_t k);
+
 /// The `k` corpus sketches closest to `query` under the estimator, sorted by
 /// ascending estimated distance (ties by index). `skip` (if set) excludes
 /// one corpus index — pass the query's own index for self-search. The paper

@@ -1,0 +1,164 @@
+#include "core/lru_sketch_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace tabsketch::core {
+namespace {
+
+/// Records the residency high-water mark into the lru.cache.peak_bytes gauge
+/// (running-maximum semantics; there is no macro for Gauge::Max).
+void RecordPeakBytesMetric(size_t peak) {
+#if TABSKETCH_METRICS_ENABLED
+  if (util::MetricsRegistry::Enabled()) {
+    static util::Gauge* const gauge =
+        util::MetricsRegistry::Global().GetGauge("lru.cache.peak_bytes");
+    gauge->Max(static_cast<double>(peak));
+  }
+#else
+  (void)peak;
+#endif
+}
+
+}  // namespace
+
+size_t LruSketchCache::EntryBytes(size_t sketch_k) {
+  // Payload plus the bookkeeping a resident entry actually costs: the Entry
+  // node (links + shared_ptr), the Sketch header, its heap control block and
+  // an estimate of the hash-map node. Approximate but stable, so budget math
+  // is portable and tests can be exact.
+  constexpr size_t kMapNodeOverhead = 64;
+  return sketch_k * sizeof(double) + sizeof(Entry) + sizeof(Sketch) +
+         kMapNodeOverhead;
+}
+
+LruSketchCache::LruSketchCache(const Sketcher* sketcher,
+                               const table::TileGrid* grid,
+                               const Options& options)
+    : sketcher_(sketcher),
+      grid_(grid),
+      capacity_bytes_(options.capacity_bytes),
+      shards_(std::max<size_t>(options.shards, 1)) {
+  shard_budget_ = capacity_bytes_ / shards_.size();
+  for (Shard& shard : shards_) {
+    shard.lru.prev = &shard.lru;
+    shard.lru.next = &shard.lru;
+  }
+  TABSKETCH_METRIC_GAUGE_SET("lru.cache.capacity_bytes", capacity_bytes_);
+}
+
+LruSketchCache::~LruSketchCache() = default;
+
+void LruSketchCache::Unlink(Entry* entry) {
+  entry->prev->next = entry->next;
+  entry->next->prev = entry->prev;
+  entry->prev = nullptr;
+  entry->next = nullptr;
+}
+
+void LruSketchCache::PushFront(Shard* shard, Entry* entry) {
+  entry->next = shard->lru.next;
+  entry->prev = &shard->lru;
+  shard->lru.next->prev = entry;
+  shard->lru.next = entry;
+}
+
+size_t LruSketchCache::EvictOverBudget(Shard* shard) {
+  size_t freed = 0;
+  size_t evicted = 0;
+  while (shard->bytes > shard_budget_ && shard->lru.prev != &shard->lru) {
+    Entry* coldest = shard->lru.prev;
+    Unlink(coldest);
+    shard->bytes -= coldest->bytes;
+    freed += coldest->bytes;
+    ++evicted;
+    // Outstanding shared_ptrs returned from Get keep the sketch itself
+    // alive; only the cache's reference dies here.
+    shard->entries.erase(coldest->tile);
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    TABSKETCH_METRIC_COUNT_N("lru.cache.evictions", evicted);
+  }
+  return freed;
+}
+
+void LruSketchCache::NoteBytesDelta(size_t added, size_t removed) {
+  size_t now;
+  if (added >= removed) {
+    now = bytes_.fetch_add(added - removed, std::memory_order_relaxed) +
+          (added - removed);
+  } else {
+    now = bytes_.fetch_sub(removed - added, std::memory_order_relaxed) -
+          (removed - added);
+  }
+  // CAS running maximum; samples are taken after eviction restored the
+  // budget invariant, so the recorded peak reflects steady-state residency.
+  size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
+  }
+  RecordPeakBytesMetric(peak_bytes_.load(std::memory_order_relaxed));
+}
+
+std::shared_ptr<const Sketch> LruSketchCache::Get(size_t index) {
+  TABSKETCH_CHECK(index < grid_->num_tiles())
+      << "tile " << index << " out of " << grid_->num_tiles();
+  Shard& shard = ShardFor(index);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(index);
+    if (it != shard.entries.end()) {
+      Entry* entry = it->second.get();
+      Unlink(entry);
+      PushFront(&shard, entry);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      TABSKETCH_METRIC_COUNT("lru.cache.hits");
+      return entry->sketch;
+    }
+  }
+
+  // Miss: compute outside the lock so a slow sketch never serializes the
+  // shard. Concurrent misses on the same tile may compute twice; the results
+  // are bit-identical and only one is retained.
+  std::shared_ptr<const Sketch> sketch;
+  {
+    TABSKETCH_TRACE_SPAN("lru.cache.compute");
+    sketch = std::make_shared<const Sketch>(
+        sketcher_->SketchOf(grid_->Tile(index)));
+  }
+  computed_.fetch_add(1, std::memory_order_relaxed);
+  TABSKETCH_METRIC_COUNT("lru.cache.misses");
+
+  size_t added = 0;
+  size_t removed = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(index);
+    if (it != shard.entries.end()) {
+      // Lost the insert race; serve (and touch) the retained entry.
+      Entry* entry = it->second.get();
+      Unlink(entry);
+      PushFront(&shard, entry);
+      return entry->sketch;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->tile = index;
+    entry->bytes = EntryBytes(sketch->size());
+    entry->sketch = sketch;
+    shard.bytes += entry->bytes;
+    added = entry->bytes;
+    PushFront(&shard, entry.get());
+    shard.entries.emplace(index, std::move(entry));
+    removed = EvictOverBudget(&shard);
+  }
+  NoteBytesDelta(added, removed);
+  return sketch;
+}
+
+}  // namespace tabsketch::core

@@ -7,13 +7,13 @@
 
 namespace tabsketch::core {
 
-const Sketch& OnDemandSketchCache::ForTile(size_t index) {
+void OnDemandSketchCache::Materialize(size_t index) {
   TABSKETCH_CHECK(index < sketches_.size())
       << "tile " << index << " out of " << sketches_.size();
-  std::optional<Sketch>& slot = sketches_[index];
   bool missed = false;
   std::call_once(once_[index], [&] {
-    slot = sketcher_->SketchOf(grid_->Tile(index));
+    sketches_[index] = std::make_shared<const Sketch>(
+        sketcher_->SketchOf(grid_->Tile(index)));
     computed_.fetch_add(1, std::memory_order_relaxed);
     missed = true;
   });
@@ -23,12 +23,21 @@ const Sketch& OnDemandSketchCache::ForTile(size_t index) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     TABSKETCH_METRIC_COUNT("ondemand.cache.hits");
   }
-  return *slot;
+}
+
+const Sketch& OnDemandSketchCache::ForTile(size_t index) {
+  Materialize(index);
+  return *sketches_[index];
+}
+
+std::shared_ptr<const Sketch> OnDemandSketchCache::Get(size_t index) {
+  Materialize(index);
+  return sketches_[index];
 }
 
 void OnDemandSketchCache::Clear() {
   size_t evicted = 0;
-  for (const auto& slot : sketches_) evicted += slot.has_value() ? 1 : 0;
+  for (const auto& slot : sketches_) evicted += slot != nullptr ? 1 : 0;
   TABSKETCH_METRIC_COUNT_N("ondemand.cache.evictions", evicted);
   for (auto& slot : sketches_) slot.reset();
   once_ = std::vector<std::once_flag>(sketches_.size());

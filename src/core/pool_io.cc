@@ -1,7 +1,9 @@
 #include "core/pool_io.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -38,9 +40,13 @@ struct FieldHeader {
 
 util::Status WriteSketchPool(const SketchPool& pool,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  // Write to a sibling temp file and rename into place on success: a crash
+  // mid-write must never leave a file at `path` that passes the magic/version
+  // check and only fails later as "truncated".
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    return util::Status::IOError("cannot open for writing: " + path);
+    return util::Status::IOError("cannot open for writing: " + tmp_path);
   }
   Header header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
@@ -68,8 +74,17 @@ util::Status WriteSketchPool(const SketchPool& pool,
                                              sizeof(double)));
     }
   }
+  out.close();
   if (!out) {
-    return util::Status::IOError("write failed: " + path);
+    std::remove(tmp_path.c_str());
+    return util::Status::IOError("write failed: " + tmp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IOError("cannot rename " + tmp_path + " to " +
+                                 path + ": " + ec.message());
   }
   return util::Status::OK();
 }
@@ -109,6 +124,19 @@ util::Result<SketchPool> ReadSketchPool(const std::string& path) {
     if (field_header.position_rows == 0 || field_header.position_cols == 0 ||
         field_header.position_rows >
             max_positions / field_header.position_cols) {
+      return util::Status::IOError("corrupt pool field header in " + path);
+    }
+    // Window dims must be sane too: non-zero, within the table, and
+    // consistent with the declared position counts (all-positions fields
+    // always span data - window + 1 positions per axis). A corrupt header
+    // must not reach SketchField construction.
+    if (field_header.window_rows == 0 || field_header.window_cols == 0 ||
+        field_header.window_rows > header.data_rows ||
+        field_header.window_cols > header.data_cols ||
+        field_header.position_rows !=
+            header.data_rows - field_header.window_rows + 1 ||
+        field_header.position_cols !=
+            header.data_cols - field_header.window_cols + 1) {
       return util::Status::IOError("corrupt pool field header in " + path);
     }
     std::vector<table::Matrix> planes;

@@ -1,0 +1,87 @@
+#ifndef TABSKETCH_CORE_SKETCH_CACHE_H_
+#define TABSKETCH_CORE_SKETCH_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/sketcher.h"
+#include "table/tiling.h"
+
+namespace tabsketch::core {
+
+/// Interface over "the sketch of tile `index`" with a pluggable retention
+/// policy. Implementations: OnDemandSketchCache (grow-only, unbounded),
+/// LruSketchCache (sharded, memory-budgeted), UncachedSketchSource (no
+/// retention, the serving baseline) and FixedSketchSource (preloaded, e.g. a
+/// SketchSet read from disk). Because every implementation derives its
+/// sketches from the same deterministic Sketcher family, callers get
+/// bit-identical values whichever policy is plugged in — retention only moves
+/// compute cost, never results.
+///
+/// All implementations are safe for concurrent Get() calls.
+class TileSketchCache {
+ public:
+  virtual ~TileSketchCache() = default;
+
+  /// The sketch of tile `index`. Shared ownership: the returned pointer
+  /// stays valid even if the entry is evicted (or the cache cleared)
+  /// concurrently.
+  virtual std::shared_ptr<const Sketch> Get(size_t index) = 0;
+
+  /// Number of tiles addressable through this cache.
+  virtual size_t num_tiles() const = 0;
+
+  /// Sketches computed so far (lookups not served from retained entries).
+  virtual size_t computed() const = 0;
+
+  /// Lookups served without computing.
+  virtual size_t hits() const = 0;
+};
+
+/// No retention at all: every Get() sketches the tile afresh. This is the
+/// "pay O(k * tile_size) on every comparison" baseline the paper's scenario
+/// (2) improves on; the query-cache ablation measures cache policies against
+/// it.
+class UncachedSketchSource : public TileSketchCache {
+ public:
+  /// `sketcher` and `grid` must outlive the source.
+  UncachedSketchSource(const Sketcher* sketcher, const table::TileGrid* grid)
+      : sketcher_(sketcher), grid_(grid) {}
+
+  std::shared_ptr<const Sketch> Get(size_t index) override;
+  size_t num_tiles() const override { return grid_->num_tiles(); }
+  size_t computed() const override {
+    return computed_.load(std::memory_order_relaxed);
+  }
+  size_t hits() const override { return 0; }
+
+ private:
+  const Sketcher* sketcher_;
+  const table::TileGrid* grid_;
+  std::atomic<size_t> computed_{0};
+};
+
+/// Serves sketches that were materialized up front (the paper's scenario (1):
+/// a precomputed sketch set, typically read back from disk). Every lookup is
+/// a hit; nothing is ever computed or evicted.
+class FixedSketchSource : public TileSketchCache {
+ public:
+  explicit FixedSketchSource(std::vector<Sketch> sketches);
+
+  std::shared_ptr<const Sketch> Get(size_t index) override;
+  size_t num_tiles() const override { return sketches_.size(); }
+  size_t computed() const override { return 0; }
+  size_t hits() const override {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::shared_ptr<const Sketch>> sketches_;
+  std::atomic<size_t> hits_{0};
+};
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_SKETCH_CACHE_H_

@@ -1,7 +1,9 @@
 #include "core/sketch_io.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -32,9 +34,12 @@ util::Status WriteSketchSet(const SketchSet& set, const std::string& path) {
           "sketch length disagrees with params.k");
     }
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  // Temp-file-then-rename, mirroring WriteSketchPool: a crash mid-write must
+  // not leave a half-written file that passes the magic check.
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    return util::Status::IOError("cannot open for writing: " + path);
+    return util::Status::IOError("cannot open for writing: " + tmp_path);
   }
   Header header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
@@ -50,8 +55,17 @@ util::Status WriteSketchSet(const SketchSet& set, const std::string& path) {
     out.write(reinterpret_cast<const char*>(sketch.values.data()),
               static_cast<std::streamsize>(sketch.size() * sizeof(double)));
   }
+  out.close();
   if (!out) {
-    return util::Status::IOError("write failed: " + path);
+    std::remove(tmp_path.c_str());
+    return util::Status::IOError("write failed: " + tmp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IOError("cannot rename " + tmp_path + " to " +
+                                 path + ": " + ec.message());
   }
   return util::Status::OK();
 }

@@ -1,0 +1,213 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "core/knn.h"
+#include "core/lp_distance.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
+namespace tabsketch::serve {
+namespace {
+
+/// Strict size_t token parse (no sign, no trailing junk).
+bool ParseIndex(const std::string& token, size_t* out) {
+  unsigned long long value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+util::Status LineError(size_t line_number, const std::string& message) {
+  std::ostringstream msg;
+  msg << "batch line " << line_number << ": " << message;
+  return util::Status::InvalidArgument(msg.str());
+}
+
+}  // namespace
+
+util::Result<std::vector<QueryRequest>> ParseBatch(std::istream& in) {
+  std::vector<QueryRequest> requests;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip a trailing comment, then tokenize what is left.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string verb;
+    if (!(tokens >> verb)) continue;  // blank or comment-only line
+
+    QueryRequest request;
+    std::string first, second, extra;
+    if (!(tokens >> first >> second)) {
+      return LineError(line_number, "'" + verb + "' needs two arguments");
+    }
+    if (tokens >> extra) {
+      return LineError(line_number, "trailing token '" + extra + "'");
+    }
+    if (verb == "distance") {
+      request.kind = QueryRequest::Kind::kDistance;
+      if (!ParseIndex(first, &request.a) || !ParseIndex(second, &request.b)) {
+        return LineError(line_number,
+                         "expected 'distance <tileA> <tileB>'");
+      }
+    } else if (verb == "knn") {
+      request.kind = QueryRequest::Kind::kKnn;
+      if (!ParseIndex(first, &request.a) || !ParseIndex(second, &request.k)) {
+        return LineError(line_number, "expected 'knn <tile> <k>'");
+      }
+    } else {
+      return LineError(line_number,
+                       "unknown request '" + verb + "' (distance, knn)");
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+util::Result<std::vector<QueryRequest>> ParseBatchFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open batch file " + path);
+  return ParseBatch(in);
+}
+
+QueryEngine::QueryEngine(const table::TileGrid* grid,
+                         core::TileSketchCache* cache,
+                         const core::DistanceEstimator* estimator,
+                         const QueryEngineOptions& options)
+    : grid_(grid), cache_(cache), estimator_(estimator), options_(options) {}
+
+std::string QueryEngine::AnswerDistance(const QueryRequest& request,
+                                        std::vector<double>* scratch) const {
+  const std::shared_ptr<const core::Sketch> a = cache_->Get(request.a);
+  const std::shared_ptr<const core::Sketch> b = cache_->Get(request.b);
+  const double estimate =
+      estimator_->EstimateWithScratch(a->values, b->values, scratch);
+  std::ostringstream out;
+  out << "distance " << request.a << " " << request.b << " = " << estimate;
+  return out.str();
+}
+
+std::string QueryEngine::AnswerKnn(const QueryRequest& request,
+                                   std::vector<double>* scratch) const {
+  const size_t n = cache_->num_tiles();
+  const std::shared_ptr<const core::Sketch> query = cache_->Get(request.a);
+
+  // Filter: estimated distance to every other tile, sketches via the cache.
+  std::vector<core::Neighbor> all;
+  all.reserve(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == request.a) continue;
+    const std::shared_ptr<const core::Sketch> other = cache_->Get(i);
+    all.push_back(core::Neighbor{
+        i, estimator_->EstimateWithScratch(query->values, other->values,
+                                           scratch)});
+  }
+
+  size_t want = request.k;
+  if (options_.refine) {
+    // Candidate-set sizing mirrors the TopKFilterRefine guidance: modestly
+    // above k unless the caller pinned it, clamped to the corpus.
+    want = options_.candidates > 0
+               ? options_.candidates
+               : std::max(3 * request.k, request.k + 8);
+    want = std::min(std::max(want, request.k), n - 1);
+  }
+  std::vector<core::Neighbor> top =
+      core::SmallestKNeighbors(std::move(all), want);
+
+  if (options_.refine) {
+    // Refine: exact Lp distances re-rank the candidates, so the reported
+    // distances are exact (TopKFilterRefine semantics).
+    const table::TableView query_view = grid_->Tile(request.a);
+    std::vector<core::Neighbor> refined;
+    refined.reserve(top.size());
+    for (const core::Neighbor& candidate : top) {
+      refined.push_back(core::Neighbor{
+          candidate.index,
+          core::LpDistance(query_view, grid_->Tile(candidate.index),
+                           estimator_->p())});
+    }
+    top = core::SmallestKNeighbors(std::move(refined), request.k);
+  }
+
+  std::ostringstream out;
+  out << "knn " << request.a << " " << request.k << " =";
+  for (const core::Neighbor& neighbor : top) {
+    out << " " << neighbor.index << ":" << neighbor.distance;
+  }
+  return out.str();
+}
+
+util::Result<std::vector<std::string>> QueryEngine::Run(
+    std::span<const QueryRequest> batch) const {
+  const size_t n = cache_->num_tiles();
+  if (grid_ != nullptr && grid_->num_tiles() != n) {
+    return util::Status::InvalidArgument(
+        "grid and sketch cache disagree on the tile count");
+  }
+  if (options_.refine && grid_ == nullptr) {
+    return util::Status::InvalidArgument(
+        "refined knn needs table data, not just sketches");
+  }
+
+  // Validate everything up front so a bad request fails the whole batch
+  // before any work (and the parallel loop below can never index out of
+  // bounds).
+  size_t distance_requests = 0;
+  size_t knn_requests = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const QueryRequest& request = batch[i];
+    std::ostringstream msg;
+    msg << "request " << i + 1 << ": ";
+    if (request.kind == QueryRequest::Kind::kDistance) {
+      ++distance_requests;
+      if (request.a >= n || request.b >= n) {
+        msg << "tile out of range (tiles=" << n << ")";
+        return util::Status::OutOfRange(msg.str());
+      }
+    } else {
+      ++knn_requests;
+      if (request.a >= n) {
+        msg << "tile out of range (tiles=" << n << ")";
+        return util::Status::OutOfRange(msg.str());
+      }
+      if (request.k == 0 || request.k > n - 1) {
+        msg << "need 1 <= k <= tiles-1, got k=" << request.k
+            << " tiles=" << n;
+        return util::Status::InvalidArgument(msg.str());
+      }
+    }
+  }
+  TABSKETCH_METRIC_COUNT_N("query.requests.distance", distance_requests);
+  TABSKETCH_METRIC_COUNT_N("query.requests.knn", knn_requests);
+
+  // Each request owns one pre-sized output slot, so the answer vector is
+  // identical for every thread count and every cache policy.
+  std::vector<std::string> results(batch.size());
+  {
+    TABSKETCH_TRACE_SPAN("query.batch");
+    util::ParallelFor(batch.size(), options_.threads, [&](size_t i) {
+      thread_local std::vector<double> scratch;
+      const QueryRequest& request = batch[i];
+      results[i] = request.kind == QueryRequest::Kind::kDistance
+                       ? AnswerDistance(request, &scratch)
+                       : AnswerKnn(request, &scratch);
+    });
+  }
+  return results;
+}
+
+}  // namespace tabsketch::serve

@@ -1,0 +1,101 @@
+#ifndef TABSKETCH_SERVE_QUERY_ENGINE_H_
+#define TABSKETCH_SERVE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/sketch_cache.h"
+#include "table/tiling.h"
+#include "util/result.h"
+
+namespace tabsketch::serve {
+
+/// One request of a query batch (see docs/FORMATS.md, "Batch query file").
+struct QueryRequest {
+  enum class Kind {
+    /// Sketch-estimated Lp distance between tiles `a` and `b`.
+    kDistance,
+    /// The `k` nearest tiles to tile `a` by estimated distance (optionally
+    /// refined with exact distances, see QueryEngineOptions::refine).
+    kKnn,
+  };
+
+  Kind kind = Kind::kDistance;
+  size_t a = 0;
+  size_t b = 0;  // distance only
+  size_t k = 0;  // knn only
+
+  friend bool operator==(const QueryRequest& x, const QueryRequest& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b && x.k == y.k;
+  }
+};
+
+/// Parses a batch-query stream: one request per line (`distance A B` /
+/// `knn Q K`), `#` comments and blank lines ignored. Malformed lines are
+/// InvalidArgument with the 1-based line number. Index bounds are checked
+/// later, by QueryEngine::Run, which knows the tile count.
+util::Result<std::vector<QueryRequest>> ParseBatch(std::istream& in);
+
+/// ParseBatch over the contents of `path`.
+util::Result<std::vector<QueryRequest>> ParseBatchFile(
+    const std::string& path);
+
+struct QueryEngineOptions {
+  /// Worker threads the batch fans over (util::ParallelFor). Output is
+  /// byte-identical for every value.
+  size_t threads = 1;
+
+  /// When set, knn requests are answered filter-and-refine (TopKFilterRefine
+  /// semantics): sketches select `candidates` promising tiles, exact Lp
+  /// distances re-rank them, and the reported distances are exact. Requires
+  /// a grid with data (not just sketches).
+  bool refine = false;
+
+  /// Candidate-set size for refined knn; 0 picks max(3k, k + 8), clamped to
+  /// the corpus size. Ignored without `refine`.
+  size_t candidates = 0;
+};
+
+/// Answers batches of mixed distance / knn requests over the tiles of a
+/// grid, routing every sketch lookup through a TileSketchCache — the
+/// serving-path composition of the paper's filter-then-refine pipeline: the
+/// cache bounds memory (LruSketchCache) or pins everything
+/// (OnDemandSketchCache / FixedSketchSource), and answers are bit-identical
+/// whichever policy and thread count is used, because sketches are
+/// deterministic and each request's output slot is fixed up front.
+class QueryEngine {
+ public:
+  /// `cache` and `estimator` must outlive the engine; `grid` may be null
+  /// when options.refine is false (sketch-only serving, e.g. from a
+  /// preloaded sketch set). When given, the grid's tile count must match the
+  /// cache's.
+  QueryEngine(const table::TileGrid* grid, core::TileSketchCache* cache,
+              const core::DistanceEstimator* estimator,
+              const QueryEngineOptions& options);
+
+  /// Answers every request, one deterministic result line per request in
+  /// request order. Validates all indices/arguments up front and fails
+  /// without partial work; a NaN estimate (NaN in the data) never reorders
+  /// results undeterministically (core::NeighborBefore ranks NaN last).
+  util::Result<std::vector<std::string>> Run(
+      std::span<const QueryRequest> batch) const;
+
+ private:
+  std::string AnswerDistance(const QueryRequest& request,
+                             std::vector<double>* scratch) const;
+  std::string AnswerKnn(const QueryRequest& request,
+                        std::vector<double>* scratch) const;
+
+  const table::TileGrid* grid_;
+  core::TileSketchCache* cache_;
+  const core::DistanceEstimator* estimator_;
+  QueryEngineOptions options_;
+};
+
+}  // namespace tabsketch::serve
+
+#endif  // TABSKETCH_SERVE_QUERY_ENGINE_H_

@@ -234,6 +234,11 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "ondemand.cache.hits",
       "ondemand.cache.misses",
       "ondemand.cache.evictions",
+      "lru.cache.hits",
+      "lru.cache.misses",
+      "lru.cache.evictions",
+      "query.requests.distance",
+      "query.requests.knn",
       "cluster.distance_evals.exact",
       "cluster.distance_evals.sketch",
       "trace.dropped",
@@ -247,6 +252,8 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "cluster.kmedoids.iterations",
       "cluster.kmedoids.converged",
       "cluster.dbscan.clusters",
+      "lru.cache.capacity_bytes",
+      "lru.cache.peak_bytes",
   };
   static const char* const kHistograms[] = {
       "span.fft.plan.seconds",
@@ -257,6 +264,8 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "span.cluster.assign.seconds",
       "span.cluster.update.seconds",
       "span.cluster.exact_update.seconds",
+      "span.lru.cache.compute.seconds",
+      "span.query.batch.seconds",
   };
   for (const char* name : kCounters) registry->GetCounter(name);
   for (const char* name : kGauges) registry->GetGauge(name);

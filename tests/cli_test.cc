@@ -273,6 +273,126 @@ TEST(CliTest, PoolBuildAndQuery) {
   std::remove(pool_path.c_str());
 }
 
+TEST(CliTest, QueryOutputIsByteIdenticalAcrossThreadsAndCaches) {
+  const std::string table_path = TempPath("cli_query_table.tbl");
+  const std::string batch_path = TempPath("cli_query_batch.txt");
+  const std::string sketch_path = TempPath("cli_query_sketches.bin");
+  const std::string out_path = TempPath("cli_query_out.txt");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string batch_flag = "--batch=" + batch_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64", "--seed=11"})
+                  .code,
+              0);
+  }
+  {
+    // Mixed batch with repeats (cache hits), comments, and blank lines.
+    std::ofstream batch(batch_path);
+    batch << "# mixed batch\n"
+          << "distance 0 63\n"
+          << "knn 5 4\n"
+          << "\n"
+          << "distance 0 63   # repeat\n"
+          << "knn 5 4\n"
+          << "distance 17 42\n"
+          << "knn 63 2\n";
+  }
+
+  // Reference run: single thread, unbounded on-demand cache.
+  const CliRun reference =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str(), "--p=1", "--k=64", "--threads=1"});
+  ASSERT_EQ(reference.code, 0) << reference.err;
+  EXPECT_NE(reference.out.find("distance 0 63 = "), std::string::npos);
+  EXPECT_NE(reference.out.find("knn 5 4 = "), std::string::npos);
+  EXPECT_NE(reference.err.find("answered 6 requests"), std::string::npos);
+
+  // Every thread count and cache budget — including a 1-byte budget that
+  // evicts on every lookup — must reproduce the reference bytes exactly.
+  for (const char* extra : {"--threads=4", "--cache-bytes=1",
+                            "--cache-bytes=1000000"}) {
+    const CliRun run =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), "--p=1", "--k=64", extra});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_EQ(run.out, reference.out) << "with " << extra;
+  }
+  {
+    // The eviction-forcing budget must actually report LRU churn on stderr.
+    const CliRun run =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), "--p=1", "--k=64", "--cache-bytes=1"});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.err.find("lru cache:"), std::string::npos);
+  }
+  {
+    // Serving from a sketch set written by `tabsketch sketch` with the same
+    // parameters also matches byte-for-byte.
+    const std::string out_flag = "--out=" + sketch_path;
+    ASSERT_EQ(RunCli({"sketch", table_flag.c_str(), out_flag.c_str(),
+                      "--tile-rows=8", "--tile-cols=8", "--p=1", "--k=64",
+                      "--seed=42"})
+                  .code,
+              0);
+    const std::string sketches_flag = "--sketches=" + sketch_path;
+    const CliRun run =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), sketches_flag.c_str()});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_EQ(run.out, reference.out);
+
+    // --sketches carries its own params; explicit ones are rejected.
+    const CliRun clash =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), sketches_flag.c_str(), "--k=64"});
+    EXPECT_EQ(clash.code, 1);
+    EXPECT_NE(clash.err.find("--sketches"), std::string::npos);
+  }
+  {
+    // --out routes the answers to a file; stdout stays empty.
+    const std::string out_flag = "--out=" + out_path;
+    const CliRun run =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), "--p=1", "--k=64", out_flag.c_str()});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_TRUE(run.out.empty());
+    std::ifstream in(out_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), reference.out);
+  }
+
+  std::remove(table_path.c_str());
+  std::remove(batch_path.c_str());
+  std::remove(sketch_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(CliTest, QueryRejectsBadBatchWithLineNumber) {
+  const std::string table_path = TempPath("cli_query_bad_table.tbl");
+  const std::string batch_path = TempPath("cli_query_bad_batch.txt");
+  const std::string out_flag = "--out=" + table_path;
+  ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                    "--rows=32", "--cols=32"})
+                .code,
+            0);
+  {
+    std::ofstream batch(batch_path);
+    batch << "distance 0 1\nteleport 2 3\n";
+  }
+  const std::string table_flag = "--table=" + table_path;
+  const std::string batch_flag = "--batch=" + batch_path;
+  const CliRun run =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str()});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("line 2"), std::string::npos);
+  std::remove(table_path.c_str());
+  std::remove(batch_path.c_str());
+}
+
 TEST(CliTest, DistanceRejectsMismatchedRectangles) {
   const std::string table_path = TempPath("cli_test_rect.tbl");
   const std::string out_flag = "--out=" + table_path;

@@ -8,6 +8,7 @@
 #include "cluster/sketch_backend.h"
 #include "core/estimator.h"
 #include "core/lp_distance.h"
+#include "core/ondemand.h"
 #include "core/sketch_io.h"
 #include "core/sketch_pool.h"
 #include "data/call_volume.h"

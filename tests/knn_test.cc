@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
 #include <vector>
@@ -46,6 +48,82 @@ GroupedTiles MakeGrouped(size_t groups, size_t tiles_per_group,
   auto grid = table::TileGrid::Create(data.get(), tile_side, tile_side);
   return GroupedTiles{std::move(data), std::move(grid).value(),
                       std::move(group)};
+}
+
+TEST(NeighborBeforeTest, IsStrictWeakOrderWithNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Neighbor real_a{1, 2.0};
+  const Neighbor real_b{2, 3.0};
+  const Neighbor nan_a{3, nan};
+  const Neighbor nan_b{4, nan};
+
+  // Irreflexivity, including on NaN (the old `a != b` test violated this).
+  EXPECT_FALSE(NeighborBefore(real_a, real_a));
+  EXPECT_FALSE(NeighborBefore(nan_a, nan_a));
+  // NaN orders after every real distance, never before.
+  EXPECT_TRUE(NeighborBefore(real_a, nan_a));
+  EXPECT_FALSE(NeighborBefore(nan_a, real_a));
+  // NaN vs NaN falls back to the index tie-break (asymmetric, total).
+  EXPECT_TRUE(NeighborBefore(nan_a, nan_b));
+  EXPECT_FALSE(NeighborBefore(nan_b, nan_a));
+  // Real distances order as usual.
+  EXPECT_TRUE(NeighborBefore(real_a, real_b));
+  EXPECT_FALSE(NeighborBefore(real_b, real_a));
+  // Equal distances tie-break by index.
+  EXPECT_TRUE(NeighborBefore(Neighbor{0, 2.0}, Neighbor{5, 2.0}));
+}
+
+TEST(SmallestKNeighborsTest, NaNDistancesSortLastDeterministically) {
+  // Regression: NaN distances used to break std::partial_sort's strict weak
+  // ordering contract (UB — garbage results or a crash). They must now sort
+  // after every real distance, with index tie-breaks keeping the output
+  // deterministic.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Neighbor> all = {
+      {0, 4.0}, {1, nan}, {2, 1.0}, {3, nan}, {4, 2.0}, {5, nan}, {6, 3.0},
+  };
+  const auto top = SmallestKNeighbors(all, 6);
+  ASSERT_EQ(top.size(), 6u);
+  EXPECT_EQ(top[0].index, 2u);
+  EXPECT_EQ(top[1].index, 4u);
+  EXPECT_EQ(top[2].index, 6u);
+  EXPECT_EQ(top[3].index, 0u);
+  // The NaN tail is ordered by index.
+  EXPECT_EQ(top[4].index, 1u);
+  EXPECT_EQ(top[5].index, 3u);
+}
+
+TEST(TopKBySketchTest, NaNSketchValuesDoNotCrashOrLeakIntoTopK) {
+  // Inject NaN into a few corpus sketches (NaN data produces NaN estimates);
+  // the search must survive and rank every clean tile ahead of the poisoned
+  // ones.
+  GroupedTiles setup = MakeGrouped(2, 6, 11);
+  SketchParams params{.p = 1.0, .k = 32, .seed = 3};
+  auto sketcher = Sketcher::Create(params);
+  auto estimator = DistanceEstimator::Create(params);
+  ASSERT_TRUE(sketcher.ok() && estimator.ok());
+  std::vector<Sketch> sketches = SketchAllTiles(*sketcher, setup.grid);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  sketches[2].values.assign(sketches[2].values.size(), nan);
+  sketches[7].values.assign(sketches[7].values.size(), nan);
+
+  const size_t n = setup.grid.num_tiles();
+  const auto neighbors =
+      TopKBySketch(sketches[0], sketches, *estimator, n - 1, 0);
+  ASSERT_EQ(neighbors.size(), n - 1);
+  // The poisoned tiles form the NaN tail, in index order; every clean tile
+  // ranks ahead of them.
+  for (size_t i = 0; i + 2 < neighbors.size(); ++i) {
+    EXPECT_FALSE(std::isnan(neighbors[i].distance)) << "position " << i;
+  }
+  EXPECT_EQ(neighbors[neighbors.size() - 2].index, 2u);
+  EXPECT_EQ(neighbors[neighbors.size() - 1].index, 7u);
+  // Deterministic: a second run reproduces the exact ordering.
+  const auto again =
+      TopKBySketch(sketches[0], sketches, *estimator, n - 1, 0);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    EXPECT_EQ(neighbors[i].index, again[i].index) << "position " << i;
+  }
 }
 
 TEST(TopKBySketchTest, FindsSameGroupNeighbors) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -210,6 +211,89 @@ TEST(PoolIoGoldenTest, TruncatedHeaderIsCleanIOError) {
     EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
   }
   std::remove(path.c_str());
+}
+
+// Patches the 8-byte little-endian value at `offset` and writes the result
+// to a temp file, for corrupting specific golden header fields in place.
+std::string WritePatched(std::string bytes, size_t offset, uint64_t value,
+                         const std::string& name) {
+  std::memcpy(&bytes[offset], &value, sizeof(value));
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(PoolIoGoldenTest, CorruptedWindowDimsAreCleanIOError) {
+  // The 56-byte pool header is followed by the first field header:
+  // window_rows @56, window_cols @64, position_rows @72, position_cols @80.
+  // The golden pool is 8x8 with a (2,2) -> 7x7 field; corrupt window dims
+  // that are zero, larger than the table, or inconsistent with the declared
+  // position counts must all be rejected up front, not crash later.
+  const std::string bytes = ReadFileBytes(GoldenPath("pool_v1.pool"));
+  ASSERT_FALSE(bytes.empty());
+  const struct {
+    size_t offset;
+    uint64_t value;
+    const char* what;
+  } kCases[] = {
+      {56, 0, "zero window_rows"},
+      {64, 0, "zero window_cols"},
+      {56, 200, "window_rows beyond the table"},
+      {64, 9, "window_cols beyond the table"},
+      {56, 3, "window_rows inconsistent with position_rows"},
+      {64, 1, "window_cols inconsistent with position_cols"},
+  };
+  for (const auto& test_case : kCases) {
+    const std::string path =
+        WritePatched(bytes, test_case.offset, test_case.value,
+                     "tabsketch_pool_badwindow.bin");
+    auto loaded = ReadSketchPool(path);
+    EXPECT_FALSE(loaded.ok()) << test_case.what;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError)
+        << test_case.what;
+    EXPECT_NE(loaded.status().ToString().find("corrupt pool field header"),
+              std::string::npos)
+        << test_case.what << ": " << loaded.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(PoolIoTest, SuccessfulWriteLeavesNoTempFile) {
+  const table::Matrix data = RandomTable(16, 16, 4);
+  const SketchPool pool = BuildSmallPool(data);
+  const std::string path = TempPath("tabsketch_pool_atomic.bin");
+  ASSERT_TRUE(WriteSketchPool(pool, path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "temp file must be renamed away";
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoTest, OverwriteReplacesExistingFileAtomically) {
+  // Writing over an existing pool goes through the temp file, so the
+  // destination is either the old bytes or the complete new bytes — never a
+  // half-written mix. After the second write the file must read back as the
+  // second pool.
+  const table::Matrix data1 = RandomTable(16, 16, 5);
+  const table::Matrix data2 = RandomTable(16, 32, 6);
+  const std::string path = TempPath("tabsketch_pool_overwrite.bin");
+  ASSERT_TRUE(WriteSketchPool(BuildSmallPool(data1), path).ok());
+  ASSERT_TRUE(WriteSketchPool(BuildSmallPool(data2), path).ok());
+  auto loaded = ReadSketchPool(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->data_cols(), 32u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoTest, UnwritablePathFailsWithoutTempResidue) {
+  const table::Matrix data = RandomTable(16, 16, 7);
+  const SketchPool pool = BuildSmallPool(data);
+  const std::string path =
+      TempPath("no_such_dir_tabsketch") + "/pool.bin";
+  EXPECT_FALSE(WriteSketchPool(pool, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 TEST(PoolFromPartsTest, RejectsEmptyFields) {

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/knn.h"
+#include "core/lru_sketch_cache.h"
+#include "core/ondemand.h"
+#include "core/sketch_cache.h"
+#include "core/sketcher.h"
+#include "rng/xoshiro256.h"
+#include "serve/query_engine.h"
+#include "table/matrix.h"
+#include "table/tiling.h"
+
+namespace tabsketch::serve {
+namespace {
+
+using core::Sketch;
+
+table::Matrix RandomTable(size_t rows, size_t cols, uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  table::Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble();
+  return out;
+}
+
+TEST(ParseBatchTest, ParsesRequestsCommentsAndBlanks) {
+  std::istringstream in(
+      "# a comment line\n"
+      "distance 0 5\n"
+      "\n"
+      "knn 3 4   # trailing comment\n"
+      "   distance 2 2\n");
+  auto batch = ParseBatch(in);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_EQ((*batch)[0],
+            (QueryRequest{QueryRequest::Kind::kDistance, 0, 5, 0}));
+  EXPECT_EQ((*batch)[1], (QueryRequest{QueryRequest::Kind::kKnn, 3, 0, 4}));
+  EXPECT_EQ((*batch)[2],
+            (QueryRequest{QueryRequest::Kind::kDistance, 2, 2, 0}));
+}
+
+TEST(ParseBatchTest, RejectsMalformedLinesWithLineNumber) {
+  {
+    std::istringstream in("distance 0 5\nfrobnicate 1 2\n");
+    auto batch = ParseBatch(in);
+    ASSERT_FALSE(batch.ok());
+    EXPECT_NE(batch.status().ToString().find("line 2"), std::string::npos);
+  }
+  {
+    std::istringstream in("knn 3\n");
+    EXPECT_FALSE(ParseBatch(in).ok()) << "missing argument";
+  }
+  {
+    std::istringstream in("distance 0 5 9\n");
+    EXPECT_FALSE(ParseBatch(in).ok()) << "trailing token";
+  }
+  {
+    std::istringstream in("distance 0 -5\n");
+    EXPECT_FALSE(ParseBatch(in).ok()) << "negative index";
+  }
+  {
+    std::istringstream in("knn 3 four\n");
+    EXPECT_FALSE(ParseBatch(in).ok()) << "non-numeric k";
+  }
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest()
+      : data_(RandomTable(24, 24, 9)),
+        grid_(*table::TileGrid::Create(&data_, 6, 6)),
+        sketcher_(
+            core::Sketcher::Create({.p = 1.0, .k = 64, .seed = 5}).value()),
+        estimator_(
+            core::DistanceEstimator::Create({.p = 1.0, .k = 64, .seed = 5})
+                .value()),
+        cache_(&sketcher_, &grid_) {}
+
+  std::vector<QueryRequest> MixedBatch() const {
+    std::vector<QueryRequest> batch;
+    const size_t n = grid_.num_tiles();
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(
+          QueryRequest{QueryRequest::Kind::kDistance, i, (i + 3) % n, 0});
+      batch.push_back(QueryRequest{QueryRequest::Kind::kKnn, i, 0, 3});
+    }
+    return batch;
+  }
+
+  table::Matrix data_;
+  table::TileGrid grid_;
+  core::Sketcher sketcher_;
+  core::DistanceEstimator estimator_;
+  core::OnDemandSketchCache cache_;
+};
+
+TEST_F(QueryEngineTest, DistanceMatchesEstimatorOnSketches) {
+  QueryEngine engine(&grid_, &cache_, &estimator_, {});
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kDistance, 2, 7, 0}};
+  auto results = engine.Run(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 1u);
+
+  const double expected = estimator_.Estimate(
+      sketcher_.SketchOf(grid_.Tile(2)), sketcher_.SketchOf(grid_.Tile(7)));
+  std::ostringstream line;
+  line << "distance 2 7 = " << expected;
+  EXPECT_EQ((*results)[0], line.str());
+}
+
+TEST_F(QueryEngineTest, KnnAgreesWithTopKBySketch) {
+  QueryEngine engine(&grid_, &cache_, &estimator_, {});
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kKnn, 4, 0, 3}};
+  auto results = engine.Run(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+  const std::vector<Sketch> sketches = SketchAllTiles(sketcher_, grid_);
+  const std::vector<core::Neighbor> expected =
+      core::TopKBySketch(sketches[4], sketches, estimator_, 3, 4);
+  std::ostringstream line;
+  line << "knn 4 3 =";
+  for (const core::Neighbor& neighbor : expected) {
+    line << " " << neighbor.index << ":" << neighbor.distance;
+  }
+  EXPECT_EQ((*results)[0], line.str());
+}
+
+TEST_F(QueryEngineTest, RefinedKnnWithFullCandidatesMatchesTopKExact) {
+  // With the candidate set widened to the whole corpus, filter-and-refine is
+  // exhaustive exact search: results must equal TopKExact, distances and all.
+  const size_t n = grid_.num_tiles();
+  QueryEngineOptions options;
+  options.refine = true;
+  options.candidates = n - 1;
+  QueryEngine engine(&grid_, &cache_, &estimator_, options);
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kKnn, 6, 0, 4}};
+  auto results = engine.Run(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+  const std::vector<core::Neighbor> expected =
+      core::TopKExact(grid_, 1.0, 6, 4);
+  std::ostringstream line;
+  line << "knn 6 4 =";
+  for (const core::Neighbor& neighbor : expected) {
+    line << " " << neighbor.index << ":" << neighbor.distance;
+  }
+  EXPECT_EQ((*results)[0], line.str());
+}
+
+TEST_F(QueryEngineTest, IdenticalAcrossThreadsAndCachePolicies) {
+  const std::vector<QueryRequest> batch = MixedBatch();
+  QueryEngine reference_engine(&grid_, &cache_, &estimator_, {});
+  auto reference = reference_engine.Run(batch);
+  ASSERT_TRUE(reference.ok());
+
+  // Every cache policy, including an evict-on-every-lookup LRU budget, and
+  // every thread count must reproduce the reference bytes exactly.
+  core::LruSketchCache::Options tiny;
+  tiny.capacity_bytes = 1;
+  tiny.shards = 2;
+  std::vector<std::unique_ptr<core::TileSketchCache>> caches;
+  caches.push_back(
+      std::make_unique<core::UncachedSketchSource>(&sketcher_, &grid_));
+  caches.push_back(
+      std::make_unique<core::LruSketchCache>(&sketcher_, &grid_, tiny));
+  caches.push_back(
+      std::make_unique<core::FixedSketchSource>(
+          SketchAllTiles(sketcher_, grid_)));
+  for (const auto& cache : caches) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      QueryEngineOptions options;
+      options.threads = threads;
+      QueryEngine engine(&grid_, cache.get(), &estimator_, options);
+      auto results = engine.Run(batch);
+      ASSERT_TRUE(results.ok());
+      EXPECT_EQ(*results, *reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, ValidatesRequestsUpFront) {
+  QueryEngine engine(&grid_, &cache_, &estimator_, {});
+  const size_t n = grid_.num_tiles();
+  EXPECT_FALSE(
+      engine
+          .Run(std::vector<QueryRequest>{
+              QueryRequest{QueryRequest::Kind::kDistance, 0, n, 0}})
+          .ok())
+      << "distance tile out of range";
+  EXPECT_FALSE(engine
+                   .Run(std::vector<QueryRequest>{
+                       QueryRequest{QueryRequest::Kind::kKnn, n, 0, 1}})
+                   .ok())
+      << "knn tile out of range";
+  EXPECT_FALSE(engine
+                   .Run(std::vector<QueryRequest>{
+                       QueryRequest{QueryRequest::Kind::kKnn, 0, 0, 0}})
+                   .ok())
+      << "k = 0";
+  EXPECT_FALSE(engine
+                   .Run(std::vector<QueryRequest>{
+                       QueryRequest{QueryRequest::Kind::kKnn, 0, 0, n}})
+                   .ok())
+      << "k > tiles - 1";
+}
+
+TEST_F(QueryEngineTest, RefineWithoutGridIsRejected) {
+  QueryEngineOptions options;
+  options.refine = true;
+  QueryEngine engine(nullptr, &cache_, &estimator_, options);
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kKnn, 0, 0, 2}};
+  EXPECT_FALSE(engine.Run(batch).ok());
+}
+
+TEST_F(QueryEngineTest, SketchOnlyServingWorksWithoutGrid) {
+  // A FixedSketchSource (e.g. a sketch set read from disk) can serve
+  // unrefined batches with no table data at all.
+  core::FixedSketchSource source(SketchAllTiles(sketcher_, grid_));
+  QueryEngine engine(nullptr, &source, &estimator_, {});
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kDistance, 1, 2, 0},
+      QueryRequest{QueryRequest::Kind::kKnn, 0, 0, 2}};
+  auto results = engine.Run(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(results->size(), 2u);
+}
+
+}  // namespace
+}  // namespace tabsketch::serve

@@ -48,6 +48,24 @@ TEST(SketchIoTest, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SketchIoTest, SuccessfulWriteLeavesNoTempFile) {
+  // WriteSketchSet stages into path + ".tmp" and renames into place, so a
+  // crash mid-write can never leave a half-written file at the destination.
+  const std::string path = TempPath("tabsketch_sketchset_atomic.bin");
+  ASSERT_TRUE(WriteSketchSet(MakeSet(), path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "temp file must be renamed away";
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, UnwritablePathFailsWithoutTempResidue) {
+  const std::string path =
+      TempPath("no_such_dir_tabsketch_sets") + "/set.bin";
+  EXPECT_FALSE(WriteSketchSet(MakeSet(), path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
 TEST(SketchIoTest, EmptySetRoundTrips) {
   SketchSet set;
   set.params = {.p = 1.0, .k = 4, .seed = 1};
