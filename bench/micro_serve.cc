@@ -1,0 +1,200 @@
+// Serving-path overhead of the `tabsketch serve` daemon: the same mixed
+// distance/knn request stream is answered (a) in-process by the snapshot's
+// QueryEngine, (b) over a loopback socket one synchronous round-trip at a
+// time, and (c) over the socket fully pipelined. The spread between (a) and
+// (b) is the per-request protocol + admission + wire cost; (c) shows how
+// much of it amortizes when a client streams. Answers are asserted
+// byte-identical across all three paths.
+//
+// usage: micro_serve [--metrics-json=FILE] [--trace-json=FILE]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "data/six_region.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "table/table_io.h"
+#include "util/observability.h"
+#include "util/timer.h"
+
+namespace {
+
+using tabsketch::serve::QueryRequest;
+
+/// Blocking loopback line client (same shape as the test client).
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (fd_ < 0 || ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      std::fprintf(stderr, "connect failed\n");
+      std::exit(1);
+    }
+  }
+  ~Client() { ::close(fd_); }
+
+  void Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        std::fprintf(stderr, "send failed\n");
+        std::exit(1);
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  std::string RecvLine() {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        std::fprintf(stderr, "recv failed\n");
+        std::exit(1);
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
+
+  tabsketch::data::SixRegionOptions data_options;
+  data_options.rows = 128;
+  data_options.cols = 128;
+  data_options.seed = 42;
+  auto dataset = tabsketch::data::GenerateSixRegion(data_options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::string table_path =
+      (std::filesystem::temp_directory_path() / "micro_serve_table.tbl")
+          .string();
+  if (auto status = tabsketch::table::WriteBinary(dataset->table, table_path);
+      !status.ok()) {
+    std::fprintf(stderr, "write table: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  tabsketch::serve::SnapshotSpec spec;
+  spec.table_path = table_path;
+  spec.tile_rows = 16;
+  spec.tile_cols = 16;
+  spec.params = {.p = 1.0, .k = 64, .seed = 42};
+  spec.cache_bytes = size_t{1} << 20;
+  auto snapshot = tabsketch::serve::Snapshot::Create(spec);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const size_t tiles = (*snapshot)->num_tiles();
+
+  // A serving-shaped stream: mostly point distances, some knn sweeps.
+  std::vector<QueryRequest> batch;
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < 512; ++i) {
+    if (i % 16 == 0) {
+      batch.push_back(QueryRequest{QueryRequest::Kind::kKnn, i % tiles, 0, 8});
+      lines.push_back("knn " + std::to_string(i % tiles) + " 8");
+    } else {
+      batch.push_back(QueryRequest{QueryRequest::Kind::kDistance, i % tiles,
+                                   (i * 7 + 3) % tiles, 0});
+      lines.push_back("distance " + std::to_string(i % tiles) + " " +
+                      std::to_string((i * 7 + 3) % tiles));
+    }
+  }
+
+  std::printf("=== Micro: serve daemon overhead ===\n");
+  std::printf("%zu tiles, %zu requests\n", tiles, batch.size());
+
+  // (a) in-process engine, the no-daemon floor.
+  tabsketch::util::WallTimer engine_timer;
+  auto reference = (*snapshot)->engine().Run(batch);
+  const double engine_seconds = engine_timer.ElapsedSeconds();
+  if (!reference.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+
+  tabsketch::serve::SnapshotHolder holder(*snapshot);
+  auto server =
+      tabsketch::serve::Server::Start(&holder, tabsketch::serve::ServerOptions{});
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  bool identical = true;
+  // (b) synchronous round-trips.
+  double sync_seconds = 0;
+  {
+    Client client((*server)->port());
+    tabsketch::util::WallTimer timer;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      client.Send(lines[i] + "\n");
+      if (client.RecvLine() != (*reference)[i]) identical = false;
+    }
+    sync_seconds = timer.ElapsedSeconds();
+  }
+  // (c) pipelined: one write burst, then drain.
+  double pipelined_seconds = 0;
+  {
+    Client client((*server)->port());
+    std::string burst;
+    for (const std::string& line : lines) burst += line + "\n";
+    tabsketch::util::WallTimer timer;
+    client.Send(burst);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (client.RecvLine() != (*reference)[i]) identical = false;
+    }
+    pipelined_seconds = timer.ElapsedSeconds();
+  }
+  (*server)->Shutdown();
+  std::remove(table_path.c_str());
+
+  const double n = static_cast<double>(batch.size());
+  std::printf("%-12s %10s %14s\n", "path", "seconds", "us/request");
+  std::printf("%-12s %10.4f %14.1f\n", "in-process", engine_seconds,
+              engine_seconds / n * 1e6);
+  std::printf("%-12s %10.4f %14.1f\n", "sync", sync_seconds,
+              sync_seconds / n * 1e6);
+  std::printf("%-12s %10.4f %14.1f\n", "pipelined", pipelined_seconds,
+              pipelined_seconds / n * 1e6);
+  std::printf("byte-identical across paths: %s\n", identical ? "yes" : "NO");
+
+  if (!identical) return 1;
+  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
+}

@@ -1,8 +1,16 @@
 #include "cli/commands.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli/flags.h"
@@ -21,6 +29,8 @@
 #include "core/sketch_io.h"
 #include "core/sketcher.h"
 #include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 #include "data/call_volume.h"
 #include "data/ip_traffic.h"
 #include "data/six_region.h"
@@ -73,6 +83,17 @@ commands:
              [--threads=N] [--refine exact re-rank of knn candidates]
              [--candidates=N refine candidate-set size, 0 = auto]
              [--out=FILE write answers to a file instead of stdout]
+  serve      long-lived query daemon on 127.0.0.1: a line protocol over TCP
+             speaking the batch grammar plus ping / reload <sketches> /
+             quit (see docs/FORMATS.md); SIGINT/SIGTERM drains and exits
+             --table=FILE --tile-rows=N --tile-cols=N
+             [--p=P --k=K --seed=N] [--sketches=FILE precomputed sketch set]
+             [--cache-bytes=N] [--threads=N] [--refine] [--candidates=N]
+             [--port=N listen port, 0 = ephemeral]
+             [--port-file=FILE write the bound port (readiness signal)]
+             [--max-inflight=N concurrent requests, 0 = thread count]
+             [--max-queue=N waiting requests before load-shedding]
+             [--deadline-ms=N bound time queued for a slot, 0 = none]
   help       show this message
 
 global flags (every command):
@@ -556,64 +577,37 @@ int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "--cache-bytes and --candidates must be >= 0"));
   }
 
-  auto matrix = table::ReadBinary(table_path);
-  if (!matrix.ok()) return Fail(err, matrix.status());
-  auto grid = table::TileGrid::Create(&*matrix,
-                                      static_cast<size_t>(tile_rows),
-                                      static_cast<size_t>(tile_cols));
-  if (!grid.ok()) return Fail(err, grid.status());
   TABSKETCH_ASSIGN_CLI(const std::vector<serve::QueryRequest> batch,
                        serve::ParseBatchFile(batch_path));
-
-  // Sketch source: a precomputed set from disk, or compute through a cache —
-  // unbounded on-demand by default, byte-budgeted LRU with --cache-bytes.
-  // All three yield byte-identical answers (sketches are deterministic).
-  core::SketchParams params{.p = p, .k = static_cast<size_t>(k),
-                            .seed = static_cast<uint64_t>(seed)};
-  std::unique_ptr<core::Sketcher> sketcher;
-  std::unique_ptr<core::TileSketchCache> cache;
-  if (!sketches_path.empty()) {
-    if (flags.Has("p") || flags.Has("k") || flags.Has("seed")) {
-      return Fail(err, util::Status::InvalidArgument(
-                           "--p/--k/--seed come from the --sketches file; "
-                           "drop the flags"));
-    }
-    auto set = core::ReadSketchSet(sketches_path);
-    if (!set.ok()) return Fail(err, set.status());
-    if (set->object_rows != grid->tile_rows() ||
-        set->object_cols != grid->tile_cols() ||
-        set->sketches.size() != grid->num_tiles()) {
-      return Fail(err, util::Status::InvalidArgument(
-                           "sketch set in " + sketches_path +
-                           " does not match the tile grid"));
-    }
-    params = set->params;
-    cache = std::make_unique<core::FixedSketchSource>(
-        std::move(set->sketches));
-  } else {
-    auto created = core::Sketcher::Create(params);
-    if (!created.ok()) return Fail(err, created.status());
-    sketcher = std::make_unique<core::Sketcher>(std::move(created).value());
-    if (cache_bytes > 0) {
-      core::LruSketchCache::Options options;
-      options.capacity_bytes = static_cast<size_t>(cache_bytes);
-      cache = std::make_unique<core::LruSketchCache>(sketcher.get(), &*grid,
-                                                     options);
-    } else {
-      cache = std::make_unique<core::OnDemandSketchCache>(sketcher.get(),
-                                                          &*grid);
-    }
+  if (!sketches_path.empty() &&
+      (flags.Has("p") || flags.Has("k") || flags.Has("seed"))) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--p/--k/--seed come from the --sketches file; "
+                         "drop the flags"));
   }
-  auto estimator = core::DistanceEstimator::Create(params);
-  if (!estimator.ok()) return Fail(err, estimator.status());
 
-  serve::QueryEngineOptions options;
-  options.threads = ThreadsFromFlag(threads_flag);
-  options.refine = refine;
-  options.candidates = static_cast<size_t>(candidates);
-  serve::QueryEngine engine(&*grid, cache.get(), &*estimator, options);
+  // The whole serving pipeline (table, grid, sketch source, estimator,
+  // engine) is one Snapshot — the same composition `tabsketch serve`
+  // publishes per generation. Sketch source selection lives there: a
+  // precomputed set from disk, or compute through a cache — unbounded
+  // on-demand by default, byte-budgeted LRU with --cache-bytes. All three
+  // yield byte-identical answers (sketches are deterministic).
+  serve::SnapshotSpec spec;
+  spec.table_path = table_path;
+  spec.tile_rows = static_cast<size_t>(tile_rows);
+  spec.tile_cols = static_cast<size_t>(tile_cols);
+  spec.sketches_path = sketches_path;
+  spec.params = core::SketchParams{.p = p, .k = static_cast<size_t>(k),
+                                   .seed = static_cast<uint64_t>(seed)};
+  spec.cache_bytes = static_cast<size_t>(cache_bytes);
+  spec.engine.threads = ThreadsFromFlag(threads_flag);
+  spec.engine.refine = refine;
+  spec.engine.candidates = static_cast<size_t>(candidates);
+  TABSKETCH_ASSIGN_CLI(const std::shared_ptr<const serve::Snapshot> snapshot,
+                       serve::Snapshot::Create(spec));
+
   util::WallTimer timer;
-  auto results = engine.Run(batch);
+  auto results = snapshot->engine().Run(batch);
   if (!results.ok()) return Fail(err, results.status());
   const double seconds = timer.ElapsedSeconds();
 
@@ -628,14 +622,171 @@ int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   }
   // Statistics go to stderr: they vary with --threads/--cache-bytes and
   // timing, while the answers above must not.
+  const core::TileSketchCache& cache = snapshot->cache();
   err << "answered " << results->size() << " requests in " << seconds
-      << "s (" << cache->hits() << " cache hits, " << cache->computed()
+      << "s (" << cache.hits() << " cache hits, " << cache.computed()
       << " sketches computed)\n";
-  if (const auto* lru = dynamic_cast<core::LruSketchCache*>(cache.get())) {
+  if (const auto* lru = dynamic_cast<const core::LruSketchCache*>(&cache)) {
     err << "lru cache: " << lru->evictions() << " evictions, peak "
         << lru->peak_bytes() << " of " << lru->capacity_bytes()
         << " budget bytes\n";
   }
+  return 0;
+}
+
+/// File descriptor the serve signal handler pokes to request shutdown; -1
+/// when no serve command is active. Plain int store/load is async-signal-safe
+/// via std::atomic with relaxed ordering.
+std::atomic<int> g_serve_stop_fd{-1};
+
+extern "C" void TabsketchServeSignalHandler(int /*signum*/) {
+  const int fd = g_serve_stop_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    // The self-pipe is the wake mechanism; if it is full the daemon is
+    // already waking up, so a short/failed write is fine to ignore.
+    const ssize_t ignored = write(fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
+/// Writes `port` to `path` atomically (tmp + rename), so a reader polling
+/// for the file never sees a partial write. This is the daemon's readiness
+/// signal for scripts.
+util::Status WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return util::Status::IOError("cannot write " + tmp);
+    file << port << "\n";
+    if (!file.flush()) return util::Status::IOError("cannot write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return util::Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return util::Status::OK();
+}
+
+int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"table", "tile-rows", "tile-cols", "p", "k", "seed", "sketches",
+       "cache-bytes", "threads", "refine", "candidates", "port", "port-file",
+       "max-inflight", "max-queue", "deadline-ms", "metrics-json",
+       "trace-json", "audit-rate"}));
+  TABSKETCH_ASSIGN_CLI(const std::string table_path,
+                       flags.GetString("table", ""));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
+                       flags.GetInt("tile-rows", 0));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_cols,
+                       flags.GetInt("tile-cols", 0));
+  TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const std::string sketches_path,
+                       flags.GetString("sketches", ""));
+  TABSKETCH_ASSIGN_CLI(const int64_t cache_bytes,
+                       flags.GetInt("cache-bytes", 0));
+  TABSKETCH_ASSIGN_CLI(
+      const int64_t threads_flag,
+      flags.GetInt("threads",
+                   static_cast<int64_t>(util::DefaultThreadCount())));
+  TABSKETCH_ASSIGN_CLI(const bool refine, flags.GetBool("refine", false));
+  TABSKETCH_ASSIGN_CLI(const int64_t candidates,
+                       flags.GetInt("candidates", 0));
+  TABSKETCH_ASSIGN_CLI(const int64_t port, flags.GetInt("port", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string port_file,
+                       flags.GetString("port-file", ""));
+  TABSKETCH_ASSIGN_CLI(const int64_t max_inflight,
+                       flags.GetInt("max-inflight", 0));
+  TABSKETCH_ASSIGN_CLI(const int64_t max_queue,
+                       flags.GetInt("max-queue", 64));
+  TABSKETCH_ASSIGN_CLI(const int64_t deadline_ms,
+                       flags.GetInt("deadline-ms", 0));
+  if (cache_bytes < 0 || candidates < 0) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--cache-bytes and --candidates must be >= 0"));
+  }
+  if (port < 0 || port > 65535) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--port must be in [0, 65535]"));
+  }
+  if (max_inflight < 0 || max_queue < 0 || deadline_ms < 0) {
+    return Fail(err,
+                util::Status::InvalidArgument(
+                    "--max-inflight/--max-queue/--deadline-ms must be >= 0"));
+  }
+  if (table_path.empty() && sketches_path.empty()) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "serve needs --table and/or --sketches"));
+  }
+  if (!sketches_path.empty() &&
+      (flags.Has("p") || flags.Has("k") || flags.Has("seed"))) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--p/--k/--seed come from the --sketches file; "
+                         "drop the flags"));
+  }
+
+  serve::SnapshotSpec spec;
+  spec.table_path = table_path;
+  spec.tile_rows = static_cast<size_t>(tile_rows);
+  spec.tile_cols = static_cast<size_t>(tile_cols);
+  spec.sketches_path = sketches_path;
+  spec.params = core::SketchParams{.p = p, .k = static_cast<size_t>(k),
+                                   .seed = static_cast<uint64_t>(seed)};
+  spec.cache_bytes = static_cast<size_t>(cache_bytes);
+  spec.engine.threads = ThreadsFromFlag(threads_flag);
+  spec.engine.refine = refine;
+  spec.engine.candidates = static_cast<size_t>(candidates);
+  TABSKETCH_ASSIGN_CLI(std::shared_ptr<const serve::Snapshot> snapshot,
+                       serve::Snapshot::Create(spec));
+  const size_t tiles = snapshot->num_tiles();
+  serve::SnapshotHolder holder(std::move(snapshot));
+
+  serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.max_inflight = static_cast<size_t>(max_inflight);
+  options.max_queue = static_cast<size_t>(max_queue);
+  options.deadline_ms = static_cast<uint32_t>(deadline_ms);
+  TABSKETCH_ASSIGN_CLI(const std::unique_ptr<serve::Server> server,
+                       serve::Server::Start(&holder, options));
+
+  // Self-pipe shutdown: SIGINT/SIGTERM write one byte, the foreground
+  // thread blocks reading it, then drains the server. Handlers are
+  // restored before returning so repeated in-process invocations (tests)
+  // start clean.
+  int stop_pipe[2];
+  if (pipe(stop_pipe) != 0) {
+    return Fail(err, util::Status::IOError("cannot create signal pipe"));
+  }
+  g_serve_stop_fd.store(stop_pipe[1], std::memory_order_relaxed);
+  struct sigaction action {};
+  struct sigaction old_int {};
+  struct sigaction old_term {};
+  action.sa_handler = TabsketchServeSignalHandler;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+
+  out << "serving " << holder.Current()->description() << " (" << tiles
+      << " tiles) on 127.0.0.1:" << server->port() << "\n";
+  out.flush();
+  if (!port_file.empty()) {
+    TABSKETCH_RETURN_CLI(WritePortFile(port_file, server->port()));
+  }
+
+  char byte = 0;
+  while (read(stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  g_serve_stop_fd.store(-1, std::memory_order_relaxed);
+  close(stop_pipe[0]);
+  close(stop_pipe[1]);
+
+  server->Shutdown();
+  err << "served " << server->connections_accepted() << " connections, "
+      << holder.swaps() << " snapshot swaps\n";
   return 0;
 }
 
@@ -685,6 +836,8 @@ int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
     code = CmdPoolQuery(*flags, out, err);
   } else if (command == "query") {
     code = CmdQuery(*flags, out, err);
+  } else if (command == "serve") {
+    code = CmdServe(*flags, out, err);
   } else {
     err << "error: unknown command '" << command << "'\n\n" << kUsage;
     return 1;

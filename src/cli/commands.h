@@ -23,6 +23,10 @@ namespace tabsketch::cli {
 ///   query     --table=FILE --tile-rows=N --tile-cols=N --batch=FILE
 ///             [--p= --k= --seed=] [--sketches=FILE] [--cache-bytes=]
 ///             [--threads=] [--refine] [--candidates=] [--out=FILE]
+///   serve     --table=FILE --tile-rows=N --tile-cols=N [--sketches=FILE]
+///             [--p= --k= --seed=] [--cache-bytes=] [--threads=] [--refine]
+///             [--candidates=] [--port= --port-file=] [--max-inflight=]
+///             [--max-queue=] [--deadline-ms=]
 ///   help
 int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
                     std::ostream& err);

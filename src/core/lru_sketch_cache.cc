@@ -42,6 +42,7 @@ LruSketchCache::LruSketchCache(const Sketcher* sketcher,
     : sketcher_(sketcher),
       grid_(grid),
       capacity_bytes_(options.capacity_bytes),
+      compute_hook_(options.compute_hook),
       shards_(std::max<size_t>(options.shards, 1)) {
   shard_budget_ = capacity_bytes_ / shards_.size();
   for (Shard& shard : shards_) {
@@ -134,6 +135,7 @@ std::shared_ptr<const Sketch> LruSketchCache::Get(size_t index) {
   }
   computed_.fetch_add(1, std::memory_order_relaxed);
   TABSKETCH_METRIC_COUNT("lru.cache.misses");
+  if (compute_hook_) compute_hook_(index);
 
   size_t added = 0;
   size_t removed = 0;
@@ -141,7 +143,12 @@ std::shared_ptr<const Sketch> LruSketchCache::Get(size_t index) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.entries.find(index);
     if (it != shard.entries.end()) {
-      // Lost the insert race; serve (and touch) the retained entry.
+      // Lost the insert race; the sketch this thread just computed is
+      // discarded, but it was already counted above — hence
+      // computed() == misses_retained + races() (see the class comment).
+      // Serve (and touch) the retained entry.
+      races_.fetch_add(1, std::memory_order_relaxed);
+      TABSKETCH_METRIC_COUNT("lru.cache.races");
       Entry* entry = it->second.get();
       Unlink(entry);
       PushFront(&shard, entry);

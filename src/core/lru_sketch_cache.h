@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -33,10 +34,15 @@ namespace tabsketch::core {
 /// thread count: sketches are deterministic functions of (family, tile), so
 /// eviction can only ever cost recompute time, never change a value. Misses
 /// compute outside the shard lock; two threads racing on the same absent
-/// tile may both compute it (identical results, one retained).
+/// tile may both compute it (identical results, one retained). The loser of
+/// that insert race still counts as a miss and a compute, so the counters
+/// obey `computed() >= misses_retained`, where `misses_retained` is the
+/// number of misses whose sketch was actually inserted:
+/// `computed() == misses_retained + races()`. Hit-rate math that treats
+/// every miss as one retained insert must subtract races() first.
 ///
 /// Observability (all gated on the usual TABSKETCH_METRICS switches):
-/// counters lru.cache.{hits,misses,evictions}, gauges
+/// counters lru.cache.{hits,misses,evictions,races}, gauges
 /// lru.cache.{capacity_bytes,peak_bytes}, and a lru.cache.compute trace span
 /// around every miss's sketch construction.
 class LruSketchCache : public TileSketchCache {
@@ -48,6 +54,11 @@ class LruSketchCache : public TileSketchCache {
     /// Mutex stripes. Clamped to >= 1; use 1 for exactly predictable
     /// whole-cache eviction order (tests), more for concurrency.
     size_t shards = 8;
+    /// Test-only hook, called on the miss path after the sketch is computed
+    /// and before the shard is re-locked for insert — the window in which
+    /// the insert race is decided. Lets tests park a thread there to make
+    /// the race deterministic. Leave unset in production.
+    std::function<void(size_t)> compute_hook;
   };
 
   /// `sketcher` and `grid` must outlive the cache.
@@ -71,6 +82,10 @@ class LruSketchCache : public TileSketchCache {
   size_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Lost insert races: misses whose computed sketch was discarded because
+  /// a concurrent miss on the same tile inserted first. See the class
+  /// comment for the computed()/misses/races relationship.
+  size_t races() const { return races_.load(std::memory_order_relaxed); }
   /// Bytes currently resident across all shards.
   size_t bytes_used() const {
     return bytes_.load(std::memory_order_relaxed);
@@ -117,11 +132,13 @@ class LruSketchCache : public TileSketchCache {
   const table::TileGrid* grid_;
   const size_t capacity_bytes_;
   size_t shard_budget_ = 0;
+  std::function<void(size_t)> compute_hook_;
   std::vector<Shard> shards_;
 
   std::atomic<size_t> computed_{0};
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> evictions_{0};
+  std::atomic<size_t> races_{0};
   std::atomic<size_t> bytes_{0};
   std::atomic<size_t> peak_bytes_{0};
 };

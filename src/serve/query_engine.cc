@@ -35,43 +35,53 @@ util::Status LineError(size_t line_number, const std::string& message) {
 
 }  // namespace
 
+util::Result<std::optional<QueryRequest>> ParseBatchLine(std::string line,
+                                                         size_t line_number) {
+  // std::getline splits on '\n' only, so a CRLF-terminated line arrives with
+  // a trailing '\r' glued to the final token; strip it before tokenizing so
+  // CRLF batches parse identically to LF ones.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  // Strip a trailing comment, then tokenize what is left.
+  const size_t hash = line.find('#');
+  if (hash != std::string::npos) line.resize(hash);
+  std::istringstream tokens(line);
+  std::string verb;
+  if (!(tokens >> verb)) return std::optional<QueryRequest>();
+
+  QueryRequest request;
+  std::string first, second, extra;
+  if (!(tokens >> first >> second)) {
+    return LineError(line_number, "'" + verb + "' needs two arguments");
+  }
+  if (tokens >> extra) {
+    return LineError(line_number, "trailing token '" + extra + "'");
+  }
+  if (verb == "distance") {
+    request.kind = QueryRequest::Kind::kDistance;
+    if (!ParseIndex(first, &request.a) || !ParseIndex(second, &request.b)) {
+      return LineError(line_number, "expected 'distance <tileA> <tileB>'");
+    }
+  } else if (verb == "knn") {
+    request.kind = QueryRequest::Kind::kKnn;
+    if (!ParseIndex(first, &request.a) || !ParseIndex(second, &request.k)) {
+      return LineError(line_number, "expected 'knn <tile> <k>'");
+    }
+  } else {
+    return LineError(line_number,
+                     "unknown request '" + verb + "' (distance, knn)");
+  }
+  return std::optional<QueryRequest>(request);
+}
+
 util::Result<std::vector<QueryRequest>> ParseBatch(std::istream& in) {
   std::vector<QueryRequest> requests;
   std::string line;
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    // Strip a trailing comment, then tokenize what is left.
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream tokens(line);
-    std::string verb;
-    if (!(tokens >> verb)) continue;  // blank or comment-only line
-
-    QueryRequest request;
-    std::string first, second, extra;
-    if (!(tokens >> first >> second)) {
-      return LineError(line_number, "'" + verb + "' needs two arguments");
-    }
-    if (tokens >> extra) {
-      return LineError(line_number, "trailing token '" + extra + "'");
-    }
-    if (verb == "distance") {
-      request.kind = QueryRequest::Kind::kDistance;
-      if (!ParseIndex(first, &request.a) || !ParseIndex(second, &request.b)) {
-        return LineError(line_number,
-                         "expected 'distance <tileA> <tileB>'");
-      }
-    } else if (verb == "knn") {
-      request.kind = QueryRequest::Kind::kKnn;
-      if (!ParseIndex(first, &request.a) || !ParseIndex(second, &request.k)) {
-        return LineError(line_number, "expected 'knn <tile> <k>'");
-      }
-    } else {
-      return LineError(line_number,
-                       "unknown request '" + verb + "' (distance, knn)");
-    }
-    requests.push_back(request);
+    TABSKETCH_ASSIGN_OR_RETURN(std::optional<QueryRequest> request,
+                               ParseBatchLine(std::move(line), line_number));
+    if (request.has_value()) requests.push_back(*request);
   }
   return requests;
 }
@@ -96,6 +106,7 @@ std::string QueryEngine::AnswerDistance(const QueryRequest& request,
   const double estimate =
       estimator_->EstimateWithScratch(a->values, b->values, scratch);
   std::ostringstream out;
+  out.precision(kAnswerPrecision);
   out << "distance " << request.a << " " << request.b << " = " << estimate;
   return out.str();
 }
@@ -144,6 +155,7 @@ std::string QueryEngine::AnswerKnn(const QueryRequest& request,
   }
 
   std::ostringstream out;
+  out.precision(kAnswerPrecision);
   out << "knn " << request.a << " " << request.k << " =";
   for (const core::Neighbor& neighbor : top) {
     out << " " << neighbor.index << ":" << neighbor.distance;

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <limits>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,10 +36,29 @@ struct QueryRequest {
   }
 };
 
+/// Stream precision every answer line is formatted with: max_digits10, so
+/// printed distances round-trip to the exact binary64 estimate (the same
+/// full width the metrics JSON and golden fixtures carry). Tests and other
+/// producers of expected answer strings must set the same precision.
+inline constexpr int kAnswerPrecision =
+    std::numeric_limits<double>::max_digits10;
+
+/// Parses one line of the batch grammar (`distance A B` / `knn Q K`).
+/// A trailing '\r' (CRLF batch files read with std::getline) is stripped
+/// before tokenizing, so Windows-authored batches parse identically to
+/// LF ones. Returns nullopt for blank / comment-only lines; malformed lines
+/// are InvalidArgument carrying the given 1-based `line_number`. Index
+/// bounds are checked later, by QueryEngine::Run, which knows the tile
+/// count. This is the shared parse step of ParseBatch and the serve
+/// daemon's wire protocol (serve/server.h).
+util::Result<std::optional<QueryRequest>> ParseBatchLine(std::string line,
+                                                         size_t line_number);
+
 /// Parses a batch-query stream: one request per line (`distance A B` /
-/// `knn Q K`), `#` comments and blank lines ignored. Malformed lines are
-/// InvalidArgument with the 1-based line number. Index bounds are checked
-/// later, by QueryEngine::Run, which knows the tile count.
+/// `knn Q K`), `#` comments and blank lines ignored, CRLF tolerated.
+/// Malformed lines are InvalidArgument with the 1-based line number. Index
+/// bounds are checked later, by QueryEngine::Run, which knows the tile
+/// count.
 util::Result<std::vector<QueryRequest>> ParseBatch(std::istream& in);
 
 /// ParseBatch over the contents of `path`.

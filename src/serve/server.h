@@ -1,0 +1,155 @@
+#ifndef TABSKETCH_SERVE_SERVER_H_
+#define TABSKETCH_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/result.h"
+
+namespace tabsketch::serve {
+
+/// Bounded-concurrency gate in front of the query engine: at most
+/// `max_inflight` requests execute at once, at most `max_queue` more wait
+/// for a slot, everything beyond that is shed immediately. Waiters honor a
+/// per-request deadline, and Close() turns every current and future Enter()
+/// into kClosed so shutdown never strands a waiter.
+class AdmissionController {
+ public:
+  enum class Admission {
+    /// A slot was granted; the caller must balance with Leave().
+    kAdmitted,
+    /// The waiting queue was full; the request was shed without waiting.
+    kShed,
+    /// The deadline passed before a slot freed up.
+    kDeadlineExpired,
+    /// The controller is closed (server shutting down).
+    kClosed,
+  };
+
+  AdmissionController(size_t max_inflight, size_t max_queue);
+
+  /// Tries to take an execution slot, waiting (bounded by `deadline`, when
+  /// set) in the admission queue if none is free. Only kAdmitted grants a
+  /// slot.
+  Admission Enter(
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+
+  /// Releases a slot taken by a successful Enter().
+  void Leave();
+
+  /// Rejects all current and future Enter() calls with kClosed.
+  void Close();
+
+  /// Requests currently waiting for a slot (the serve.queue.depth gauge).
+  size_t queue_depth() const;
+
+ private:
+  const size_t max_inflight_;
+  const size_t max_queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  size_t inflight_ = 0;
+  size_t waiting_ = 0;
+  bool closed_ = false;
+};
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back from
+  /// Server::port()).
+  uint16_t port = 0;
+  /// Concurrent executing requests; 0 = util::DefaultThreadCount().
+  size_t max_inflight = 0;
+  /// Requests allowed to wait for an execution slot before load-shedding.
+  size_t max_queue = 64;
+  /// Per-request admission deadline in milliseconds; 0 disables. The
+  /// deadline bounds time spent waiting for an execution slot, not
+  /// execution itself.
+  uint32_t deadline_ms = 0;
+  /// When false, `reload` returns a failed-precondition error.
+  bool enable_reload = true;
+  /// Test-only hook, called for query requests after admission and after
+  /// the request captured its snapshot, before the engine runs. Lets tests
+  /// park a request mid-flight (deadline expiry, swap-mid-batch, drain
+  /// determinism). Leave unset in production.
+  std::function<void(const QueryRequest&)> pre_request_hook;
+};
+
+/// The `tabsketch serve` daemon core: a loopback TCP listener speaking a
+/// line protocol over the batch grammar (see docs/FORMATS.md, "Serve wire
+/// protocol"). Each connection gets a handler thread; each request line is
+/// admitted through an AdmissionController, answered by the QueryEngine of
+/// the SnapshotHolder's current snapshot, and the `reload` verb swaps in a
+/// new sketch-set snapshot RCU-style without disturbing in-flight requests.
+///
+/// Lifecycle: Start() binds/listens and returns a running server; Shutdown()
+/// (idempotent, also run by the destructor) stops accepting, closes the
+/// admission gate, half-closes every connection's read side and joins all
+/// handler threads — in-flight requests finish and their responses are
+/// delivered before the sockets close (graceful drain).
+class Server {
+ public:
+  /// Binds 127.0.0.1:options.port, starts the accept loop. `snapshots` must
+  /// outlive the server and hold a non-null snapshot.
+  static util::Result<std::unique_ptr<Server>> Start(
+      SnapshotHolder* snapshots, const ServerOptions& options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves an ephemeral options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Drains and stops the server. Safe to call repeatedly/concurrently with
+  /// itself; blocks until every connection thread has exited.
+  void Shutdown();
+
+  /// Connections accepted so far.
+  size_t connections_accepted() const;
+
+ private:
+  Server(SnapshotHolder* snapshots, const ServerOptions& options,
+         int listen_fd, int wake_read_fd, int wake_write_fd, uint16_t port);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Answers one request line; nullopt for blank/comment lines. Sets
+  /// `*close_connection` for `quit`.
+  std::optional<std::string> ProcessLine(const std::string& line,
+                                         bool* close_connection);
+  std::string ProcessQuery(const QueryRequest& request);
+  std::string ProcessReload(const std::string& path);
+
+  SnapshotHolder* snapshots_;
+  ServerOptions options_;
+  AdmissionController admission_;
+  int listen_fd_;
+  int wake_read_fd_;
+  int wake_write_fd_;
+  uint16_t port_;
+
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::unordered_set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool shutting_down_ = false;  // guarded by conn_mutex_
+  std::atomic<size_t> accepted_{0};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace tabsketch::serve
+
+#endif  // TABSKETCH_SERVE_SERVER_H_

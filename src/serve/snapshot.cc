@@ -1,0 +1,154 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "core/lru_sketch_cache.h"
+#include "core/ondemand.h"
+#include "core/sketch_io.h"
+#include "table/table_io.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace tabsketch::serve {
+namespace {
+
+/// Loads `path` into a heap-pinned TableData (matrix first, then the grid
+/// pointing into it; the shared_ptr guarantees the matrix never moves).
+util::Result<std::shared_ptr<const Snapshot::TableData>> LoadTable(
+    const std::string& path, size_t tile_rows, size_t tile_cols) {
+  auto data = std::make_shared<Snapshot::TableData>();
+  TABSKETCH_ASSIGN_OR_RETURN(data->matrix, table::ReadBinary(path));
+  TABSKETCH_ASSIGN_OR_RETURN(
+      table::TileGrid grid,
+      table::TileGrid::Create(&data->matrix, tile_rows, tile_cols));
+  data->grid = std::make_unique<table::TileGrid>(std::move(grid));
+  return std::shared_ptr<const Snapshot::TableData>(std::move(data));
+}
+
+/// True when the sketch set's object shape and count line up with the grid,
+/// i.e. the set can serve as that grid's precomputed sketches.
+bool SetMatchesGrid(const core::SketchSet& set, const table::TileGrid& grid) {
+  return set.object_rows == grid.tile_rows() &&
+         set.object_cols == grid.tile_cols() &&
+         set.sketches.size() == grid.num_tiles();
+}
+
+}  // namespace
+
+util::Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
+    const SnapshotSpec& spec) {
+  if (spec.table_path.empty() && spec.sketches_path.empty()) {
+    return util::Status::InvalidArgument(
+        "snapshot needs a table or a sketch set");
+  }
+  if (spec.engine.refine && spec.table_path.empty()) {
+    return util::Status::InvalidArgument(
+        "refined knn needs table data, not just sketches");
+  }
+
+  // shared_ptr<Snapshot> first, const-qualified on return: the constructor
+  // is private, so no make_shared.
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->engine_options_ = spec.engine;
+
+  const table::TileGrid* grid = nullptr;
+  if (!spec.table_path.empty()) {
+    TABSKETCH_ASSIGN_OR_RETURN(
+        snapshot->table_,
+        LoadTable(spec.table_path, spec.tile_rows, spec.tile_cols));
+    grid = snapshot->table_->grid.get();
+  }
+
+  if (!spec.sketches_path.empty()) {
+    TABSKETCH_ASSIGN_OR_RETURN(core::SketchSet set,
+                               core::ReadSketchSet(spec.sketches_path));
+    if (grid != nullptr && !SetMatchesGrid(set, *grid)) {
+      return util::Status::InvalidArgument(
+          "sketch set in " + spec.sketches_path +
+          " does not match the tile grid");
+    }
+    snapshot->params_ = set.params;
+    snapshot->cache_ = std::make_unique<core::FixedSketchSource>(
+        std::move(set.sketches));
+    snapshot->description_ = "sketches " + spec.sketches_path;
+  } else {
+    snapshot->params_ = spec.params;
+    TABSKETCH_ASSIGN_OR_RETURN(core::Sketcher sketcher,
+                               core::Sketcher::Create(snapshot->params_));
+    snapshot->sketcher_ =
+        std::make_unique<core::Sketcher>(std::move(sketcher));
+    if (spec.cache_bytes > 0) {
+      core::LruSketchCache::Options options;
+      options.capacity_bytes = spec.cache_bytes;
+      snapshot->cache_ = std::make_unique<core::LruSketchCache>(
+          snapshot->sketcher_.get(), grid, options);
+    } else {
+      snapshot->cache_ = std::make_unique<core::OnDemandSketchCache>(
+          snapshot->sketcher_.get(), grid);
+    }
+    snapshot->description_ = "table " + spec.table_path;
+  }
+
+  TABSKETCH_ASSIGN_OR_RETURN(
+      core::DistanceEstimator estimator,
+      core::DistanceEstimator::Create(snapshot->params_));
+  snapshot->estimator_ =
+      std::make_unique<core::DistanceEstimator>(std::move(estimator));
+  snapshot->engine_ = std::make_unique<QueryEngine>(
+      grid, snapshot->cache_.get(), snapshot->estimator_.get(),
+      snapshot->engine_options_);
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+util::Result<std::shared_ptr<const Snapshot>> Snapshot::WithSketchSet(
+    const Snapshot& base, const std::string& path) {
+  TABSKETCH_ASSIGN_OR_RETURN(core::SketchSet set, core::ReadSketchSet(path));
+
+  // Keep the base's table/grid when the new set still fits it (the daily
+  // same-shape table swap); otherwise fall back to sketch-only serving.
+  const bool reuse_grid =
+      base.table_ != nullptr && SetMatchesGrid(set, *base.table_->grid);
+  if (base.engine_options_.refine && !reuse_grid) {
+    return util::Status::FailedPrecondition(
+        "refined serving needs a sketch set matching the table grid; " +
+        path + " does not match");
+  }
+
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->engine_options_ = base.engine_options_;
+  if (reuse_grid) snapshot->table_ = base.table_;
+  snapshot->params_ = set.params;
+  snapshot->cache_ =
+      std::make_unique<core::FixedSketchSource>(std::move(set.sketches));
+  snapshot->description_ = "sketches " + path;
+
+  TABSKETCH_ASSIGN_OR_RETURN(
+      core::DistanceEstimator estimator,
+      core::DistanceEstimator::Create(snapshot->params_));
+  snapshot->estimator_ =
+      std::make_unique<core::DistanceEstimator>(std::move(estimator));
+  snapshot->engine_ = std::make_unique<QueryEngine>(
+      reuse_grid ? snapshot->table_->grid.get() : nullptr,
+      snapshot->cache_.get(), snapshot->estimator_.get(),
+      snapshot->engine_options_);
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+SnapshotHolder::SnapshotHolder(std::shared_ptr<const Snapshot> initial)
+    : current_(std::move(initial)) {}
+
+std::shared_ptr<const Snapshot> SnapshotHolder::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+void SnapshotHolder::Swap(std::shared_ptr<const Snapshot> next) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = std::move(next);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  TABSKETCH_METRIC_COUNT("serve.snapshot.swaps");
+}
+
+}  // namespace tabsketch::serve

@@ -237,8 +237,17 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "lru.cache.hits",
       "lru.cache.misses",
       "lru.cache.evictions",
+      "lru.cache.races",
       "query.requests.distance",
       "query.requests.knn",
+      "serve.connections.accepted",
+      "serve.requests.distance",
+      "serve.requests.knn",
+      "serve.requests.reload",
+      "serve.requests.errors",
+      "serve.requests.shed",
+      "serve.requests.deadline_expired",
+      "serve.snapshot.swaps",
       "cluster.distance_evals.exact",
       "cluster.distance_evals.sketch",
       "trace.dropped",
@@ -254,6 +263,7 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "cluster.dbscan.clusters",
       "lru.cache.capacity_bytes",
       "lru.cache.peak_bytes",
+      "serve.queue.depth",
   };
   static const char* const kHistograms[] = {
       "span.fft.plan.seconds",
@@ -266,6 +276,7 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "span.cluster.exact_update.seconds",
       "span.lru.cache.compute.seconds",
       "span.query.batch.seconds",
+      "serve.request.latency.seconds",
   };
   for (const char* name : kCounters) registry->GetCounter(name);
   for (const char* name : kGauges) registry->GetGauge(name);

@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "cli/commands.h"
@@ -370,6 +378,223 @@ TEST(CliTest, QueryOutputIsByteIdenticalAcrossThreadsAndCaches) {
   std::remove(out_path.c_str());
 }
 
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Extracts the numeric value of `"key": <number>` from a metrics dump.
+/// Returns -1 when the key is absent (all real metric values are >= 0).
+double MetricValue(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Minimal blocking line client for the serve daemon tests.
+class CliServeClient {
+ public:
+  explicit CliServeClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~CliServeClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void SendLine(const std::string& line) {
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  std::string RecvLine() {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Polls `path` until it appears and parses the port the daemon wrote.
+uint16_t WaitForPortFile(const std::string& path) {
+  for (int i = 0; i < 2000; ++i) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return static_cast<uint16_t>(port);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return 0;
+}
+
+// The ISSUE-6 acceptance scenario: the daemon answers a mixed batch over a
+// socket byte-identically to single-shot `query` on the same inputs,
+// including across a live `reload` snapshot swap, shuts down cleanly on
+// SIGTERM, and its metrics dump carries the serve.* schema.
+TEST(CliTest, ServeDaemonMatchesQueryAndReloads) {
+  const std::string table_path = TempPath("cli_serve_table.tbl");
+  const std::string batch_path = TempPath("cli_serve_batch.txt");
+  const std::string day1_path = TempPath("cli_serve_day1.sks");
+  const std::string day2_path = TempPath("cli_serve_day2.sks");
+  const std::string port_path = TempPath("cli_serve.port");
+  const std::string json_path = TempPath("cli_serve_metrics.json");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string batch_flag = "--batch=" + batch_path;
+  std::remove(port_path.c_str());
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64", "--seed=11"})
+                  .code,
+              0);
+  }
+  // Two sketch-set generations over the same table, different seeds.
+  for (const auto& [path, seed] :
+       {std::pair<std::string, const char*>{day1_path, "--seed=42"},
+        std::pair<std::string, const char*>{day2_path, "--seed=43"}}) {
+    const std::string out_flag = "--out=" + path;
+    ASSERT_EQ(RunCli({"sketch", table_flag.c_str(), out_flag.c_str(),
+                      "--tile-rows=8", "--tile-cols=8", "--p=1", "--k=64",
+                      seed})
+                  .code,
+              0);
+  }
+  const std::vector<std::string> batch_lines = {
+      "distance 0 63", "knn 5 4", "distance 17 42", "knn 63 2"};
+  {
+    std::ofstream batch(batch_path);
+    for (const std::string& line : batch_lines) batch << line << "\n";
+  }
+
+  // `query` reference answers for each generation.
+  const std::string day1_flag = "--sketches=" + day1_path;
+  const std::string day2_flag = "--sketches=" + day2_path;
+  const CliRun day1_ref =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str(), day1_flag.c_str()});
+  ASSERT_EQ(day1_ref.code, 0) << day1_ref.err;
+  const CliRun day2_ref =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str(), day2_flag.c_str()});
+  ASSERT_EQ(day2_ref.code, 0) << day2_ref.err;
+  const std::vector<std::string> day1_lines = SplitLines(day1_ref.out);
+  const std::vector<std::string> day2_lines = SplitLines(day2_ref.out);
+  ASSERT_EQ(day1_lines.size(), batch_lines.size());
+  ASSERT_NE(day1_lines, day2_lines);
+
+  // The daemon runs in-process on another thread; SIGTERM stops it.
+  const std::string port_flag = "--port-file=" + port_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  CliRun serve_run{-1, "", ""};
+  std::thread daemon([&] {
+    serve_run = RunCli({"serve", table_flag.c_str(), "--tile-rows=8",
+                        "--tile-cols=8", day1_flag.c_str(),
+                        "--cache-bytes=1000000", port_flag.c_str(),
+                        json_flag.c_str()});
+  });
+  const uint16_t port = WaitForPortFile(port_path);
+  ASSERT_NE(port, 0) << "daemon never wrote its port file";
+
+  {
+    CliServeClient client(port);
+    ASSERT_TRUE(client.connected());
+    client.SendLine("ping");
+    EXPECT_EQ(client.RecvLine(), "ok ping");
+    // Day-1 answers match `query` byte-for-byte...
+    for (size_t i = 0; i < batch_lines.size(); ++i) {
+      client.SendLine(batch_lines[i]);
+      EXPECT_EQ(client.RecvLine(), day1_lines[i]) << "line " << i;
+    }
+    // ...and after one live reload, so do day-2 answers.
+    client.SendLine("reload " + day2_path);
+    const std::string ack = client.RecvLine();
+    EXPECT_EQ(ack.find("ok reload "), 0u) << ack;
+    for (size_t i = 0; i < batch_lines.size(); ++i) {
+      client.SendLine(batch_lines[i]);
+      EXPECT_EQ(client.RecvLine(), day2_lines[i]) << "line " << i;
+    }
+    client.SendLine("quit");
+    EXPECT_EQ(client.RecvLine(), "ok bye");
+  }
+
+  raise(SIGTERM);
+  daemon.join();
+  EXPECT_EQ(serve_run.code, 0) << serve_run.err;
+  EXPECT_NE(serve_run.out.find("serving "), std::string::npos);
+  EXPECT_NE(serve_run.err.find("1 snapshot swaps"), std::string::npos);
+
+  // The metrics dump carries the serve.* schema and the LRU race counter.
+  const std::string json = ReadWholeFile(json_path);
+  EXPECT_GE(MetricValue(json, "serve.connections.accepted"), 0.0);
+  EXPECT_GE(MetricValue(json, "serve.requests.distance"), 0.0);
+  EXPECT_GE(MetricValue(json, "serve.requests.knn"), 0.0);
+  EXPECT_GE(MetricValue(json, "serve.requests.reload"), 0.0);
+  EXPECT_GE(MetricValue(json, "serve.snapshot.swaps"), 0.0);
+  EXPECT_GE(MetricValue(json, "serve.queue.depth"), 0.0);
+  EXPECT_GE(MetricValue(json, "lru.cache.races"), 0.0);
+  EXPECT_NE(json.find("serve.request.latency.seconds"), std::string::npos);
+#if TABSKETCH_METRICS_ENABLED
+  EXPECT_EQ(MetricValue(json, "serve.connections.accepted"), 1.0);
+  EXPECT_EQ(MetricValue(json, "serve.requests.distance"), 4.0);
+  EXPECT_EQ(MetricValue(json, "serve.requests.knn"), 4.0);
+  EXPECT_EQ(MetricValue(json, "serve.requests.reload"), 1.0);
+  EXPECT_EQ(MetricValue(json, "serve.snapshot.swaps"), 1.0);
+#endif
+
+  for (const std::string& path :
+       {table_path, batch_path, day1_path, day2_path, port_path, json_path}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CliTest, ServeRejectsBadFlags) {
+  EXPECT_EQ(RunCli({"serve"}).code, 1);
+  EXPECT_EQ(RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+                    "--tile-cols=8", "--port=70000"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+                    "--tile-cols=8", "--deadline-ms=-1"})
+                .code,
+            1);
+}
+
 TEST(CliTest, QueryRejectsBadBatchWithLineNumber) {
   const std::string table_path = TempPath("cli_query_bad_table.tbl");
   const std::string batch_path = TempPath("cli_query_bad_batch.txt");
@@ -431,22 +656,6 @@ TEST(CliTest, InfoMissingFileFails) {
   const CliRun run = RunCli({"info", "--table=/tmp/definitely_missing.tbl"});
   EXPECT_EQ(run.code, 1);
   EXPECT_NE(run.err.find("error"), std::string::npos);
-}
-
-std::string ReadWholeFile(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// Extracts the numeric value of `"key": <number>` from a metrics dump.
-/// Returns -1 when the key is absent (all real metric values are >= 0).
-double MetricValue(const std::string& json, const std::string& key) {
-  const std::string needle = "\"" + key + "\": ";
-  const size_t pos = json.find(needle);
-  if (pos == std::string::npos) return -1.0;
-  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
 }
 
 // The ISSUE-3 acceptance scenario: cluster a 256x256 demo table with

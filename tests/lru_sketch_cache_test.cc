@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/lru_sketch_cache.h"
@@ -59,6 +62,49 @@ TEST_F(LruSketchCacheTest, HitMissAccounting) {
   cache.Get(0);
   EXPECT_EQ(cache.computed(), 2u);
   EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST_F(LruSketchCacheTest, LostInsertRaceIsCountedSeparately) {
+  // Deterministic two-thread insert race on the same absent tile: the first
+  // thread to finish computing parks in the compute_hook until the second
+  // has computed AND inserted, so the parked thread is guaranteed to lose
+  // the race when it re-locks the shard.
+  std::promise<void> winner_inserted;
+  std::shared_future<void> winner_done = winner_inserted.get_future().share();
+  std::atomic<int> computes{0};
+  LruSketchCache::Options options;
+  options.capacity_bytes = LruSketchCache::EntryBytes(kSketchK) * 4;
+  options.shards = 1;
+  options.compute_hook = [&](size_t) {
+    if (computes.fetch_add(1) == 0) winner_done.wait();
+  };
+  LruSketchCache cache(&sketcher_, &grid_, options);
+
+  std::shared_ptr<const Sketch> loser_sketch;
+  std::thread loser([&] { loser_sketch = cache.Get(0); });
+  while (computes.load() == 0) std::this_thread::yield();
+  const std::shared_ptr<const Sketch> winner_sketch = cache.Get(0);
+  winner_inserted.set_value();
+  loser.join();
+
+  // Both lookups were misses and both computed (computed() == 2), but only
+  // one insert was retained: computed() == misses_retained + races(), i.e.
+  // 2 == 1 + 1. The loser is served the winner's retained entry, so the
+  // values are identical either way (sketches are deterministic) and it is
+  // NOT a hit.
+  EXPECT_EQ(cache.computed(), 2u);
+  EXPECT_EQ(cache.races(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  ASSERT_NE(loser_sketch, nullptr);
+  EXPECT_EQ(loser_sketch->values, winner_sketch->values);
+  // The loser was handed the retained entry itself, not its own discarded
+  // compute.
+  EXPECT_EQ(loser_sketch.get(), winner_sketch.get());
+
+  // A subsequent lookup is a plain hit; no race counted.
+  cache.Get(0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.races(), 1u);
 }
 
 TEST_F(LruSketchCacheTest, ByteBudgetEvictionMath) {

@@ -44,6 +44,55 @@ TEST(ParseBatchTest, ParsesRequestsCommentsAndBlanks) {
             (QueryRequest{QueryRequest::Kind::kDistance, 2, 2, 0}));
 }
 
+TEST(ParseBatchTest, CrlfBatchesParseIdenticallyToLf) {
+  // Windows-authored batch files terminate lines with \r\n; std::getline
+  // leaves the \r glued to the last token, which used to fail from_chars.
+  std::istringstream lf(
+      "# comment\n"
+      "distance 0 5\n"
+      "knn 3 4\n"
+      "\n"
+      "distance 2 2\n");
+  std::istringstream crlf(
+      "# comment\r\n"
+      "distance 0 5\r\n"
+      "knn 3 4\r\n"
+      "\r\n"
+      "distance 2 2\r\n");
+  auto from_lf = ParseBatch(lf);
+  auto from_crlf = ParseBatch(crlf);
+  ASSERT_TRUE(from_lf.ok()) << from_lf.status().ToString();
+  ASSERT_TRUE(from_crlf.ok()) << from_crlf.status().ToString();
+  EXPECT_EQ(*from_crlf, *from_lf);
+}
+
+TEST(ParseBatchTest, FinalLineWithBareCarriageReturnAndNoNewlineParses) {
+  // The worst case: a CRLF file whose final line lacks the \n, so getline
+  // returns "distance 0 5\r" as the last chunk.
+  std::istringstream in("knn 3 4\r\ndistance 0 5\r");
+  auto batch = ParseBatch(in);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[1],
+            (QueryRequest{QueryRequest::Kind::kDistance, 0, 5, 0}));
+}
+
+TEST(ParseBatchTest, ParseBatchLineSkipsBlanksAndStripsCr) {
+  auto blank = ParseBatchLine("   \r", 1);
+  ASSERT_TRUE(blank.ok());
+  EXPECT_FALSE(blank->has_value());
+  auto comment = ParseBatchLine("# note\r", 2);
+  ASSERT_TRUE(comment.ok());
+  EXPECT_FALSE(comment->has_value());
+  auto request = ParseBatchLine("knn 7 2\r", 3);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_TRUE(request->has_value());
+  EXPECT_EQ(**request, (QueryRequest{QueryRequest::Kind::kKnn, 7, 0, 2}));
+  auto bad = ParseBatchLine("knn 7\r", 9);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 9"), std::string::npos);
+}
+
 TEST(ParseBatchTest, RejectsMalformedLinesWithLineNumber) {
   {
     std::istringstream in("distance 0 5\nfrobnicate 1 2\n");
@@ -110,8 +159,25 @@ TEST_F(QueryEngineTest, DistanceMatchesEstimatorOnSketches) {
   const double expected = estimator_.Estimate(
       sketcher_.SketchOf(grid_.Tile(2)), sketcher_.SketchOf(grid_.Tile(7)));
   std::ostringstream line;
+  line.precision(kAnswerPrecision);
   line << "distance 2 7 = " << expected;
   EXPECT_EQ((*results)[0], line.str());
+}
+
+TEST_F(QueryEngineTest, AnswersRoundTripAtFullDoublePrecision) {
+  // The printed distance must parse back to the exact binary64 estimate
+  // (max_digits10 formatting), not a 6-digit truncation.
+  QueryEngine engine(&grid_, &cache_, &estimator_, {});
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kDistance, 2, 7, 0}};
+  auto results = engine.Run(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+  const double expected = estimator_.Estimate(
+      sketcher_.SketchOf(grid_.Tile(2)), sketcher_.SketchOf(grid_.Tile(7)));
+  const std::string& line = (*results)[0];
+  const std::string printed = line.substr(line.rfind(" = ") + 3);
+  EXPECT_EQ(std::stod(printed), expected);
 }
 
 TEST_F(QueryEngineTest, KnnAgreesWithTopKBySketch) {
@@ -125,6 +191,7 @@ TEST_F(QueryEngineTest, KnnAgreesWithTopKBySketch) {
   const std::vector<core::Neighbor> expected =
       core::TopKBySketch(sketches[4], sketches, estimator_, 3, 4);
   std::ostringstream line;
+  line.precision(kAnswerPrecision);
   line << "knn 4 3 =";
   for (const core::Neighbor& neighbor : expected) {
     line << " " << neighbor.index << ":" << neighbor.distance;
@@ -148,6 +215,7 @@ TEST_F(QueryEngineTest, RefinedKnnWithFullCandidatesMatchesTopKExact) {
   const std::vector<core::Neighbor> expected =
       core::TopKExact(grid_, 1.0, 6, 4);
   std::ostringstream line;
+  line.precision(kAnswerPrecision);
   line << "knn 6 4 =";
   for (const core::Neighbor& neighbor : expected) {
     line << " " << neighbor.index << ":" << neighbor.distance;

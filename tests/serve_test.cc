@@ -1,0 +1,591 @@
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ondemand.h"
+#include "core/sketch_io.h"
+#include "core/sketcher.h"
+#include "rng/xoshiro256.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "table/matrix.h"
+#include "table/table_io.h"
+#include "table/tiling.h"
+
+namespace tabsketch::serve {
+namespace {
+
+using std::chrono::steady_clock;
+
+table::Matrix RandomTable(size_t rows, size_t cols, uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  table::Matrix out(rows, cols);
+  for (double& value : out.Values()) value = gen.NextDouble();
+  return out;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Blocking line-protocol test client on a loopback socket.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  void SendLine(const std::string& line) {
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Next response line, or "" on EOF.
+  std::string RecvLine() {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True if the peer closes without sending more data.
+  bool AtEof() {
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Writes the shared table + two sketch-set generations (different seeds) to
+/// temp files once for the whole suite.
+class ServeTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kTileRows = 6;
+  static constexpr size_t kTileCols = 6;
+
+  ServeTest()
+      : data_(RandomTable(24, 24, 9)),
+        grid_(*table::TileGrid::Create(&data_, kTileRows, kTileCols)) {}
+
+  void SetUp() override {
+    // Unique per test: ctest runs suite members as concurrent processes, and
+    // shared fixture paths would race a reader against another test's
+    // truncate-and-rewrite.
+    const std::string prefix =
+        std::string("serve_test_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_";
+    table_path_ = TempPath(prefix + "table.tbl");
+    day1_path_ = TempPath(prefix + "day1.sks");
+    day2_path_ = TempPath(prefix + "day2.sks");
+    ASSERT_TRUE(table::WriteBinary(data_, table_path_).ok());
+    WriteGeneration(day1_path_, /*seed=*/5);
+    WriteGeneration(day2_path_, /*seed=*/6);
+  }
+
+  void TearDown() override {
+    std::remove(table_path_.c_str());
+    std::remove(day1_path_.c_str());
+    std::remove(day2_path_.c_str());
+  }
+
+  void WriteGeneration(const std::string& path, uint64_t seed) {
+    core::Sketcher sketcher =
+        core::Sketcher::Create({.p = 1.0, .k = 64, .seed = seed}).value();
+    core::SketchSet set;
+    set.params = {.p = 1.0, .k = 64, .seed = seed};
+    set.object_rows = kTileRows;
+    set.object_cols = kTileCols;
+    set.sketches = SketchAllTiles(sketcher, grid_);
+    ASSERT_TRUE(core::WriteSketchSet(set, path).ok());
+  }
+
+  SnapshotSpec TableSpec() const {
+    SnapshotSpec spec;
+    spec.table_path = table_path_;
+    spec.tile_rows = kTileRows;
+    spec.tile_cols = kTileCols;
+    spec.params = {.p = 1.0, .k = 64, .seed = 5};
+    return spec;
+  }
+
+  /// The mixed batch the byte-identity tests replay, as protocol lines.
+  std::vector<std::string> MixedBatchLines() const {
+    std::vector<std::string> lines;
+    const size_t n = grid_.num_tiles();
+    for (size_t i = 0; i < n; ++i) {
+      lines.push_back("distance " + std::to_string(i) + " " +
+                      std::to_string((i + 3) % n));
+      lines.push_back("knn " + std::to_string(i) + " 3");
+    }
+    return lines;
+  }
+
+  /// Reference answers for `lines` straight from a snapshot's engine.
+  std::vector<std::string> ReferenceAnswers(
+      const Snapshot& snapshot, const std::vector<std::string>& lines) const {
+    std::vector<QueryRequest> batch;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      auto parsed = ParseBatchLine(lines[i], i + 1);
+      EXPECT_TRUE(parsed.ok());
+      if (parsed.ok() && parsed->has_value()) batch.push_back(**parsed);
+    }
+    auto results = snapshot.engine().Run(batch);
+    EXPECT_TRUE(results.ok()) << results.status().ToString();
+    return results.ok() ? *results : std::vector<std::string>{};
+  }
+
+  table::Matrix data_;
+  table::TileGrid grid_;
+  std::string table_path_;
+  std::string day1_path_;
+  std::string day2_path_;
+};
+
+TEST(AdmissionControllerTest, AdmitsUpToLimitThenQueuesAndSheds) {
+  AdmissionController admission(/*max_inflight=*/2, /*max_queue=*/0);
+  EXPECT_EQ(admission.Enter(std::nullopt),
+            AdmissionController::Admission::kAdmitted);
+  EXPECT_EQ(admission.Enter(std::nullopt),
+            AdmissionController::Admission::kAdmitted);
+  // Queue size 0: the third concurrent request is shed without waiting.
+  EXPECT_EQ(admission.Enter(steady_clock::now() + std::chrono::hours(1)),
+            AdmissionController::Admission::kShed);
+  admission.Leave();
+  EXPECT_EQ(admission.Enter(std::nullopt),
+            AdmissionController::Admission::kAdmitted);
+  admission.Leave();
+  admission.Leave();
+}
+
+TEST(AdmissionControllerTest, QueuedRequestGetsSlotWhenFreed) {
+  AdmissionController admission(/*max_inflight=*/1, /*max_queue=*/4);
+  ASSERT_EQ(admission.Enter(std::nullopt),
+            AdmissionController::Admission::kAdmitted);
+  std::promise<AdmissionController::Admission> verdict;
+  std::thread waiter(
+      [&] { verdict.set_value(admission.Enter(std::nullopt)); });
+  while (admission.queue_depth() == 0) std::this_thread::yield();
+  admission.Leave();
+  EXPECT_EQ(verdict.get_future().get(),
+            AdmissionController::Admission::kAdmitted);
+  waiter.join();
+  admission.Leave();
+}
+
+TEST(AdmissionControllerTest, DeadlineExpiresWhileQueued) {
+  AdmissionController admission(/*max_inflight=*/1, /*max_queue=*/4);
+  ASSERT_EQ(admission.Enter(std::nullopt),
+            AdmissionController::Admission::kAdmitted);
+  EXPECT_EQ(
+      admission.Enter(steady_clock::now() + std::chrono::milliseconds(20)),
+      AdmissionController::Admission::kDeadlineExpired);
+  EXPECT_EQ(admission.queue_depth(), 0u);
+  admission.Leave();
+}
+
+TEST(AdmissionControllerTest, CloseRejectsWaitersAndNewcomers) {
+  AdmissionController admission(/*max_inflight=*/1, /*max_queue=*/4);
+  ASSERT_EQ(admission.Enter(std::nullopt),
+            AdmissionController::Admission::kAdmitted);
+  std::promise<AdmissionController::Admission> verdict;
+  std::thread waiter(
+      [&] { verdict.set_value(admission.Enter(std::nullopt)); });
+  while (admission.queue_depth() == 0) std::this_thread::yield();
+  admission.Close();
+  EXPECT_EQ(verdict.get_future().get(),
+            AdmissionController::Admission::kClosed);
+  waiter.join();
+  EXPECT_EQ(admission.Enter(std::nullopt),
+            AdmissionController::Admission::kClosed);
+  admission.Leave();
+}
+
+TEST_F(ServeTest, SnapshotCreateMatchesQueryComposition) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->num_tiles(), grid_.num_tiles());
+  EXPECT_NE((*snapshot)->description().find(table_path_), std::string::npos);
+}
+
+TEST_F(ServeTest, SnapshotRequiresTableOrSketches) {
+  EXPECT_FALSE(Snapshot::Create(SnapshotSpec{}).ok());
+}
+
+TEST_F(ServeTest, WithSketchSetReusesGridAndSwapsAnswers) {
+  auto day1 = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(day1.ok()) << day1.status().ToString();
+  auto day2 = Snapshot::WithSketchSet(**day1, day2_path_);
+  ASSERT_TRUE(day2.ok()) << day2.status().ToString();
+  EXPECT_EQ((*day2)->num_tiles(), grid_.num_tiles());
+
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kDistance, 2, 7, 0}};
+  auto a1 = (*day1)->engine().Run(batch);
+  auto a2 = (*day2)->engine().Run(batch);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  // Different sketch seeds → different estimates: the swap is observable.
+  EXPECT_NE((*a1)[0], (*a2)[0]);
+}
+
+TEST_F(ServeTest, WithSketchSetRejectsMismatchUnderRefine) {
+  SnapshotSpec spec = TableSpec();
+  spec.engine.refine = true;
+  auto base = Snapshot::Create(spec);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  // A sketch set over a different tile shape cannot back refined serving.
+  const std::string odd_path = TempPath("serve_test_odd.sks");
+  core::Sketcher sketcher =
+      core::Sketcher::Create({.p = 1.0, .k = 64, .seed = 5}).value();
+  core::SketchSet set;
+  set.params = {.p = 1.0, .k = 64, .seed = 5};
+  set.object_rows = kTileRows + 1;
+  set.object_cols = kTileCols;
+  set.sketches.resize(grid_.num_tiles(),
+                      core::Sketch{std::vector<double>(64, 0.0)});
+  ASSERT_TRUE(core::WriteSketchSet(set, odd_path).ok());
+  EXPECT_FALSE(Snapshot::WithSketchSet(**base, odd_path).ok());
+}
+
+TEST_F(ServeTest, SnapshotHolderSwapCounts) {
+  auto day1 = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(day1.ok());
+  SnapshotHolder holder(*day1);
+  EXPECT_EQ(holder.swaps(), 0u);
+  EXPECT_EQ(holder.Current().get(), day1->get());
+  auto day2 = Snapshot::WithSketchSet(**day1, day2_path_);
+  ASSERT_TRUE(day2.ok());
+  holder.Swap(*day2);
+  EXPECT_EQ(holder.swaps(), 1u);
+  EXPECT_EQ(holder.Current().get(), day2->get());
+}
+
+TEST_F(ServeTest, PingQuitAndBlankLineProtocol) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+  auto server = Server::Start(&holder, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient client((*server)->port());
+  // Blank and comment lines produce no response; the next response after
+  // them must be the ping's.
+  client.SendLine("");
+  client.SendLine("# comment only");
+  client.SendLine("ping");
+  EXPECT_EQ(client.RecvLine(), "ok ping");
+  client.SendLine("frobnicate 1 2");
+  const std::string error = client.RecvLine();
+  EXPECT_EQ(error.find("error invalid-argument"), 0u) << error;
+  client.SendLine("quit");
+  EXPECT_EQ(client.RecvLine(), "ok bye");
+  EXPECT_TRUE(client.AtEof());
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, MixedBatchByteIdenticalToQueryEngineAcrossConfigs) {
+  // The daemon must answer byte-identically to the engine for each cache
+  // policy / thread count combination (the `query` CLI equivalence).
+  struct Config {
+    size_t cache_bytes;
+    size_t threads;
+  };
+  for (const Config& config :
+       {Config{0, 1}, Config{1, 1}, Config{0, 4}, Config{1 << 20, 4}}) {
+    SnapshotSpec spec = TableSpec();
+    spec.cache_bytes = config.cache_bytes;
+    spec.engine.threads = config.threads;
+    auto snapshot = Snapshot::Create(spec);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    const std::vector<std::string> lines = MixedBatchLines();
+    const std::vector<std::string> expected =
+        ReferenceAnswers(**snapshot, lines);
+
+    SnapshotHolder holder(*snapshot);
+    auto server = Server::Start(&holder, ServerOptions{});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    TestClient client((*server)->port());
+    for (const std::string& line : lines) client.SendLine(line);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(client.RecvLine(), expected[i])
+          << "line " << i << " cache_bytes=" << config.cache_bytes
+          << " threads=" << config.threads;
+    }
+    (*server)->Shutdown();
+  }
+}
+
+TEST_F(ServeTest, ConcurrentClientsGetByteIdenticalAnswers) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  const std::vector<std::string> lines = MixedBatchLines();
+  const std::vector<std::string> expected =
+      ReferenceAnswers(**snapshot, lines);
+
+  SnapshotHolder holder(*snapshot);
+  ServerOptions options;
+  options.max_inflight = 4;
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr size_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::string>> answers(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client((*server)->port());
+      for (const std::string& line : lines) client.SendLine(line);
+      for (size_t i = 0; i < lines.size(); ++i) {
+        answers[c].push_back(client.RecvLine());
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(answers[c], expected) << "client " << c;
+  }
+  EXPECT_EQ((*server)->connections_accepted(), kClients);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, DeadlineExpiryReturnsTypedError) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+
+  // One execution slot; the first request parks in the hook, so the second
+  // request must sit in the admission queue past its deadline.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 4;
+  options.deadline_ms = 50;
+  options.pre_request_hook = [&](const QueryRequest&) {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient blocker((*server)->port());
+  blocker.SendLine("distance 0 1");
+  while (entered.load() == 0) std::this_thread::yield();
+
+  TestClient victim((*server)->port());
+  victim.SendLine("distance 2 3");
+  const std::string error = victim.RecvLine();
+  EXPECT_EQ(error.find("error deadline-exceeded"), 0u) << error;
+
+  release.set_value();
+  EXPECT_EQ(blocker.RecvLine().find("distance 0 1 = "), 0u);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, OverloadedQueueShedsWithTypedError) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 0;  // no waiting: excess is shed immediately
+  options.pre_request_hook = [&](const QueryRequest&) {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient blocker((*server)->port());
+  blocker.SendLine("distance 0 1");
+  while (entered.load() == 0) std::this_thread::yield();
+
+  TestClient shed((*server)->port());
+  shed.SendLine("distance 2 3");
+  const std::string error = shed.RecvLine();
+  EXPECT_EQ(error.find("error overloaded"), 0u) << error;
+
+  release.set_value();
+  EXPECT_EQ(blocker.RecvLine().find("distance 0 1 = "), 0u);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, ReloadSwapsSnapshotForNewRequests) {
+  SnapshotSpec spec = TableSpec();
+  spec.sketches_path = day1_path_;
+  auto day1 = Snapshot::Create(spec);
+  ASSERT_TRUE(day1.ok()) << day1.status().ToString();
+  auto day2 = Snapshot::WithSketchSet(**day1, day2_path_);
+  ASSERT_TRUE(day2.ok());
+  const std::vector<std::string> line = {"distance 2 7"};
+  const std::string day1_answer = ReferenceAnswers(**day1, line)[0];
+  const std::string day2_answer = ReferenceAnswers(**day2, line)[0];
+  ASSERT_NE(day1_answer, day2_answer);
+
+  SnapshotHolder holder(*day1);
+  auto server = Server::Start(&holder, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  TestClient client((*server)->port());
+  client.SendLine("distance 2 7");
+  EXPECT_EQ(client.RecvLine(), day1_answer);
+  client.SendLine("reload " + day2_path_);
+  const std::string ack = client.RecvLine();
+  EXPECT_EQ(ack.find("ok reload "), 0u) << ack;
+  EXPECT_NE(ack.find("tiles=16"), std::string::npos) << ack;
+  client.SendLine("distance 2 7");
+  EXPECT_EQ(client.RecvLine(), day2_answer);
+  EXPECT_EQ(holder.swaps(), 1u);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, ReloadFailureKeepsServingOldSnapshot) {
+  SnapshotSpec spec = TableSpec();
+  spec.sketches_path = day1_path_;
+  auto day1 = Snapshot::Create(spec);
+  ASSERT_TRUE(day1.ok());
+  const std::vector<std::string> line = {"distance 2 7"};
+  const std::string day1_answer = ReferenceAnswers(**day1, line)[0];
+
+  SnapshotHolder holder(*day1);
+  auto server = Server::Start(&holder, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  TestClient client((*server)->port());
+  client.SendLine("reload " + TempPath("serve_test_missing.sks"));
+  const std::string error = client.RecvLine();
+  EXPECT_EQ(error.find("error io-error"), 0u) << error;
+  client.SendLine("distance 2 7");
+  EXPECT_EQ(client.RecvLine(), day1_answer);
+  EXPECT_EQ(holder.swaps(), 0u);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, SnapshotSwapMidRequestKeepsOldSnapshotAnswer) {
+  // RCU consistency: a request that captured its snapshot before a reload
+  // must answer from that old generation even though the swap completed
+  // while it was in flight.
+  SnapshotSpec spec = TableSpec();
+  spec.sketches_path = day1_path_;
+  auto day1 = Snapshot::Create(spec);
+  ASSERT_TRUE(day1.ok());
+  auto day2_preview = Snapshot::WithSketchSet(**day1, day2_path_);
+  ASSERT_TRUE(day2_preview.ok());
+  const std::vector<std::string> line = {"distance 2 7"};
+  const std::string day1_answer = ReferenceAnswers(**day1, line)[0];
+  const std::string day2_answer = ReferenceAnswers(**day2_preview, line)[0];
+  ASSERT_NE(day1_answer, day2_answer);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServerOptions options;
+  options.max_inflight = 2;  // the parked request must not block the reload
+  options.pre_request_hook = [&](const QueryRequest&) {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  SnapshotHolder holder(*day1);
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient inflight((*server)->port());
+  inflight.SendLine("distance 2 7");  // captures day1, parks in the hook
+  while (entered.load() == 0) std::this_thread::yield();
+
+  TestClient admin((*server)->port());
+  admin.SendLine("reload " + day2_path_);
+  EXPECT_EQ(admin.RecvLine().find("ok reload "), 0u);
+  EXPECT_EQ(holder.swaps(), 1u);
+
+  // The parked request finishes on the old generation...
+  release.set_value();
+  EXPECT_EQ(inflight.RecvLine(), day1_answer);
+  // ...and its next request sees the new one.
+  inflight.SendLine("distance 2 7");
+  EXPECT_EQ(inflight.RecvLine(), day2_answer);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, GracefulShutdownDrainsInflightRequest) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServerOptions options;
+  options.pre_request_hook = [&](const QueryRequest&) {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient client((*server)->port());
+  client.SendLine("distance 0 1");
+  while (entered.load() == 0) std::this_thread::yield();
+
+  // Shutdown must block on the parked request (drain), not abandon it.
+  std::atomic<bool> shutdown_done{false};
+  std::thread closer([&] {
+    (*server)->Shutdown();
+    shutdown_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(shutdown_done.load());
+
+  release.set_value();
+  // The in-flight answer is still delivered, then the connection closes.
+  EXPECT_EQ(client.RecvLine().find("distance 0 1 = "), 0u);
+  EXPECT_TRUE(client.AtEof());
+  closer.join();
+  EXPECT_TRUE(shutdown_done.load());
+}
+
+}  // namespace
+}  // namespace tabsketch::serve
