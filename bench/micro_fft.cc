@@ -55,6 +55,33 @@ struct Row {
   double pair_ms;         // per kernel, CorrelatePair (2 kernels per call)
 };
 
+// Tracked pair-speedup baselines per transform size. The n=2048 entry pins
+// the real-pair packing cliff (2.9x at 256 decaying to ~1.07x at 2048 —
+// the padded grid stops fitting in LLC, so the second kernel rides the same
+// memory stalls it was meant to amortise). The retiling work in the
+// sparse-projections ROADMAP item is expected to lift it; until then this
+// assertion keeps the regression visible instead of silently absorbed.
+struct SpeedupBaseline {
+  size_t n;
+  double pair_speedup;
+};
+const SpeedupBaseline kPairSpeedupBaselines[] = {
+    {256, 2.889}, {512, 1.859}, {1024, 1.813}, {2048, 1.066}};
+
+// Wall-clock noise on shared runners is real; only flag a regression when
+// the measured speedup drops below 60% of the recorded baseline, and call
+// out a baseline refresh when it exceeds 150% (e.g. after the retiling
+// lands).
+constexpr double kRegressTolerance = 0.6;
+constexpr double kImproveThreshold = 1.5;
+
+double BaselineFor(size_t n) {
+  for (const auto& entry : kPairSpeedupBaselines) {
+    if (entry.n == n) return entry.pair_speedup;
+  }
+  return 0.0;  // unknown size: no baseline, no assertion
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +169,31 @@ int main(int argc, char** argv) {
                 row.correlate_ms / row.pair_ms);
   }
 
+  // Assert each measured pair speedup against its tracked baseline.
+  bool regressed = false;
+  std::vector<const char*> statuses(rows.size(), "untracked");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double baseline = BaselineFor(rows[i].n);
+    if (baseline <= 0.0) continue;
+    const double speedup = rows[i].correlate_ms / rows[i].pair_ms;
+    if (speedup < baseline * kRegressTolerance) {
+      statuses[i] = "regressed";
+      regressed = true;
+      std::fprintf(stderr,
+                   "FAIL: n=%zu pair_speedup %.3f below %.0f%% of baseline "
+                   "%.3f\n",
+                   rows[i].n, speedup, kRegressTolerance * 100.0, baseline);
+    } else if (speedup > baseline * kImproveThreshold) {
+      statuses[i] = "improved-update-baseline";
+      std::printf("note: n=%zu pair_speedup %.3f beats baseline %.3f by "
+                  ">%.0f%%; refresh kPairSpeedupBaselines\n",
+                  rows[i].n, speedup, baseline,
+                  (kImproveThreshold - 1.0) * 100.0);
+    } else {
+      statuses[i] = "ok";
+    }
+  }
+
   const char* json_path = "BENCH_fft.json";
   std::FILE* json = std::fopen(json_path, "w");
   if (json == nullptr) {
@@ -152,19 +204,23 @@ int main(int argc, char** argv) {
                "{\n"
                "  \"bench\": \"micro_fft\",\n"
                "  \"kernel_side\": \"n/4\",\n"
-               "  \"results\": [\n");
+               "  \"pair_speedup_tolerance\": %.2f,\n"
+               "  \"results\": [\n",
+               kRegressTolerance);
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(json,
                  "    {\"n\": %zu, \"fft1d_us\": %.3f, \"fft2d_ms\": %.4f, "
                  "\"correlate_ms_per_kernel\": %.4f, "
-                 "\"pair_ms_per_kernel\": %.4f, \"pair_speedup\": %.3f}%s\n",
+                 "\"pair_ms_per_kernel\": %.4f, \"pair_speedup\": %.3f, "
+                 "\"pair_speedup_baseline\": %.3f, \"status\": \"%s\"}%s\n",
                  rows[i].n, rows[i].fft1d_us, rows[i].fft2d_ms,
                  rows[i].correlate_ms, rows[i].pair_ms,
-                 rows[i].correlate_ms / rows[i].pair_ms,
-                 i + 1 < rows.size() ? "," : "");
+                 rows[i].correlate_ms / rows[i].pair_ms, BaselineFor(rows[i].n),
+                 statuses[i], i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("results -> %s\n", json_path);
-  return tabsketch::util::FlushObservability(observability) ? 0 : 1;
+  if (!tabsketch::util::FlushObservability(observability)) return 1;
+  return regressed ? 1 : 0;
 }

@@ -24,6 +24,7 @@
 #include "core/lru_sketch_cache.h"
 #include "core/ondemand.h"
 #include "core/pool_io.h"
+#include "core/quantized_sketch.h"
 #include "core/sketch_cache.h"
 #include "core/sketch_pool.h"
 #include "core/sketch_io.h"
@@ -67,6 +68,8 @@ commands:
              [--algo=kmeans|kmedoids|dbscan] [--k=N --p=P --seed=N]
              [--mode=exact|precomputed|ondemand] [--sketch-k=K]
              [--cache-bytes=N bound the on-demand sketch cache, 0 = keep all]
+             [--quant=off|int8|int16 code-scan assignment prefilter over
+             quantized sketches; output is byte-identical to off]
              [--epsilon=E --min-points=M] [--threads=N] [--out=FILE]
   pool-build build a dyadic sketch pool over a table and persist it
              --table=FILE --out=FILE [--p=P --k=K --seed=N
@@ -82,6 +85,8 @@ commands:
              [--cache-bytes=N LRU sketch-cache budget, 0 = keep all]
              [--threads=N] [--refine exact re-rank of knn candidates]
              [--candidates=N refine candidate-set size, 0 = auto]
+             [--quant=off|int8|int16 filter-refine knn over quantized
+             sketch codes; answers stay byte-identical to off]
              [--out=FILE write answers to a file instead of stdout]
   serve      long-lived query daemon on 127.0.0.1: a line protocol over TCP
              speaking the batch grammar plus ping / reload <sketches> /
@@ -89,6 +94,7 @@ commands:
              --table=FILE --tile-rows=N --tile-cols=N
              [--p=P --k=K --seed=N] [--sketches=FILE precomputed sketch set]
              [--cache-bytes=N] [--threads=N] [--refine] [--candidates=N]
+             [--quant=off|int8|int16 quantized knn prefilter tier]
              [--port=N listen port, 0 = ephemeral]
              [--port-file=FILE write the bound port (readiness signal)]
              [--max-inflight=N concurrent requests, 0 = thread count]
@@ -317,8 +323,8 @@ int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "algo", "k", "p", "seed", "mode",
-       "sketch-k", "cache-bytes", "epsilon", "min-points", "threads", "out",
-       "metrics-json", "trace-json", "audit-rate"}));
+       "sketch-k", "cache-bytes", "quant", "epsilon", "min-points", "threads",
+       "out", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -335,6 +341,10 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const int64_t sketch_k, flags.GetInt("sketch-k", 256));
   TABSKETCH_ASSIGN_CLI(const int64_t cache_bytes,
                        flags.GetInt("cache-bytes", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string quant_text,
+                       flags.GetString("quant", "off"));
+  TABSKETCH_ASSIGN_CLI(const core::QuantKind quant,
+                       core::ParseQuantKind(quant_text));
   TABSKETCH_ASSIGN_CLI(const double epsilon, flags.GetDouble("epsilon", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t min_points,
                        flags.GetInt("min-points", 4));
@@ -356,6 +366,11 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   // Backend per --mode.
   std::unique_ptr<cluster::ClusteringBackend> backend;
   if (mode == "exact") {
+    if (quant != core::QuantKind::kOff) {
+      return Fail(err, util::Status::InvalidArgument(
+                           "--quant applies to sketch modes only; "
+                           "--mode=exact has no sketches to quantize"));
+    }
     auto exact = cluster::ExactBackend::Create(&*grid, p);
     if (!exact.ok()) return Fail(err, exact.status());
     backend = std::make_unique<cluster::ExactBackend>(
@@ -372,7 +387,7 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
         mode == "precomputed" ? cluster::SketchMode::kPrecomputed
                               : cluster::SketchMode::kOnDemand,
         core::EstimatorKind::kAuto, threads,
-        static_cast<size_t>(cache_bytes));
+        static_cast<size_t>(cache_bytes), quant);
     if (!sketch.ok()) return Fail(err, sketch.status());
     backend = std::make_unique<cluster::SketchBackend>(
         std::move(sketch).value());
@@ -546,8 +561,8 @@ int CmdPoolQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "batch", "p", "k", "seed",
-       "sketches", "cache-bytes", "threads", "refine", "candidates", "out",
-       "metrics-json", "trace-json", "audit-rate"}));
+       "sketches", "cache-bytes", "threads", "refine", "candidates", "quant",
+       "out", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -570,6 +585,10 @@ int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const bool refine, flags.GetBool("refine", false));
   TABSKETCH_ASSIGN_CLI(const int64_t candidates,
                        flags.GetInt("candidates", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string quant_text,
+                       flags.GetString("quant", "off"));
+  TABSKETCH_ASSIGN_CLI(const core::QuantKind quant,
+                       core::ParseQuantKind(quant_text));
   TABSKETCH_ASSIGN_CLI(const std::string out_path,
                        flags.GetString("out", ""));
   if (cache_bytes < 0 || candidates < 0) {
@@ -603,6 +622,7 @@ int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   spec.engine.threads = ThreadsFromFlag(threads_flag);
   spec.engine.refine = refine;
   spec.engine.candidates = static_cast<size_t>(candidates);
+  spec.engine.quant = quant;
   TABSKETCH_ASSIGN_CLI(const std::shared_ptr<const serve::Snapshot> snapshot,
                        serve::Snapshot::Create(spec));
 
@@ -670,9 +690,9 @@ util::Status WritePortFile(const std::string& path, uint16_t port) {
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "p", "k", "seed", "sketches",
-       "cache-bytes", "threads", "refine", "candidates", "port", "port-file",
-       "max-inflight", "max-queue", "deadline-ms", "metrics-json",
-       "trace-json", "audit-rate"}));
+       "cache-bytes", "threads", "refine", "candidates", "quant", "port",
+       "port-file", "max-inflight", "max-queue", "deadline-ms",
+       "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetString("table", ""));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -693,6 +713,10 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const bool refine, flags.GetBool("refine", false));
   TABSKETCH_ASSIGN_CLI(const int64_t candidates,
                        flags.GetInt("candidates", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string quant_text,
+                       flags.GetString("quant", "off"));
+  TABSKETCH_ASSIGN_CLI(const core::QuantKind quant,
+                       core::ParseQuantKind(quant_text));
   TABSKETCH_ASSIGN_CLI(const int64_t port, flags.GetInt("port", 0));
   TABSKETCH_ASSIGN_CLI(const std::string port_file,
                        flags.GetString("port-file", ""));
@@ -737,6 +761,7 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   spec.engine.threads = ThreadsFromFlag(threads_flag);
   spec.engine.refine = refine;
   spec.engine.candidates = static_cast<size_t>(candidates);
+  spec.engine.quant = quant;
   TABSKETCH_ASSIGN_CLI(std::shared_ptr<const serve::Snapshot> snapshot,
                        serve::Snapshot::Create(spec));
   const size_t tiles = snapshot->num_tiles();

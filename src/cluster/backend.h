@@ -52,6 +52,17 @@ class ClusteringBackend {
   /// Distance between two objects (used by k-means++ seeding).
   virtual double ObjectDistance(size_t a, size_t b) = 0;
 
+  /// Index of the centroid nearest to `object`, or -1 when every distance is
+  /// NaN (the k-means assignment step). The default scans all centroids with
+  /// Distance(), skipping NaNs, ties broken by lowest centroid index.
+  /// Backends with a cheap lower-bound tier (SketchBackend's quantized
+  /// codes) override this to prune centroids that provably cannot win —
+  /// overrides must return exactly what the default scan would, so
+  /// clustering output never depends on the backend's pruning. Same
+  /// thread-safety contract as Distance(): safe to call concurrently
+  /// between centroid mutations.
+  virtual int NearestCentroid(size_t object);
+
   /// Recomputes every centroid as the mean of its assigned objects.
   /// `assignment[i]` in [0, k) or -1 for unassigned; clusters with no
   /// members keep their previous centroid.

@@ -26,21 +26,13 @@ namespace {
 size_t AssignAll(ClusteringBackend* backend, size_t threads,
                  std::vector<int>* assignment) {
   const size_t n = backend->num_objects();
-  const size_t k = backend->num_centroids();
   std::atomic<size_t> changed{0};
   util::ParallelFor(n, threads, [&](size_t object) {
-    int best = -1;
-    double best_distance = std::numeric_limits<double>::infinity();
-    for (size_t centroid = 0; centroid < k; ++centroid) {
-      const double d = backend->Distance(object, centroid);
-      // NaN fails every comparison, so `d < best_distance` already skips it;
-      // the explicit test documents the contract and guards reordering.
-      if (std::isnan(d)) continue;
-      if (d < best_distance) {
-        best_distance = d;
-        best = static_cast<int>(centroid);
-      }
-    }
+    // The backend owns the centroid scan (ClusteringBackend::NearestCentroid
+    // documents the NaN-as-+inf / lowest-index-tie contract), so backends
+    // with a quantized lower-bound tier can prune without changing any
+    // assignment.
+    const int best = backend->NearestCentroid(object);
     if ((*assignment)[object] != best) {
       (*assignment)[object] = best;
       changed.fetch_add(1, std::memory_order_relaxed);

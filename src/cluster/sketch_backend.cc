@@ -1,18 +1,21 @@
 #include "cluster/sketch_backend.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "core/lp_distance.h"
 #include "core/lru_sketch_cache.h"
 #include "core/ondemand.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tabsketch::cluster {
 
 util::Result<SketchBackend> SketchBackend::Create(
     const table::TileGrid* grid, const core::SketchParams& params,
     SketchMode mode, core::EstimatorKind estimator_kind, size_t threads,
-    size_t cache_bytes) {
+    size_t cache_bytes, core::QuantKind quant) {
   TABSKETCH_CHECK(grid != nullptr);
   TABSKETCH_ASSIGN_OR_RETURN(core::Sketcher sketcher,
                              core::Sketcher::Create(params));
@@ -34,6 +37,20 @@ util::Result<SketchBackend> SketchBackend::Create(
   } else {
     backend.cache_ = std::make_unique<core::OnDemandSketchCache>(
         backend.sketcher_.get(), grid);
+  }
+  if (quant != core::QuantKind::kOff) {
+    // Built through the cache so peak memory stays bounded even when the
+    // backend itself runs under an LRU budget (sketches recomputed during
+    // the passes are the one-time build cost).
+    TABSKETCH_ASSIGN_OR_RETURN(
+        core::QuantizedCodePool pool,
+        core::QuantizedCodePool::Build(backend.cache_.get(), quant, params,
+                                       grid->tile_rows(),
+                                       grid->tile_cols()));
+    backend.code_pool_ =
+        std::make_unique<const core::QuantizedCodePool>(std::move(pool));
+    TABSKETCH_METRIC_GAUGE_SET("quant.pool.bytes",
+                               backend.code_pool_->bytes());
   }
   if (eval::SketchAuditor::Enabled()) {
     backend.audit_ =
@@ -69,6 +86,7 @@ void SketchBackend::InitCentroidsFromObjects(
       audit_centroids_.push_back(grid_->Tile(index).ToMatrix());
     }
   }
+  RefreshCentroidCodes();
 }
 
 namespace {
@@ -135,6 +153,7 @@ void SketchBackend::UpdateCentroids(const std::vector<int>& assignment) {
     centroids_[cluster] = std::move(sums[cluster]);
   }
   if (audit_ != nullptr) UpdateAuditCentroids(assignment);
+  RefreshCentroidCodes();
 }
 
 /// Shadow mirror of ExactBackend::UpdateCentroids: the mean member tile per
@@ -176,6 +195,62 @@ void SketchBackend::ResetCentroidToObject(size_t centroid, size_t object) {
   if (audit_ != nullptr && centroid < audit_centroids_.size()) {
     audit_centroids_[centroid] = grid_->Tile(object).ToMatrix();
   }
+  RefreshCentroidCodes();
+}
+
+void SketchBackend::RefreshCentroidCodes() {
+  if (code_pool_ == nullptr) return;
+  centroid_codes_.resize(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    centroid_codes_[c] = code_pool_->Quantize(centroids_[c].values);
+  }
+}
+
+int SketchBackend::NearestCentroid(size_t object) {
+  if (code_pool_ == nullptr) return ClusteringBackend::NearestCentroid(object);
+
+  // Code-scan prefilter. With per-comparison error bounded by `slack`
+  // (DESIGN.md §13), any centroid whose code distance exceeds
+  // min_c(code_c + slack) by more than slack has a true estimate strictly
+  // above some other centroid's — it can never win the NaN-skipping,
+  // lowest-index-tie argmin, so skipping its full estimate cannot change
+  // the assignment. NaN code distances (unusable tile or centroid) always
+  // stay candidates.
+  static thread_local core::kernels::CodeScratch code_scratch;
+  static thread_local std::vector<double> code_distances;
+  const bool l2 = estimator_.kind() == core::EstimatorKind::kL2;
+  const double inv_scale = 1.0 / estimator_.scale();
+  const double slack = code_pool_->Slack(estimator_);
+  const size_t k = centroids_.size();
+  code_distances.resize(k);
+  double best_bound = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < k; ++c) {
+    const double d = code_pool_->CodeEstimateAgainst(
+                         object, centroid_codes_[c], l2, &code_scratch) *
+                     inv_scale;
+    code_distances[c] = d;
+    if (d + slack < best_bound) best_bound = d + slack;
+  }
+  TABSKETCH_METRIC_COUNT_N("quant.scan.tiles", k);
+  TABSKETCH_METRIC_COUNT_N(
+      "quant.scan.bytes",
+      2 * k * code_pool_->k() * core::QuantCodeBytes(code_pool_->kind()));
+
+  int best = -1;
+  double best_distance = std::numeric_limits<double>::infinity();
+  size_t kept = 0;
+  for (size_t c = 0; c < k; ++c) {
+    if (code_distances[c] - slack > best_bound) continue;  // NaN-safe: kept
+    ++kept;
+    const double d = Distance(object, c);
+    if (std::isnan(d)) continue;
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<int>(c);
+    }
+  }
+  TABSKETCH_METRIC_COUNT_N("quant.candidates.kept", kept);
+  return best;
 }
 
 std::string SketchBackend::name() const {

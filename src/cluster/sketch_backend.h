@@ -7,6 +7,7 @@
 
 #include "cluster/backend.h"
 #include "core/estimator.h"
+#include "core/quantized_sketch.h"
 #include "core/sketch_cache.h"
 #include "core/sketch_params.h"
 #include "core/sketcher.h"
@@ -55,11 +56,19 @@ class SketchBackend : public ClusteringBackend {
   /// LruSketchCache so long runs over huge grids stay under a memory cap —
   /// the clustering output is bit-identical either way, eviction only costs
   /// recompute time. Ignored in kPrecomputed mode.
+  ///
+  /// `quant` (not kOff) builds a QuantizedCodePool over the tile sketches
+  /// and routes the k-means assignment scan (NearestCentroid) through a
+  /// code-space prefilter: centroids whose code distance provably exceeds
+  /// the best centroid's upper bound are skipped without a full estimate.
+  /// Assignments are byte-identical to kOff — the slack bound guarantees no
+  /// winning centroid is ever pruned — only distance_evaluations() shrinks.
   static util::Result<SketchBackend> Create(
       const table::TileGrid* grid, const core::SketchParams& params,
       SketchMode mode,
       core::EstimatorKind estimator = core::EstimatorKind::kAuto,
-      size_t threads = 1, size_t cache_bytes = 0);
+      size_t threads = 1, size_t cache_bytes = 0,
+      core::QuantKind quant = core::QuantKind::kOff);
 
   size_t num_objects() const override { return grid_->num_tiles(); }
   void InitCentroidsFromObjects(
@@ -67,6 +76,7 @@ class SketchBackend : public ClusteringBackend {
   size_t num_centroids() const override { return centroids_.size(); }
   double Distance(size_t object, size_t centroid) override;
   double ObjectDistance(size_t a, size_t b) override;
+  int NearestCentroid(size_t object) override;
   void UpdateCentroids(const std::vector<int>& assignment) override;
   void ResetCentroidToObject(size_t centroid, size_t object) override;
   std::string name() const override;
@@ -88,6 +98,13 @@ class SketchBackend : public ClusteringBackend {
   /// Recomputes audit_centroids_ as mean member tiles (audit-mode only).
   void UpdateAuditCentroids(const std::vector<int>& assignment);
 
+  /// Re-encodes every centroid against the code pool's affine map (quant
+  /// mode only). Called after each centroid mutation, so the read-only
+  /// assignment phase always sees codes of the current centroids. A
+  /// centroid that cannot be encoded within the error bound (NaN component
+  /// or out-of-range value) stays unusable and is simply never pruned.
+  void RefreshCentroidCodes();
+
   const table::TileGrid* grid_;
   // Behind a shared_ptr so its address survives moves of the backend (the
   // on-demand cache keeps a pointer to it).
@@ -101,6 +118,12 @@ class SketchBackend : public ClusteringBackend {
   /// OnDemandSketchCache (kOnDemand, unbounded) or LruSketchCache
   /// (kOnDemand with a byte budget).
   std::unique_ptr<core::TileSketchCache> cache_;
+  /// Quantized code tier over the tile sketches; non-null only when Create
+  /// was given a quant kind. Immutable after construction.
+  std::unique_ptr<const core::QuantizedCodePool> code_pool_;
+  /// Codes of the current centroids under the pool's map; refreshed by
+  /// RefreshCentroidCodes on every centroid mutation.
+  std::vector<core::QuantizedVector> centroid_codes_;
   std::vector<core::Sketch> centroids_;
   /// Non-null only while auditing; cached at Create() so the per-call cost
   /// when auditing is off is a single null-pointer check.

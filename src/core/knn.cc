@@ -24,11 +24,15 @@ bool NeighborBefore(const Neighbor& a, const Neighbor& b) {
 
 std::vector<Neighbor> SmallestKNeighbors(std::vector<Neighbor> all,
                                          size_t k) {
-  k = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(k),
-                    all.end(), NeighborBefore);
-  all.resize(k);
+  SmallestKNeighborsInPlace(&all, k);
   return all;
+}
+
+void SmallestKNeighborsInPlace(std::vector<Neighbor>* all, size_t k) {
+  k = std::min(k, all->size());
+  std::partial_sort(all->begin(), all->begin() + static_cast<ptrdiff_t>(k),
+                    all->end(), NeighborBefore);
+  all->resize(k);
 }
 
 std::vector<Neighbor> TopKBySketch(const Sketch& query,

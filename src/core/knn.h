@@ -35,6 +35,12 @@ bool NeighborBefore(const Neighbor& a, const Neighbor& b);
 /// (k is clamped to all.size()).
 std::vector<Neighbor> SmallestKNeighbors(std::vector<Neighbor> all, size_t k);
 
+/// SmallestKNeighbors without giving up the vector's storage: partial-sorts
+/// `*all` and truncates it to k, keeping its capacity for reuse (the query
+/// engine's per-thread workspace leans on this to stay allocation-free
+/// across batch requests).
+void SmallestKNeighborsInPlace(std::vector<Neighbor>* all, size_t k);
+
 /// The `k` corpus sketches closest to `query` under the estimator, sorted by
 /// ascending estimated distance (ties by index). `skip` (if set) excludes
 /// one corpus index — pass the query's own index for self-search. The paper

@@ -1,0 +1,396 @@
+#include "core/quantized_sketch.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tabsketch::core {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'K', 'Q'};
+constexpr uint32_t kVersion = 1;
+
+/// On-disk header of the TSKQ v1 code-pool format (docs/FORMATS.md). Field
+/// order keeps every member naturally aligned, so sizeof == 80 with no
+/// padding on any supported ABI.
+struct Header {
+  char magic[4];
+  uint32_t version;
+  uint32_t kind;      // QuantKind: 1 = int8, 2 = int16
+  uint32_t reserved;  // zero
+  double p;
+  uint64_t k;
+  uint64_t seed;
+  uint64_t object_rows;
+  uint64_t object_cols;
+  uint64_t count;
+  double scale;
+  double offset;
+};
+static_assert(sizeof(Header) == 80, "TSKQ header must pack without padding");
+
+/// Relative padding applied to the quantization error bound; dominates every
+/// floating-point rounding term in the threshold comparisons (see
+/// QuantizedCodePool::Slack and DESIGN.md §13).
+constexpr double kSlackSafety = 1.0 + 1e-6;
+
+bool AllFinite(std::span<const double> values) {
+  for (double value : values) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<QuantKind> ParseQuantKind(const std::string& text) {
+  if (text == "off") return QuantKind::kOff;
+  if (text == "int8") return QuantKind::kInt8;
+  if (text == "int16") return QuantKind::kInt16;
+  return util::Status::InvalidArgument(
+      "unknown quantization kind '" + text + "' (off, int8, int16)");
+}
+
+const char* QuantKindName(QuantKind kind) {
+  switch (kind) {
+    case QuantKind::kOff:
+      return "off";
+    case QuantKind::kInt8:
+      return "int8";
+    case QuantKind::kInt16:
+      return "int16";
+  }
+  return "?";
+}
+
+size_t QuantCodeBytes(QuantKind kind) {
+  switch (kind) {
+    case QuantKind::kOff:
+      return 0;
+    case QuantKind::kInt8:
+      return 1;
+    case QuantKind::kInt16:
+      return 2;
+  }
+  return 0;
+}
+
+// The getter may recompute or fault sketches in (LRU sources); both passes
+// see identical values because sketches are deterministic.
+util::Result<QuantizedCodePool> QuantizedCodePool::BuildImpl(
+    const std::function<std::span<const double>(size_t)>& sketch_of,
+    size_t count, QuantKind kind, const SketchParams& params,
+    size_t object_rows, size_t object_cols) {
+  if (kind == QuantKind::kOff) {
+    return util::Status::InvalidArgument(
+        "cannot build a code pool with quantization off");
+  }
+  TABSKETCH_RETURN_IF_ERROR(params.Validate());
+
+  QuantizedCodePool pool;
+  pool.kind_ = kind;
+  pool.count_ = count;
+  pool.k_ = params.k;
+  pool.params_ = params;
+  pool.object_rows_ = object_rows;
+  pool.object_cols_ = object_cols;
+  pool.usable_.assign(count, 1);
+
+  // Pass 1: the finite value range and per-tile usability flags.
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  bool any_finite = false;
+  for (size_t i = 0; i < count; ++i) {
+    std::span<const double> values = sketch_of(i);
+    if (values.size() != params.k) {
+      return util::Status::InvalidArgument(
+          "sketch length disagrees with params.k");
+    }
+    for (double value : values) {
+      if (!std::isfinite(value)) {
+        pool.usable_[i] = 0;
+        continue;
+      }
+      any_finite = true;
+      if (value < min) min = value;
+      if (value > max) max = value;
+    }
+  }
+
+  const uint32_t max_code = pool.MaxCode();
+  if (any_finite && max > min) {
+    pool.offset_ = min;
+    pool.scale_ = (max - min) / static_cast<double>(max_code);
+  } else {
+    // Degenerate pool (empty, constant, or all non-finite): every code is 0
+    // and the quantization error — hence the slack — is exactly 0.
+    pool.offset_ = any_finite ? min : 0.0;
+    pool.scale_ = 0.0;
+  }
+
+  // Pass 2: encode. Unusable tiles keep all-zero rows so the bytes are
+  // deterministic regardless of what the NaNs were.
+  const size_t code_bytes = QuantCodeBytes(kind);
+  pool.codes_.assign(count * params.k * code_bytes, 0);
+  for (size_t i = 0; i < count; ++i) {
+    if (pool.usable_[i] == 0) continue;
+    std::span<const double> values = sketch_of(i);
+    unsigned char* row = pool.codes_.data() + i * params.k * code_bytes;
+    for (size_t j = 0; j < params.k; ++j) {
+      const uint32_t code = pool.EncodeValue(values[j]);
+      if (kind == QuantKind::kInt8) {
+        row[j] = static_cast<unsigned char>(code);
+      } else {
+        const uint16_t code16 = static_cast<uint16_t>(code);
+        std::memcpy(row + 2 * j, &code16, sizeof(code16));
+      }
+    }
+  }
+  return pool;
+}
+
+util::Result<QuantizedCodePool> QuantizedCodePool::Build(
+    TileSketchCache* cache, QuantKind kind, const SketchParams& params,
+    size_t object_rows, size_t object_cols) {
+  TABSKETCH_CHECK(cache != nullptr);
+  // The holder keeps the most recent sketch alive while BuildImpl reads it
+  // (a bounded cache may evict the entry as soon as the next Get lands).
+  std::shared_ptr<const Sketch> holder;
+  auto sketch_of = [&](size_t i) -> std::span<const double> {
+    holder = cache->Get(i);
+    return holder->values;
+  };
+  return BuildImpl(sketch_of, cache->num_tiles(), kind, params, object_rows,
+                   object_cols);
+}
+
+util::Result<QuantizedCodePool> QuantizedCodePool::BuildFromSketches(
+    std::span<const Sketch> sketches, QuantKind kind,
+    const SketchParams& params, size_t object_rows, size_t object_cols) {
+  auto sketch_of = [&](size_t i) -> std::span<const double> {
+    return sketches[i].values;
+  };
+  return BuildImpl(sketch_of, sketches.size(), kind, params, object_rows,
+                   object_cols);
+}
+
+uint32_t QuantizedCodePool::EncodeValue(double value) const {
+  if (scale_ == 0.0) return 0;
+  const double q = (value - offset_) / scale_;
+  if (!(q > 0.0)) return 0;
+  const double max_code = static_cast<double>(MaxCode());
+  if (q >= max_code) return MaxCode();
+  return static_cast<uint32_t>(std::llround(q));
+}
+
+double QuantizedCodePool::CodeDistance(const unsigned char* a,
+                                       const unsigned char* b, bool l2,
+                                       kernels::CodeScratch* scratch) const {
+  if (l2) {
+    const uint64_t ssd =
+        kind_ == QuantKind::kInt8
+            ? kernels::SumSquaredDiff(reinterpret_cast<const uint8_t*>(a),
+                                      reinterpret_cast<const uint8_t*>(b), k_)
+            : kernels::SumSquaredDiff(reinterpret_cast<const uint16_t*>(a),
+                                      reinterpret_cast<const uint16_t*>(b),
+                                      k_);
+    return scale_ * std::sqrt(static_cast<double>(ssd) /
+                              static_cast<double>(k_));
+  }
+  const double median =
+      kind_ == QuantKind::kInt8
+          ? kernels::MedianAbsDiff(reinterpret_cast<const uint8_t*>(a),
+                                   reinterpret_cast<const uint8_t*>(b), k_,
+                                   scratch)
+          : kernels::MedianAbsDiff(reinterpret_cast<const uint16_t*>(a),
+                                   reinterpret_cast<const uint16_t*>(b), k_,
+                                   scratch);
+  return scale_ * median;
+}
+
+double QuantizedCodePool::CodeEstimate(size_t a, size_t b, bool l2,
+                                       kernels::CodeScratch* scratch) const {
+  TABSKETCH_CHECK(a < count_ && b < count_);
+  if (usable_[a] == 0 || usable_[b] == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const size_t code_bytes = QuantCodeBytes(kind_);
+  return CodeDistance(codes_.data() + a * k_ * code_bytes,
+                      codes_.data() + b * k_ * code_bytes, l2, scratch);
+}
+
+double QuantizedCodePool::CodeEstimateAgainst(
+    size_t a, const QuantizedVector& other, bool l2,
+    kernels::CodeScratch* scratch) const {
+  TABSKETCH_CHECK(a < count_);
+  if (usable_[a] == 0 || !other.usable) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  TABSKETCH_CHECK(other.codes.size() == k_ * QuantCodeBytes(kind_));
+  return CodeDistance(codes_.data() + a * k_ * QuantCodeBytes(kind_),
+                      other.codes.data(), l2, scratch);
+}
+
+QuantizedVector QuantizedCodePool::Quantize(
+    std::span<const double> values) const {
+  QuantizedVector result;
+  if (values.size() != k_ || !AllFinite(values)) return result;
+  // Accept only values inside the pool's range, padded by half a step: a
+  // clamped encode of such a value still satisfies the <= scale/2 error
+  // bound. Sketch-space centroids are convex combinations of pool values,
+  // so they land inside the range up to mean-rounding noise; anything
+  // further out (a reloaded pool, pathological rounding) stays unusable and
+  // therefore an unconditional candidate.
+  const double lo = offset_ - 0.5 * scale_;
+  const double hi =
+      offset_ + scale_ * static_cast<double>(MaxCode()) + 0.5 * scale_;
+  for (double value : values) {
+    if (value < lo || value > hi) return result;
+  }
+  const size_t code_bytes = QuantCodeBytes(kind_);
+  result.codes.assign(k_ * code_bytes, 0);
+  for (size_t j = 0; j < k_; ++j) {
+    const uint32_t code = EncodeValue(values[j]);
+    if (kind_ == QuantKind::kInt8) {
+      result.codes[j] = static_cast<unsigned char>(code);
+    } else {
+      const uint16_t code16 = static_cast<uint16_t>(code);
+      std::memcpy(result.codes.data() + 2 * j, &code16, sizeof(code16));
+    }
+  }
+  result.usable = true;
+  return result;
+}
+
+double QuantizedCodePool::Slack(const DistanceEstimator& estimator) const {
+  return scale_ / estimator.scale() * kSlackSafety;
+}
+
+util::Status WriteCodePool(const QuantizedCodePool& pool,
+                           const std::string& path) {
+  if (pool.kind() == QuantKind::kOff) {
+    return util::Status::InvalidArgument(
+        "cannot serialize a code pool with quantization off");
+  }
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot open for writing: " + tmp_path);
+  }
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.kind = static_cast<uint32_t>(pool.kind());
+  header.reserved = 0;
+  header.p = pool.params().p;
+  header.k = pool.params().k;
+  header.seed = pool.params().seed;
+  header.object_rows = pool.object_rows();
+  header.object_cols = pool.object_cols();
+  header.count = pool.count();
+  header.scale = pool.scale();
+  header.offset = pool.offset();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(pool.usable_flags().data()),
+            static_cast<std::streamsize>(pool.usable_flags().size()));
+  out.write(reinterpret_cast<const char*>(pool.raw_codes().data()),
+            static_cast<std::streamsize>(pool.raw_codes().size()));
+  out.close();
+  if (!out) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IOError("write failed: " + tmp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IOError("cannot rename " + tmp_path + " to " + path +
+                                 ": " + ec.message());
+  }
+  return util::Status::OK();
+}
+
+util::Result<QuantizedCodePool> ReadCodePool(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IOError("cannot open for reading: " + path);
+  }
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::IOError("not a tabsketch code pool: " + path);
+  }
+  if (header.version != kVersion) {
+    std::ostringstream msg;
+    msg << "unsupported code-pool version " << header.version << " in "
+        << path;
+    return util::Status::IOError(msg.str());
+  }
+  if (header.kind != static_cast<uint32_t>(QuantKind::kInt8) &&
+      header.kind != static_cast<uint32_t>(QuantKind::kInt16)) {
+    std::ostringstream msg;
+    msg << "unsupported code-pool quantization kind " << header.kind << " in "
+        << path;
+    return util::Status::IOError(msg.str());
+  }
+  if (!std::isfinite(header.scale) || header.scale < 0.0 ||
+      !std::isfinite(header.offset)) {
+    return util::Status::IOError("corrupt code-pool header in " + path);
+  }
+
+  QuantizedCodePool pool;
+  pool.kind_ = static_cast<QuantKind>(header.kind);
+  pool.params_.p = header.p;
+  pool.params_.k = header.k;
+  pool.params_.seed = header.seed;
+  TABSKETCH_RETURN_IF_ERROR(pool.params_.Validate());
+  pool.count_ = header.count;
+  pool.k_ = header.k;
+  pool.scale_ = header.scale;
+  pool.offset_ = header.offset;
+  pool.object_rows_ = header.object_rows;
+  pool.object_cols_ = header.object_cols;
+
+  // The payload must be exactly count flag bytes + count rows of k codes
+  // (overflow-safe before any allocation).
+  in.seekg(0, std::ios::end);
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(in.tellg()) - sizeof(header);
+  in.seekg(sizeof(header), std::ios::beg);
+  const uint64_t code_bytes = QuantCodeBytes(pool.kind_);
+  if (header.count > payload_bytes) {
+    return util::Status::IOError("corrupt code-pool header in " + path);
+  }
+  const uint64_t code_payload = payload_bytes - header.count;
+  if (header.count != 0 &&
+      header.k > code_payload / (header.count * code_bytes)) {
+    return util::Status::IOError("corrupt code-pool header in " + path);
+  }
+  if (header.count * header.k * code_bytes != code_payload) {
+    return util::Status::IOError("corrupt code-pool header in " + path);
+  }
+
+  pool.usable_.resize(header.count);
+  in.read(reinterpret_cast<char*>(pool.usable_.data()),
+          static_cast<std::streamsize>(pool.usable_.size()));
+  pool.codes_.resize(code_payload);
+  in.read(reinterpret_cast<char*>(pool.codes_.data()),
+          static_cast<std::streamsize>(pool.codes_.size()));
+  if (!in) {
+    return util::Status::IOError("truncated code pool: " + path);
+  }
+  for (uint8_t& flag : pool.usable_) flag = flag != 0 ? 1 : 0;
+  return pool;
+}
+
+}  // namespace tabsketch::core

@@ -1,0 +1,181 @@
+#ifndef TABSKETCH_CORE_QUANTIZED_SKETCH_H_
+#define TABSKETCH_CORE_QUANTIZED_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/code_kernels.h"
+#include "core/estimator.h"
+#include "core/sketch_cache.h"
+#include "core/sketch_params.h"
+#include "core/sketcher.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tabsketch::core {
+
+/// The quantized filter tier a code scan runs over: off, or 8-/16-bit codes
+/// with a per-pool affine map (see QuantizedCodePool).
+enum class QuantKind : uint8_t {
+  kOff = 0,
+  kInt8 = 1,
+  kInt16 = 2,
+};
+
+/// Parses "off" / "int8" / "int16" (the `--quant=` flag values).
+util::Result<QuantKind> ParseQuantKind(const std::string& text);
+const char* QuantKindName(QuantKind kind);
+/// Bytes per stored code: 1 (int8), 2 (int16), 0 (off).
+size_t QuantCodeBytes(QuantKind kind);
+
+/// The codes of one external sketch (a k-means centroid) quantized against a
+/// pool's affine map. `usable` is false when the vector cannot be encoded
+/// exactly within the pool's error bound (a non-finite component, or a value
+/// outside the pool's range by more than half a quantization step); an
+/// unusable vector's code distances are NaN, which the prefilters treat as
+/// "always a candidate" — correctness never depends on encodability.
+struct QuantizedVector {
+  bool usable = false;
+  /// k codes in the pool's width (1 or 2 bytes each, little-endian layout
+  /// identical to the pool rows).
+  std::vector<unsigned char> codes;
+};
+
+/// All tile sketches of a pool packed into integer codes under one affine
+/// map: value ~= offset + scale * code, with offset = min finite component
+/// and scale = (max - min) / (levels - 1) over the whole pool. Differences
+/// cancel the offset, so a code distance is scale * (integer kernel result)
+/// and the absolute error of any estimate reconstructed from codes is at
+/// most `scale` (DESIGN.md §13 derives the bound); Slack() turns that into
+/// the safe over-fetch margin the byte-identical filter-refine paths use.
+///
+/// Deterministic by construction: sketches are deterministic, the map is
+/// derived from exact min/max scans, and encoding uses llround — the same
+/// table and params always produce the same bytes (golden-tested).
+/// Immutable after Build, so concurrent readers need no synchronization.
+class QuantizedCodePool {
+ public:
+  /// Builds the code tier for every tile reachable through `cache` in two
+  /// passes (min/max + flags, then encode). Passing each tile through the
+  /// cache keeps peak memory bounded under an LRU budget; with a warm or
+  /// fixed source the passes are pure reads. `kind` must not be kOff.
+  static util::Result<QuantizedCodePool> Build(TileSketchCache* cache,
+                                               QuantKind kind,
+                                               const SketchParams& params,
+                                               size_t object_rows,
+                                               size_t object_cols);
+
+  /// Build over an in-memory sketch span (the reload path, before the set
+  /// moves into a FixedSketchSource).
+  static util::Result<QuantizedCodePool> BuildFromSketches(
+      std::span<const Sketch> sketches, QuantKind kind,
+      const SketchParams& params, size_t object_rows, size_t object_cols);
+
+  QuantKind kind() const { return kind_; }
+  size_t count() const { return count_; }
+  size_t k() const { return k_; }
+  double scale() const { return scale_; }
+  double offset() const { return offset_; }
+  const SketchParams& params() const { return params_; }
+  size_t object_rows() const { return object_rows_; }
+  size_t object_cols() const { return object_cols_; }
+
+  /// False when tile `i`'s sketch has a non-finite component; its code row
+  /// is all zeros and every code distance involving it is NaN.
+  bool tile_usable(size_t i) const { return usable_[i] != 0; }
+
+  /// Code-space distance between tiles `a` and `b`, in the same units as the
+  /// raw sketch statistic: scale * median(|code diffs|) (l2 == false) or
+  /// scale * sqrt(mean squared code diff) (l2 == true). Divide by
+  /// DistanceEstimator::scale() to compare against estimator output. NaN
+  /// when either tile is unusable.
+  double CodeEstimate(size_t a, size_t b, bool l2,
+                      kernels::CodeScratch* scratch) const;
+
+  /// CodeEstimate between tile `a` and an external quantized vector (NaN
+  /// when the vector is not usable).
+  double CodeEstimateAgainst(size_t a, const QuantizedVector& other, bool l2,
+                             kernels::CodeScratch* scratch) const;
+
+  /// Encodes an external sketch (e.g. a sketch-space centroid) with this
+  /// pool's map. Returns usable=false if any component is non-finite or
+  /// outside the pool's value range by more than scale/2 — the bound below
+  /// would not hold for such a vector, so it must stay an unconditional
+  /// candidate.
+  QuantizedVector Quantize(std::span<const double> values) const;
+
+  /// The guaranteed bound on |estimator estimate - CodeEstimate/est.scale()|
+  /// for usable operands: scale / est.scale(), padded by a 1e-6 relative
+  /// safety factor that dominates every floating-point rounding term in the
+  /// comparison (DESIGN.md §13). Filter thresholds built with this slack
+  /// keep every tile the full scan could rank ahead — the byte-identity
+  /// guarantee.
+  double Slack(const DistanceEstimator& estimator) const;
+
+  /// Exact bytes of the code + flag arrays (the accounting serve::Snapshot
+  /// subtracts from the LRU sketch budget, and quant.pool.bytes reports).
+  size_t bytes() const { return PoolBytes(kind_, count_, k_); }
+  static size_t PoolBytes(QuantKind kind, size_t count, size_t k) {
+    return count * k * QuantCodeBytes(kind) + count;
+  }
+
+  /// Raw storage, for serialization and byte-stability tests.
+  const std::vector<unsigned char>& raw_codes() const { return codes_; }
+  const std::vector<uint8_t>& usable_flags() const { return usable_; }
+
+ private:
+  friend util::Result<QuantizedCodePool> ReadCodePool(const std::string&);
+
+  QuantizedCodePool() = default;
+
+  /// Shared two-pass build over any "sketch of tile i" getter.
+  static util::Result<QuantizedCodePool> BuildImpl(
+      const std::function<std::span<const double>(size_t)>& sketch_of,
+      size_t count, QuantKind kind, const SketchParams& params,
+      size_t object_rows, size_t object_cols);
+
+  const uint8_t* Codes8(size_t i) const {
+    return reinterpret_cast<const uint8_t*>(codes_.data()) + i * k_;
+  }
+  const uint16_t* Codes16(size_t i) const {
+    return reinterpret_cast<const uint16_t*>(codes_.data()) + i * k_;
+  }
+  /// Encodes one finite in-range value (clamped to the code range).
+  uint32_t EncodeValue(double value) const;
+  /// Max representable code: levels - 1.
+  uint32_t MaxCode() const { return kind_ == QuantKind::kInt8 ? 255 : 65535; }
+  double CodeDistance(const unsigned char* a, const unsigned char* b, bool l2,
+                      kernels::CodeScratch* scratch) const;
+
+  QuantKind kind_ = QuantKind::kOff;
+  size_t count_ = 0;
+  size_t k_ = 0;
+  double scale_ = 0.0;
+  double offset_ = 0.0;
+  SketchParams params_;
+  size_t object_rows_ = 0;
+  size_t object_cols_ = 0;
+  /// count * k codes, row-major, in the kind's width (native little-endian).
+  std::vector<unsigned char> codes_;
+  /// One flag per tile (1 = usable).
+  std::vector<uint8_t> usable_;
+};
+
+/// Writes `pool` to `path` in the TSKQ v1 binary format (docs/FORMATS.md):
+/// header (magic, version, kind, params, shape, count, scale, offset), then
+/// the usable flags and the code payload. Temp-file + atomic rename like
+/// every other tabsketch writer.
+util::Status WriteCodePool(const QuantizedCodePool& pool,
+                           const std::string& path);
+
+/// Reads a code pool written by WriteCodePool. Corrupt magic/version/kind,
+/// inconsistent sizes and truncation are IOError, mirroring ReadSketchPool.
+util::Result<QuantizedCodePool> ReadCodePool(const std::string& path);
+
+}  // namespace tabsketch::core
+
+#endif  // TABSKETCH_CORE_QUANTIZED_SKETCH_H_

@@ -96,36 +96,83 @@ util::Result<std::vector<QueryRequest>> ParseBatchFile(
 QueryEngine::QueryEngine(const table::TileGrid* grid,
                          core::TileSketchCache* cache,
                          const core::DistanceEstimator* estimator,
-                         const QueryEngineOptions& options)
-    : grid_(grid), cache_(cache), estimator_(estimator), options_(options) {}
+                         const QueryEngineOptions& options,
+                         const core::QuantizedCodePool* codes)
+    : grid_(grid),
+      cache_(cache),
+      estimator_(estimator),
+      options_(options),
+      codes_(codes) {}
 
 std::string QueryEngine::AnswerDistance(const QueryRequest& request,
-                                        std::vector<double>* scratch) const {
+                                        Workspace* workspace) const {
   const std::shared_ptr<const core::Sketch> a = cache_->Get(request.a);
   const std::shared_ptr<const core::Sketch> b = cache_->Get(request.b);
-  const double estimate =
-      estimator_->EstimateWithScratch(a->values, b->values, scratch);
+  const double estimate = estimator_->EstimateWithScratch(
+      a->values, b->values, &workspace->scratch);
   std::ostringstream out;
   out.precision(kAnswerPrecision);
   out << "distance " << request.a << " " << request.b << " = " << estimate;
   return out.str();
 }
 
-std::string QueryEngine::AnswerKnn(const QueryRequest& request,
-                                   std::vector<double>* scratch) const {
+void QueryEngine::QuantFilterCandidates(size_t query, size_t want,
+                                        Workspace* workspace) const {
+  const core::QuantizedCodePool& pool = *codes_;
   const size_t n = cache_->num_tiles();
-  const std::shared_ptr<const core::Sketch> query = cache_->Get(request.a);
+  const bool l2 = estimator_->kind() == core::EstimatorKind::kL2;
+  const double inv_scale = 1.0 / estimator_->scale();
 
-  // Filter: estimated distance to every other tile, sketches via the cache.
-  std::vector<core::Neighbor> all;
-  all.reserve(n - 1);
-  for (size_t i = 0; i < n; ++i) {
-    if (i == request.a) continue;
-    const std::shared_ptr<const core::Sketch> other = cache_->Get(i);
-    all.push_back(core::Neighbor{
-        i, estimator_->EstimateWithScratch(query->values, other->values,
-                                           scratch)});
+  std::vector<core::Neighbor>& codes = workspace->code_neighbors;
+  codes.clear();
+  {
+    TABSKETCH_TRACE_SPAN("quant.scan");
+    for (size_t i = 0; i < n; ++i) {
+      if (i == query) continue;
+      codes.push_back(core::Neighbor{
+          i, pool.CodeEstimate(query, i, l2, &workspace->code_scratch) *
+                 inv_scale});
+    }
   }
+  TABSKETCH_METRIC_COUNT_N("quant.scan.tiles", codes.size());
+  TABSKETCH_METRIC_COUNT_N(
+      "quant.scan.bytes",
+      2 * codes.size() * pool.k() * core::QuantCodeBytes(pool.kind()));
+
+  // The safe over-fetch threshold: every tile the full scan could rank in
+  // its top `want` has a code distance within 2*slack of the want-th best
+  // code distance (each side of the comparison moves by at most slack —
+  // DESIGN.md §13). A NaN want-th distance (fewer than `want` usable tiles)
+  // or a NaN candidate distance fails the `>` test, so NaN is always kept.
+  double threshold = std::numeric_limits<double>::infinity();
+  if (codes.size() > want) {
+    std::nth_element(codes.begin(),
+                     codes.begin() + static_cast<ptrdiff_t>(want - 1),
+                     codes.end(), core::NeighborBefore);
+    threshold =
+        codes[want - 1].distance + 2.0 * pool.Slack(*estimator_);
+  }
+
+  // Refine the survivors with full double sketches — from here on the
+  // pipeline is exactly the unquantized scan, restricted to indices that
+  // can still influence the answer.
+  const std::shared_ptr<const core::Sketch> query_sketch = cache_->Get(query);
+  std::vector<core::Neighbor>& out = workspace->neighbors;
+  for (const core::Neighbor& candidate : codes) {
+    if (candidate.distance > threshold) continue;
+    const std::shared_ptr<const core::Sketch> other =
+        cache_->Get(candidate.index);
+    out.push_back(core::Neighbor{
+        candidate.index,
+        estimator_->EstimateWithScratch(query_sketch->values, other->values,
+                                        &workspace->scratch)});
+  }
+  TABSKETCH_METRIC_COUNT_N("quant.candidates.kept", out.size());
+}
+
+std::string QueryEngine::AnswerKnn(const QueryRequest& request,
+                                   Workspace* workspace) const {
+  const size_t n = cache_->num_tiles();
 
   size_t want = request.k;
   if (options_.refine) {
@@ -136,28 +183,46 @@ std::string QueryEngine::AnswerKnn(const QueryRequest& request,
                : std::max(3 * request.k, request.k + 8);
     want = std::min(std::max(want, request.k), n - 1);
   }
-  std::vector<core::Neighbor> top =
-      core::SmallestKNeighbors(std::move(all), want);
 
+  std::vector<core::Neighbor>& all = workspace->neighbors;
+  all.clear();
+  if (options_.quant != core::QuantKind::kOff) {
+    QuantFilterCandidates(request.a, want, workspace);
+  } else {
+    // Filter: estimated distance to every other tile, sketches via the
+    // cache.
+    const std::shared_ptr<const core::Sketch> query = cache_->Get(request.a);
+    for (size_t i = 0; i < n; ++i) {
+      if (i == request.a) continue;
+      const std::shared_ptr<const core::Sketch> other = cache_->Get(i);
+      all.push_back(core::Neighbor{
+          i, estimator_->EstimateWithScratch(query->values, other->values,
+                                             &workspace->scratch)});
+    }
+  }
+  core::SmallestKNeighborsInPlace(&all, want);
+
+  std::vector<core::Neighbor>* top = &all;
   if (options_.refine) {
     // Refine: exact Lp distances re-rank the candidates, so the reported
     // distances are exact (TopKFilterRefine semantics).
     const table::TableView query_view = grid_->Tile(request.a);
-    std::vector<core::Neighbor> refined;
-    refined.reserve(top.size());
-    for (const core::Neighbor& candidate : top) {
+    std::vector<core::Neighbor>& refined = workspace->refined;
+    refined.clear();
+    for (const core::Neighbor& candidate : all) {
       refined.push_back(core::Neighbor{
           candidate.index,
           core::LpDistance(query_view, grid_->Tile(candidate.index),
                            estimator_->p())});
     }
-    top = core::SmallestKNeighbors(std::move(refined), request.k);
+    core::SmallestKNeighborsInPlace(&refined, request.k);
+    top = &refined;
   }
 
   std::ostringstream out;
   out.precision(kAnswerPrecision);
   out << "knn " << request.a << " " << request.k << " =";
-  for (const core::Neighbor& neighbor : top) {
+  for (const core::Neighbor& neighbor : *top) {
     out << " " << neighbor.index << ":" << neighbor.distance;
   }
   return out.str();
@@ -173,6 +238,20 @@ util::Result<std::vector<std::string>> QueryEngine::Run(
   if (options_.refine && grid_ == nullptr) {
     return util::Status::InvalidArgument(
         "refined knn needs table data, not just sketches");
+  }
+  if (options_.quant != core::QuantKind::kOff) {
+    if (codes_ == nullptr) {
+      return util::Status::InvalidArgument(
+          "quantized filtering needs a code pool");
+    }
+    if (codes_->kind() != options_.quant) {
+      return util::Status::InvalidArgument(
+          "code pool kind does not match the requested quantization");
+    }
+    if (codes_->count() != n) {
+      return util::Status::InvalidArgument(
+          "code pool and sketch cache disagree on the tile count");
+    }
   }
 
   // Validate everything up front so a bad request fails the whole batch
@@ -212,11 +291,14 @@ util::Result<std::vector<std::string>> QueryEngine::Run(
   {
     TABSKETCH_TRACE_SPAN("query.batch");
     util::ParallelFor(batch.size(), options_.threads, [&](size_t i) {
-      thread_local std::vector<double> scratch;
+      // One workspace per worker thread, warm across requests and batches:
+      // candidate vectors and estimator scratch keep their capacity, so
+      // steady-state knn serving allocates nothing per line.
+      thread_local Workspace workspace;
       const QueryRequest& request = batch[i];
       results[i] = request.kind == QueryRequest::Kind::kDistance
-                       ? AnswerDistance(request, &scratch)
-                       : AnswerKnn(request, &scratch);
+                       ? AnswerDistance(request, &workspace)
+                       : AnswerKnn(request, &workspace);
     });
   }
   return results;

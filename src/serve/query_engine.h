@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "core/knn.h"
+#include "core/quantized_sketch.h"
 #include "core/sketch_cache.h"
 #include "table/tiling.h"
 #include "util/result.h"
@@ -79,6 +81,15 @@ struct QueryEngineOptions {
   /// Candidate-set size for refined knn; 0 picks max(3k, k + 8), clamped to
   /// the corpus size. Ignored without `refine`.
   size_t candidates = 0;
+
+  /// Code-scan prefilter tier for knn requests (`--quant=`). When not kOff,
+  /// the engine must be constructed with a matching QuantizedCodePool: each
+  /// knn scan first runs over the int8/int16 codes, keeps every tile within
+  /// the pool's guaranteed slack of the k-th best code distance, and only
+  /// the survivors touch full double sketches — answers stay byte-identical
+  /// to kOff (DESIGN.md §13), the scan just moves 8-16x fewer bytes.
+  /// Distance requests always use full sketches.
+  core::QuantKind quant = core::QuantKind::kOff;
 };
 
 /// Answers batches of mixed distance / knn requests over the tiles of a
@@ -90,13 +101,15 @@ struct QueryEngineOptions {
 /// deterministic and each request's output slot is fixed up front.
 class QueryEngine {
  public:
-  /// `cache` and `estimator` must outlive the engine; `grid` may be null
-  /// when options.refine is false (sketch-only serving, e.g. from a
+  /// `cache`, `estimator` and `codes` must outlive the engine; `grid` may be
+  /// null when options.refine is false (sketch-only serving, e.g. from a
   /// preloaded sketch set). When given, the grid's tile count must match the
-  /// cache's.
+  /// cache's. `codes` is required (with matching kind and tile count) iff
+  /// options.quant is not kOff.
   QueryEngine(const table::TileGrid* grid, core::TileSketchCache* cache,
               const core::DistanceEstimator* estimator,
-              const QueryEngineOptions& options);
+              const QueryEngineOptions& options,
+              const core::QuantizedCodePool* codes = nullptr);
 
   /// Answers every request, one deterministic result line per request in
   /// request order. Validates all indices/arguments up front and fails
@@ -106,15 +119,33 @@ class QueryEngine {
       std::span<const QueryRequest> batch) const;
 
  private:
+  /// Per-thread buffers reused across every request a worker answers —
+  /// candidate lists, estimator scratch and the code-kernel scratch all keep
+  /// their capacity between batch lines, so steady-state serving does not
+  /// allocate per request.
+  struct Workspace {
+    std::vector<double> scratch;
+    std::vector<core::Neighbor> neighbors;
+    std::vector<core::Neighbor> code_neighbors;
+    std::vector<core::Neighbor> refined;
+    core::kernels::CodeScratch code_scratch;
+  };
+
   std::string AnswerDistance(const QueryRequest& request,
-                             std::vector<double>* scratch) const;
+                             Workspace* workspace) const;
   std::string AnswerKnn(const QueryRequest& request,
-                        std::vector<double>* scratch) const;
+                        Workspace* workspace) const;
+  /// The quant filter step: scans codes, keeps every tile within 2*slack of
+  /// the `want`-th best code distance, and fills workspace->neighbors with
+  /// the survivors' full-sketch estimates.
+  void QuantFilterCandidates(size_t query, size_t want,
+                             Workspace* workspace) const;
 
   const table::TileGrid* grid_;
   core::TileSketchCache* cache_;
   const core::DistanceEstimator* estimator_;
   QueryEngineOptions options_;
+  const core::QuantizedCodePool* codes_;
 };
 
 }  // namespace tabsketch::serve

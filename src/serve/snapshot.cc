@@ -59,6 +59,8 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
     grid = snapshot->table_->grid.get();
   }
 
+  size_t object_rows = 0;
+  size_t object_cols = 0;
   if (!spec.sketches_path.empty()) {
     TABSKETCH_ASSIGN_OR_RETURN(core::SketchSet set,
                                core::ReadSketchSet(spec.sketches_path));
@@ -68,18 +70,32 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
           " does not match the tile grid");
     }
     snapshot->params_ = set.params;
+    object_rows = set.object_rows;
+    object_cols = set.object_cols;
     snapshot->cache_ = std::make_unique<core::FixedSketchSource>(
         std::move(set.sketches));
     snapshot->description_ = "sketches " + spec.sketches_path;
   } else {
     snapshot->params_ = spec.params;
+    object_rows = grid->tile_rows();
+    object_cols = grid->tile_cols();
     TABSKETCH_ASSIGN_OR_RETURN(core::Sketcher sketcher,
                                core::Sketcher::Create(snapshot->params_));
     snapshot->sketcher_ =
         std::make_unique<core::Sketcher>(std::move(sketcher));
     if (spec.cache_bytes > 0) {
       core::LruSketchCache::Options options;
-      options.capacity_bytes = spec.cache_bytes;
+      // The pinned code tier spends part of the budget; the LRU sketch
+      // cache gets what is left (at least one byte — LruSketchCache
+      // degrades to compute-and-release under sub-entry budgets), keeping
+      // `cache_bytes` a bound on total sketch memory.
+      size_t budget = spec.cache_bytes;
+      if (spec.engine.quant != core::QuantKind::kOff) {
+        const size_t pool_bytes = core::QuantizedCodePool::PoolBytes(
+            spec.engine.quant, grid->num_tiles(), snapshot->params_.k);
+        budget = budget > pool_bytes ? budget - pool_bytes : 1;
+      }
+      options.capacity_bytes = budget;
       snapshot->cache_ = std::make_unique<core::LruSketchCache>(
           snapshot->sketcher_.get(), grid, options);
     } else {
@@ -89,6 +105,18 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
     snapshot->description_ = "table " + spec.table_path;
   }
 
+  if (spec.engine.quant != core::QuantKind::kOff) {
+    TABSKETCH_ASSIGN_OR_RETURN(
+        core::QuantizedCodePool pool,
+        core::QuantizedCodePool::Build(snapshot->cache_.get(),
+                                       spec.engine.quant, snapshot->params_,
+                                       object_rows, object_cols));
+    snapshot->codes_ =
+        std::make_unique<const core::QuantizedCodePool>(std::move(pool));
+    TABSKETCH_METRIC_GAUGE_SET("quant.pool.bytes",
+                               snapshot->codes_->bytes());
+  }
+
   TABSKETCH_ASSIGN_OR_RETURN(
       core::DistanceEstimator estimator,
       core::DistanceEstimator::Create(snapshot->params_));
@@ -96,7 +124,7 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
       std::make_unique<core::DistanceEstimator>(std::move(estimator));
   snapshot->engine_ = std::make_unique<QueryEngine>(
       grid, snapshot->cache_.get(), snapshot->estimator_.get(),
-      snapshot->engine_options_);
+      snapshot->engine_options_, snapshot->codes_.get());
   return std::shared_ptr<const Snapshot>(std::move(snapshot));
 }
 
@@ -118,6 +146,20 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::WithSketchSet(
   snapshot->engine_options_ = base.engine_options_;
   if (reuse_grid) snapshot->table_ = base.table_;
   snapshot->params_ = set.params;
+  // The successor's code tier is derived from the *new* sketches (before
+  // they move into the fixed source), so a reload swaps sketches and codes
+  // as one unit — a request never sees day-2 sketches with day-1 codes.
+  if (snapshot->engine_options_.quant != core::QuantKind::kOff) {
+    TABSKETCH_ASSIGN_OR_RETURN(
+        core::QuantizedCodePool pool,
+        core::QuantizedCodePool::BuildFromSketches(
+            set.sketches, snapshot->engine_options_.quant, set.params,
+            set.object_rows, set.object_cols));
+    snapshot->codes_ =
+        std::make_unique<const core::QuantizedCodePool>(std::move(pool));
+    TABSKETCH_METRIC_GAUGE_SET("quant.pool.bytes",
+                               snapshot->codes_->bytes());
+  }
   snapshot->cache_ =
       std::make_unique<core::FixedSketchSource>(std::move(set.sketches));
   snapshot->description_ = "sketches " + path;
@@ -130,7 +172,7 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::WithSketchSet(
   snapshot->engine_ = std::make_unique<QueryEngine>(
       reuse_grid ? snapshot->table_->grid.get() : nullptr,
       snapshot->cache_.get(), snapshot->estimator_.get(),
-      snapshot->engine_options_);
+      snapshot->engine_options_, snapshot->codes_.get());
   return std::shared_ptr<const Snapshot>(std::move(snapshot));
 }
 

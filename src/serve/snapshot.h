@@ -30,8 +30,12 @@ struct SnapshotSpec {
   /// Sketch family; ignored (taken from the file) when `sketches_path` is
   /// set.
   core::SketchParams params;
-  /// LRU sketch-cache byte budget; 0 keeps every computed sketch resident
-  /// (OnDemandSketchCache). Ignored when serving a preloaded sketch set.
+  /// Total sketch-memory byte budget; 0 keeps every computed sketch
+  /// resident (OnDemandSketchCache). Ignored when serving a preloaded
+  /// sketch set. When `engine.quant` is on, the pinned code tier's exact
+  /// byte footprint (QuantizedCodePool::PoolBytes) is taken off the top and
+  /// the LRU sketch cache gets the remainder, so the flag stays a true
+  /// total bound.
   size_t cache_bytes = 0;
   QueryEngineOptions engine;
 };
@@ -70,6 +74,10 @@ class Snapshot {
 
   const QueryEngine& engine() const { return *engine_; }
   const core::TileSketchCache& cache() const { return *cache_; }
+  /// The pinned quantized code tier; null unless the engine options enable
+  /// `quant`. Rebuilt (and atomically swapped with everything else) on every
+  /// reload, since codes are derived from the generation's sketches.
+  const core::QuantizedCodePool* codes() const { return codes_.get(); }
   size_t num_tiles() const { return cache_->num_tiles(); }
   const core::SketchParams& params() const { return params_; }
   /// Human-readable provenance ("table day1.tbl" / "sketches day2.sks"),
@@ -86,6 +94,7 @@ class Snapshot {
   core::SketchParams params_;
   std::unique_ptr<core::Sketcher> sketcher_;
   std::unique_ptr<core::TileSketchCache> cache_;
+  std::unique_ptr<const core::QuantizedCodePool> codes_;
   std::unique_ptr<core::DistanceEstimator> estimator_;
   QueryEngineOptions engine_options_;
   std::unique_ptr<QueryEngine> engine_;

@@ -250,6 +250,9 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "serve.snapshot.swaps",
       "cluster.distance_evals.exact",
       "cluster.distance_evals.sketch",
+      "quant.scan.tiles",
+      "quant.scan.bytes",
+      "quant.candidates.kept",
       "trace.dropped",
       "audit.samples",
       "audit.violations",
@@ -263,6 +266,7 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "cluster.dbscan.clusters",
       "lru.cache.capacity_bytes",
       "lru.cache.peak_bytes",
+      "quant.pool.bytes",
       "serve.queue.depth",
   };
   static const char* const kHistograms[] = {
@@ -276,6 +280,7 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "span.cluster.exact_update.seconds",
       "span.lru.cache.compute.seconds",
       "span.query.batch.seconds",
+      "span.quant.scan.seconds",
       "serve.request.latency.seconds",
   };
   for (const char* name : kCounters) registry->GetCounter(name);

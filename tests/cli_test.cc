@@ -378,6 +378,101 @@ TEST(CliTest, QueryOutputIsByteIdenticalAcrossThreadsAndCaches) {
   std::remove(out_path.c_str());
 }
 
+// The quantized code tier is a filter only: every --quant width must
+// reproduce the --quant=off bytes exactly, for both query and cluster,
+// across thread counts and cache budgets. Bad widths and exact-mode
+// combinations are rejected up front.
+TEST(CliTest, QuantOutputsAreByteIdenticalToOff) {
+  const std::string table_path = TempPath("cli_quant_table.tbl");
+  const std::string batch_path = TempPath("cli_quant_batch.txt");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string batch_flag = "--batch=" + batch_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64", "--seed=23"})
+                  .code,
+              0);
+  }
+  {
+    std::ofstream batch(batch_path);
+    batch << "distance 0 63\n"
+          << "knn 5 4\n"
+          << "distance 17 42\n"
+          << "knn 63 20\n";
+  }
+
+  const CliRun query_off =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str(), "--p=1", "--k=64", "--quant=off"});
+  ASSERT_EQ(query_off.code, 0) << query_off.err;
+  for (const char* quant : {"--quant=int8", "--quant=int16"}) {
+    for (const char* extra : {"--threads=4", "--cache-bytes=4096"}) {
+      const CliRun run =
+          RunCli({"query", table_flag.c_str(), "--tile-rows=8",
+                  "--tile-cols=8", batch_flag.c_str(), "--p=1", "--k=64",
+                  quant, extra});
+      ASSERT_EQ(run.code, 0) << run.err;
+      EXPECT_EQ(run.out, query_off.out) << quant << " with " << extra;
+    }
+  }
+
+  // Filter-and-refine knn on top of the code tier also matches --quant=off.
+  const CliRun refine_off =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str(), "--p=1", "--k=64", "--refine"});
+  ASSERT_EQ(refine_off.code, 0) << refine_off.err;
+  for (const char* quant : {"--quant=int8", "--quant=int16"}) {
+    const CliRun run =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), "--p=1", "--k=64", "--refine", quant});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_EQ(run.out, refine_off.out) << "refine with " << quant;
+  }
+
+  // Clustering: the assignment CSV must match byte-for-byte (stdout also
+  // reports distance-eval counts and wall time, which the prefilter is
+  // allowed — indeed expected — to change).
+  const std::string csv_path = TempPath("cli_quant_assign.csv");
+  const std::string csv_flag = "--out=" + csv_path;
+  auto run_cluster = [&](const char* quant) -> std::string {
+    const CliRun run =
+        RunCli({"cluster", table_flag.c_str(), "--tile-rows=8",
+                "--tile-cols=8", "--p=2", "--sketch-k=64", "--k=3",
+                "--seed=7", csv_flag.c_str(), quant});
+    EXPECT_EQ(run.code, 0) << run.err;
+    std::ifstream in(csv_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string cluster_off = run_cluster("--quant=off");
+  ASSERT_NE(cluster_off.find("tile,grid_row,grid_col,cluster"),
+            std::string::npos);
+  EXPECT_EQ(run_cluster("--quant=int8"), cluster_off);
+  EXPECT_EQ(run_cluster("--quant=int16"), cluster_off);
+
+  {
+    const CliRun run =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), "--p=1", "--k=64", "--quant=int7"});
+    EXPECT_EQ(run.code, 1);
+    EXPECT_NE(run.err.find("quantization"), std::string::npos);
+  }
+  {
+    // Exact mode has no sketches, so there is nothing to quantize.
+    const CliRun run =
+        RunCli({"cluster", table_flag.c_str(), "--tile-rows=8",
+                "--tile-cols=8", "--mode=exact", "--k=3", "--quant=int8"});
+    EXPECT_EQ(run.code, 1);
+    EXPECT_NE(run.err.find("--quant"), std::string::npos);
+  }
+
+  std::remove(table_path.c_str());
+  std::remove(batch_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
 std::string ReadWholeFile(const std::string& path) {
   std::ifstream in(path);
   std::ostringstream buffer;

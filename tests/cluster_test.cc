@@ -507,6 +507,91 @@ TEST(KMeansTest, ParallelAssignmentsMatchSequential) {
   }
 }
 
+TEST(KMeansTest, QuantPrefilterAssignmentsAreByteIdentical) {
+  // The quantized code-scan prefilter may only skip centroids that provably
+  // cannot win the argmin; every assignment, iteration count and objective
+  // must match the unquantized backend exactly — across widths, modes,
+  // thread counts and a starved LRU budget.
+  BandedData banded = MakeBanded(3, 8, 32, 4, 4, 91);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+
+  const auto run = [&](SketchMode mode, core::QuantKind quant, size_t threads,
+                       size_t cache_bytes) {
+    auto backend = SketchBackend::Create(
+        &*grid, {.p = 1.0, .k = 64, .seed = 5}, mode,
+        core::EstimatorKind::kAuto, threads, cache_bytes, quant);
+    EXPECT_TRUE(backend.ok()) << backend.status().ToString();
+    return RunKMeans(&*backend, {.k = 3, .max_iterations = 30, .seed = 13,
+                                 .threads = threads})
+        .value();
+  };
+
+  const KMeansResult reference =
+      run(SketchMode::kPrecomputed, core::QuantKind::kOff, 1, 0);
+  for (core::QuantKind quant :
+       {core::QuantKind::kInt8, core::QuantKind::kInt16}) {
+    for (SketchMode mode :
+         {SketchMode::kPrecomputed, SketchMode::kOnDemand}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        for (size_t cache_bytes : {size_t{0}, size_t{1024}}) {
+          if (mode == SketchMode::kPrecomputed && cache_bytes != 0) continue;
+          const KMeansResult result = run(mode, quant, threads, cache_bytes);
+          EXPECT_EQ(result.assignment, reference.assignment)
+              << core::QuantKindName(quant) << " threads=" << threads
+              << " cache_bytes=" << cache_bytes;
+          EXPECT_EQ(result.iterations, reference.iterations);
+          EXPECT_DOUBLE_EQ(result.objective, reference.objective);
+        }
+      }
+    }
+  }
+}
+
+TEST(KMeansTest, QuantPrefilterHandlesNaNDataIdentically) {
+  // A tile with NaN data gets an unusable code row; the prefilter must keep
+  // it an unconditional candidate and reproduce the unquantized assignment
+  // (including the -1 for the all-NaN tile itself).
+  BandedData banded = MakeBanded(3, 8, 32, 4, 4, 17);
+  for (size_t c = 0; c < 32; ++c) {
+    for (size_t r = 4; r < 8; ++r) {
+      banded.data(r, c) = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+
+  const auto run = [&](core::QuantKind quant) {
+    auto backend = SketchBackend::Create(
+        &*grid, {.p = 1.0, .k = 64, .seed = 5}, SketchMode::kPrecomputed,
+        core::EstimatorKind::kAuto, 1, 0, quant);
+    EXPECT_TRUE(backend.ok()) << backend.status().ToString();
+    return RunKMeans(&*backend, {.k = 3, .max_iterations = 20, .seed = 29})
+        .value();
+  };
+  const KMeansResult reference = run(core::QuantKind::kOff);
+  const KMeansResult quantized = run(core::QuantKind::kInt8);
+  EXPECT_EQ(quantized.assignment, reference.assignment);
+  EXPECT_EQ(quantized.iterations, reference.iterations);
+}
+
+TEST(KMeansTest, QuantPrefilterNeverIncreasesEvaluations) {
+  BandedData banded = MakeBanded(4, 8, 32, 4, 4, 33);
+  auto grid = table::TileGrid::Create(&banded.data, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  const auto evals = [&](core::QuantKind quant) {
+    auto backend = SketchBackend::Create(
+        &*grid, {.p = 1.0, .k = 64, .seed = 5}, SketchMode::kPrecomputed,
+        core::EstimatorKind::kAuto, 1, 0, quant);
+    EXPECT_TRUE(backend.ok());
+    auto result = RunKMeans(&*backend, {.k = 4, .max_iterations = 30,
+                                        .seed = 7});
+    EXPECT_TRUE(result.ok());
+    return result->distance_evaluations;
+  };
+  EXPECT_LE(evals(core::QuantKind::kInt16), evals(core::QuantKind::kOff));
+}
+
 TEST(KMeansTest, ReportsDistanceEvaluations) {
   BandedData banded = MakeBanded(2, 4, 16, 4, 4, 59);
   auto grid = table::TileGrid::Create(&banded.data, 4, 4);

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/code_kernels.h"
+#include "rng/xoshiro256.h"
+
+namespace tabsketch::core::kernels {
+namespace {
+
+// Lengths that cross every kernel boundary: sub-vector tails, exact SIMD
+// widths, one-past widths, and a large size that exercises the i64 flush
+// logic in the 8-bit squared-sum accumulator.
+const size_t kLengths[] = {1, 2, 3, 7, 8, 15, 16, 17, 31, 32,
+                           33, 64, 255, 256, 257, 1000, 4096};
+
+std::vector<uint8_t> RandomCodes8(rng::Xoshiro256* gen, size_t k,
+                                  bool extremes) {
+  std::vector<uint8_t> codes(k);
+  for (auto& c : codes) {
+    c = static_cast<uint8_t>(gen->NextBounded(256));
+  }
+  if (extremes && k >= 2) {
+    codes[0] = 0;
+    codes[k - 1] = 255;
+  }
+  return codes;
+}
+
+std::vector<uint16_t> RandomCodes16(rng::Xoshiro256* gen, size_t k,
+                                    bool extremes) {
+  std::vector<uint16_t> codes(k);
+  for (auto& c : codes) {
+    c = static_cast<uint16_t>(gen->NextBounded(65536));
+  }
+  if (extremes && k >= 2) {
+    codes[0] = 0;
+    codes[k - 1] = 65535;
+  }
+  return codes;
+}
+
+/// Reference median via sorting: even k averages the two middle order
+/// statistics, matching the documented contract of MedianOfDiffs.
+double SortMedian(std::vector<uint16_t> diffs) {
+  std::sort(diffs.begin(), diffs.end());
+  const size_t k = diffs.size();
+  if (k % 2 == 1) return static_cast<double>(diffs[k / 2]);
+  return 0.5 * (static_cast<double>(diffs[k / 2 - 1]) +
+                static_cast<double>(diffs[k / 2]));
+}
+
+TEST(CodeKernelsTest, DispatchReportsConsistentCapabilities) {
+  // Active implies compiled-in; both are stable across calls.
+  if (Avx2Active()) {
+    EXPECT_TRUE(Avx2CompiledIn());
+  }
+  EXPECT_EQ(Avx2Active(), Avx2Active());
+}
+
+TEST(CodeKernelsTest, AbsDiff8MatchesScalarEverywhere) {
+  rng::Xoshiro256 gen(101);
+  for (size_t k : kLengths) {
+    const auto a = RandomCodes8(&gen, k, /*extremes=*/true);
+    const auto b = RandomCodes8(&gen, k, /*extremes=*/false);
+    std::vector<uint16_t> dispatched;
+    AbsDiff(a.data(), b.data(), k, &dispatched);
+    std::vector<uint16_t> reference(k);
+    scalar::AbsDiff8(a.data(), b.data(), k, reference.data());
+    ASSERT_EQ(dispatched, reference) << "k=" << k;
+  }
+}
+
+TEST(CodeKernelsTest, AbsDiff16MatchesScalarEverywhere) {
+  rng::Xoshiro256 gen(202);
+  for (size_t k : kLengths) {
+    const auto a = RandomCodes16(&gen, k, /*extremes=*/true);
+    const auto b = RandomCodes16(&gen, k, /*extremes=*/false);
+    std::vector<uint16_t> dispatched;
+    AbsDiff(a.data(), b.data(), k, &dispatched);
+    std::vector<uint16_t> reference(k);
+    scalar::AbsDiff16(a.data(), b.data(), k, reference.data());
+    ASSERT_EQ(dispatched, reference) << "k=" << k;
+  }
+}
+
+TEST(CodeKernelsTest, SumSquaredDiff8MatchesScalarAndNaive) {
+  rng::Xoshiro256 gen(303);
+  for (size_t k : kLengths) {
+    const auto a = RandomCodes8(&gen, k, /*extremes=*/true);
+    const auto b = RandomCodes8(&gen, k, /*extremes=*/true);
+    uint64_t naive = 0;
+    for (size_t i = 0; i < k; ++i) {
+      const int64_t d = static_cast<int64_t>(a[i]) - b[i];
+      naive += static_cast<uint64_t>(d * d);
+    }
+    EXPECT_EQ(SumSquaredDiff(a.data(), b.data(), k), naive) << "k=" << k;
+    EXPECT_EQ(scalar::SumSquaredDiff8(a.data(), b.data(), k), naive)
+        << "k=" << k;
+  }
+}
+
+TEST(CodeKernelsTest, SumSquaredDiff16MatchesScalarAndNaive) {
+  rng::Xoshiro256 gen(404);
+  for (size_t k : kLengths) {
+    const auto a = RandomCodes16(&gen, k, /*extremes=*/true);
+    const auto b = RandomCodes16(&gen, k, /*extremes=*/true);
+    uint64_t naive = 0;
+    for (size_t i = 0; i < k; ++i) {
+      const int64_t d = static_cast<int64_t>(a[i]) - b[i];
+      naive += static_cast<uint64_t>(d * d);
+    }
+    EXPECT_EQ(SumSquaredDiff(a.data(), b.data(), k), naive) << "k=" << k;
+    EXPECT_EQ(scalar::SumSquaredDiff16(a.data(), b.data(), k), naive)
+        << "k=" << k;
+  }
+}
+
+TEST(CodeKernelsTest, SumSquaredDiff16MaxMagnitudeDoesNotOverflow) {
+  // 65535^2 * k at k = 4096 exceeds 2^44; any i32 intermediate would wrap.
+  const size_t k = 4096;
+  std::vector<uint16_t> a(k, 65535), b(k, 0);
+  const uint64_t expected = uint64_t{65535} * 65535 * k;
+  EXPECT_EQ(SumSquaredDiff(a.data(), b.data(), k), expected);
+  EXPECT_EQ(scalar::SumSquaredDiff16(a.data(), b.data(), k), expected);
+}
+
+TEST(CodeKernelsTest, MedianOfDiffs8MatchesSortMedian) {
+  rng::Xoshiro256 gen(505);
+  CodeScratch scratch;
+  for (size_t k : kLengths) {
+    const auto a = RandomCodes8(&gen, k, /*extremes=*/true);
+    const auto b = RandomCodes8(&gen, k, /*extremes=*/false);
+    std::vector<uint16_t> diffs(k);
+    scalar::AbsDiff8(a.data(), b.data(), k, diffs.data());
+    EXPECT_EQ(MedianOfDiffs8(diffs.data(), k, &scratch), SortMedian(diffs))
+        << "k=" << k;
+    EXPECT_EQ(MedianAbsDiff(a.data(), b.data(), k, &scratch),
+              SortMedian(diffs))
+        << "k=" << k;
+  }
+}
+
+TEST(CodeKernelsTest, MedianOfDiffs16MatchesSortMedian) {
+  rng::Xoshiro256 gen(606);
+  CodeScratch scratch;
+  for (size_t k : kLengths) {
+    const auto a = RandomCodes16(&gen, k, /*extremes=*/true);
+    const auto b = RandomCodes16(&gen, k, /*extremes=*/false);
+    std::vector<uint16_t> diffs(k);
+    scalar::AbsDiff16(a.data(), b.data(), k, diffs.data());
+    EXPECT_EQ(MedianOfDiffs16(diffs.data(), k, &scratch), SortMedian(diffs))
+        << "k=" << k;
+    EXPECT_EQ(MedianAbsDiff(a.data(), b.data(), k, &scratch),
+              SortMedian(diffs))
+        << "k=" << k;
+  }
+}
+
+TEST(CodeKernelsTest, EvenKMedianIsExactHalfStep) {
+  // Two middle order statistics 3 and 4 -> exactly 3.5, never a float
+  // artifact.
+  CodeScratch scratch;
+  const std::vector<uint16_t> diffs = {1, 3, 4, 9};
+  EXPECT_EQ(MedianOfDiffs8(diffs.data(), diffs.size(), &scratch), 3.5);
+  EXPECT_EQ(MedianOfDiffs16(diffs.data(), diffs.size(), &scratch), 3.5);
+}
+
+TEST(CodeKernelsTest, ConstantAndIdenticalInputs) {
+  CodeScratch scratch;
+  const std::vector<uint8_t> a8(33, 200);
+  const std::vector<uint16_t> a16(33, 60000);
+  EXPECT_EQ(MedianAbsDiff(a8.data(), a8.data(), a8.size(), &scratch), 0.0);
+  EXPECT_EQ(MedianAbsDiff(a16.data(), a16.data(), a16.size(), &scratch), 0.0);
+  EXPECT_EQ(SumSquaredDiff(a8.data(), a8.data(), a8.size()), 0u);
+  EXPECT_EQ(SumSquaredDiff(a16.data(), a16.data(), a16.size()), 0u);
+}
+
+TEST(CodeKernelsTest, ScratchReuseAcrossWidthsAndSizes) {
+  // One scratch serving interleaved 8- and 16-bit calls of varying k must
+  // never leak state between calls.
+  rng::Xoshiro256 gen(707);
+  CodeScratch scratch;
+  for (int round = 0; round < 4; ++round) {
+    for (size_t k : {size_t{5}, size_t{64}, size_t{257}}) {
+      const auto a8 = RandomCodes8(&gen, k, false);
+      const auto b8 = RandomCodes8(&gen, k, false);
+      const auto a16 = RandomCodes16(&gen, k, false);
+      const auto b16 = RandomCodes16(&gen, k, false);
+      std::vector<uint16_t> d8(k), d16(k);
+      scalar::AbsDiff8(a8.data(), b8.data(), k, d8.data());
+      scalar::AbsDiff16(a16.data(), b16.data(), k, d16.data());
+      EXPECT_EQ(MedianAbsDiff(a8.data(), b8.data(), k, &scratch),
+                SortMedian(d8));
+      EXPECT_EQ(MedianAbsDiff(a16.data(), b16.data(), k, &scratch),
+                SortMedian(d16));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tabsketch::core::kernels

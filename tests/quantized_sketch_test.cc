@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/quantized_sketch.h"
+#include "core/sketcher.h"
+#include "rng/xoshiro256.h"
+
+namespace tabsketch::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<Sketch> RandomSketches(size_t count, size_t k, uint64_t seed,
+                                   double lo = -50.0, double hi = 50.0) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<Sketch> sketches(count);
+  for (auto& sketch : sketches) {
+    sketch.values.resize(k);
+    for (double& v : sketch.values) {
+      v = lo + gen.NextDouble() * (hi - lo);
+    }
+  }
+  return sketches;
+}
+
+QuantizedCodePool BuildPool(const std::vector<Sketch>& sketches,
+                            QuantKind kind, const SketchParams& params) {
+  auto pool = QuantizedCodePool::BuildFromSketches(sketches, kind, params,
+                                                   4, 4);
+  EXPECT_TRUE(pool.ok()) << pool.status().ToString();
+  return std::move(pool).value();
+}
+
+TEST(QuantKindTest, ParseAndName) {
+  EXPECT_EQ(ParseQuantKind("off").value(), QuantKind::kOff);
+  EXPECT_EQ(ParseQuantKind("int8").value(), QuantKind::kInt8);
+  EXPECT_EQ(ParseQuantKind("int16").value(), QuantKind::kInt16);
+  EXPECT_FALSE(ParseQuantKind("int32").ok());
+  EXPECT_FALSE(ParseQuantKind("").ok());
+  EXPECT_STREQ(QuantKindName(QuantKind::kInt8), "int8");
+  EXPECT_STREQ(QuantKindName(QuantKind::kInt16), "int16");
+  EXPECT_EQ(QuantCodeBytes(QuantKind::kOff), 0u);
+  EXPECT_EQ(QuantCodeBytes(QuantKind::kInt8), 1u);
+  EXPECT_EQ(QuantCodeBytes(QuantKind::kInt16), 2u);
+}
+
+TEST(QuantizedCodePoolTest, AffineMapCoversPoolRange) {
+  const SketchParams params{.p = 1.0, .k = 8, .seed = 3};
+  std::vector<Sketch> sketches(2);
+  sketches[0].values = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  sketches[1].values = {10.0, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 255.0};
+  const QuantizedCodePool pool =
+      BuildPool(sketches, QuantKind::kInt8, params);
+  EXPECT_EQ(pool.count(), 2u);
+  EXPECT_EQ(pool.k(), 8u);
+  EXPECT_EQ(pool.offset(), 0.0);
+  EXPECT_EQ(pool.scale(), 255.0 / 255.0);
+  EXPECT_TRUE(pool.tile_usable(0));
+  EXPECT_TRUE(pool.tile_usable(1));
+  // Values land exactly on code levels here, so codes recover them exactly.
+  const auto& codes = pool.raw_codes();
+  EXPECT_EQ(codes[0], 0);
+  EXPECT_EQ(codes[7], 7);
+  EXPECT_EQ(codes[15], 255);
+}
+
+TEST(QuantizedCodePoolTest, PoolBytesAccounting) {
+  EXPECT_EQ(QuantizedCodePool::PoolBytes(QuantKind::kInt8, 10, 64),
+            10u * 64 + 10);
+  EXPECT_EQ(QuantizedCodePool::PoolBytes(QuantKind::kInt16, 10, 64),
+            10u * 64 * 2 + 10);
+  const SketchParams params{.p = 1.0, .k = 16, .seed = 9};
+  const auto sketches = RandomSketches(7, 16, 11);
+  const QuantizedCodePool pool =
+      BuildPool(sketches, QuantKind::kInt16, params);
+  EXPECT_EQ(pool.bytes(), 7u * 16 * 2 + 7);
+}
+
+TEST(QuantizedCodePoolTest, DegeneratePoolsAreSafe) {
+  const SketchParams params{.p = 1.0, .k = 4, .seed = 1};
+  // Constant pool: scale 0, every code 0, distances exactly 0.
+  std::vector<Sketch> constant(3);
+  for (auto& s : constant) s.values = {5.0, 5.0, 5.0, 5.0};
+  const QuantizedCodePool pool =
+      BuildPool(constant, QuantKind::kInt8, params);
+  EXPECT_EQ(pool.scale(), 0.0);
+  kernels::CodeScratch scratch;
+  EXPECT_EQ(pool.CodeEstimate(0, 1, /*l2=*/false, &scratch), 0.0);
+  const auto est = DistanceEstimator::Create(params).value();
+  EXPECT_EQ(pool.Slack(est), 0.0);
+
+  // Empty pool builds (count 0).
+  auto empty = QuantizedCodePool::BuildFromSketches(
+      std::span<const Sketch>{}, QuantKind::kInt8, params, 4, 4);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->count(), 0u);
+}
+
+TEST(QuantizedCodePoolTest, NonFiniteTilesAreFlaggedUnusable) {
+  const SketchParams params{.p = 1.0, .k = 4, .seed = 1};
+  std::vector<Sketch> sketches(3);
+  sketches[0].values = {0.0, 1.0, 2.0, 3.0};
+  sketches[1].values = {0.0, std::nan(""), 2.0, 3.0};
+  sketches[2].values = {4.0, 5.0, 6.0,
+                        std::numeric_limits<double>::infinity()};
+  const QuantizedCodePool pool =
+      BuildPool(sketches, QuantKind::kInt16, params);
+  EXPECT_TRUE(pool.tile_usable(0));
+  EXPECT_FALSE(pool.tile_usable(1));
+  EXPECT_FALSE(pool.tile_usable(2));
+  kernels::CodeScratch scratch;
+  EXPECT_TRUE(std::isnan(pool.CodeEstimate(0, 1, false, &scratch)));
+  EXPECT_TRUE(std::isnan(pool.CodeEstimate(1, 2, false, &scratch)));
+  EXPECT_FALSE(std::isnan(pool.CodeEstimate(0, 0, false, &scratch)));
+}
+
+/// The tentpole guarantee: for usable tiles, the reconstructed code estimate
+/// is within Slack() of the true sketch estimate — for both widths and both
+/// estimators. This is the inequality every filter threshold builds on.
+void CheckErrorBound(double p, EstimatorKind ekind, QuantKind qkind,
+                     uint64_t seed) {
+  const size_t k = 32;
+  const size_t count = 24;
+  const SketchParams params{.p = p, .k = k, .seed = seed};
+  const auto sketches = RandomSketches(count, k, seed);
+  const QuantizedCodePool pool = BuildPool(sketches, qkind, params);
+  const auto est = DistanceEstimator::Create(params, ekind).value();
+  const bool l2 = est.kind() == EstimatorKind::kL2;
+  const double slack = pool.Slack(est);
+  ASSERT_GT(slack, 0.0);
+  kernels::CodeScratch scratch;
+  std::vector<double> est_scratch;
+  for (size_t a = 0; a < count; ++a) {
+    for (size_t b = a + 1; b < count; ++b) {
+      const double exact = est.EstimateWithScratch(
+          sketches[a].values, sketches[b].values, &est_scratch);
+      const double approx =
+          pool.CodeEstimate(a, b, l2, &scratch) / est.scale();
+      EXPECT_LE(std::abs(exact - approx), slack)
+          << "p=" << p << " pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(QuantizedCodePoolTest, ErrorBoundHoldsMedianInt8) {
+  CheckErrorBound(1.0, EstimatorKind::kMedian, QuantKind::kInt8, 21);
+}
+TEST(QuantizedCodePoolTest, ErrorBoundHoldsMedianInt16) {
+  CheckErrorBound(0.5, EstimatorKind::kMedian, QuantKind::kInt16, 22);
+}
+TEST(QuantizedCodePoolTest, ErrorBoundHoldsL2Int8) {
+  CheckErrorBound(2.0, EstimatorKind::kL2, QuantKind::kInt8, 23);
+}
+TEST(QuantizedCodePoolTest, ErrorBoundHoldsL2Int16) {
+  CheckErrorBound(2.0, EstimatorKind::kL2, QuantKind::kInt16, 24);
+}
+
+TEST(QuantizedCodePoolTest, QuantizeAcceptsInRangeRejectsOutOfRange) {
+  const SketchParams params{.p = 1.0, .k = 4, .seed = 5};
+  std::vector<Sketch> sketches(2);
+  sketches[0].values = {0.0, 10.0, 20.0, 30.0};
+  sketches[1].values = {5.0, 15.0, 25.0, 100.0};
+  const QuantizedCodePool pool =
+      BuildPool(sketches, QuantKind::kInt16, params);
+
+  // Convex combinations of pool values are in range.
+  const QuantizedVector mid = pool.Quantize(std::vector<double>{
+      2.5, 12.5, 22.5, 65.0});
+  EXPECT_TRUE(mid.usable);
+  EXPECT_EQ(mid.codes.size(), 4u * 2);
+
+  // Out-of-range by more than half a step -> unusable.
+  const QuantizedVector above = pool.Quantize(std::vector<double>{
+      0.0, 10.0, 20.0, 100.0 + pool.scale()});
+  EXPECT_FALSE(above.usable);
+  const QuantizedVector below = pool.Quantize(std::vector<double>{
+      -pool.scale(), 10.0, 20.0, 30.0});
+  EXPECT_FALSE(below.usable);
+
+  // Non-finite component -> unusable.
+  const QuantizedVector bad = pool.Quantize(std::vector<double>{
+      0.0, std::nan(""), 20.0, 30.0});
+  EXPECT_FALSE(bad.usable);
+
+  // Wrong length -> unusable.
+  const QuantizedVector wrong = pool.Quantize(std::vector<double>{0.0, 1.0});
+  EXPECT_FALSE(wrong.usable);
+
+  // Code distance against a usable vector matches the symmetric in-pool
+  // computation; against an unusable vector it is NaN.
+  kernels::CodeScratch scratch;
+  EXPECT_FALSE(std::isnan(pool.CodeEstimateAgainst(0, mid, false, &scratch)));
+  EXPECT_TRUE(std::isnan(pool.CodeEstimateAgainst(0, bad, false, &scratch)));
+}
+
+TEST(QuantizedCodePoolTest, BuildIsDeterministic) {
+  const SketchParams params{.p = 1.0, .k = 16, .seed = 77};
+  const auto sketches = RandomSketches(9, 16, 42);
+  const QuantizedCodePool a = BuildPool(sketches, QuantKind::kInt8, params);
+  const QuantizedCodePool b = BuildPool(sketches, QuantKind::kInt8, params);
+  EXPECT_EQ(a.raw_codes(), b.raw_codes());
+  EXPECT_EQ(a.usable_flags(), b.usable_flags());
+  EXPECT_EQ(a.scale(), b.scale());
+  EXPECT_EQ(a.offset(), b.offset());
+}
+
+// ---------------------------------------------------------------------------
+// TSKQ serialization: round trip, atomicity, rejection of corrupt files, and
+// the golden byte-stability fixture (tests/golden/code_pool_v1.tskq).
+
+QuantizedCodePool GoldenPool() {
+  // Exactly-representable values mirroring tests/golden/generate_golden.py.
+  const SketchParams params{.p = 0.5, .k = 6, .seed = 1234};
+  std::vector<Sketch> sketches(3);
+  for (int s = 0; s < 3; ++s) {
+    sketches[s].values.resize(6);
+    for (int j = 0; j < 6; ++j) {
+      sketches[s].values[j] = s * 1.5 + j * 0.25 - 2.0;
+    }
+  }
+  sketches[1].values[2] = std::nan("");  // one unusable tile in the fixture
+  auto pool = QuantizedCodePool::BuildFromSketches(
+      sketches, QuantKind::kInt8, params, 8, 16);
+  EXPECT_TRUE(pool.ok());
+  return std::move(pool).value();
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(TABSKETCH_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CodePoolIoTest, RoundTripBothWidths) {
+  const SketchParams params{.p = 1.5, .k = 12, .seed = 31};
+  const auto sketches = RandomSketches(11, 12, 99);
+  for (QuantKind kind : {QuantKind::kInt8, QuantKind::kInt16}) {
+    const QuantizedCodePool pool = BuildPool(sketches, kind, params);
+    const std::string path = TempPath("tabsketch_codepool_rt.tskq");
+    ASSERT_TRUE(WriteCodePool(pool, path).ok());
+    auto loaded = ReadCodePool(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->kind(), pool.kind());
+    EXPECT_EQ(loaded->count(), pool.count());
+    EXPECT_EQ(loaded->k(), pool.k());
+    EXPECT_EQ(loaded->scale(), pool.scale());
+    EXPECT_EQ(loaded->offset(), pool.offset());
+    EXPECT_EQ(loaded->params(), pool.params());
+    EXPECT_EQ(loaded->object_rows(), pool.object_rows());
+    EXPECT_EQ(loaded->object_cols(), pool.object_cols());
+    EXPECT_EQ(loaded->raw_codes(), pool.raw_codes());
+    EXPECT_EQ(loaded->usable_flags(), pool.usable_flags());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CodePoolIoTest, SuccessfulWriteLeavesNoTempFile) {
+  const std::string path = TempPath("tabsketch_codepool_atomic.tskq");
+  ASSERT_TRUE(WriteCodePool(GoldenPool(), path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(CodePoolIoGoldenTest, SerializationIsByteStable) {
+  const std::string golden = ReadFileBytes(GoldenPath("code_pool_v1.tskq"));
+  ASSERT_FALSE(golden.empty()) << "missing golden fixture";
+  const std::string path = TempPath("tabsketch_codepool_golden.tskq");
+  ASSERT_TRUE(WriteCodePool(GoldenPool(), path).ok());
+  EXPECT_EQ(ReadFileBytes(path), golden)
+      << "code-pool serialization bytes changed; if intentional, bump the "
+         "TSKQ version and regenerate tests/golden";
+  std::remove(path.c_str());
+}
+
+TEST(CodePoolIoGoldenTest, GoldenFileRoundTrips) {
+  auto loaded = ReadCodePool(GoldenPath("code_pool_v1.tskq"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const QuantizedCodePool expected = GoldenPool();
+  EXPECT_EQ(loaded->kind(), expected.kind());
+  EXPECT_EQ(loaded->count(), expected.count());
+  EXPECT_EQ(loaded->scale(), expected.scale());
+  EXPECT_EQ(loaded->offset(), expected.offset());
+  EXPECT_EQ(loaded->raw_codes(), expected.raw_codes());
+  EXPECT_EQ(loaded->usable_flags(), expected.usable_flags());
+  EXPECT_FALSE(loaded->tile_usable(1));
+}
+
+TEST(CodePoolIoGoldenTest, CorruptedMagicIsCleanIOError) {
+  std::string bytes = ReadFileBytes(GoldenPath("code_pool_v1.tskq"));
+  ASSERT_FALSE(bytes.empty());
+  bytes[0] = 'X';
+  const std::string path = TempPath("tabsketch_codepool_badmagic.tskq");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadCodePool(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(CodePoolIoGoldenTest, CorruptedVersionAndKindAreCleanIOErrors) {
+  const std::string bytes = ReadFileBytes(GoldenPath("code_pool_v1.tskq"));
+  ASSERT_FALSE(bytes.empty());
+  const std::string path = TempPath("tabsketch_codepool_badfield.tskq");
+  // version is the u32 at offset 4, kind the u32 at offset 8.
+  for (const size_t offset : {size_t{4}, size_t{8}}) {
+    std::string mutated = bytes;
+    const uint32_t bogus = 0x7fffffff;
+    std::memcpy(mutated.data() + offset, &bogus, sizeof(bogus));
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    auto loaded = ReadCodePool(path);
+    EXPECT_FALSE(loaded.ok()) << "field at offset " << offset;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CodePoolIoGoldenTest, TruncatedHeaderAndPayloadAreCleanIOErrors) {
+  const std::string bytes = ReadFileBytes(GoldenPath("code_pool_v1.tskq"));
+  ASSERT_FALSE(bytes.empty());
+  const std::string path = TempPath("tabsketch_codepool_trunc.tskq");
+  for (const size_t keep :
+       {size_t{0}, size_t{5}, size_t{40}, size_t{79}, bytes.size() - 1}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    auto loaded = ReadCodePool(path);
+    EXPECT_FALSE(loaded.ok()) << "truncated to " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CodePoolIoGoldenTest, OversizedCountIsCleanIOError) {
+  std::string bytes = ReadFileBytes(GoldenPath("code_pool_v1.tskq"));
+  ASSERT_FALSE(bytes.empty());
+  const uint64_t huge = ~uint64_t{0} / 8;
+  // count is the u64 at offset 56 of the TSKQ header.
+  std::memcpy(bytes.data() + 56, &huge, sizeof(huge));
+  const std::string path = TempPath("tabsketch_codepool_hugecount.tskq");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadCodePool(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(CodePoolIoTest, MissingFileIsIOError) {
+  auto loaded = ReadCodePool(TempPath("does_not_exist.tskq"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace tabsketch::core

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -300,6 +301,127 @@ TEST_F(QueryEngineTest, SketchOnlyServingWorksWithoutGrid) {
   auto results = engine.Run(batch);
   ASSERT_TRUE(results.ok()) << results.status().ToString();
   EXPECT_EQ(results->size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized filter-refine: the tentpole guarantee is that --quant never
+// changes a single output byte, across widths, thread counts, cache
+// policies, refine, and NaN-poisoned data.
+
+TEST_F(QueryEngineTest, QuantIsByteIdenticalToOffEverywhere) {
+  const std::vector<QueryRequest> batch = MixedBatch();
+  QueryEngine reference_engine(&grid_, &cache_, &estimator_, {});
+  auto reference = reference_engine.Run(batch);
+  ASSERT_TRUE(reference.ok());
+
+  const core::SketchParams params{.p = 1.0, .k = 64, .seed = 5};
+  core::LruSketchCache::Options tiny;
+  tiny.capacity_bytes = 1;
+  core::LruSketchCache lru(&sketcher_, &grid_, tiny);
+  for (core::QuantKind kind :
+       {core::QuantKind::kInt8, core::QuantKind::kInt16}) {
+    auto pool = core::QuantizedCodePool::Build(&cache_, kind, params,
+                                               grid_.tile_rows(),
+                                               grid_.tile_cols());
+    ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+    for (core::TileSketchCache* cache :
+         {static_cast<core::TileSketchCache*>(&cache_),
+          static_cast<core::TileSketchCache*>(&lru)}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        QueryEngineOptions options;
+        options.threads = threads;
+        options.quant = kind;
+        QueryEngine engine(&grid_, cache, &estimator_, options, &*pool);
+        auto results = engine.Run(batch);
+        ASSERT_TRUE(results.ok()) << results.status().ToString();
+        EXPECT_EQ(*results, *reference)
+            << core::QuantKindName(kind) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, QuantRefinedKnnIsByteIdenticalToOff) {
+  const std::vector<QueryRequest> batch = MixedBatch();
+  QueryEngineOptions reference_options;
+  reference_options.refine = true;
+  QueryEngine reference_engine(&grid_, &cache_, &estimator_,
+                               reference_options);
+  auto reference = reference_engine.Run(batch);
+  ASSERT_TRUE(reference.ok());
+
+  const core::SketchParams params{.p = 1.0, .k = 64, .seed = 5};
+  auto pool = core::QuantizedCodePool::Build(&cache_, core::QuantKind::kInt8,
+                                             params, grid_.tile_rows(),
+                                             grid_.tile_cols());
+  ASSERT_TRUE(pool.ok());
+  QueryEngineOptions options;
+  options.refine = true;
+  options.quant = core::QuantKind::kInt8;
+  QueryEngine engine(&grid_, &cache_, &estimator_, options, &*pool);
+  auto results = engine.Run(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(*results, *reference);
+}
+
+TEST_F(QueryEngineTest, QuantHandlesNaNDataIdentically) {
+  // Poison two tiles so their sketches go non-finite: the code tier flags
+  // them unusable (NaN code distances, always kept as candidates) and the
+  // answers must still match the unquantized engine byte for byte.
+  table::Matrix poisoned = data_;
+  poisoned.Row(0)[0] = std::numeric_limits<double>::quiet_NaN();
+  poisoned.Row(7)[13] = std::numeric_limits<double>::quiet_NaN();
+  auto grid = table::TileGrid::Create(&poisoned, 6, 6);
+  ASSERT_TRUE(grid.ok());
+  core::OnDemandSketchCache cache(&sketcher_, &*grid);
+  const std::vector<QueryRequest> batch = MixedBatch();
+  QueryEngine reference_engine(&*grid, &cache, &estimator_, {});
+  auto reference = reference_engine.Run(batch);
+  ASSERT_TRUE(reference.ok());
+
+  const core::SketchParams params{.p = 1.0, .k = 64, .seed = 5};
+  auto pool = core::QuantizedCodePool::Build(&cache, core::QuantKind::kInt8,
+                                             params, grid->tile_rows(),
+                                             grid->tile_cols());
+  ASSERT_TRUE(pool.ok());
+  EXPECT_FALSE(pool->tile_usable(0)) << "NaN tile must be flagged";
+  QueryEngineOptions options;
+  options.quant = core::QuantKind::kInt8;
+  QueryEngine engine(&*grid, &cache, &estimator_, options, &*pool);
+  auto results = engine.Run(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(*results, *reference);
+}
+
+TEST_F(QueryEngineTest, QuantValidatesPoolWiring) {
+  const std::vector<QueryRequest> batch = {
+      QueryRequest{QueryRequest::Kind::kKnn, 0, 0, 2}};
+  const core::SketchParams params{.p = 1.0, .k = 64, .seed = 5};
+
+  // Quant requested but no pool attached.
+  QueryEngineOptions options;
+  options.quant = core::QuantKind::kInt8;
+  QueryEngine no_pool(&grid_, &cache_, &estimator_, options);
+  EXPECT_FALSE(no_pool.Run(batch).ok());
+
+  // Pool width disagrees with the requested kind.
+  auto pool16 = core::QuantizedCodePool::Build(&cache_, core::QuantKind::kInt16,
+                                               params, grid_.tile_rows(),
+                                               grid_.tile_cols());
+  ASSERT_TRUE(pool16.ok());
+  QueryEngine mismatched(&grid_, &cache_, &estimator_, options, &*pool16);
+  EXPECT_FALSE(mismatched.Run(batch).ok());
+
+  // Pool built over a different tile count.
+  table::Matrix small = RandomTable(12, 12, 10);
+  auto small_grid = table::TileGrid::Create(&small, 6, 6);
+  ASSERT_TRUE(small_grid.ok());
+  core::OnDemandSketchCache small_cache(&sketcher_, &*small_grid);
+  auto small_pool = core::QuantizedCodePool::Build(
+      &small_cache, core::QuantKind::kInt8, params, 6, 6);
+  ASSERT_TRUE(small_pool.ok());
+  QueryEngine wrong_count(&grid_, &cache_, &estimator_, options, &*small_pool);
+  EXPECT_FALSE(wrong_count.Run(batch).ok());
 }
 
 }  // namespace

@@ -291,6 +291,58 @@ TEST_F(ServeTest, WithSketchSetRejectsMismatchUnderRefine) {
   EXPECT_FALSE(Snapshot::WithSketchSet(**base, odd_path).ok());
 }
 
+TEST_F(ServeTest, QuantSnapshotPinsCodesAndMatchesOff) {
+  // A quantized snapshot builds and pins the code tier, subtracts its bytes
+  // from the cache budget, and answers byte-identically to the unquantized
+  // composition — including under a constrained total budget.
+  auto reference = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(reference.ok());
+  const std::vector<std::string> lines = MixedBatchLines();
+  const std::vector<std::string> expected =
+      ReferenceAnswers(**reference, lines);
+
+  for (size_t cache_bytes : {size_t{0}, size_t{20000}}) {
+    SnapshotSpec spec = TableSpec();
+    spec.engine.quant = core::QuantKind::kInt8;
+    spec.cache_bytes = cache_bytes;
+    auto snapshot = Snapshot::Create(spec);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    ASSERT_NE((*snapshot)->codes(), nullptr);
+    EXPECT_EQ((*snapshot)->codes()->kind(), core::QuantKind::kInt8);
+    EXPECT_EQ((*snapshot)->codes()->count(), grid_.num_tiles());
+    EXPECT_EQ(ReferenceAnswers(**snapshot, lines), expected)
+        << "cache_bytes=" << cache_bytes;
+  }
+
+  // Off snapshots carry no code tier.
+  EXPECT_EQ((*reference)->codes(), nullptr);
+}
+
+TEST_F(ServeTest, ReloadRebuildsCodeTierAtomically) {
+  // WithSketchSet derives the successor's codes from the *new* sketches; the
+  // reloaded generation must answer exactly like a from-scratch quantized
+  // snapshot over the same set, and differently from day 1.
+  SnapshotSpec spec = TableSpec();
+  spec.engine.quant = core::QuantKind::kInt16;
+  auto day1 = Snapshot::Create(spec);
+  ASSERT_TRUE(day1.ok()) << day1.status().ToString();
+  auto day2 = Snapshot::WithSketchSet(**day1, day2_path_);
+  ASSERT_TRUE(day2.ok()) << day2.status().ToString();
+  ASSERT_NE((*day2)->codes(), nullptr);
+  EXPECT_EQ((*day2)->codes()->kind(), core::QuantKind::kInt16);
+
+  SnapshotSpec fresh_spec;
+  fresh_spec.sketches_path = day2_path_;
+  fresh_spec.engine.quant = core::QuantKind::kInt16;
+  auto fresh = Snapshot::Create(fresh_spec);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  const std::vector<std::string> lines = MixedBatchLines();
+  const std::vector<std::string> reloaded = ReferenceAnswers(**day2, lines);
+  EXPECT_EQ(reloaded, ReferenceAnswers(**fresh, lines));
+  EXPECT_NE(reloaded, ReferenceAnswers(**day1, lines));
+}
+
 TEST_F(ServeTest, SnapshotHolderSwapCounts) {
   auto day1 = Snapshot::Create(TableSpec());
   ASSERT_TRUE(day1.ok());
