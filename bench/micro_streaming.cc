@@ -1,0 +1,328 @@
+// Micro-benchmark of streaming window maintenance (ISSUE-8): a 256-row
+// stream tiled 16x16 slides a 1024-column window (16x64 = 1024 tiles,
+// k=64, p=1) one tile column at a time. Each slide is measured two ways:
+//
+//   1. incremental — GrowingTableSketcher::AppendColumns (sketches only the
+//      16 new tiles) + RetireColumns(1), plus QuantizedCodePool::
+//      BuildSuccessor twice (surviving code rows are memcpy'd, only the new
+//      tile column is encoded);
+//   2. rebuild — batch SketchAllTilesParallel over the full window region
+//      plus a from-scratch int8 pool Build, i.e. what `serve` would pay for
+//      a cold reload of the slid table.
+//
+// The headline claim is that the incremental slide is >= 5x cheaper in
+// total across the run. Byte-identity is asserted in-bench every slide:
+// the window's sketches must equal the batch rebuild's bytes exactly, and
+// the successor pool's code estimates must stay within the Slack() bound
+// of the exact estimator (the §14 map-validity guarantee; code *bytes* may
+// legitimately differ from a cold build after a retire-driven range
+// shrink, so bytes are asserted on sketches, validity on codes).
+//
+// Rows land in BENCH_streaming.json; a failed assertion exits non-zero so
+// CI can gate on it.
+//
+// usage: micro_streaming [--metrics-json=FILE] [--trace-json=FILE]
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/growing.h"
+#include "core/ondemand.h"
+#include "core/quantized_sketch.h"
+#include "core/sketcher.h"
+#include "data/six_region.h"
+#include "table/tiling.h"
+#include "util/observability.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+using tabsketch::core::GrowingTableSketcher;
+using tabsketch::core::QuantizedCodePool;
+using tabsketch::core::QuantKind;
+using tabsketch::core::Sketch;
+
+constexpr size_t kRows = 256;
+constexpr size_t kTileRows = 16;
+constexpr size_t kTileCols = 16;
+constexpr size_t kWindowTileCols = 64;  // 1024-column window
+constexpr size_t kWindowCols = kWindowTileCols * kTileCols;
+constexpr size_t kSlides = 8;
+constexpr double kMinSpeedup = 5.0;
+
+/// Copies `cols` stream columns starting at `start` into a fresh matrix.
+tabsketch::table::Matrix SliceCols(const tabsketch::table::Matrix& stream,
+                                   size_t start, size_t cols) {
+  tabsketch::table::Matrix slice(stream.rows(), cols);
+  for (size_t r = 0; r < stream.rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      slice.At(r, c) = stream.At(r, start + c);
+    }
+  }
+  return slice;
+}
+
+struct SlideRow {
+  size_t start_tile_col = 0;
+  double incremental_seconds = 0;
+  double rebuild_seconds = 0;
+  bool pool_rebuilt = false;  // append grew the pool range
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tabsketch::util::ObservabilityArgs observability =
+      tabsketch::util::EnableObservabilityFromArgs(&argc, argv);
+  const size_t threads = tabsketch::util::DefaultThreadCount();
+
+  tabsketch::data::SixRegionOptions data_options;
+  data_options.rows = kRows;
+  data_options.cols = kWindowCols + kSlides * kTileCols;
+  data_options.seed = 42;
+  auto dataset = tabsketch::data::GenerateSixRegion(data_options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const tabsketch::table::Matrix& stream = dataset->table;
+
+  const tabsketch::core::SketchParams params{.p = 1.0, .k = 64, .seed = 42};
+  auto sketcher = tabsketch::core::Sketcher::Create(params);
+  auto estimator = tabsketch::core::DistanceEstimator::Create(params);
+  if (!sketcher.ok() || !estimator.ok()) {
+    std::fprintf(stderr, "sketch family setup failed\n");
+    return 1;
+  }
+
+  auto store =
+      GrowingTableSketcher::Create(params, kRows, kTileRows, kTileCols);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  tabsketch::util::WallTimer seed_timer;
+  if (auto status = store->AppendColumns(SliceCols(stream, 0, kWindowCols),
+                                         threads);
+      !status.ok()) {
+    std::fprintf(stderr, "seed append: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double seed_seconds = seed_timer.ElapsedSeconds();
+  const size_t grid_rows = store->grid_rows();
+  const size_t tiles = store->num_tiles();
+
+  // Window sketches by tile index, refreshed after every mutation; the pool
+  // builders consume this getter.
+  std::vector<std::shared_ptr<const Sketch>> shares =
+      store->SketchSharesInGridOrder();
+  const auto sketch_of = [&shares](size_t i) {
+    return std::span<const double>(shares[i]->values);
+  };
+
+  auto pool = QuantizedCodePool::BuildFromGetter(
+      sketch_of, tiles, QuantKind::kInt8, params, kTileRows, kTileCols);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "pool: %s\n", pool.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Micro-benchmark: sliding-window streaming ingest ===\n");
+  std::printf("%zux%zu window (%zu tiles of %zux%zu, k=%zu, p=%.0f), "
+              "%zu slides of one tile column, %zu threads\n",
+              kRows, kWindowCols, tiles, kTileRows, kTileCols, params.k,
+              params.p, kSlides, threads);
+  std::printf("initial window build: %.4fs\n", seed_seconds);
+
+  bool failed = false;
+  std::vector<SlideRow> slides;
+  double incremental_total = 0, rebuild_total = 0;
+  tabsketch::core::kernels::CodeScratch code_scratch;
+  std::vector<double> est_scratch;
+
+  for (size_t slide = 0; slide < kSlides; ++slide) {
+    const tabsketch::table::Matrix piece = SliceCols(
+        stream, kWindowCols + slide * kTileCols, kTileCols);
+
+    // --- incremental slide: append one tile column, retire one ----------
+    SlideRow row;
+    bool append_rebuilt = false;
+    bool retire_rebuilt = false;
+    tabsketch::util::WallTimer slide_timer;
+    {
+      if (auto status = store->AppendColumns(piece, threads); !status.ok()) {
+        std::fprintf(stderr, "append: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      shares = store->SketchSharesInGridOrder();
+      // Grown grid: tile (gr, gc) was tile gr*64+gc, last column is new.
+      std::vector<size_t> grown(grid_rows * (kWindowTileCols + 1));
+      for (size_t gr = 0; gr < grid_rows; ++gr) {
+        for (size_t gc = 0; gc <= kWindowTileCols; ++gc) {
+          grown[gr * (kWindowTileCols + 1) + gc] =
+              gc < kWindowTileCols ? gr * kWindowTileCols + gc
+                                   : QuantizedCodePool::kNewTile;
+        }
+      }
+      auto appended = QuantizedCodePool::BuildSuccessor(
+          *pool, sketch_of, grown, &append_rebuilt);
+      if (!appended.ok()) {
+        std::fprintf(stderr, "pool append: %s\n",
+                     appended.status().ToString().c_str());
+        return 1;
+      }
+      if (auto status = store->RetireColumns(1); !status.ok()) {
+        std::fprintf(stderr, "retire: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      shares = store->SketchSharesInGridOrder();
+      // Back to 64 tile columns: tile (gr, gc) was tile gr*65 + gc + 1.
+      std::vector<size_t> slid(grid_rows * kWindowTileCols);
+      for (size_t gr = 0; gr < grid_rows; ++gr) {
+        for (size_t gc = 0; gc < kWindowTileCols; ++gc) {
+          slid[gr * kWindowTileCols + gc] =
+              gr * (kWindowTileCols + 1) + gc + 1;
+        }
+      }
+      auto retired = QuantizedCodePool::BuildSuccessor(
+          *appended, sketch_of, slid, &retire_rebuilt);
+      if (!retired.ok()) {
+        std::fprintf(stderr, "pool retire: %s\n",
+                     retired.status().ToString().c_str());
+        return 1;
+      }
+      pool = std::move(retired);
+    }
+    row.incremental_seconds = slide_timer.ElapsedSeconds();
+    row.pool_rebuilt = append_rebuilt || retire_rebuilt;
+    row.start_tile_col = store->retired_tile_cols();
+
+    // --- rebuild reference: batch sketch + cold pool over the window -----
+    const tabsketch::table::Matrix window = SliceCols(
+        stream, (slide + 1) * kTileCols, kWindowCols);
+    std::vector<Sketch> reference;
+    tabsketch::util::WallTimer rebuild_timer;
+    {
+      auto grid =
+          tabsketch::table::TileGrid::Create(&window, kTileRows, kTileCols);
+      if (!grid.ok()) {
+        std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
+        return 1;
+      }
+      reference =
+          tabsketch::core::SketchAllTilesParallel(*sketcher, *grid, threads);
+      auto cold = QuantizedCodePool::BuildFromSketches(
+          reference, QuantKind::kInt8, params, kTileRows, kTileCols);
+      if (!cold.ok()) {
+        std::fprintf(stderr, "cold pool: %s\n",
+                     cold.status().ToString().c_str());
+        return 1;
+      }
+    }
+    row.rebuild_seconds = rebuild_timer.ElapsedSeconds();
+
+    // --- byte-identity: window sketches == batch rebuild bytes -----------
+    const std::vector<Sketch> incremental = store->SketchesInGridOrder();
+    for (size_t t = 0; t < reference.size(); ++t) {
+      if (incremental[t].values != reference[t].values) {
+        failed = true;
+        std::fprintf(stderr,
+                     "FAIL: slide %zu tile %zu sketch bytes diverge from "
+                     "the batch rebuild\n",
+                     slide, t);
+        break;
+      }
+    }
+    if (store->sketches_computed() !=
+        grid_rows * (kWindowTileCols + store->retired_tile_cols())) {
+      failed = true;
+      std::fprintf(stderr, "FAIL: slide %zu recomputed a surviving tile\n",
+                   slide);
+    }
+    // --- map validity: code estimates within Slack of the exact scan -----
+    const double slack = pool->Slack(*estimator);
+    const double inv_scale = 1.0 / estimator->scale();
+    for (size_t pair = 0; pair < 64; ++pair) {
+      const size_t a = (pair * 131) % tiles;
+      const size_t b = (pair * 131 + 577) % tiles;
+      const double exact = estimator->EstimateWithScratch(
+          incremental[a].values, incremental[b].values, &est_scratch);
+      const double code =
+          pool->CodeEstimate(a, b, /*l2=*/false, &code_scratch) * inv_scale;
+      if (!(std::abs(code - exact) <= slack)) {
+        failed = true;
+        std::fprintf(stderr,
+                     "FAIL: slide %zu pair (%zu,%zu) code estimate %.6g "
+                     "drifts more than slack %.6g from exact %.6g\n",
+                     slide, a, b, code, slack, exact);
+        break;
+      }
+    }
+
+    incremental_total += row.incremental_seconds;
+    rebuild_total += row.rebuild_seconds;
+    slides.push_back(row);
+    std::printf("slide %zu (window tile-cols [%zu, %zu)): incremental "
+                "%.4fs, rebuild %.4fs (%.1fx)%s\n",
+                slide, row.start_tile_col,
+                row.start_tile_col + kWindowTileCols,
+                row.incremental_seconds, row.rebuild_seconds,
+                row.rebuild_seconds / row.incremental_seconds,
+                row.pool_rebuilt ? " [pool range grew: re-encoded]" : "");
+  }
+
+  const double speedup = rebuild_total / incremental_total;
+  std::printf("total: incremental %.4fs, rebuild %.4fs -> %.1fx cheaper\n",
+              incremental_total, rebuild_total, speedup);
+  if (speedup < kMinSpeedup) {
+    failed = true;
+    std::fprintf(stderr,
+                 "FAIL: incremental slide only %.2fx cheaper than rebuild, "
+                 "needs %.1fx\n",
+                 speedup, kMinSpeedup);
+  }
+
+  const char* json_path = "BENCH_streaming.json";
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"micro_streaming\",\n"
+               "  \"window_cols\": %zu,\n"
+               "  \"tiles\": %zu,\n"
+               "  \"sketch_k\": %zu,\n"
+               "  \"p\": %.1f,\n"
+               "  \"threads\": %zu,\n"
+               "  \"seed_seconds\": %.4f,\n"
+               "  \"min_speedup\": %.1f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"byte_identical\": %s,\n"
+               "  \"slides\": [\n",
+               kWindowCols, tiles, params.k, params.p, threads, seed_seconds,
+               kMinSpeedup, speedup, failed ? "false" : "true");
+  for (size_t i = 0; i < slides.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"start_tile_col\": %zu, \"incremental_seconds\": "
+                 "%.5f, \"rebuild_seconds\": %.5f, \"pool_rebuilt\": %s}%s\n",
+                 slides[i].start_tile_col, slides[i].incremental_seconds,
+                 slides[i].rebuild_seconds,
+                 slides[i].pool_rebuilt ? "true" : "false",
+                 i + 1 < slides.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("results -> %s\n", json_path);
+  if (!tabsketch::util::FlushObservability(observability)) return 1;
+  return failed ? 1 : 0;
+}

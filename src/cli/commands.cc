@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "core/sketch_pool.h"
 #include "core/sketch_io.h"
 #include "core/sketcher.h"
+#include "core/growing.h"
+#include "serve/ingest.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -95,11 +98,20 @@ commands:
              [--p=P --k=K --seed=N] [--sketches=FILE precomputed sketch set]
              [--cache-bytes=N] [--threads=N] [--refine] [--candidates=N]
              [--quant=off|int8|int16 quantized knn prefilter tier]
+             [--ingest enable streaming append / retire / window verbs;
+             requires --table, excludes --sketches/--cache-bytes/reload]
              [--port=N listen port, 0 = ephemeral]
              [--port-file=FILE write the bound port (readiness signal)]
              [--max-inflight=N concurrent requests, 0 = thread count]
              [--max-queue=N waiting requests before load-shedding]
              [--deadline-ms=N bound time queued for a slot, 0 = none]
+  ingest     stream column pieces through a sliding-window sketch store and
+             write the window's sketch set (byte-identical to `sketch` over
+             the stitched window table)
+             --pieces=F1,F2,... --tile-rows=N --tile-cols=N --out=FILE
+             [--p=P --k=K --seed=N --threads=N]
+             [--window=N keep at most N tile columns, retiring the oldest]
+             [--table-out=FILE also write the final window table]
   help       show this message
 
 global flags (every command):
@@ -690,8 +702,8 @@ util::Status WritePortFile(const std::string& path, uint16_t port) {
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "p", "k", "seed", "sketches",
-       "cache-bytes", "threads", "refine", "candidates", "quant", "port",
-       "port-file", "max-inflight", "max-queue", "deadline-ms",
+       "cache-bytes", "threads", "refine", "candidates", "quant", "ingest",
+       "port", "port-file", "max-inflight", "max-queue", "deadline-ms",
        "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetString("table", ""));
@@ -717,6 +729,8 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
                        flags.GetString("quant", "off"));
   TABSKETCH_ASSIGN_CLI(const core::QuantKind quant,
                        core::ParseQuantKind(quant_text));
+  TABSKETCH_ASSIGN_CLI(const bool ingest_enabled,
+                       flags.GetBool("ingest", false));
   TABSKETCH_ASSIGN_CLI(const int64_t port, flags.GetInt("port", 0));
   TABSKETCH_ASSIGN_CLI(const std::string port_file,
                        flags.GetString("port-file", ""));
@@ -749,6 +763,20 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "--p/--k/--seed come from the --sketches file; "
                          "drop the flags"));
   }
+  if (ingest_enabled && table_path.empty()) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--ingest needs --table to seed the window"));
+  }
+  if (ingest_enabled && !sketches_path.empty()) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--ingest computes its own sketches; drop "
+                         "--sketches"));
+  }
+  if (ingest_enabled && cache_bytes != 0) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--ingest pins every window sketch; drop "
+                         "--cache-bytes"));
+  }
 
   serve::SnapshotSpec spec;
   spec.table_path = table_path;
@@ -762,8 +790,17 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   spec.engine.refine = refine;
   spec.engine.candidates = static_cast<size_t>(candidates);
   spec.engine.quant = quant;
-  TABSKETCH_ASSIGN_CLI(std::shared_ptr<const serve::Snapshot> snapshot,
-                       serve::Snapshot::Create(spec));
+  // With --ingest the StreamingIngest builds the first generation (and all
+  // successors); `reload` is disabled — it would publish a snapshot the
+  // ingest driver knows nothing about, desyncing its incremental state.
+  std::unique_ptr<serve::StreamingIngest> ingest;
+  std::shared_ptr<const serve::Snapshot> snapshot;
+  if (ingest_enabled) {
+    TABSKETCH_ASSIGN_CLI(ingest, serve::StreamingIngest::Create(spec));
+    snapshot = ingest->initial();
+  } else {
+    TABSKETCH_ASSIGN_CLI(snapshot, serve::Snapshot::Create(spec));
+  }
   const size_t tiles = snapshot->num_tiles();
   serve::SnapshotHolder holder(std::move(snapshot));
 
@@ -772,6 +809,8 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.max_inflight = static_cast<size_t>(max_inflight);
   options.max_queue = static_cast<size_t>(max_queue);
   options.deadline_ms = static_cast<uint32_t>(deadline_ms);
+  options.enable_reload = !ingest_enabled;
+  options.ingest = ingest.get();
   TABSKETCH_ASSIGN_CLI(const std::unique_ptr<serve::Server> server,
                        serve::Server::Start(&holder, options));
 
@@ -812,6 +851,98 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   server->Shutdown();
   err << "served " << server->connections_accepted() << " connections, "
       << holder.swaps() << " snapshot swaps\n";
+  return 0;
+}
+
+/// Splits "a,b,c" into non-empty segments.
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+int CmdIngest(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"pieces", "tile-rows", "tile-cols", "out", "p", "k", "seed", "threads",
+       "window", "table-out", "metrics-json", "trace-json", "audit-rate"}));
+  TABSKETCH_ASSIGN_CLI(const std::string pieces_text,
+                       flags.GetRequired("pieces"));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
+                       flags.GetInt("tile-rows", 0));
+  TABSKETCH_ASSIGN_CLI(const int64_t tile_cols,
+                       flags.GetInt("tile-cols", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
+  TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
+  TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(
+      const int64_t threads_flag,
+      flags.GetInt("threads",
+                   static_cast<int64_t>(util::DefaultThreadCount())));
+  TABSKETCH_ASSIGN_CLI(const int64_t window, flags.GetInt("window", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string table_out,
+                       flags.GetString("table-out", ""));
+  const std::vector<std::string> pieces = SplitCommaList(pieces_text);
+  if (pieces.empty()) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--pieces needs at least one file"));
+  }
+  if (window < 0) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--window must be >= 0 (0 = unbounded)"));
+  }
+  const size_t threads = ThreadsFromFlag(threads_flag);
+
+  // The same incremental engine `serve --ingest` runs, driven locally: each
+  // piece appends (sketching only tiles it completes), a full window slides
+  // by retiring the oldest tile columns.
+  std::optional<core::GrowingTableSketcher> store;
+  util::WallTimer timer;
+  for (const std::string& piece_path : pieces) {
+    auto piece = table::ReadBinary(piece_path);
+    if (!piece.ok()) return Fail(err, piece.status());
+    if (!store.has_value()) {
+      TABSKETCH_ASSIGN_CLI(
+          store, core::GrowingTableSketcher::Create(
+                     core::SketchParams{.p = p, .k = static_cast<size_t>(k),
+                                        .seed = static_cast<uint64_t>(seed)},
+                     piece->rows(), static_cast<size_t>(tile_rows),
+                     static_cast<size_t>(tile_cols)));
+    }
+    TABSKETCH_RETURN_CLI(store->AppendColumns(*piece, threads));
+    if (window > 0 && store->grid_cols() > static_cast<size_t>(window)) {
+      TABSKETCH_RETURN_CLI(store->RetireColumns(
+          store->grid_cols() - static_cast<size_t>(window)));
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  core::SketchSet set;
+  set.params = store->params();
+  set.object_rows = store->tile_rows();
+  set.object_cols = store->tile_cols();
+  set.sketches = store->SketchesInGridOrder();
+  TABSKETCH_RETURN_CLI(core::WriteSketchSet(set, out_path));
+  if (!table_out.empty()) {
+    TABSKETCH_RETURN_CLI(table::WriteBinary(store->table(), table_out));
+  }
+  out << "ingested " << pieces.size() << " pieces into window tile-cols ["
+      << store->retired_tile_cols() << ", "
+      << store->retired_tile_cols() + store->grid_cols() << ") ("
+      << store->num_tiles() << " tiles, " << store->pending_cols()
+      << " pending cols, " << store->sketches_computed()
+      << " sketches computed) in " << seconds << "s -> " << out_path << "\n";
+  if (!table_out.empty()) {
+    out << "window table (" << store->table().rows() << "x"
+        << store->table().cols() << ") -> " << table_out << "\n";
+  }
   return 0;
 }
 
@@ -863,6 +994,8 @@ int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
     code = CmdQuery(*flags, out, err);
   } else if (command == "serve") {
     code = CmdServe(*flags, out, err);
+  } else if (command == "ingest") {
+    code = CmdIngest(*flags, out, err);
   } else {
     err << "error: unknown command '" << command << "'\n\n" << kUsage;
     return 1;

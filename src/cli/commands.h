@@ -25,8 +25,10 @@ namespace tabsketch::cli {
 ///             [--threads=] [--refine] [--candidates=] [--out=FILE]
 ///   serve     --table=FILE --tile-rows=N --tile-cols=N [--sketches=FILE]
 ///             [--p= --k= --seed=] [--cache-bytes=] [--threads=] [--refine]
-///             [--candidates=] [--port= --port-file=] [--max-inflight=]
-///             [--max-queue=] [--deadline-ms=]
+///             [--candidates=] [--ingest] [--port= --port-file=]
+///             [--max-inflight=] [--max-queue=] [--deadline-ms=]
+///   ingest    --pieces=F1,F2,... --tile-rows=N --tile-cols=N --out=FILE
+///             [--p= --k= --seed= --threads=] [--window=N] [--table-out=FILE]
 ///   help
 int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
                     std::ostream& err);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace tabsketch::core {
 
@@ -31,7 +32,8 @@ util::Result<GrowingTableSketcher> GrowingTableSketcher::Create(
                               tile_cols);
 }
 
-util::Status GrowingTableSketcher::AppendColumns(const table::Matrix& piece) {
+util::Status GrowingTableSketcher::AppendColumns(const table::Matrix& piece,
+                                                 size_t threads) {
   if (piece.rows() != table_.rows()) {
     std::ostringstream msg;
     msg << "appended piece has " << piece.rows() << " rows, table has "
@@ -53,19 +55,57 @@ util::Status GrowingTableSketcher::AppendColumns(const table::Matrix& piece) {
   }
   table_ = std::move(grown);
 
-  SketchNewTiles();
+  SketchNewTiles(threads == 0 ? 1 : threads);
   return util::Status::OK();
 }
 
-void GrowingTableSketcher::SketchNewTiles() {
+util::Status GrowingTableSketcher::RetireColumns(size_t tile_columns) {
+  if (tile_columns > grid_cols_) {
+    std::ostringstream msg;
+    msg << "cannot retire " << tile_columns << " tile columns, window has "
+        << grid_cols_;
+    return util::Status::InvalidArgument(msg.str());
+  }
+  if (tile_columns == 0) return util::Status::OK();
+
+  const size_t dropped_cols = tile_columns * tile_cols_;
+  table::Matrix shrunk(table_.rows(), table_.cols() - dropped_cols);
+  for (size_t r = 0; r < table_.rows(); ++r) {
+    auto old_row = table_.Row(r);
+    auto dst = shrunk.Row(r);
+    std::copy(old_row.begin() + static_cast<std::ptrdiff_t>(dropped_cols),
+              old_row.end(), dst.begin());
+  }
+  table_ = std::move(shrunk);
+
+  for (auto& row : sketches_) {
+    row.erase(row.begin(),
+              row.begin() + static_cast<std::ptrdiff_t>(tile_columns));
+  }
+  grid_cols_ -= tile_columns;
+  retired_tile_cols_ += tile_columns;
+  return util::Status::OK();
+}
+
+void GrowingTableSketcher::SketchNewTiles(size_t threads) {
   const size_t completed_cols = table_.cols() / tile_cols_;
-  for (size_t gc = grid_cols_; gc < completed_cols; ++gc) {
-    for (size_t gr = 0; gr < grid_rows_; ++gr) {
-      const table::TableView tile = table_.Window(
-          gr * tile_rows_, gc * tile_cols_, tile_rows_, tile_cols_);
-      sketches_[gr].push_back(sketcher_.SketchOf(tile));
-      ++sketches_computed_;
-    }
+  if (completed_cols <= grid_cols_) return;
+  const size_t new_cols = completed_cols - grid_cols_;
+
+  // One job per new tile; results land in fixed slots, so the sketch bytes
+  // (deterministic per tile) and their order are identical for any thread
+  // count.
+  std::vector<std::shared_ptr<const Sketch>> fresh(new_cols * grid_rows_);
+  util::ParallelFor(fresh.size(), threads, [&](size_t job) {
+    const size_t gc = grid_cols_ + job / grid_rows_;
+    const size_t gr = job % grid_rows_;
+    const table::TableView tile = table_.Window(
+        gr * tile_rows_, gc * tile_cols_, tile_rows_, tile_cols_);
+    fresh[job] = std::make_shared<const Sketch>(sketcher_.SketchOf(tile));
+  });
+  for (size_t job = 0; job < fresh.size(); ++job) {
+    sketches_[job % grid_rows_].push_back(std::move(fresh[job]));
+    ++sketches_computed_;
   }
   grid_cols_ = completed_cols;
 }
@@ -75,11 +115,23 @@ const Sketch& GrowingTableSketcher::TileSketch(size_t grid_row,
   TABSKETCH_CHECK(grid_row < grid_rows_ && grid_col < grid_cols_)
       << "tile (" << grid_row << "," << grid_col << ") out of "
       << grid_rows_ << "x" << grid_cols_;
-  return sketches_[grid_row][grid_col];
+  return *sketches_[grid_row][grid_col];
 }
 
 std::vector<Sketch> GrowingTableSketcher::SketchesInGridOrder() const {
   std::vector<Sketch> out;
+  out.reserve(num_tiles());
+  for (size_t gr = 0; gr < grid_rows_; ++gr) {
+    for (size_t gc = 0; gc < grid_cols_; ++gc) {
+      out.push_back(*sketches_[gr][gc]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const Sketch>>
+GrowingTableSketcher::SketchSharesInGridOrder() const {
+  std::vector<std::shared_ptr<const Sketch>> out;
   out.reserve(num_tiles());
   for (size_t gr = 0; gr < grid_rows_; ++gr) {
     for (size_t gc = 0; gc < grid_cols_; ++gc) {

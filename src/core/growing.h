@@ -2,6 +2,7 @@
 #define TABSKETCH_CORE_GROWING_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/sketch_params.h"
@@ -11,13 +12,19 @@
 
 namespace tabsketch::core {
 
-/// Maintains tile sketches for a table that grows along the time (column)
-/// axis — the paper's "stitching consecutive days" workflow, done
-/// incrementally: appending a day's columns sketches only the newly
-/// completed tiles; nothing already sketched is touched or recomputed.
+/// Maintains tile sketches for a sliding window over a table that grows
+/// along the time (column) axis — the paper's "stitching consecutive days"
+/// workflow, done incrementally: appending a day's columns sketches only
+/// the newly completed tiles, retiring the oldest tile columns drops their
+/// sketches, and nothing surviving is ever touched or recomputed. Because
+/// sketches are deterministic functions of tile content and the tile grid
+/// is anchored at the window's first column (retirement only removes whole
+/// tile columns, so surviving tile boundaries never shift), the window's
+/// sketches are byte-identical to a batch SketchAllTiles over the same
+/// region — the invariant the streaming serve path builds on.
 ///
 /// Tiles are the cells of the fixed tile_rows x tile_cols grid over the
-/// current table; columns that do not yet fill a whole tile column stay
+/// current window; columns that do not yet fill a whole tile column stay
 /// pending until later appends complete them.
 class GrowingTableSketcher {
  public:
@@ -30,13 +37,22 @@ class GrowingTableSketcher {
                                                    size_t tile_cols);
 
   /// Appends `piece` (same row count as the table) to the right; sketches
-  /// any tile columns the append completes.
-  util::Status AppendColumns(const table::Matrix& piece);
+  /// any tile columns the append completes, fanning the new tiles over
+  /// `threads` workers (bit-identical output for any thread count).
+  util::Status AppendColumns(const table::Matrix& piece, size_t threads = 1);
+
+  /// Drops the window's oldest `tile_columns` completed tile columns (and
+  /// their table columns). InvalidArgument when the window holds fewer.
+  /// Retiring everything is allowed: the window keeps only pending columns
+  /// (if any) and grows again on the next append.
+  util::Status RetireColumns(size_t tile_columns);
 
   const table::Matrix& table() const { return table_; }
   const SketchParams& params() const { return sketcher_.params(); }
+  size_t tile_rows() const { return tile_rows_; }
+  size_t tile_cols() const { return tile_cols_; }
 
-  /// Tile-grid dimensions over the *completed* region.
+  /// Tile-grid dimensions over the *completed* region of the window.
   size_t grid_rows() const { return grid_rows_; }
   size_t grid_cols() const { return grid_cols_; }
   size_t num_tiles() const { return grid_rows_ * grid_cols_; }
@@ -44,16 +60,29 @@ class GrowingTableSketcher {
   /// Columns appended but not yet part of a completed tile column.
   size_t pending_cols() const { return table_.cols() - grid_cols_ * tile_cols_; }
 
-  /// Sketch of completed tile (grid_row, grid_col).
+  /// Tile columns retired since creation; the window's first tile column is
+  /// tile column `retired_tile_cols()` of the full (never-materialized)
+  /// stream.
+  size_t retired_tile_cols() const { return retired_tile_cols_; }
+
+  /// Sketch of completed tile (grid_row, grid_col), grid_col relative to
+  /// the current window start.
   const Sketch& TileSketch(size_t grid_row, size_t grid_col) const;
 
   /// All completed tile sketches in TileGrid row-major order (tile index =
   /// grid_row * grid_cols() + grid_col), matching what SketchAllTiles over
-  /// the completed region would produce.
+  /// the completed window region would produce.
   std::vector<Sketch> SketchesInGridOrder() const;
 
-  /// Total tile sketches computed since creation (equals num_tiles(); the
-  /// point is that it never exceeds it — no recomputation).
+  /// Same order, but sharing ownership of the stored sketches — successor
+  /// serve::Snapshot generations hold these pointers so surviving tiles are
+  /// literally the same objects across appends/retires (zero copies, zero
+  /// recomputation).
+  std::vector<std::shared_ptr<const Sketch>> SketchSharesInGridOrder() const;
+
+  /// Total tile sketches computed since creation. Equals
+  /// grid_rows() * (grid_cols() + retired_tile_cols()) — i.e. exactly one
+  /// computation per distinct tile ever completed, never more.
   size_t sketches_computed() const { return sketches_computed_; }
 
  private:
@@ -61,16 +90,18 @@ class GrowingTableSketcher {
                        size_t tile_cols);
 
   /// Sketches tiles of any newly completed tile columns.
-  void SketchNewTiles();
+  void SketchNewTiles(size_t threads);
 
   Sketcher sketcher_;
   size_t tile_rows_;
   size_t tile_cols_;
   size_t grid_rows_;
   size_t grid_cols_ = 0;
+  size_t retired_tile_cols_ = 0;
   table::Matrix table_;
-  /// sketches_[grid_row][grid_col].
-  std::vector<std::vector<Sketch>> sketches_;
+  /// sketches_[grid_row][grid_col]; shared so snapshot generations can
+  /// alias them (see SketchSharesInGridOrder).
+  std::vector<std::vector<std::shared_ptr<const Sketch>>> sketches_;
   size_t sketches_computed_ = 0;
 };
 

@@ -184,6 +184,102 @@ util::Result<QuantizedCodePool> QuantizedCodePool::BuildFromSketches(
                    object_cols);
 }
 
+util::Result<QuantizedCodePool> QuantizedCodePool::BuildFromGetter(
+    const std::function<std::span<const double>(size_t)>& sketch_of,
+    size_t count, QuantKind kind, const SketchParams& params,
+    size_t object_rows, size_t object_cols) {
+  return BuildImpl(sketch_of, count, kind, params, object_rows, object_cols);
+}
+
+util::Result<QuantizedCodePool> QuantizedCodePool::BuildSuccessor(
+    const QuantizedCodePool& base,
+    const std::function<std::span<const double>(size_t)>& sketch_of,
+    std::span<const size_t> base_of, bool* rebuilt_map) {
+  TABSKETCH_CHECK(rebuilt_map != nullptr);
+  if (base.kind_ == QuantKind::kOff) {
+    return util::Status::InvalidArgument(
+        "cannot build a successor of a code pool with quantization off");
+  }
+  const size_t count = base_of.size();
+  for (const size_t from : base_of) {
+    if (from != kNewTile && from >= base.count_) {
+      return util::Status::InvalidArgument(
+          "successor base_of index out of the base pool's range");
+    }
+  }
+
+  // A new tile fits the base map iff all its finite components land inside
+  // the representable range padded by half a quantization step — a clamped
+  // encode of such a value still satisfies the <= scale/2 per-component
+  // error bound (the same acceptance window Quantize uses). Anything
+  // further out means the pool range grew and the map must be re-derived.
+  const double lo = base.offset_ - 0.5 * base.scale_;
+  const double hi = base.offset_ +
+                    base.scale_ * static_cast<double>(base.MaxCode()) +
+                    0.5 * base.scale_;
+  bool fits = true;
+  for (size_t i = 0; i < count && fits; ++i) {
+    if (base_of[i] != kNewTile) continue;
+    std::span<const double> values = sketch_of(i);
+    if (values.size() != base.params_.k) {
+      return util::Status::InvalidArgument(
+          "sketch length disagrees with params.k");
+    }
+    if (!AllFinite(values)) continue;  // unusable tile; map-independent
+    for (const double value : values) {
+      if (value < lo || value > hi) {
+        fits = false;
+        break;
+      }
+    }
+  }
+  if (!fits) {
+    *rebuilt_map = true;
+    return BuildImpl(sketch_of, count, base.kind_, base.params_,
+                     base.object_rows_, base.object_cols_);
+  }
+  *rebuilt_map = false;
+
+  QuantizedCodePool pool;
+  pool.kind_ = base.kind_;
+  pool.count_ = count;
+  pool.k_ = base.k_;
+  pool.scale_ = base.scale_;
+  pool.offset_ = base.offset_;
+  pool.params_ = base.params_;
+  pool.object_rows_ = base.object_rows_;
+  pool.object_cols_ = base.object_cols_;
+  pool.usable_.assign(count, 1);
+  const size_t code_bytes = QuantCodeBytes(pool.kind_);
+  const size_t row_bytes = pool.k_ * code_bytes;
+  pool.codes_.assign(count * row_bytes, 0);
+  for (size_t i = 0; i < count; ++i) {
+    unsigned char* row = pool.codes_.data() + i * row_bytes;
+    if (base_of[i] != kNewTile) {
+      // Surviving tile: the exact bytes it had in the base pool.
+      pool.usable_[i] = base.usable_[base_of[i]];
+      std::memcpy(row, base.codes_.data() + base_of[i] * row_bytes,
+                  row_bytes);
+      continue;
+    }
+    std::span<const double> values = sketch_of(i);
+    if (!AllFinite(values)) {
+      pool.usable_[i] = 0;  // all-zero row, like BuildImpl
+      continue;
+    }
+    for (size_t j = 0; j < pool.k_; ++j) {
+      const uint32_t code = pool.EncodeValue(values[j]);
+      if (pool.kind_ == QuantKind::kInt8) {
+        row[j] = static_cast<unsigned char>(code);
+      } else {
+        const uint16_t code16 = static_cast<uint16_t>(code);
+        std::memcpy(row + 2 * j, &code16, sizeof(code16));
+      }
+    }
+  }
+  return pool;
+}
+
 uint32_t QuantizedCodePool::EncodeValue(double value) const {
   if (scale_ == 0.0) return 0;
   const double q = (value - offset_) / scale_;

@@ -75,6 +75,37 @@ class QuantizedCodePool {
       std::span<const Sketch> sketches, QuantKind kind,
       const SketchParams& params, size_t object_rows, size_t object_cols);
 
+  /// Build over any "sketch of tile i" getter (the streaming-ingest path,
+  /// where window sketches live behind shared pointers).
+  static util::Result<QuantizedCodePool> BuildFromGetter(
+      const std::function<std::span<const double>(size_t)>& sketch_of,
+      size_t count, QuantKind kind, const SketchParams& params,
+      size_t object_rows, size_t object_cols);
+
+  /// Marks "this window tile has no predecessor" in BuildSuccessor's
+  /// base_of mapping.
+  static constexpr size_t kNewTile = static_cast<size_t>(-1);
+
+  /// Builds the successor pool of `base` for a slid window of
+  /// `base_of.size()` tiles: surviving tile i copies its code row and
+  /// usability flag from base tile base_of[i] (kNewTile marks a tile with
+  /// no predecessor), and new tiles are encoded under the base's affine
+  /// map when every finite component fits the base's representable range.
+  /// When a new tile's values fall outside that range (the pool range
+  /// grew), the whole window is re-encoded under a fresh map instead —
+  /// `*rebuilt_map` reports which path was taken. Either way the map
+  /// remains valid (per-component error <= scale/2 for every usable tile),
+  /// so filter-refine answers derived via Slack() stay byte-identical to a
+  /// from-scratch build (DESIGN.md §14); only after a retire-driven range
+  /// shrink may the reused map be wider — and therefore the code *bytes*
+  /// differ from a cold rebuild — without affecting any answer.
+  /// `sketch_of` must cover every window tile (it is consulted for new
+  /// tiles, and for all tiles on the rebuild path).
+  static util::Result<QuantizedCodePool> BuildSuccessor(
+      const QuantizedCodePool& base,
+      const std::function<std::span<const double>(size_t)>& sketch_of,
+      std::span<const size_t> base_of, bool* rebuilt_map);
+
   QuantKind kind() const { return kind_; }
   size_t count() const { return count_; }
   size_t k() const { return k_; }

@@ -21,6 +21,14 @@ FixedSketchSource::FixedSketchSource(std::vector<Sketch> sketches) {
   }
 }
 
+FixedSketchSource::FixedSketchSource(
+    std::vector<std::shared_ptr<const Sketch>> sketches)
+    : sketches_(std::move(sketches)) {
+  for (const auto& sketch : sketches_) {
+    TABSKETCH_CHECK(sketch != nullptr) << "null sketch in fixed source";
+  }
+}
+
 std::shared_ptr<const Sketch> FixedSketchSource::Get(size_t index) {
   TABSKETCH_CHECK(index < sketches_.size())
       << "tile " << index << " out of " << sketches_.size();

@@ -69,6 +69,11 @@ class UncachedSketchSource : public TileSketchCache {
 class FixedSketchSource : public TileSketchCache {
  public:
   explicit FixedSketchSource(std::vector<Sketch> sketches);
+  /// Aliasing variant: serves sketches owned elsewhere (the streaming serve
+  /// path, where successive snapshot generations share surviving tile
+  /// sketches instead of copying them). Every pointer must be non-null.
+  explicit FixedSketchSource(
+      std::vector<std::shared_ptr<const Sketch>> sketches);
 
   std::shared_ptr<const Sketch> Get(size_t index) override;
   size_t num_tiles() const override { return sketches_.size(); }

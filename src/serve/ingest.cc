@@ -1,0 +1,246 @@
+#include "serve/ingest.h"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/sketch_cache.h"
+#include "table/table_io.h"
+#include "table/tiling.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace tabsketch::serve {
+namespace {
+
+void UpdateWindowGauges(const StreamingIngest::WindowStats& window) {
+  TABSKETCH_METRIC_GAUGE_SET("ingest.window.tile_cols", window.grid_cols);
+  TABSKETCH_METRIC_GAUGE_SET("ingest.window.start_col",
+                             window.start_tile_col);
+  TABSKETCH_METRIC_GAUGE_SET("ingest.window.pending_cols",
+                             window.pending_cols);
+}
+
+}  // namespace
+
+StreamingIngest::StreamingIngest(core::GrowingTableSketcher store,
+                                 SnapshotSpec spec)
+    : store_(std::move(store)), spec_(std::move(spec)) {}
+
+util::Result<std::unique_ptr<StreamingIngest>> StreamingIngest::Create(
+    const SnapshotSpec& spec) {
+  if (spec.table_path.empty()) {
+    return util::Status::InvalidArgument(
+        "streaming ingest needs a table to seed the window");
+  }
+  if (!spec.sketches_path.empty()) {
+    return util::Status::InvalidArgument(
+        "streaming ingest computes its own sketches; drop the sketch set");
+  }
+  if (spec.cache_bytes != 0) {
+    return util::Status::InvalidArgument(
+        "streaming ingest pins every window sketch; a cache budget does not "
+        "apply");
+  }
+  TABSKETCH_ASSIGN_OR_RETURN(const table::Matrix seed,
+                             table::ReadBinary(spec.table_path));
+  TABSKETCH_ASSIGN_OR_RETURN(
+      core::GrowingTableSketcher store,
+      core::GrowingTableSketcher::Create(spec.params, seed.rows(),
+                                         spec.tile_rows, spec.tile_cols));
+  std::unique_ptr<StreamingIngest> ingest(
+      new StreamingIngest(std::move(store), spec));
+  std::lock_guard<std::mutex> lock(ingest->mutex_);
+  TABSKETCH_RETURN_IF_ERROR(
+      ingest->store_.AppendColumns(seed, spec.engine.threads));
+  if (spec.engine.refine && ingest->store_.num_tiles() == 0) {
+    return util::Status::FailedPrecondition(
+        "refined streaming serving needs at least one completed tile column "
+        "in the seed table");
+  }
+  bool rebuilt = false;
+  TABSKETCH_ASSIGN_OR_RETURN(ingest->initial_,
+                             ingest->BuildSnapshotLocked({}, &rebuilt));
+  UpdateWindowGauges(ingest->StatsLocked());
+  return ingest;
+}
+
+StreamingIngest::WindowStats StreamingIngest::StatsLocked() const {
+  WindowStats stats;
+  stats.grid_rows = store_.grid_rows();
+  stats.grid_cols = store_.grid_cols();
+  stats.num_tiles = store_.num_tiles();
+  stats.pending_cols = store_.pending_cols();
+  stats.start_tile_col = store_.retired_tile_cols();
+  stats.sketches_computed = store_.sketches_computed();
+  return stats;
+}
+
+StreamingIngest::WindowStats StreamingIngest::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return StatsLocked();
+}
+
+util::Result<std::shared_ptr<const Snapshot>>
+StreamingIngest::BuildSnapshotLocked(std::vector<size_t> base_of,
+                                     bool* codes_rebuilt) {
+  *codes_rebuilt = false;
+  std::vector<std::shared_ptr<const core::Sketch>> shares =
+      store_.SketchSharesInGridOrder();
+  const size_t tiles = shares.size();
+
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->engine_options_ = spec_.engine;
+  snapshot->params_ = spec_.params;
+
+  // Pin a copy of the window table for exact refine: the store's matrix
+  // moves on every append/retire, so each generation owns its bytes (the
+  // sketches, by contrast, are shared — they never move or change).
+  const table::TileGrid* grid = nullptr;
+  if (store_.table().cols() >= store_.tile_cols()) {
+    auto data = std::make_shared<Snapshot::TableData>();
+    data->matrix = store_.table();
+    TABSKETCH_ASSIGN_OR_RETURN(
+        table::TileGrid made,
+        table::TileGrid::Create(&data->matrix, store_.tile_rows(),
+                                store_.tile_cols()));
+    data->grid = std::make_unique<table::TileGrid>(std::move(made));
+    TABSKETCH_CHECK(data->grid->num_tiles() == tiles)
+        << "window grid disagrees with the sketch store";
+    snapshot->table_ = std::move(data);
+    grid = snapshot->table_->grid.get();
+  } else if (spec_.engine.refine) {
+    return util::Status::FailedPrecondition(
+        "refined streaming serving needs at least one completed tile "
+        "column");
+  }
+
+  if (spec_.engine.quant != core::QuantKind::kOff) {
+    auto sketch_of = [&shares](size_t i) -> std::span<const double> {
+      return shares[i]->values;
+    };
+    const bool incremental = !base_of.empty() && codes_base_ != nullptr;
+    util::Result<core::QuantizedCodePool> pool =
+        incremental
+            ? core::QuantizedCodePool::BuildSuccessor(*codes_base_, sketch_of,
+                                                      base_of, codes_rebuilt)
+            : core::QuantizedCodePool::BuildFromGetter(
+                  sketch_of, tiles, spec_.engine.quant, spec_.params,
+                  store_.tile_rows(), store_.tile_cols());
+    if (!pool.ok()) {
+      // The base/window pairing is now unknown; re-derive from scratch on
+      // the next build rather than risk a stale mapping.
+      codes_base_.reset();
+      return pool.status();
+    }
+    snapshot->codes_ =
+        std::make_shared<const core::QuantizedCodePool>(std::move(*pool));
+    codes_base_ = snapshot->codes_;
+    TABSKETCH_METRIC_GAUGE_SET("quant.pool.bytes", snapshot->codes_->bytes());
+  }
+
+  snapshot->cache_ =
+      std::make_unique<core::FixedSketchSource>(std::move(shares));
+  TABSKETCH_ASSIGN_OR_RETURN(
+      core::DistanceEstimator estimator,
+      core::DistanceEstimator::Create(spec_.params));
+  snapshot->estimator_ =
+      std::make_unique<core::DistanceEstimator>(std::move(estimator));
+  snapshot->engine_ = std::make_unique<QueryEngine>(
+      grid, snapshot->cache_.get(), snapshot->estimator_.get(),
+      snapshot->engine_options_, snapshot->codes_.get());
+
+  std::ostringstream description;
+  description << "stream " << spec_.table_path << " tile-cols ["
+              << store_.retired_tile_cols() << ", "
+              << store_.retired_tile_cols() + store_.grid_cols() << ")";
+  snapshot->description_ = description.str();
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+util::Result<StreamingIngest::AppendResult> StreamingIngest::Append(
+    const std::string& path, SnapshotHolder* holder) {
+  util::WallTimer timer;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TABSKETCH_ASSIGN_OR_RETURN(const table::Matrix piece,
+                             table::ReadBinary(path));
+  const size_t prev_cols = store_.grid_cols();
+  const size_t prev_tiles = store_.num_tiles();
+  TABSKETCH_RETURN_IF_ERROR(
+      store_.AppendColumns(piece, spec_.engine.threads));
+
+  // Window tile (gr, gc) survives from the previous generation iff its
+  // tile column existed before the append; appends never shift surviving
+  // columns, but the row-major tile *indices* do shift when grid_cols
+  // grows — base_of re-derives them.
+  const size_t cols = store_.grid_cols();
+  std::vector<size_t> base_of(store_.num_tiles());
+  for (size_t i = 0; i < base_of.size(); ++i) {
+    const size_t gr = i / cols;
+    const size_t gc = i % cols;
+    base_of[i] = gc < prev_cols ? gr * prev_cols + gc
+                                : core::QuantizedCodePool::kNewTile;
+  }
+
+  AppendResult result;
+  bool rebuilt = false;
+  TABSKETCH_ASSIGN_OR_RETURN(
+      result.snapshot, BuildSnapshotLocked(std::move(base_of), &rebuilt));
+  if (holder != nullptr) holder->Swap(result.snapshot);
+  result.appended_cols = piece.cols();
+  result.new_tiles = store_.num_tiles() - prev_tiles;
+  result.reused_tiles = prev_tiles;
+  result.codes_rebuilt = rebuilt;
+  result.window = StatsLocked();
+
+  TABSKETCH_METRIC_COUNT("ingest.appends");
+  TABSKETCH_METRIC_COUNT_N("ingest.columns.appended", result.appended_cols);
+  TABSKETCH_METRIC_COUNT_N("ingest.tiles.sketched", result.new_tiles);
+  TABSKETCH_METRIC_COUNT_N("ingest.tiles.reused", result.reused_tiles);
+  if (rebuilt) TABSKETCH_METRIC_COUNT("ingest.codes.rebuilt");
+  UpdateWindowGauges(result.window);
+  TABSKETCH_METRIC_OBSERVE("ingest.append.latency.seconds",
+                           timer.ElapsedSeconds());
+  return result;
+}
+
+util::Result<StreamingIngest::RetireResult> StreamingIngest::Retire(
+    size_t tile_columns, SnapshotHolder* holder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spec_.engine.refine && tile_columns == store_.grid_cols()) {
+    return util::Status::FailedPrecondition(
+        "cannot retire the whole window under refined serving");
+  }
+  const size_t prev_cols = store_.grid_cols();
+  TABSKETCH_RETURN_IF_ERROR(store_.RetireColumns(tile_columns));
+
+  // Every surviving tile had a predecessor, shifted left by the retired
+  // tile columns within its (unchanged-width) previous grid row.
+  const size_t cols = store_.grid_cols();
+  std::vector<size_t> base_of(store_.num_tiles());
+  for (size_t i = 0; i < base_of.size(); ++i) {
+    const size_t gr = i / cols;
+    const size_t gc = i % cols;
+    base_of[i] = gr * prev_cols + gc + tile_columns;
+  }
+
+  RetireResult result;
+  bool rebuilt = false;
+  TABSKETCH_ASSIGN_OR_RETURN(
+      result.snapshot, BuildSnapshotLocked(std::move(base_of), &rebuilt));
+  if (holder != nullptr) holder->Swap(result.snapshot);
+  result.retired_tile_cols = tile_columns;
+  result.reused_tiles = store_.num_tiles();
+  result.window = StatsLocked();
+
+  TABSKETCH_METRIC_COUNT("ingest.retires");
+  TABSKETCH_METRIC_COUNT_N("ingest.tiles.reused", result.reused_tiles);
+  UpdateWindowGauges(result.window);
+  return result;
+}
+
+}  // namespace tabsketch::serve

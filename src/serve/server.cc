@@ -6,11 +6,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <span>
 #include <sstream>
 #include <utility>
 
+#include "serve/ingest.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/status.h"
@@ -326,6 +328,27 @@ std::optional<std::string> Server::ProcessLine(const std::string& line,
       }
       return ProcessReload(tokens[1]);
     }
+    if (tokens[0] == "append") {
+      if (tokens.size() != 2) {
+        TABSKETCH_METRIC_COUNT("serve.requests.errors");
+        TABSKETCH_METRIC_COUNT("ingest.errors");
+        return ErrorLine("invalid-argument",
+                         "expected 'append <columns-file>'");
+      }
+      return ProcessAppend(tokens[1]);
+    }
+    if (tokens[0] == "retire") {
+      if (tokens.size() != 2) {
+        TABSKETCH_METRIC_COUNT("serve.requests.errors");
+        TABSKETCH_METRIC_COUNT("ingest.errors");
+        return ErrorLine("invalid-argument",
+                         "expected 'retire <tile-columns>'");
+      }
+      return ProcessRetire(tokens[1]);
+    }
+    if (tokens[0] == "window" && tokens.size() == 1) {
+      return ProcessWindow();
+    }
   }
 
   auto parsed = ParseBatchLine(line, /*line_number=*/1);
@@ -402,6 +425,79 @@ std::string Server::ProcessReload(const std::string& path) {
   std::ostringstream out;
   out << "ok reload " << path << " tiles=" << tiles
       << " swaps=" << snapshots_->swaps();
+  return out.str();
+}
+
+std::string Server::ProcessAppend(const std::string& path) {
+  TABSKETCH_METRIC_COUNT("serve.requests.append");
+  if (options_.ingest == nullptr) {
+    TABSKETCH_METRIC_COUNT("serve.requests.errors");
+    TABSKETCH_METRIC_COUNT("ingest.errors");
+    return ErrorLine("failed-precondition",
+                     "streaming ingest disabled (start serve with --ingest)");
+  }
+  auto appended = options_.ingest->Append(path, snapshots_);
+  if (!appended.ok()) {
+    TABSKETCH_METRIC_COUNT("serve.requests.errors");
+    TABSKETCH_METRIC_COUNT("ingest.errors");
+    return ErrorLine(appended.status());
+  }
+  std::ostringstream out;
+  out << "ok append " << path << " cols=" << appended->appended_cols
+      << " tiles=" << appended->window.num_tiles
+      << " new=" << appended->new_tiles
+      << " reused=" << appended->reused_tiles
+      << " pending=" << appended->window.pending_cols
+      << " remap=" << (appended->codes_rebuilt ? 1 : 0)
+      << " swaps=" << snapshots_->swaps();
+  return out.str();
+}
+
+std::string Server::ProcessRetire(const std::string& count_token) {
+  TABSKETCH_METRIC_COUNT("serve.requests.retire");
+  if (options_.ingest == nullptr) {
+    TABSKETCH_METRIC_COUNT("serve.requests.errors");
+    TABSKETCH_METRIC_COUNT("ingest.errors");
+    return ErrorLine("failed-precondition",
+                     "streaming ingest disabled (start serve with --ingest)");
+  }
+  unsigned long long count = 0;
+  const char* begin = count_token.data();
+  const char* end = begin + count_token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, count);
+  if (ec != std::errc() || ptr != end) {
+    TABSKETCH_METRIC_COUNT("serve.requests.errors");
+    TABSKETCH_METRIC_COUNT("ingest.errors");
+    return ErrorLine("invalid-argument",
+                     "retire count must be a non-negative integer");
+  }
+  auto retired =
+      options_.ingest->Retire(static_cast<size_t>(count), snapshots_);
+  if (!retired.ok()) {
+    TABSKETCH_METRIC_COUNT("serve.requests.errors");
+    TABSKETCH_METRIC_COUNT("ingest.errors");
+    return ErrorLine(retired.status());
+  }
+  std::ostringstream out;
+  out << "ok retire " << retired->retired_tile_cols
+      << " tiles=" << retired->window.num_tiles
+      << " start=" << retired->window.start_tile_col
+      << " swaps=" << snapshots_->swaps();
+  return out.str();
+}
+
+std::string Server::ProcessWindow() {
+  if (options_.ingest == nullptr) {
+    TABSKETCH_METRIC_COUNT("serve.requests.errors");
+    TABSKETCH_METRIC_COUNT("ingest.errors");
+    return ErrorLine("failed-precondition",
+                     "streaming ingest disabled (start serve with --ingest)");
+  }
+  const StreamingIngest::WindowStats window = options_.ingest->stats();
+  std::ostringstream out;
+  out << "ok window tile-cols=" << window.grid_cols
+      << " start=" << window.start_tile_col
+      << " pending=" << window.pending_cols << " tiles=" << window.num_tiles;
   return out.str();
 }
 

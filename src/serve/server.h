@@ -21,6 +21,8 @@
 
 namespace tabsketch::serve {
 
+class StreamingIngest;
+
 /// Bounded-concurrency gate in front of the query engine: at most
 /// `max_inflight` requests execute at once, at most `max_queue` more wait
 /// for a slot, everything beyond that is shed immediately. Waiters honor a
@@ -80,6 +82,11 @@ struct ServerOptions {
   uint32_t deadline_ms = 0;
   /// When false, `reload` returns a failed-precondition error.
   bool enable_reload = true;
+  /// Streaming-ingest driver behind the `append` / `retire` / `window`
+  /// verbs; null (the default) answers them with a failed-precondition
+  /// error. Must outlive the server. Successor snapshots it builds are
+  /// published through the same SnapshotHolder the server reads.
+  StreamingIngest* ingest = nullptr;
   /// Test-only hook, called for query requests after admission and after
   /// the request captured its snapshot, before the engine runs. Lets tests
   /// park a request mid-flight (deadline expiry, swap-mid-batch, drain
@@ -132,6 +139,9 @@ class Server {
                                          bool* close_connection);
   std::string ProcessQuery(const QueryRequest& request);
   std::string ProcessReload(const std::string& path);
+  std::string ProcessAppend(const std::string& path);
+  std::string ProcessRetire(const std::string& count_token);
+  std::string ProcessWindow();
 
   SnapshotHolder* snapshots_;
   ServerOptions options_;

@@ -112,7 +112,7 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
                                        spec.engine.quant, snapshot->params_,
                                        object_rows, object_cols));
     snapshot->codes_ =
-        std::make_unique<const core::QuantizedCodePool>(std::move(pool));
+        std::make_shared<const core::QuantizedCodePool>(std::move(pool));
     TABSKETCH_METRIC_GAUGE_SET("quant.pool.bytes",
                                snapshot->codes_->bytes());
   }
@@ -156,7 +156,7 @@ util::Result<std::shared_ptr<const Snapshot>> Snapshot::WithSketchSet(
             set.sketches, snapshot->engine_options_.quant, set.params,
             set.object_rows, set.object_cols));
     snapshot->codes_ =
-        std::make_unique<const core::QuantizedCodePool>(std::move(pool));
+        std::make_shared<const core::QuantizedCodePool>(std::move(pool));
     TABSKETCH_METRIC_GAUGE_SET("quant.pool.bytes",
                                snapshot->codes_->bytes());
   }

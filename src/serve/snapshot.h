@@ -90,11 +90,17 @@ class Snapshot {
  private:
   Snapshot() = default;
 
+  /// Builds streaming-ingest successors field by field (serve/ingest.cc),
+  /// reusing surviving sketches and codes across generations.
+  friend class StreamingIngest;
+
   std::shared_ptr<const TableData> table_;
   core::SketchParams params_;
   std::unique_ptr<core::Sketcher> sketcher_;
   std::unique_ptr<core::TileSketchCache> cache_;
-  std::unique_ptr<const core::QuantizedCodePool> codes_;
+  /// Shared (not unique) so the streaming-ingest path can keep the previous
+  /// generation's pool alive as the base of the next incremental build.
+  std::shared_ptr<const core::QuantizedCodePool> codes_;
   std::unique_ptr<core::DistanceEstimator> estimator_;
   QueryEngineOptions engine_options_;
   std::unique_ptr<QueryEngine> engine_;

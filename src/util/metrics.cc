@@ -244,6 +244,8 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "serve.requests.distance",
       "serve.requests.knn",
       "serve.requests.reload",
+      "serve.requests.append",
+      "serve.requests.retire",
       "serve.requests.errors",
       "serve.requests.shed",
       "serve.requests.deadline_expired",
@@ -253,6 +255,13 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "quant.scan.tiles",
       "quant.scan.bytes",
       "quant.candidates.kept",
+      "ingest.appends",
+      "ingest.retires",
+      "ingest.errors",
+      "ingest.columns.appended",
+      "ingest.tiles.sketched",
+      "ingest.tiles.reused",
+      "ingest.codes.rebuilt",
       "trace.dropped",
       "audit.samples",
       "audit.violations",
@@ -268,6 +277,9 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "lru.cache.peak_bytes",
       "quant.pool.bytes",
       "serve.queue.depth",
+      "ingest.window.tile_cols",
+      "ingest.window.start_col",
+      "ingest.window.pending_cols",
   };
   static const char* const kHistograms[] = {
       "span.fft.plan.seconds",
@@ -282,6 +294,7 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "span.query.batch.seconds",
       "span.quant.scan.seconds",
       "serve.request.latency.seconds",
+      "ingest.append.latency.seconds",
   };
   for (const char* name : kCounters) registry->GetCounter(name);
   for (const char* name : kGauges) registry->GetGauge(name);

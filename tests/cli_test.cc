@@ -690,6 +690,246 @@ TEST(CliTest, ServeRejectsBadFlags) {
             1);
 }
 
+/// Generates `cols`-column six-region pieces (32 rows each) and returns
+/// their paths; the caller removes them.
+std::vector<std::string> GeneratePieces(const std::string& prefix,
+                                        const std::vector<int>& piece_cols) {
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < piece_cols.size(); ++i) {
+    const std::string path =
+        TempPath(prefix + "_piece" + std::to_string(i) + ".tbl");
+    const std::string out_flag = "--out=" + path;
+    const std::string cols_flag =
+        "--cols=" + std::to_string(piece_cols[i]);
+    const std::string seed_flag = "--seed=" + std::to_string(100 + i);
+    EXPECT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=32", cols_flag.c_str(), seed_flag.c_str()})
+                  .code,
+              0);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::string JoinComma(const std::vector<std::string>& parts) {
+  std::string joined;
+  for (const std::string& part : parts) {
+    if (!joined.empty()) joined += ",";
+    joined += part;
+  }
+  return joined;
+}
+
+TEST(CliTest, IngestMatchesBatchSketchByteForByte) {
+  // Streaming `ingest` over uneven pieces (the middle one leaves pending
+  // columns mid-stream) must write the same bytes `sketch` writes over the
+  // stitched table — sketches and the .skt writer are deterministic.
+  const std::vector<std::string> pieces =
+      GeneratePieces("cli_ingest_id", {20, 12, 16});
+  const std::string stream_out = TempPath("cli_ingest_id_stream.skt");
+  const std::string table_out = TempPath("cli_ingest_id_stitched.tbl");
+  const std::string batch_out = TempPath("cli_ingest_id_batch.skt");
+  const std::string pieces_flag = "--pieces=" + JoinComma(pieces);
+  const std::string stream_flag = "--out=" + stream_out;
+  const std::string table_out_flag = "--table-out=" + table_out;
+  const CliRun ingest =
+      RunCli({"ingest", pieces_flag.c_str(), "--tile-rows=8",
+              "--tile-cols=8", stream_flag.c_str(), table_out_flag.c_str(),
+              "--p=1", "--k=32", "--seed=7", "--threads=3"});
+  ASSERT_EQ(ingest.code, 0) << ingest.err;
+  EXPECT_NE(ingest.out.find("ingested 3 pieces"), std::string::npos);
+  EXPECT_NE(ingest.out.find("tile-cols [0, 6)"), std::string::npos);
+
+  const std::string table_flag = "--table=" + table_out;
+  const std::string batch_flag = "--out=" + batch_out;
+  const CliRun sketch =
+      RunCli({"sketch", table_flag.c_str(), batch_flag.c_str(),
+              "--tile-rows=8", "--tile-cols=8", "--p=1", "--k=32",
+              "--seed=7"});
+  ASSERT_EQ(sketch.code, 0) << sketch.err;
+  EXPECT_EQ(ReadWholeFile(stream_out), ReadWholeFile(batch_out));
+
+  for (const std::string& path : pieces) std::remove(path.c_str());
+  for (const std::string& path : {stream_out, table_out, batch_out}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CliTest, IngestWindowSlidesAndMatchesSuffixSketch) {
+  // --window=2 retires overflow after every piece: the final window is the
+  // stream's last two tile columns, and its sketch set must byte-match a
+  // batch `sketch` over the final window table.
+  const std::vector<std::string> pieces =
+      GeneratePieces("cli_ingest_win", {16, 16, 16});
+  const std::string stream_out = TempPath("cli_ingest_win_stream.skt");
+  const std::string table_out = TempPath("cli_ingest_win_window.tbl");
+  const std::string batch_out = TempPath("cli_ingest_win_batch.skt");
+  const std::string pieces_flag = "--pieces=" + JoinComma(pieces);
+  const std::string stream_flag = "--out=" + stream_out;
+  const std::string table_out_flag = "--table-out=" + table_out;
+  const CliRun ingest =
+      RunCli({"ingest", pieces_flag.c_str(), "--tile-rows=8",
+              "--tile-cols=8", stream_flag.c_str(), table_out_flag.c_str(),
+              "--k=32", "--window=2"});
+  ASSERT_EQ(ingest.code, 0) << ingest.err;
+  EXPECT_NE(ingest.out.find("tile-cols [4, 6)"), std::string::npos);
+  EXPECT_NE(ingest.out.find("window table (32x16)"), std::string::npos);
+
+  const std::string table_flag = "--table=" + table_out;
+  const std::string batch_flag = "--out=" + batch_out;
+  ASSERT_EQ(RunCli({"sketch", table_flag.c_str(), batch_flag.c_str(),
+                    "--tile-rows=8", "--tile-cols=8", "--k=32"})
+                .code,
+            0);
+  EXPECT_EQ(ReadWholeFile(stream_out), ReadWholeFile(batch_out));
+
+  for (const std::string& path : pieces) std::remove(path.c_str());
+  for (const std::string& path : {stream_out, table_out, batch_out}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CliTest, IngestRejectsBadFlags) {
+  const CliRun no_pieces = RunCli({"ingest", "--tile-rows=8",
+                                   "--tile-cols=8", "--out=/tmp/x.skt"});
+  EXPECT_EQ(no_pieces.code, 1);
+  EXPECT_NE(no_pieces.err.find("--pieces"), std::string::npos);
+  EXPECT_EQ(RunCli({"ingest", "--pieces=,", "--tile-rows=8",
+                    "--tile-cols=8", "--out=/tmp/x.skt"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"ingest", "--pieces=/tmp/a.tbl", "--tile-rows=8",
+                    "--tile-cols=8", "--out=/tmp/x.skt", "--window=-1"})
+                .code,
+            1);
+}
+
+TEST(CliTest, ServeIngestFlagValidation) {
+  // All three rejections fire before any file is opened or port bound.
+  const CliRun needs_table =
+      RunCli({"serve", "--sketches=/tmp/x.skt", "--ingest"});
+  EXPECT_EQ(needs_table.code, 1);
+  EXPECT_NE(needs_table.err.find("--ingest"), std::string::npos);
+  const CliRun with_sketches =
+      RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+              "--tile-cols=8", "--sketches=/tmp/x.skt", "--ingest"});
+  EXPECT_EQ(with_sketches.code, 1);
+  EXPECT_NE(with_sketches.err.find("--sketches"), std::string::npos);
+  const CliRun with_cache =
+      RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+              "--tile-cols=8", "--cache-bytes=4096", "--ingest"});
+  EXPECT_EQ(with_cache.code, 1);
+  EXPECT_NE(with_cache.err.find("--cache-bytes"), std::string::npos);
+}
+
+TEST(CliTest, ServeIngestDaemonMatchesQueryOnStitchedTable) {
+  // The acceptance scenario: a daemon grown by `append` verbs answers
+  // byte-identically to `tabsketch query` over the stitched table —
+  // including the quantized filter tier.
+  const std::vector<std::string> pieces =
+      GeneratePieces("cli_serve_ingest", {16, 16, 16});
+  const std::string stitched_path = TempPath("cli_serve_ingest_full.tbl");
+  const std::string batch_path = TempPath("cli_serve_ingest_batch.txt");
+  const std::string port_path = TempPath("cli_serve_ingest.port");
+  const std::string json_path = TempPath("cli_serve_ingest_metrics.json");
+  std::remove(port_path.c_str());
+
+  // Stitch via ingest --table-out (whose bytes the tests above pin), then
+  // take `query` reference answers before the daemon starts (RunCli resets
+  // the global metrics registry; the daemon's dump must stay its own).
+  {
+    const std::string pieces_flag = "--pieces=" + JoinComma(pieces);
+    const std::string out_flag = "--out=" + TempPath("cli_serve_ingest.skt");
+    const std::string table_out_flag = "--table-out=" + stitched_path;
+    ASSERT_EQ(RunCli({"ingest", pieces_flag.c_str(), "--tile-rows=8",
+                      "--tile-cols=8", out_flag.c_str(),
+                      table_out_flag.c_str(), "--k=64"})
+                  .code,
+              0);
+    std::remove(TempPath("cli_serve_ingest.skt").c_str());
+  }
+  const std::vector<std::string> batch_lines = {
+      "distance 0 23", "knn 5 4", "distance 17 22", "knn 23 3"};
+  {
+    std::ofstream batch(batch_path);
+    for (const std::string& line : batch_lines) batch << line << "\n";
+  }
+  const std::string stitched_flag = "--table=" + stitched_path;
+  const std::string batch_flag = "--batch=" + batch_path;
+  const CliRun reference =
+      RunCli({"query", stitched_flag.c_str(), "--tile-rows=8",
+              "--tile-cols=8", batch_flag.c_str(), "--k=64",
+              "--quant=int8"});
+  ASSERT_EQ(reference.code, 0) << reference.err;
+  const std::vector<std::string> expected = SplitLines(reference.out);
+  ASSERT_EQ(expected.size(), batch_lines.size());
+
+  const std::string seed_flag = "--table=" + pieces[0];
+  const std::string port_flag = "--port-file=" + port_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  CliRun serve_run{-1, "", ""};
+  std::thread daemon([&] {
+    serve_run = RunCli({"serve", seed_flag.c_str(), "--tile-rows=8",
+                        "--tile-cols=8", "--k=64", "--quant=int8",
+                        "--ingest", port_flag.c_str(), json_flag.c_str()});
+  });
+  const uint16_t port = WaitForPortFile(port_path);
+  ASSERT_NE(port, 0) << "daemon never wrote its port file";
+
+  {
+    CliServeClient client(port);
+    ASSERT_TRUE(client.connected());
+    client.SendLine("window");
+    EXPECT_EQ(client.RecvLine(),
+              "ok window tile-cols=2 start=0 pending=0 tiles=8");
+    for (size_t i = 1; i < pieces.size(); ++i) {
+      client.SendLine("append " + pieces[i]);
+      const std::string ack = client.RecvLine();
+      EXPECT_EQ(ack.find("ok append "), 0u) << ack;
+    }
+    // Every answer over the appended window byte-matches `query` over the
+    // stitched table.
+    for (size_t i = 0; i < batch_lines.size(); ++i) {
+      client.SendLine(batch_lines[i]);
+      EXPECT_EQ(client.RecvLine(), expected[i]) << batch_lines[i];
+    }
+    // reload is disabled under --ingest.
+    client.SendLine("reload " + stitched_path);
+    EXPECT_EQ(client.RecvLine(),
+              "error failed-precondition reload disabled");
+    client.SendLine("quit");
+    EXPECT_EQ(client.RecvLine(), "ok bye");
+  }
+
+  raise(SIGTERM);
+  daemon.join();
+  EXPECT_EQ(serve_run.code, 0) << serve_run.err;
+  EXPECT_NE(serve_run.err.find("2 snapshot swaps"), std::string::npos);
+
+  // The dump carries the ingest.* schema.
+  const std::string json = ReadWholeFile(json_path);
+  EXPECT_GE(MetricValue(json, "ingest.appends"), 0.0);
+  EXPECT_GE(MetricValue(json, "ingest.tiles.sketched"), 0.0);
+  EXPECT_GE(MetricValue(json, "ingest.tiles.reused"), 0.0);
+  EXPECT_GE(MetricValue(json, "ingest.window.tile_cols"), 0.0);
+  EXPECT_NE(json.find("ingest.append.latency.seconds"), std::string::npos);
+#if TABSKETCH_METRICS_ENABLED
+  EXPECT_EQ(MetricValue(json, "ingest.appends"), 2.0);
+  EXPECT_EQ(MetricValue(json, "ingest.columns.appended"), 32.0);
+  EXPECT_EQ(MetricValue(json, "ingest.tiles.sketched"), 16.0);
+  EXPECT_EQ(MetricValue(json, "ingest.tiles.reused"), 24.0);
+  EXPECT_EQ(MetricValue(json, "serve.requests.append"), 2.0);
+  EXPECT_EQ(MetricValue(json, "ingest.window.tile_cols"), 6.0);
+  EXPECT_EQ(MetricValue(json, "ingest.window.pending_cols"), 0.0);
+#endif
+
+  for (const std::string& path : pieces) std::remove(path.c_str());
+  for (const std::string& path :
+       {stitched_path, batch_path, port_path, json_path}) {
+    std::remove(path.c_str());
+  }
+}
+
 TEST(CliTest, QueryRejectsBadBatchWithLineNumber) {
   const std::string table_path = TempPath("cli_query_bad_table.tbl");
   const std::string batch_path = TempPath("cli_query_bad_batch.txt");

@@ -93,8 +93,27 @@ def write_code_pool():
     (HERE / "code_pool_v1.tskq").write_bytes(blob)
 
 
+def append_piece_value(row, col):
+    return row * 2.0 + col * 0.5 - 4.0
+
+
+def write_append_piece():
+    """TSKT v1 (magic TSKT): the column piece streaming ingest appends — the
+    same binary table format ReadBinary/WriteBinary speak, pinned here
+    because the `append` wire verb and `tabsketch ingest` read it directly
+    (streaming_test.cc asserts the parse and the error paths on truncated /
+    corrupted variants built from these bytes)."""
+    rows, cols = 4, 3
+    blob = struct.pack("<4sIQQ", b"TSKT", 1, rows, cols)
+    for r in range(rows):
+        for c in range(cols):
+            blob += struct.pack("<d", append_piece_value(r, c))
+    (HERE / "append_piece_v1.tbl").write_bytes(blob)
+
+
 if __name__ == "__main__":
     write_sketch_set()
     write_pool()
     write_code_pool()
+    write_append_piece()
     print("golden fixtures regenerated in", HERE)
