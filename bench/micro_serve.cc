@@ -4,7 +4,10 @@
 // time, and (c) over the socket fully pipelined. The spread between (a) and
 // (b) is the per-request protocol + admission + wire cost; (c) shows how
 // much of it amortizes when a client streams. Answers are asserted
-// byte-identical across all three paths.
+// byte-identical across all three paths. A fourth section (d) prices the
+// introspection plane: per-scrape latency of `stats json` (registry
+// capture + ticker-window diff + render) and `stats prom` (full text
+// exposition), with the rolling MetricsTicker running as in production.
 //
 // usage: micro_serve [--metrics-json=FILE] [--trace-json=FILE]
 
@@ -22,6 +25,7 @@
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "table/table_io.h"
+#include "util/metrics_snapshot.h"
 #include "util/observability.h"
 #include "util/timer.h"
 
@@ -150,8 +154,14 @@ int main(int argc, char** argv) {
   }
 
   tabsketch::serve::SnapshotHolder holder(*snapshot);
-  auto server =
-      tabsketch::serve::Server::Start(&holder, tabsketch::serve::ServerOptions{});
+  // The introspection plane runs exactly as in production: a 100ms ticker
+  // backs the `stats json` window rates scraped in path (d).
+  tabsketch::util::MetricsTicker::Options ticker_options;
+  ticker_options.interval_seconds = 0.1;
+  tabsketch::util::MetricsTicker ticker(ticker_options);
+  tabsketch::serve::ServerOptions server_options;
+  server_options.ticker = &ticker;
+  auto server = tabsketch::serve::Server::Start(&holder, server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
     return 1;
@@ -182,6 +192,31 @@ int main(int argc, char** argv) {
     }
     pipelined_seconds = timer.ElapsedSeconds();
   }
+  // (d) introspection scrapes: what observing the daemon costs a client.
+  constexpr size_t kJsonScrapes = 256;
+  constexpr size_t kPromScrapes = 64;
+  double stats_seconds = 0;
+  double prom_seconds = 0;
+  {
+    Client client((*server)->port());
+    tabsketch::util::WallTimer json_timer;
+    for (size_t i = 0; i < kJsonScrapes; ++i) {
+      client.Send("stats json\n");
+      const std::string line = client.RecvLine();
+      if (line.rfind("{\"schema\":\"tabsketch-stats-v1\"", 0) != 0) {
+        std::fprintf(stderr, "bad stats line: %s\n", line.c_str());
+        return 1;
+      }
+    }
+    stats_seconds = json_timer.ElapsedSeconds();
+    tabsketch::util::WallTimer prom_timer;
+    for (size_t i = 0; i < kPromScrapes; ++i) {
+      client.Send("stats prom\n");
+      while (client.RecvLine() != "# EOF") {
+      }
+    }
+    prom_seconds = prom_timer.ElapsedSeconds();
+  }
   (*server)->Shutdown();
   std::remove(table_path.c_str());
 
@@ -193,6 +228,10 @@ int main(int argc, char** argv) {
               sync_seconds / n * 1e6);
   std::printf("%-12s %10.4f %14.1f\n", "pipelined", pipelined_seconds,
               pipelined_seconds / n * 1e6);
+  std::printf("%-12s %10.4f %14.1f\n", "stats-json", stats_seconds,
+              stats_seconds / kJsonScrapes * 1e6);
+  std::printf("%-12s %10.4f %14.1f\n", "stats-prom", prom_seconds,
+              prom_seconds / kPromScrapes * 1e6);
   std::printf("byte-identical across paths: %s\n", identical ? "yes" : "NO");
 
   if (!identical) return 1;

@@ -1,16 +1,22 @@
 #include "cli/commands.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -41,7 +47,9 @@
 #include "eval/audit.h"
 #include "table/table_io.h"
 #include "table/tiling.h"
+#include "util/atomic_file.h"
 #include "util/metrics.h"
+#include "util/metrics_snapshot.h"
 #include "util/observability.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -93,7 +101,8 @@ commands:
              [--out=FILE write answers to a file instead of stdout]
   serve      long-lived query daemon on 127.0.0.1: a line protocol over TCP
              speaking the batch grammar plus ping / reload <sketches> /
-             quit (see docs/FORMATS.md); SIGINT/SIGTERM drains and exits
+             stats [json|prom|slow] / health / quit (see docs/FORMATS.md);
+             SIGINT/SIGTERM drains and exits
              --table=FILE --tile-rows=N --tile-cols=N
              [--p=P --k=K --seed=N] [--sketches=FILE precomputed sketch set]
              [--cache-bytes=N] [--threads=N] [--refine] [--candidates=N]
@@ -105,6 +114,12 @@ commands:
              [--max-inflight=N concurrent requests, 0 = thread count]
              [--max-queue=N waiting requests before load-shedding]
              [--deadline-ms=N bound time queued for a slot, 0 = none]
+             [--slow-ms=T record requests slower than T ms in the slow log
+             (`stats slow`); 0 = off]
+             [--slow-log=FILE also mirror slow-log entries as JSONL]
+             [--stats-interval=S rolling metrics-snapshot period backing
+             the stats verb's window rates, seconds, default 1]
+             [--stats-ring=N rolling snapshots kept, default 8]
   ingest     stream column pieces through a sliding-window sketch store and
              write the window's sketch set (byte-identical to `sketch` over
              the stitched window table)
@@ -112,6 +127,12 @@ commands:
              [--p=P --k=K --seed=N --threads=N]
              [--window=N keep at most N tile columns, retiring the oldest]
              [--table-out=FILE also write the final window table]
+  top        live view of a running serve daemon: polls its `stats json`
+             verb and prints one line per interval with rates diffed
+             client-side between consecutive polls
+             --port=N (or --port-file=FILE written by serve)
+             [--interval=S poll period in seconds, default 1]
+             [--once poll twice, print a single data line, exit]
   help       show this message
 
 global flags (every command):
@@ -686,24 +707,40 @@ extern "C" void TabsketchServeSignalHandler(int /*signum*/) {
 /// for the file never sees a partial write. This is the daemon's readiness
 /// signal for scripts.
 util::Status WritePortFile(const std::string& path, uint16_t port) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file) return util::Status::IOError("cannot write " + tmp);
-    file << port << "\n";
-    if (!file.flush()) return util::Status::IOError("cannot write " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return util::Status::IOError("cannot rename " + tmp + " to " + path);
-  }
-  return util::Status::OK();
+  return util::WriteFileAtomic(path, std::to_string(port) + "\n");
 }
+
+/// Enables the metrics registry for a daemon's lifetime. The stats verbs
+/// serve live counters, so `serve` needs metrics on even when no
+/// --metrics-json asked for a final dump. The destructor restores the
+/// prior state so repeated in-process invocations (the tests) stay
+/// isolated; when --metrics-json already enabled the registry this is a
+/// no-op both ways.
+class ScopedMetricsEnable {
+ public:
+  ScopedMetricsEnable() : was_enabled_(util::MetricsRegistry::Enabled()) {
+    if (!was_enabled_) {
+      util::PreregisterCoreMetrics(&util::MetricsRegistry::Global());
+      util::MetricsRegistry::Global().ResetValues();
+      util::MetricsRegistry::SetEnabled(true);
+    }
+  }
+  ~ScopedMetricsEnable() {
+    if (!was_enabled_) util::MetricsRegistry::SetEnabled(false);
+  }
+  ScopedMetricsEnable(const ScopedMetricsEnable&) = delete;
+  ScopedMetricsEnable& operator=(const ScopedMetricsEnable&) = delete;
+
+ private:
+  const bool was_enabled_;
+};
 
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "p", "k", "seed", "sketches",
        "cache-bytes", "threads", "refine", "candidates", "quant", "ingest",
        "port", "port-file", "max-inflight", "max-queue", "deadline-ms",
+       "slow-ms", "slow-log", "stats-interval", "stats-ring",
        "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetString("table", ""));
@@ -740,6 +777,15 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
                        flags.GetInt("max-queue", 64));
   TABSKETCH_ASSIGN_CLI(const int64_t deadline_ms,
                        flags.GetInt("deadline-ms", 0));
+  TABSKETCH_ASSIGN_CLI(const double slow_ms, flags.GetDouble("slow-ms", 0.0));
+  TABSKETCH_ASSIGN_CLI(const std::string slow_log_path,
+                       flags.GetString("slow-log", ""));
+  TABSKETCH_ASSIGN_CLI(const double stats_interval,
+                       flags.GetDouble("stats-interval", 1.0));
+  TABSKETCH_ASSIGN_CLI(const int64_t stats_ring,
+                       flags.GetInt("stats-ring", 8));
+  TABSKETCH_ASSIGN_CLI(const std::string metrics_json_path,
+                       flags.GetString("metrics-json", ""));
   if (cache_bytes < 0 || candidates < 0) {
     return Fail(err, util::Status::InvalidArgument(
                          "--cache-bytes and --candidates must be >= 0"));
@@ -752,6 +798,22 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
     return Fail(err,
                 util::Status::InvalidArgument(
                     "--max-inflight/--max-queue/--deadline-ms must be >= 0"));
+  }
+  if (slow_ms < 0.0) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--slow-ms must be >= 0 (0 = off)"));
+  }
+  if (!slow_log_path.empty() && slow_ms <= 0.0) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--slow-log needs --slow-ms > 0"));
+  }
+  if (!(stats_interval > 0.0)) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--stats-interval must be > 0"));
+  }
+  if (stats_ring < 1) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--stats-ring must be >= 1"));
   }
   if (table_path.empty() && sketches_path.empty()) {
     return Fail(err, util::Status::InvalidArgument(
@@ -777,6 +839,11 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "--ingest pins every window sketch; drop "
                          "--cache-bytes"));
   }
+
+  // Live introspection (`stats`, `health`, `top`) reads the registry, so
+  // the daemon always runs with metrics on — declared before the ticker and
+  // the server so it outlives both.
+  const ScopedMetricsEnable metrics_enable;
 
   serve::SnapshotSpec spec;
   spec.table_path = table_path;
@@ -804,6 +871,16 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   const size_t tiles = snapshot->num_tiles();
   serve::SnapshotHolder holder(std::move(snapshot));
 
+  // Rolling-snapshot ticker: backs the stats verb's last-window rates and,
+  // when --metrics-json is set, atomically rewrites that file every
+  // interval so a crash or SIGKILL still leaves fresh metrics behind.
+  // Declared before the server so it is destroyed (final tick) after it.
+  util::MetricsTicker::Options ticker_options;
+  ticker_options.interval_seconds = stats_interval;
+  ticker_options.ring_capacity = static_cast<size_t>(stats_ring);
+  ticker_options.metrics_json_path = metrics_json_path;
+  util::MetricsTicker ticker(ticker_options);
+
   serve::ServerOptions options;
   options.port = static_cast<uint16_t>(port);
   options.max_inflight = static_cast<size_t>(max_inflight);
@@ -811,6 +888,9 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.deadline_ms = static_cast<uint32_t>(deadline_ms);
   options.enable_reload = !ingest_enabled;
   options.ingest = ingest.get();
+  options.ticker = &ticker;
+  options.slow_ms = slow_ms;
+  options.slow_log_path = slow_log_path;
   TABSKETCH_ASSIGN_CLI(const std::unique_ptr<serve::Server> server,
                        serve::Server::Start(&holder, options));
 
@@ -946,6 +1026,230 @@ int CmdIngest(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Minimal loopback line-protocol client for `tabsketch top`: one
+/// connection, one request line per Request(), one response line back.
+class ServeClient {
+ public:
+  static util::Result<ServeClient> Connect(uint16_t port) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return util::Status::IOError("cannot create socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+      close(fd);
+      return util::Status::IOError("cannot connect to 127.0.0.1:" +
+                                   std::to_string(port));
+    }
+    return ServeClient(fd);
+  }
+
+  ServeClient(ServeClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient& operator=(ServeClient&&) = delete;
+  ~ServeClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  /// Sends `line` and returns the daemon's one-line response (without the
+  /// newline; a trailing CR is stripped like the server does).
+  util::Result<std::string> Request(const std::string& line) {
+    const std::string wire = line + "\n";
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = send(fd_, wire.data() + sent, wire.size() - sent, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return util::Status::IOError("connection lost to daemon");
+      sent += static_cast<size_t>(n);
+    }
+    for (;;) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!response.empty() && response.back() == '\r') response.pop_back();
+        return response;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return util::Status::IOError("connection closed by daemon");
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buffer_;
+};
+
+/// Reads the port number out of a --port-file written by `serve`.
+util::Result<uint16_t> ReadPortFile(const std::string& path) {
+  std::ifstream file(path);
+  long port = 0;
+  if (!file || !(file >> port) || port <= 0 || port > 65535) {
+    return util::Status::InvalidArgument("cannot read a port from " + path);
+  }
+  return static_cast<uint16_t>(port);
+}
+
+/// Pulls the number after `"key":` out of a flat one-line JSON object.
+/// Missing keys return `fallback` — `top` degrades gracefully against a
+/// daemon that predates a key instead of erroring out.
+double JsonNumber(const std::string& json, const std::string& key,
+                  double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return fallback;
+  const char* start = json.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  return end == start ? fallback : value;
+}
+
+/// One parsed `stats json` poll, paired with the client-side receive time
+/// so rates can be diffed between consecutive polls.
+struct TopSample {
+  std::chrono::steady_clock::time_point when;
+  double requests_total = 0.0;
+  double shed_total = 0.0;
+  double deadline_total = 0.0;
+  double cache_hits = 0.0;
+  double cache_misses = 0.0;
+  double window_seconds = 0.0;
+  double window_p50_ms = 0.0;
+  double window_p99_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double inflight = 0.0;
+  double connections_active = 0.0;
+  double generation = 0.0;
+  double tiles = 0.0;
+};
+
+TopSample ParseTopSample(const std::string& json) {
+  TopSample sample;
+  sample.when = std::chrono::steady_clock::now();
+  sample.requests_total = JsonNumber(json, "requests_total", 0.0);
+  sample.shed_total = JsonNumber(json, "shed_total", 0.0);
+  sample.deadline_total = JsonNumber(json, "deadline_total", 0.0);
+  sample.cache_hits = JsonNumber(json, "cache_hits", 0.0);
+  sample.cache_misses = JsonNumber(json, "cache_misses", 0.0);
+  sample.window_seconds = JsonNumber(json, "window_seconds", 0.0);
+  sample.window_p50_ms = JsonNumber(json, "window_p50_ms", 0.0);
+  sample.window_p99_ms = JsonNumber(json, "window_p99_ms", 0.0);
+  sample.latency_p50_ms = JsonNumber(json, "latency_p50_ms", 0.0);
+  sample.latency_p99_ms = JsonNumber(json, "latency_p99_ms", 0.0);
+  sample.inflight = JsonNumber(json, "inflight_distance", 0.0) +
+                    JsonNumber(json, "inflight_knn", 0.0);
+  sample.connections_active = JsonNumber(json, "connections_active", 0.0);
+  sample.generation = JsonNumber(json, "generation", 0.0);
+  sample.tiles = JsonNumber(json, "tiles", 0.0);
+  return sample;
+}
+
+/// Renders one `top` interval line from two consecutive polls: counters are
+/// diffed client-side over the measured wall gap; percentiles prefer the
+/// daemon's ticker window and fall back to the cumulative histogram when the
+/// window is empty.
+std::string RenderTopLine(const TopSample& prev, const TopSample& cur) {
+  const double seconds =
+      std::chrono::duration<double>(cur.when - prev.when).count();
+  const double rps =
+      seconds > 0.0 ? (cur.requests_total - prev.requests_total) / seconds
+                    : 0.0;
+  const double hits = cur.cache_hits - prev.cache_hits;
+  const double misses = cur.cache_misses - prev.cache_misses;
+  const double hit_ratio = hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  const bool windowed = cur.window_seconds > 0.0;
+  const double p50 = windowed ? cur.window_p50_ms : cur.latency_p50_ms;
+  const double p99 = windowed ? cur.window_p99_ms : cur.latency_p99_ms;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%10.1f %9.3f %9.3f %6.2f %6.0f %6.0f %9.0f %6.0f %5.0f "
+                "%7.0f",
+                rps, p50, p99, hit_ratio,
+                cur.shed_total - prev.shed_total,
+                cur.deadline_total - prev.deadline_total, cur.inflight,
+                cur.connections_active, cur.generation, cur.tiles);
+  return line;
+}
+
+int CmdTop(const Flags& flags, std::ostream& out, std::ostream& err) {
+  TABSKETCH_RETURN_CLI(flags.AllowOnly(
+      {"port", "port-file", "interval", "once", "metrics-json", "trace-json",
+       "audit-rate"}));
+  TABSKETCH_ASSIGN_CLI(const int64_t port_flag, flags.GetInt("port", 0));
+  TABSKETCH_ASSIGN_CLI(const std::string port_file,
+                       flags.GetString("port-file", ""));
+  TABSKETCH_ASSIGN_CLI(const double interval,
+                       flags.GetDouble("interval", 1.0));
+  TABSKETCH_ASSIGN_CLI(const bool once, flags.GetBool("once", false));
+  if (port_flag < 0 || port_flag > 65535) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--port must be in [1, 65535]"));
+  }
+  if (port_flag == 0 && port_file.empty()) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "top needs --port or --port-file"));
+  }
+  if (!(interval > 0.0)) {
+    return Fail(err,
+                util::Status::InvalidArgument("--interval must be > 0"));
+  }
+  uint16_t port = static_cast<uint16_t>(port_flag);
+  if (port == 0) {
+    TABSKETCH_ASSIGN_CLI(port, ReadPortFile(port_file));
+  }
+
+  TABSKETCH_ASSIGN_CLI(ServeClient client, ServeClient::Connect(port));
+  const auto poll = [&]() -> util::Result<TopSample> {
+    auto response = client.Request("stats json");
+    if (!response.ok()) return response.status();
+    if (response->rfind("error ", 0) == 0) {
+      return util::Status::InvalidArgument("daemon answered: " + *response);
+    }
+    return ParseTopSample(*response);
+  };
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "%10s %9s %9s %6s %6s %6s %9s %6s %5s %7s", "rps", "p50_ms",
+                "p99_ms", "hit", "shed", "ddl", "inflight", "conn", "gen",
+                "tiles");
+  out << header << "\n";
+  out.flush();
+
+  TABSKETCH_ASSIGN_CLI(TopSample prev, poll());
+  size_t printed = 0;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    auto cur = poll();
+    if (!cur.ok()) {
+      // The daemon going away mid-watch is the normal way a live view
+      // ends; only a poll that never produced a line is an error.
+      if (printed > 0) {
+        err << "top: " << cur.status().ToString() << "\n";
+        return 0;
+      }
+      return Fail(err, cur.status());
+    }
+    out << RenderTopLine(prev, *cur) << "\n";
+    out.flush();
+    ++printed;
+    prev = *cur;
+    if (once) return 0;
+  }
+}
+
 }  // namespace
 
 int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
@@ -996,6 +1300,8 @@ int RunTabsketchCli(int argc, const char* const* argv, std::ostream& out,
     code = CmdServe(*flags, out, err);
   } else if (command == "ingest") {
     code = CmdIngest(*flags, out, err);
+  } else if (command == "top") {
+    code = CmdTop(*flags, out, err);
   } else {
     err << "error: unknown command '" << command << "'\n\n" << kUsage;
     return 1;

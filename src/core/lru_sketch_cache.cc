@@ -108,8 +108,15 @@ void LruSketchCache::NoteBytesDelta(size_t added, size_t removed) {
 }
 
 std::shared_ptr<const Sketch> LruSketchCache::Get(size_t index) {
+  bool computed = false;
+  return GetTracked(index, &computed);
+}
+
+std::shared_ptr<const Sketch> LruSketchCache::GetTracked(size_t index,
+                                                         bool* computed) {
   TABSKETCH_CHECK(index < grid_->num_tiles())
       << "tile " << index << " out of " << grid_->num_tiles();
+  *computed = false;
   Shard& shard = ShardFor(index);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -135,6 +142,7 @@ std::shared_ptr<const Sketch> LruSketchCache::Get(size_t index) {
   }
   computed_.fetch_add(1, std::memory_order_relaxed);
   TABSKETCH_METRIC_COUNT("lru.cache.misses");
+  *computed = true;
   if (compute_hook_) compute_hook_(index);
 
   size_t added = 0;

@@ -70,6 +70,11 @@ class LruSketchCache : public TileSketchCache {
   LruSketchCache& operator=(const LruSketchCache&) = delete;
 
   std::shared_ptr<const Sketch> Get(size_t index) override;
+  /// `*computed` reports whether this lookup paid a sketch construction —
+  /// true on every miss, including insert-race losers (they computed even
+  /// though the retained entry came from the race winner).
+  std::shared_ptr<const Sketch> GetTracked(size_t index,
+                                           bool* computed) override;
   size_t num_tiles() const override { return grid_->num_tiles(); }
   size_t computed() const override {
     return computed_.load(std::memory_order_relaxed);

@@ -7,7 +7,7 @@
 
 namespace tabsketch::core {
 
-void OnDemandSketchCache::Materialize(size_t index) {
+bool OnDemandSketchCache::Materialize(size_t index) {
   TABSKETCH_CHECK(index < sketches_.size())
       << "tile " << index << " out of " << sketches_.size();
   bool missed = false;
@@ -23,6 +23,7 @@ void OnDemandSketchCache::Materialize(size_t index) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     TABSKETCH_METRIC_COUNT("ondemand.cache.hits");
   }
+  return missed;
 }
 
 const Sketch& OnDemandSketchCache::ForTile(size_t index) {
@@ -32,6 +33,12 @@ const Sketch& OnDemandSketchCache::ForTile(size_t index) {
 
 std::shared_ptr<const Sketch> OnDemandSketchCache::Get(size_t index) {
   Materialize(index);
+  return sketches_[index];
+}
+
+std::shared_ptr<const Sketch> OnDemandSketchCache::GetTracked(
+    size_t index, bool* computed) {
+  *computed = Materialize(index);
   return sketches_[index];
 }
 

@@ -43,6 +43,8 @@ class OnDemandSketchCache : public TileSketchCache {
 
   /// TileSketchCache interface: same lookup with shared ownership.
   std::shared_ptr<const Sketch> Get(size_t index) override;
+  std::shared_ptr<const Sketch> GetTracked(size_t index,
+                                           bool* computed) override;
 
   size_t num_tiles() const override { return sketches_.size(); }
 
@@ -61,7 +63,8 @@ class OnDemandSketchCache : public TileSketchCache {
 
  private:
   /// Fills slot `index` if this is the first access; bumps hit/miss tallies.
-  void Materialize(size_t index);
+  /// Returns whether this call computed the sketch (a miss).
+  bool Materialize(size_t index);
 
   const Sketcher* sketcher_;
   const table::TileGrid* grid_;

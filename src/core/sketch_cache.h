@@ -30,6 +30,18 @@ class TileSketchCache {
   /// concurrently.
   virtual std::shared_ptr<const Sketch> Get(size_t index) = 0;
 
+  /// Get() plus per-lookup attribution: sets `*computed` to whether this
+  /// lookup computed the sketch (a miss) instead of serving a retained or
+  /// preloaded one. The serve path threads these flags into per-request
+  /// RequestStats (serve/query_engine.h) so the slow-query log can say
+  /// which requests paid compute. The default forwards to Get() and reports
+  /// a hit — correct for sources that never compute (FixedSketchSource).
+  virtual std::shared_ptr<const Sketch> GetTracked(size_t index,
+                                                   bool* computed) {
+    *computed = false;
+    return Get(index);
+  }
+
   /// Number of tiles addressable through this cache.
   virtual size_t num_tiles() const = 0;
 
@@ -51,6 +63,11 @@ class UncachedSketchSource : public TileSketchCache {
       : sketcher_(sketcher), grid_(grid) {}
 
   std::shared_ptr<const Sketch> Get(size_t index) override;
+  std::shared_ptr<const Sketch> GetTracked(size_t index,
+                                           bool* computed) override {
+    *computed = true;  // no retention: every lookup computes
+    return Get(index);
+  }
   size_t num_tiles() const override { return grid_->num_tiles(); }
   size_t computed() const override {
     return computed_.load(std::memory_order_relaxed);

@@ -104,10 +104,26 @@ QueryEngine::QueryEngine(const table::TileGrid* grid,
       options_(options),
       codes_(codes) {}
 
+std::shared_ptr<const core::Sketch> QueryEngine::GetSketch(
+    size_t index, RequestStats* stats) const {
+  bool computed = false;
+  std::shared_ptr<const core::Sketch> sketch =
+      cache_->GetTracked(index, &computed);
+  if (stats != nullptr) {
+    if (computed) {
+      ++stats->cache_misses;
+    } else {
+      ++stats->cache_hits;
+    }
+  }
+  return sketch;
+}
+
 std::string QueryEngine::AnswerDistance(const QueryRequest& request,
-                                        Workspace* workspace) const {
-  const std::shared_ptr<const core::Sketch> a = cache_->Get(request.a);
-  const std::shared_ptr<const core::Sketch> b = cache_->Get(request.b);
+                                        Workspace* workspace,
+                                        RequestStats* stats) const {
+  const std::shared_ptr<const core::Sketch> a = GetSketch(request.a, stats);
+  const std::shared_ptr<const core::Sketch> b = GetSketch(request.b, stats);
   const double estimate = estimator_->EstimateWithScratch(
       a->values, b->values, &workspace->scratch);
   std::ostringstream out;
@@ -117,7 +133,8 @@ std::string QueryEngine::AnswerDistance(const QueryRequest& request,
 }
 
 void QueryEngine::QuantFilterCandidates(size_t query, size_t want,
-                                        Workspace* workspace) const {
+                                        Workspace* workspace,
+                                        RequestStats* stats) const {
   const core::QuantizedCodePool& pool = *codes_;
   const size_t n = cache_->num_tiles();
   const bool l2 = estimator_->kind() == core::EstimatorKind::kL2;
@@ -156,22 +173,28 @@ void QueryEngine::QuantFilterCandidates(size_t query, size_t want,
   // Refine the survivors with full double sketches — from here on the
   // pipeline is exactly the unquantized scan, restricted to indices that
   // can still influence the answer.
-  const std::shared_ptr<const core::Sketch> query_sketch = cache_->Get(query);
+  const std::shared_ptr<const core::Sketch> query_sketch =
+      GetSketch(query, stats);
   std::vector<core::Neighbor>& out = workspace->neighbors;
   for (const core::Neighbor& candidate : codes) {
     if (candidate.distance > threshold) continue;
     const std::shared_ptr<const core::Sketch> other =
-        cache_->Get(candidate.index);
+        GetSketch(candidate.index, stats);
     out.push_back(core::Neighbor{
         candidate.index,
         estimator_->EstimateWithScratch(query_sketch->values, other->values,
                                         &workspace->scratch)});
   }
   TABSKETCH_METRIC_COUNT_N("quant.candidates.kept", out.size());
+  if (stats != nullptr) {
+    stats->quant_scanned += codes.size();
+    stats->quant_kept += out.size();
+  }
 }
 
 std::string QueryEngine::AnswerKnn(const QueryRequest& request,
-                                   Workspace* workspace) const {
+                                   Workspace* workspace,
+                                   RequestStats* stats) const {
   const size_t n = cache_->num_tiles();
 
   size_t want = request.k;
@@ -187,14 +210,15 @@ std::string QueryEngine::AnswerKnn(const QueryRequest& request,
   std::vector<core::Neighbor>& all = workspace->neighbors;
   all.clear();
   if (options_.quant != core::QuantKind::kOff) {
-    QuantFilterCandidates(request.a, want, workspace);
+    QuantFilterCandidates(request.a, want, workspace, stats);
   } else {
     // Filter: estimated distance to every other tile, sketches via the
     // cache.
-    const std::shared_ptr<const core::Sketch> query = cache_->Get(request.a);
+    const std::shared_ptr<const core::Sketch> query =
+        GetSketch(request.a, stats);
     for (size_t i = 0; i < n; ++i) {
       if (i == request.a) continue;
-      const std::shared_ptr<const core::Sketch> other = cache_->Get(i);
+      const std::shared_ptr<const core::Sketch> other = GetSketch(i, stats);
       all.push_back(core::Neighbor{
           i, estimator_->EstimateWithScratch(query->values, other->values,
                                              &workspace->scratch)});
@@ -229,7 +253,7 @@ std::string QueryEngine::AnswerKnn(const QueryRequest& request,
 }
 
 util::Result<std::vector<std::string>> QueryEngine::Run(
-    std::span<const QueryRequest> batch) const {
+    std::span<const QueryRequest> batch, RequestStats* stats) const {
   const size_t n = cache_->num_tiles();
   if (grid_ != nullptr && grid_->num_tiles() != n) {
     return util::Status::InvalidArgument(
@@ -286,8 +310,11 @@ util::Result<std::vector<std::string>> QueryEngine::Run(
   TABSKETCH_METRIC_COUNT_N("query.requests.knn", knn_requests);
 
   // Each request owns one pre-sized output slot, so the answer vector is
-  // identical for every thread count and every cache policy.
+  // identical for every thread count and every cache policy. Stats get the
+  // same treatment: one slot per request, summed in request order after the
+  // loop, so the aggregate is deterministic too.
   std::vector<std::string> results(batch.size());
+  std::vector<RequestStats> per_request(stats != nullptr ? batch.size() : 0);
   {
     TABSKETCH_TRACE_SPAN("query.batch");
     util::ParallelFor(batch.size(), options_.threads, [&](size_t i) {
@@ -296,10 +323,14 @@ util::Result<std::vector<std::string>> QueryEngine::Run(
       // steady-state knn serving allocates nothing per line.
       thread_local Workspace workspace;
       const QueryRequest& request = batch[i];
+      RequestStats* slot = stats != nullptr ? &per_request[i] : nullptr;
       results[i] = request.kind == QueryRequest::Kind::kDistance
-                       ? AnswerDistance(request, &workspace)
-                       : AnswerKnn(request, &workspace);
+                       ? AnswerDistance(request, &workspace, slot)
+                       : AnswerKnn(request, &workspace, slot);
     });
+  }
+  if (stats != nullptr) {
+    for (const RequestStats& slot : per_request) stats->MergeFrom(slot);
   }
   return results;
 }

@@ -67,6 +67,31 @@ util::Result<std::vector<QueryRequest>> ParseBatch(std::istream& in);
 util::Result<std::vector<QueryRequest>> ParseBatchFile(
     const std::string& path);
 
+/// Per-request work attribution, filled by QueryEngine::Run when the caller
+/// asks for it: where each request's sketch lookups landed (cache hits vs
+/// computed-on-demand misses) and how hard the quant prefilter worked. The
+/// serve daemon threads one of these through every wire request so the
+/// slow-query log can say *why* a request was slow (cold cache? weak
+/// prefilter?), not just that it was. Pure tallies — collecting them never
+/// changes an answer byte.
+struct RequestStats {
+  /// Sketch lookups served from retained/preloaded entries.
+  uint64_t cache_hits = 0;
+  /// Sketch lookups that computed (TileSketchCache::GetTracked miss).
+  uint64_t cache_misses = 0;
+  /// Quantized-code candidates scanned (0 when quant is off).
+  uint64_t quant_scanned = 0;
+  /// Candidates surviving the code prefilter into the full-sketch refine.
+  uint64_t quant_kept = 0;
+
+  void MergeFrom(const RequestStats& other) {
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    quant_scanned += other.quant_scanned;
+    quant_kept += other.quant_kept;
+  }
+};
+
 struct QueryEngineOptions {
   /// Worker threads the batch fans over (util::ParallelFor). Output is
   /// byte-identical for every value.
@@ -115,8 +140,13 @@ class QueryEngine {
   /// request order. Validates all indices/arguments up front and fails
   /// without partial work; a NaN estimate (NaN in the data) never reorders
   /// results undeterministically (core::NeighborBefore ranks NaN last).
+  ///
+  /// When `stats` is non-null it receives the batch's aggregated
+  /// RequestStats (summed over requests after the parallel loop, so the
+  /// result is deterministic). Passing stats never changes an answer byte.
   util::Result<std::vector<std::string>> Run(
-      std::span<const QueryRequest> batch) const;
+      std::span<const QueryRequest> batch,
+      RequestStats* stats = nullptr) const;
 
  private:
   /// Per-thread buffers reused across every request a worker answers —
@@ -131,15 +161,21 @@ class QueryEngine {
     core::kernels::CodeScratch code_scratch;
   };
 
+  /// Sketch lookup with per-request attribution: counts the hit/miss into
+  /// `stats` (when non-null) and forwards to the cache.
+  std::shared_ptr<const core::Sketch> GetSketch(size_t index,
+                                                RequestStats* stats) const;
+
   std::string AnswerDistance(const QueryRequest& request,
-                             Workspace* workspace) const;
-  std::string AnswerKnn(const QueryRequest& request,
-                        Workspace* workspace) const;
+                             Workspace* workspace,
+                             RequestStats* stats) const;
+  std::string AnswerKnn(const QueryRequest& request, Workspace* workspace,
+                        RequestStats* stats) const;
   /// The quant filter step: scans codes, keeps every tile within 2*slack of
   /// the `want`-th best code distance, and fills workspace->neighbors with
   /// the survivors' full-sketch estimates.
-  void QuantFilterCandidates(size_t query, size_t want,
-                             Workspace* workspace) const;
+  void QuantFilterCandidates(size_t query, size_t want, Workspace* workspace,
+                             RequestStats* stats) const;
 
   const table::TileGrid* grid_;
   core::TileSketchCache* cache_;

@@ -14,6 +14,7 @@
 
 #include "serve/ingest.h"
 #include "util/metrics.h"
+#include "util/metrics_snapshot.h"
 #include "util/parallel.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -112,6 +113,25 @@ class LineReader {
   int fd_;
   std::string buffer_;
   size_t scanned_ = 0;
+};
+
+/// RAII +1/-1 on a gauge; a null gauge (metrics disabled or compiled out)
+/// is a no-op. Construction-to-destruction brackets guarantee the inc/dec
+/// stays balanced on every exit path — early returns for shed, expired and
+/// closed admissions included.
+class ScopedGaugeAdd {
+ public:
+  explicit ScopedGaugeAdd(util::Gauge* gauge) : gauge_(gauge) {
+    if (gauge_ != nullptr) gauge_->Add(1.0);
+  }
+  ~ScopedGaugeAdd() {
+    if (gauge_ != nullptr) gauge_->Add(-1.0);
+  }
+  ScopedGaugeAdd(const ScopedGaugeAdd&) = delete;
+  ScopedGaugeAdd& operator=(const ScopedGaugeAdd&) = delete;
+
+ private:
+  util::Gauge* gauge_;
 };
 
 /// Splits `line` into whitespace tokens after stripping a trailing '\r'.
@@ -252,6 +272,9 @@ Server::Server(SnapshotHolder* snapshots, const ServerOptions& options,
     : snapshots_(snapshots),
       options_(options),
       admission_(options.max_inflight, options.max_queue),
+      slow_log_(SlowQueryLog::Options{options.slow_ms,
+                                      options.slow_ring_capacity,
+                                      options.slow_log_path}),
       listen_fd_(listen_fd),
       wake_read_fd_(wake_read_fd),
       wake_write_fd_(wake_write_fd),
@@ -290,6 +313,15 @@ void Server::AcceptLoop() {
 }
 
 void Server::HandleConnection(int fd) {
+  util::Gauge* connections_gauge = nullptr;
+#if TABSKETCH_METRICS_ENABLED
+  if (util::MetricsRegistry::Enabled()) {
+    static util::Gauge* const gauge =
+        util::MetricsRegistry::Global().GetGauge("serve.connections.active");
+    connections_gauge = gauge;
+  }
+#endif
+  ScopedGaugeAdd active_connection(connections_gauge);
   LineReader reader(fd);
   std::string line;
   bool close_connection = false;
@@ -349,6 +381,12 @@ std::optional<std::string> Server::ProcessLine(const std::string& line,
     if (tokens[0] == "window" && tokens.size() == 1) {
       return ProcessWindow();
     }
+    if (tokens[0] == "stats") {
+      return ProcessStats(tokens);
+    }
+    if (tokens[0] == "health" && tokens.size() == 1) {
+      return ProcessHealth();
+    }
   }
 
   auto parsed = ParseBatchLine(line, /*line_number=*/1);
@@ -357,11 +395,33 @@ std::optional<std::string> Server::ProcessLine(const std::string& line,
     return ErrorLine(parsed.status());
   }
   if (!parsed->has_value()) return std::nullopt;  // blank / comment line
-  return ProcessQuery(**parsed);
+  return ProcessQuery(**parsed, line.size());
 }
 
-std::string Server::ProcessQuery(const QueryRequest& request) {
+std::string Server::ProcessQuery(const QueryRequest& request,
+                                 size_t line_bytes) {
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   util::WallTimer timer;
+
+  // Per-verb in-flight gauge, held for the whole request (admission wait
+  // included) so `stats` can see requests parked in the queue, not just
+  // executing ones. Two static caches on purpose — the per-site pattern the
+  // counter macros use, resolved once to the right gauge per request.
+  util::Gauge* inflight_gauge = nullptr;
+#if TABSKETCH_METRICS_ENABLED
+  if (util::MetricsRegistry::Enabled()) {
+    static util::Gauge* const distance_gauge =
+        util::MetricsRegistry::Global().GetGauge("serve.inflight.distance");
+    static util::Gauge* const knn_gauge =
+        util::MetricsRegistry::Global().GetGauge("serve.inflight.knn");
+    inflight_gauge = request.kind == QueryRequest::Kind::kDistance
+                         ? distance_gauge
+                         : knn_gauge;
+  }
+#endif
+  ScopedGaugeAdd inflight(inflight_gauge);
+
   std::optional<std::chrono::steady_clock::time_point> deadline;
   if (options_.deadline_ms > 0) {
     deadline = std::chrono::steady_clock::now() +
@@ -380,15 +440,20 @@ std::string Server::ProcessQuery(const QueryRequest& request) {
     case AdmissionController::Admission::kAdmitted:
       break;
   }
+  const double queue_wait_seconds = timer.ElapsedSeconds();
+  TABSKETCH_METRIC_OBSERVE("serve.request.queue_wait.seconds",
+                           queue_wait_seconds);
 
   // RCU read side: pin the current generation for the whole request. A
   // concurrent reload swaps the holder's pointer but cannot invalidate this
   // snapshot (or any sketch handed out from its cache) until the last
   // in-flight reference drops.
+  const uint64_t generation = snapshots_->swaps();
   const std::shared_ptr<const Snapshot> snapshot = snapshots_->Current();
   if (options_.pre_request_hook) options_.pre_request_hook(request);
-  auto result = snapshot->engine().Run(std::span<const QueryRequest>(
-      &request, 1));
+  RequestStats request_stats;
+  auto result = snapshot->engine().Run(
+      std::span<const QueryRequest>(&request, 1), &request_stats);
   admission_.Leave();
 
   // Two macro instantiations on purpose: the macro caches a static Counter*
@@ -399,8 +464,24 @@ std::string Server::ProcessQuery(const QueryRequest& request) {
   } else {
     TABSKETCH_METRIC_COUNT("serve.requests.knn");
   }
-  TABSKETCH_METRIC_OBSERVE("serve.request.latency.seconds",
-                           timer.ElapsedSeconds());
+  const double handle_seconds = timer.ElapsedSeconds();
+  TABSKETCH_METRIC_OBSERVE("serve.request.latency.seconds", handle_seconds);
+
+  if (slow_log_.enabled()) {
+    SlowQueryEntry entry;
+    entry.id = request_id;
+    entry.verb =
+        request.kind == QueryRequest::Kind::kDistance ? "distance" : "knn";
+    entry.bytes = line_bytes;
+    entry.queue_wait_seconds = queue_wait_seconds;
+    entry.handle_seconds = handle_seconds;
+    entry.generation = generation;
+    entry.stats = request_stats;
+    if (slow_log_.MaybeRecord(entry)) {
+      TABSKETCH_METRIC_COUNT("serve.requests.slow");
+    }
+  }
+
   if (!result.ok()) {
     TABSKETCH_METRIC_COUNT("serve.requests.errors");
     return ErrorLine(result.status());
@@ -499,6 +580,64 @@ std::string Server::ProcessWindow() {
       << " start=" << window.start_tile_col
       << " pending=" << window.pending_cols << " tiles=" << window.num_tiles;
   return out.str();
+}
+
+StatsInfo Server::BuildStatsInfo() {
+  StatsInfo info;
+  info.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  info.generation = snapshots_->swaps();
+  info.tiles = snapshots_->Current()->num_tiles();
+  info.connections_accepted = connections_accepted();
+  info.queue_depth = admission_.queue_depth();
+  info.slow_total = slow_log_.total();
+  if (options_.ingest != nullptr) {
+    const StreamingIngest::WindowStats window = options_.ingest->stats();
+    info.has_window = true;
+    info.window_start_col = window.start_tile_col;
+    info.window_tile_cols = window.grid_cols;
+    info.window_pending_cols = window.pending_cols;
+  }
+  return info;
+}
+
+std::string Server::ProcessStats(const std::vector<std::string>& tokens) {
+  TABSKETCH_METRIC_COUNT("serve.requests.stats");
+  const std::string mode = tokens.size() >= 2 ? tokens[1] : "json";
+  if (tokens.size() > 2 ||
+      (mode != "json" && mode != "prom" && mode != "slow")) {
+    TABSKETCH_METRIC_COUNT("serve.requests.errors");
+    return ErrorLine("invalid-argument", "expected 'stats [json|prom|slow]'");
+  }
+  if (mode == "slow") {
+    return slow_log_.ToJson();
+  }
+  const util::MetricsSnapshot current =
+      util::CaptureSnapshot(util::MetricsRegistry::Global());
+  if (mode == "prom") {
+    // Multi-line response on a line protocol: the exposition ends with a
+    // `# EOF` comment line, so clients read until they see it
+    // (docs/FORMATS.md). The trailing newline is stripped here because the
+    // connection handler frames every response with one.
+    std::ostringstream out;
+    WritePrometheusText(current, out);
+    std::string text = out.str();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }
+  std::optional<util::MetricsSnapshot> baseline;
+  if (options_.ticker != nullptr) {
+    baseline = options_.ticker->WindowBaseline(current.wall_seconds);
+  }
+  return RenderStatsJson(BuildStatsInfo(), current,
+                         baseline.has_value() ? &*baseline : nullptr);
+}
+
+std::string Server::ProcessHealth() {
+  TABSKETCH_METRIC_COUNT("serve.requests.stats");
+  return RenderHealthJson(BuildStatsInfo());
 }
 
 void Server::Shutdown() {

@@ -17,7 +17,12 @@
 
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
+#include "serve/stats.h"
 #include "util/result.h"
+
+namespace tabsketch::util {
+class MetricsTicker;
+}  // namespace tabsketch::util
 
 namespace tabsketch::serve {
 
@@ -87,6 +92,18 @@ struct ServerOptions {
   /// error. Must outlive the server. Successor snapshots it builds are
   /// published through the same SnapshotHolder the server reads.
   StreamingIngest* ingest = nullptr;
+  /// Rolling-snapshot ticker (util/metrics_snapshot.h) backing the `stats`
+  /// verb's last-window rates; owned by the caller, must outlive the
+  /// server. Null degrades `stats json` to cumulative-only (every window_*
+  /// key reads 0).
+  util::MetricsTicker* ticker = nullptr;
+  /// Slow-query threshold in milliseconds; requests whose handle time
+  /// exceeds it are recorded in the slow log (`stats slow`). 0 disables.
+  double slow_ms = 0.0;
+  /// When non-empty, slow-log entries are also appended here as JSONL.
+  std::string slow_log_path;
+  /// In-memory slow-log ring size.
+  size_t slow_ring_capacity = 128;
   /// Test-only hook, called for query requests after admission and after
   /// the request captured its snapshot, before the engine runs. Lets tests
   /// park a request mid-flight (deadline expiry, swap-mid-batch, drain
@@ -127,6 +144,9 @@ class Server {
   /// Connections accepted so far.
   size_t connections_accepted() const;
 
+  /// The slow-query ring (the `stats slow` verb reads the same object).
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+
  private:
   Server(SnapshotHolder* snapshots, const ServerOptions& options,
          int listen_fd, int wake_read_fd, int wake_write_fd, uint16_t port);
@@ -137,19 +157,30 @@ class Server {
   /// `*close_connection` for `quit`.
   std::optional<std::string> ProcessLine(const std::string& line,
                                          bool* close_connection);
-  std::string ProcessQuery(const QueryRequest& request);
+  std::string ProcessQuery(const QueryRequest& request, size_t line_bytes);
   std::string ProcessReload(const std::string& path);
   std::string ProcessAppend(const std::string& path);
   std::string ProcessRetire(const std::string& count_token);
   std::string ProcessWindow();
+  /// The introspection verbs. Deliberately outside admission control: they
+  /// must answer while the query path is saturated or wedged, and they
+  /// never touch snapshot data — only metrics, the slow ring and O(1)
+  /// server state.
+  std::string ProcessStats(const std::vector<std::string>& tokens);
+  std::string ProcessHealth();
+  StatsInfo BuildStatsInfo();
 
   SnapshotHolder* snapshots_;
   ServerOptions options_;
   AdmissionController admission_;
+  SlowQueryLog slow_log_;
   int listen_fd_;
   int wake_read_fd_;
   int wake_write_fd_;
   uint16_t port_;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+  std::atomic<uint64_t> next_request_id_{0};
 
   std::thread accept_thread_;
   std::mutex conn_mutex_;

@@ -1,0 +1,21 @@
+#ifndef TABSKETCH_UTIL_ATOMIC_FILE_H_
+#define TABSKETCH_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace tabsketch::util {
+
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// `path + ".tmp"` first and are renamed into place only on success, so a
+/// crash mid-write can never leave a truncated file at `path` — readers see
+/// either the previous complete file or the new complete file. This is the
+/// shared form of the temp-and-rename discipline the on-disk writers
+/// (pools, sketch sets, code pools) follow; periodic writers (the serve
+/// daemon's metrics ticker, --port-file) route through here.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace tabsketch::util
+
+#endif  // TABSKETCH_UTIL_ATOMIC_FILE_H_

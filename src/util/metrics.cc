@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.h"
 
 namespace tabsketch::util {
 
@@ -68,6 +70,11 @@ double Histogram::max() const {
   return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
+double Histogram::BucketUpperEdge(size_t i) {
+  return i == 0 ? kBucketBase
+                : kBucketBase * std::ldexp(1.0, static_cast<int>(i));
+}
+
 double Histogram::Percentile(double q) const {
   const uint64_t total = count();
   if (total == 0) return 0.0;
@@ -80,9 +87,7 @@ double Histogram::Percentile(double q) const {
     if (cumulative >= rank && cumulative > 0) {
       // Report the bucket's upper edge, clamped to the observed extremes so
       // a single-sample histogram reports the sample itself.
-      const double edge = i == 0 ? kBucketBase
-                                 : kBucketBase * std::ldexp(1.0, static_cast<int>(i));
-      return std::clamp(edge, min(), max());
+      return std::clamp(BucketUpperEdge(i), min(), max());
     }
   }
   return max();
@@ -128,6 +133,25 @@ void MetricsRegistry::ResetValues() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) fn(name, *counter);
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, histogram] : histograms_) fn(name, *histogram);
 }
 
 namespace {
@@ -249,7 +273,10 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "serve.requests.errors",
       "serve.requests.shed",
       "serve.requests.deadline_expired",
+      "serve.requests.stats",
+      "serve.requests.slow",
       "serve.snapshot.swaps",
+      "serve.ticker.ticks",
       "cluster.distance_evals.exact",
       "cluster.distance_evals.sketch",
       "quant.scan.tiles",
@@ -277,6 +304,9 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "lru.cache.peak_bytes",
       "quant.pool.bytes",
       "serve.queue.depth",
+      "serve.connections.active",
+      "serve.inflight.distance",
+      "serve.inflight.knn",
       "ingest.window.tile_cols",
       "ingest.window.start_col",
       "ingest.window.pending_cols",
@@ -294,6 +324,7 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
       "span.query.batch.seconds",
       "span.quant.scan.seconds",
       "serve.request.latency.seconds",
+      "serve.request.queue_wait.seconds",
       "ingest.append.latency.seconds",
   };
   for (const char* name : kCounters) registry->GetCounter(name);
@@ -303,16 +334,12 @@ void PreregisterCoreMetrics(MetricsRegistry* registry) {
 
 Status WriteMetricsJsonFile(const MetricsRegistry& registry,
                             const std::string& path) {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) {
-    return Status::IOError("cannot open metrics output file: " + path);
-  }
+  // Temp-and-rename so a reader (or a crash) mid-rewrite never sees a
+  // truncated document — the serve daemon's ticker rewrites this file every
+  // interval while scrapers may be reading it.
+  std::ostringstream os;
   registry.WriteJson(os);
-  os.flush();
-  if (!os) {
-    return Status::IOError("failed writing metrics output file: " + path);
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, os.str());
 }
 
 }  // namespace tabsketch::util

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,18 @@ class Histogram {
   /// Approximate q-quantile (q in [0, 1]); 0 when empty.
   double Percentile(double q) const;
 
+  /// Observations in bucket `i` (i < kBuckets). The snapshot layer
+  /// (util/metrics_snapshot.h) reads buckets to build windowed percentiles
+  /// and Prometheus cumulative `_bucket` series.
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper edge of bucket `i`: kBucketBase * 2^i for i >= 1,
+  /// kBucketBase for bucket 0. Bucket i holds (BucketUpperEdge(i-1),
+  /// BucketUpperEdge(i)], which is exactly Prometheus `le` semantics.
+  static double BucketUpperEdge(size_t i);
+
   void Reset();
 
  private:
@@ -149,6 +162,21 @@ class MetricsRegistry {
   /// survive.
   void ResetValues();
 
+  /// Calls `fn(name, metric)` for every registered metric of that family, in
+  /// lexicographic name order, under the registry mutex. The callbacks must
+  /// not call back into the registry (self-deadlock); reading metric values
+  /// is safe — values are relaxed atomics and concurrent mutators never take
+  /// the mutex. This is the read side the snapshot layer
+  /// (util/metrics_snapshot.h) is built on.
+  void VisitCounters(
+      const std::function<void(const std::string&, const Counter&)>& fn)
+      const;
+  void VisitGauges(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void VisitHistograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+
   /// Writes the registry as the stable JSON document described in
   /// docs/FORMATS.md ("tabsketch-metrics-v1"): three sections (counters,
   /// gauges, histograms), keys sorted lexicographically within each.
@@ -219,16 +247,39 @@ Status WriteMetricsJsonFile(const MetricsRegistry& registry,
     }                                                                      \
   } while (false)
 
+#define TABSKETCH_METRIC_GAUGE_ADD(name, delta)                            \
+  do {                                                                     \
+    if (::tabsketch::util::MetricsRegistry::Enabled()) {                   \
+      static ::tabsketch::util::Gauge* const _tabsketch_gauge =            \
+          ::tabsketch::util::MetricsRegistry::Global().GetGauge(name);     \
+      _tabsketch_gauge->Add(static_cast<double>(delta));                   \
+    }                                                                      \
+  } while (false)
+
 #else  // !TABSKETCH_METRICS_ENABLED
 
+// The arguments are consumed in unevaluated sizeof contexts: no code is
+// generated and no side effects run, but a variable used only inside a
+// metric macro still counts as used (-Wunused-parameter stays quiet).
 #define TABSKETCH_METRIC_COUNT_N(name, n) \
   do {                                    \
+    (void)sizeof(name);                   \
+    (void)sizeof(n);                      \
   } while (false)
 #define TABSKETCH_METRIC_GAUGE_SET(name, value) \
   do {                                          \
+    (void)sizeof(name);                         \
+    (void)sizeof(value);                        \
   } while (false)
 #define TABSKETCH_METRIC_OBSERVE(name, value) \
   do {                                        \
+    (void)sizeof(name);                       \
+    (void)sizeof(value);                      \
+  } while (false)
+#define TABSKETCH_METRIC_GAUGE_ADD(name, delta) \
+  do {                                          \
+    (void)sizeof(name);                         \
+    (void)sizeof(delta);                        \
   } while (false)
 
 #endif  // TABSKETCH_METRICS_ENABLED

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -688,6 +689,111 @@ TEST(CliTest, ServeRejectsBadFlags) {
                     "--tile-cols=8", "--deadline-ms=-1"})
                 .code,
             1);
+  // Introspection flags: --slow-log needs a threshold, the ticker needs a
+  // positive interval and at least one ring slot.
+  EXPECT_EQ(RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+                    "--tile-cols=8", "--slow-log=/tmp/slow.jsonl"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+                    "--tile-cols=8", "--slow-ms=-1"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+                    "--tile-cols=8", "--stats-interval=0"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"serve", "--table=/tmp/x.tbl", "--tile-rows=8",
+                    "--tile-cols=8", "--stats-ring=0"})
+                .code,
+            1);
+}
+
+TEST(CliTest, TopRejectsBadFlags) {
+  EXPECT_EQ(RunCli({"top"}).code, 1);  // needs --port or --port-file
+  EXPECT_EQ(RunCli({"top", "--port=70000"}).code, 1);
+  EXPECT_EQ(RunCli({"top", "--port=1", "--interval=0"}).code, 1);
+  // An unreadable port file is a clean error, not a hang.
+  EXPECT_EQ(RunCli({"top", "--port-file=/no/such/port.file", "--once"}).code,
+            1);
+}
+
+TEST(CliTest, TopOnceAndTickerMetricsFileAgainstLiveDaemon) {
+  const std::string table_path = TempPath("cli_top_table.tbl");
+  const std::string port_path = TempPath("cli_top.port");
+  const std::string json_path = TempPath("cli_top_metrics.json");
+  const std::string table_flag = "--table=" + table_path;
+  std::remove(port_path.c_str());
+  std::remove(json_path.c_str());
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=32", "--cols=32", "--seed=3"})
+                  .code,
+              0);
+  }
+
+  const std::string port_flag = "--port-file=" + port_path;
+  const std::string json_flag = "--metrics-json=" + json_path;
+  CliRun serve_run{-1, "", ""};
+  std::thread daemon([&] {
+    serve_run = RunCli({"serve", table_flag.c_str(), "--tile-rows=8",
+                        "--tile-cols=8", port_flag.c_str(), json_flag.c_str(),
+                        "--stats-interval=0.05"});
+  });
+  const uint16_t port = WaitForPortFile(port_path);
+  ASSERT_NE(port, 0) << "daemon never wrote its port file";
+
+  // The ticker atomically rewrites --metrics-json every interval: while the
+  // daemon is still running, the file on disk is a complete valid document
+  // carrying the ticker's own counter.
+  bool ticked = false;
+  for (int i = 0; i < 2000 && !ticked; ++i) {
+    const std::string json = ReadWholeFile(json_path);
+    if (!json.empty() && tabsketch::testing::JsonChecker::Valid(json) &&
+        json.find("serve.ticker.ticks") != std::string::npos) {
+      ticked = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(ticked) << "metrics file never rewritten while serving";
+
+  // Background traffic so the two polls `top --once` takes bracket live
+  // requests and the client-side diffed rate is observable.
+  std::atomic<bool> stop_traffic{false};
+  std::thread traffic([&] {
+    CliServeClient client(port);
+    if (!client.connected()) return;
+    while (!stop_traffic.load()) {
+      client.SendLine("distance 0 1");
+      if (client.RecvLine().empty()) return;
+    }
+  });
+
+  const CliRun top =
+      RunCli({"top", port_flag.c_str(), "--interval=0.2", "--once"});
+  stop_traffic.store(true);
+  traffic.join();
+  EXPECT_EQ(top.code, 0) << top.err;
+  const std::vector<std::string> lines = SplitLines(top.out);
+  ASSERT_EQ(lines.size(), 2u) << top.out;  // header + exactly one data line
+  EXPECT_NE(lines[0].find("rps"), std::string::npos) << top.out;
+  EXPECT_NE(lines[0].find("p99_ms"), std::string::npos) << top.out;
+  EXPECT_NE(lines[0].find("tiles"), std::string::npos) << top.out;
+  const double rps = std::strtod(lines[1].c_str(), nullptr);
+#if TABSKETCH_METRICS_ENABLED
+  EXPECT_GT(rps, 0.0) << top.out;
+#else
+  EXPECT_GE(rps, 0.0) << top.out;
+#endif
+
+  raise(SIGTERM);
+  daemon.join();
+  EXPECT_EQ(serve_run.code, 0) << serve_run.err;
+  for (const std::string& path : {table_path, port_path, json_path}) {
+    std::remove(path.c_str());
+  }
 }
 
 /// Generates `cols`-column six-region pieces (32 rows each) and returns

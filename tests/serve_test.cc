@@ -7,14 +7,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/ondemand.h"
+#include "json_checker.h"
 #include "core/sketch_io.h"
 #include "core/sketcher.h"
 #include "rng/xoshiro256.h"
@@ -24,6 +28,8 @@
 #include "table/matrix.h"
 #include "table/table_io.h"
 #include "table/tiling.h"
+#include "util/metrics.h"
+#include "util/metrics_snapshot.h"
 
 namespace tabsketch::serve {
 namespace {
@@ -637,6 +643,419 @@ TEST_F(ServeTest, GracefulShutdownDrainsInflightRequest) {
   EXPECT_TRUE(client.AtEof());
   closer.join();
   EXPECT_TRUE(shutdown_done.load());
+}
+
+// ---------------------------------------------------------------------------
+// Introspection plane: stats / health verbs, slow-query log, gauges.
+
+/// Enables the global metrics registry for one test and restores/wipes it on
+/// exit, so serve tests can assert on live counters without leaking state
+/// (mirrors GlobalMetricsGuard in metrics_test.cc).
+class ScopedGlobalMetrics {
+ public:
+  ScopedGlobalMetrics() : was_enabled_(util::MetricsRegistry::Enabled()) {
+    util::PreregisterCoreMetrics(&util::MetricsRegistry::Global());
+    util::MetricsRegistry::Global().ResetValues();
+    util::MetricsRegistry::SetEnabled(true);
+  }
+  ~ScopedGlobalMetrics() {
+    util::MetricsRegistry::SetEnabled(was_enabled_);
+    util::MetricsRegistry::Global().ResetValues();
+  }
+  ScopedGlobalMetrics(const ScopedGlobalMetrics&) = delete;
+  ScopedGlobalMetrics& operator=(const ScopedGlobalMetrics&) = delete;
+
+ private:
+  const bool was_enabled_;
+};
+
+/// Pulls the number after `"key":` out of a flat one-line JSON object;
+/// -1 when the key is missing.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Reads a multi-line `stats prom` response until its `# EOF` marker.
+std::string RecvPromText(TestClient* client) {
+  std::string text;
+  for (;;) {
+    const std::string line = client->RecvLine();
+    if (line.empty() && text.empty()) return text;  // EOF before any data
+    text += line + "\n";
+    if (line == "# EOF") return text;
+  }
+}
+
+TEST_F(ServeTest, HealthAndStatsAnswerOneLineJson) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+  auto server = Server::Start(&holder, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  TestClient client((*server)->port());
+
+  client.SendLine("health");
+  const std::string health = client.RecvLine();
+  EXPECT_EQ(health.find("{\"schema\":\"tabsketch-health-v1\","
+                        "\"status\":\"ok\""),
+            0u)
+      << health;
+  EXPECT_TRUE(testing::JsonChecker::Valid(health)) << health;
+  EXPECT_EQ(JsonNumber(health, "tiles"), 16.0) << health;
+
+  // `stats` defaults to the json mode; the v1 document's keys must appear in
+  // their documented order (the golden shape clients and `top` rely on).
+  client.SendLine("stats");
+  const std::string stats = client.RecvLine();
+  EXPECT_EQ(stats.find("{\"schema\":\"tabsketch-stats-v1\""), 0u) << stats;
+  EXPECT_TRUE(testing::JsonChecker::Valid(stats)) << stats;
+  const char* const kOrderedKeys[] = {
+      "uptime_seconds",     "generation",         "tiles",
+      "connections_accepted", "connections_active", "inflight_distance",
+      "inflight_knn",       "queue_depth",        "requests_distance",
+      "requests_knn",       "requests_total",     "errors_total",
+      "shed_total",         "deadline_total",     "slow_total",
+      "ticker_ticks",       "latency_p50_ms",     "latency_p99_ms",
+      "cache_hits",         "cache_misses",       "cache_hit_ratio",
+      "quant_scanned",      "quant_kept",         "quant_keep_ratio",
+      "window_start_col",   "window_tile_cols",   "window_pending_cols",
+      "window_seconds",     "window_rps",         "window_p50_ms",
+      "window_p99_ms",      "window_shed",        "window_deadline",
+      "window_cache_hit_ratio", "window_quant_keep_ratio"};
+  size_t last_pos = 0;
+  for (const char* key : kOrderedKeys) {
+    std::string needle = "\"";
+    needle += key;
+    needle += "\":";
+    const size_t pos = stats.find(needle);
+    ASSERT_NE(pos, std::string::npos) << "missing key " << key << ": " << stats;
+    EXPECT_GT(pos, last_pos) << "key out of order: " << key;
+    last_pos = pos;
+  }
+
+  client.SendLine("stats json");
+  EXPECT_TRUE(testing::JsonChecker::Valid(client.RecvLine()));
+  client.SendLine("stats bogus");
+  EXPECT_EQ(client.RecvLine().find("error invalid-argument"), 0u);
+  client.SendLine("stats json extra");
+  EXPECT_EQ(client.RecvLine().find("error invalid-argument"), 0u);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, SlowQueryLogRecordsWithAttributionAndJsonlMirror) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+
+  const std::string jsonl_path = TempPath("serve_test_slow.jsonl");
+  std::remove(jsonl_path.c_str());
+  ServerOptions options;
+  options.slow_ms = 5.0;
+  options.slow_log_path = jsonl_path;
+  // Every query deterministically exceeds the threshold.
+  options.pre_request_hook = [](const QueryRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient client((*server)->port());
+  client.SendLine("distance 0 1");
+  EXPECT_EQ(client.RecvLine().find("distance 0 1 = "), 0u);
+  client.SendLine("knn 2 3");
+  EXPECT_EQ(client.RecvLine().find("knn 2 "), 0u);
+
+  client.SendLine("stats slow");
+  const std::string slow = client.RecvLine();
+  EXPECT_EQ(slow.find("{\"schema\":\"tabsketch-slow-v1\""), 0u) << slow;
+  EXPECT_TRUE(testing::JsonChecker::Valid(slow)) << slow;
+  EXPECT_EQ(JsonNumber(slow, "total"), 2.0) << slow;
+  EXPECT_NE(slow.find("\"verb\":\"distance\""), std::string::npos) << slow;
+  EXPECT_NE(slow.find("\"verb\":\"knn\""), std::string::npos) << slow;
+
+  const std::vector<SlowQueryEntry> entries = (*server)->slow_log().Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 1u);
+  EXPECT_EQ(entries[1].id, 2u);
+  EXPECT_EQ(entries[0].verb, "distance");
+  EXPECT_GE(entries[0].handle_seconds, 0.005);
+  EXPECT_EQ(entries[0].bytes, std::string("distance 0 1").size());
+  EXPECT_EQ(entries[0].generation, 0u);
+  // Cache attribution rode along: a distance touches two tile sketches.
+  EXPECT_EQ(entries[0].stats.cache_hits + entries[0].stats.cache_misses, 2u);
+  (*server)->Shutdown();
+
+  // The JSONL mirror holds one valid object per line, flushed per record.
+  std::ifstream mirror(jsonl_path);
+  ASSERT_TRUE(mirror.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(mirror, line)) {
+    EXPECT_TRUE(testing::JsonChecker::Valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(jsonl_path.c_str());
+}
+
+TEST_F(ServeTest, FastRequestsStayOutOfSlowLog) {
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+  ServerOptions options;
+  options.slow_ms = 10000.0;  // nothing in this test is that slow
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  TestClient client((*server)->port());
+  client.SendLine("distance 0 1");
+  EXPECT_EQ(client.RecvLine().find("distance 0 1 = "), 0u);
+  client.SendLine("stats slow");
+  const std::string slow = client.RecvLine();
+  EXPECT_EQ(JsonNumber(slow, "total"), 0.0) << slow;
+  EXPECT_NE(slow.find("\"entries\":[]"), std::string::npos) << slow;
+  EXPECT_EQ((*server)->slow_log().total(), 0u);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, StatsVerbsAnswerWhileQueryPathIsSaturated) {
+  // The introspection plane bypasses admission control: with the single
+  // execution slot wedged by a parked request, stats / health / stats slow
+  // must still answer.
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 0;
+  options.pre_request_hook = [&](const QueryRequest&) {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient blocker((*server)->port());
+  blocker.SendLine("distance 0 1");
+  while (entered.load() == 0) std::this_thread::yield();
+
+  TestClient observer((*server)->port());
+  observer.SendLine("stats json");
+  EXPECT_TRUE(testing::JsonChecker::Valid(observer.RecvLine()));
+  observer.SendLine("health");
+  EXPECT_EQ(observer.RecvLine().find("{\"schema\":\"tabsketch-health-v1\""),
+            0u);
+  observer.SendLine("stats slow");
+  EXPECT_TRUE(testing::JsonChecker::Valid(observer.RecvLine()));
+  observer.SendLine("stats prom");
+  EXPECT_NE(RecvPromText(&observer).find("# EOF\n"), std::string::npos);
+
+  release.set_value();
+  EXPECT_EQ(blocker.RecvLine().find("distance 0 1 = "), 0u);
+  (*server)->Shutdown();
+}
+
+#if TABSKETCH_METRICS_ENABLED
+TEST_F(ServeTest, StatsJsonCountsTrafficAndPromExposesRegistry) {
+  const ScopedGlobalMetrics metrics;
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+  auto server = Server::Start(&holder, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient client((*server)->port());
+  for (int i = 0; i < 3; ++i) {
+    client.SendLine("distance 0 1");
+    EXPECT_EQ(client.RecvLine().find("distance 0 1 = "), 0u);
+  }
+  for (int i = 0; i < 2; ++i) {
+    client.SendLine("knn 2 3");
+    EXPECT_EQ(client.RecvLine().find("knn 2 "), 0u);
+  }
+
+  client.SendLine("stats json");
+  const std::string stats = client.RecvLine();
+  EXPECT_EQ(JsonNumber(stats, "requests_distance"), 3.0) << stats;
+  EXPECT_EQ(JsonNumber(stats, "requests_knn"), 2.0) << stats;
+  EXPECT_EQ(JsonNumber(stats, "requests_total"), 5.0) << stats;
+  EXPECT_EQ(JsonNumber(stats, "connections_accepted"), 1.0) << stats;
+  EXPECT_EQ(JsonNumber(stats, "connections_active"), 1.0) << stats;
+  EXPECT_GT(JsonNumber(stats, "latency_p50_ms"), 0.0) << stats;
+
+  client.SendLine("stats prom");
+  const std::string prom = RecvPromText(&client);
+  EXPECT_NE(prom.find("# TYPE tabsketch_serve_requests_distance counter\n"
+                      "tabsketch_serve_requests_distance 3\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("# TYPE tabsketch_serve_request_latency_seconds histogram\n"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("tabsketch_serve_request_latency_seconds_count 5\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("_bucket{le=\"+Inf\"} 5\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# EOF\n"), std::string::npos) << prom;
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, StatsJsonWindowRatesComeFromTickerBaseline) {
+  const ScopedGlobalMetrics metrics;
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  SnapshotHolder holder(*snapshot);
+
+  util::MetricsTicker::Options ticker_options;
+  ticker_options.interval_seconds = 0.02;
+  ticker_options.ring_capacity = 8;
+  util::MetricsTicker ticker(ticker_options);
+  ServerOptions options;
+  options.ticker = &ticker;
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Keep traffic flowing while polling: once a ring snapshot at least half
+  // an interval old exists, the diff window over the continuing stream must
+  // show a non-zero rate. (A single up-front burst could race the ticker —
+  // a tick between burst and scrape would swallow it into the baseline.)
+  TestClient client((*server)->port());
+  std::string last_stats;
+  bool saw_window_rate = false;
+  for (int attempt = 0; attempt < 400 && !saw_window_rate; ++attempt) {
+    client.SendLine("distance 0 1");
+    EXPECT_EQ(client.RecvLine().find("distance 0 1 = "), 0u);
+    client.SendLine("stats json");
+    last_stats = client.RecvLine();
+    ASSERT_TRUE(testing::JsonChecker::Valid(last_stats)) << last_stats;
+    saw_window_rate = JsonNumber(last_stats, "window_seconds") > 0.0 &&
+                      JsonNumber(last_stats, "window_rps") > 0.0;
+  }
+  EXPECT_TRUE(saw_window_rate) << last_stats;
+  EXPECT_GT(JsonNumber(last_stats, "ticker_ticks"), 0.0) << last_stats;
+  (*server)->Shutdown();
+}
+
+TEST_F(ServeTest, GaugesBalanceOnEveryExitPath) {
+  const ScopedGlobalMetrics metrics;
+  util::Gauge* const connections =
+      util::MetricsRegistry::Global().GetGauge("serve.connections.active");
+  util::Gauge* const inflight_distance =
+      util::MetricsRegistry::Global().GetGauge("serve.inflight.distance");
+  util::Gauge* const inflight_knn =
+      util::MetricsRegistry::Global().GetGauge("serve.inflight.knn");
+
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+
+  {
+    // Phase A: normal answers, a protocol error, and a shed request
+    // (max_queue = 0) all release their gauges.
+    SnapshotHolder holder(*snapshot);
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::atomic<int> entered{0};
+    ServerOptions options;
+    options.max_inflight = 1;
+    options.max_queue = 0;
+    options.pre_request_hook = [&](const QueryRequest&) {
+      if (entered.fetch_add(1) == 0) released.wait();
+    };
+    auto server = Server::Start(&holder, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    TestClient blocker((*server)->port());
+    blocker.SendLine("distance 0 1");
+    while (entered.load() == 0) std::this_thread::yield();
+    // The parked request holds its per-verb in-flight gauge.
+    EXPECT_EQ(inflight_distance->value(), 1.0);
+
+    TestClient shed((*server)->port());
+    shed.SendLine("knn 2 3");
+    EXPECT_EQ(shed.RecvLine().find("error overloaded"), 0u);
+    shed.SendLine("frobnicate");
+    EXPECT_EQ(shed.RecvLine().find("error invalid-argument"), 0u);
+
+    release.set_value();
+    EXPECT_EQ(blocker.RecvLine().find("distance 0 1 = "), 0u);
+    (*server)->Shutdown();
+  }
+  EXPECT_EQ(connections->value(), 0.0);
+  EXPECT_EQ(inflight_distance->value(), 0.0);
+  EXPECT_EQ(inflight_knn->value(), 0.0);
+
+  {
+    // Phase B: the deadline-expired exit path also balances.
+    SnapshotHolder holder(*snapshot);
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::atomic<int> entered{0};
+    ServerOptions options;
+    options.max_inflight = 1;
+    options.max_queue = 4;
+    options.deadline_ms = 50;
+    options.pre_request_hook = [&](const QueryRequest&) {
+      if (entered.fetch_add(1) == 0) released.wait();
+    };
+    auto server = Server::Start(&holder, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    TestClient blocker((*server)->port());
+    blocker.SendLine("distance 0 1");
+    while (entered.load() == 0) std::this_thread::yield();
+    TestClient victim((*server)->port());
+    victim.SendLine("knn 2 3");
+    EXPECT_EQ(victim.RecvLine().find("error deadline-exceeded"), 0u);
+    release.set_value();
+    EXPECT_EQ(blocker.RecvLine().find("distance 0 1 = "), 0u);
+    (*server)->Shutdown();
+  }
+  EXPECT_EQ(connections->value(), 0.0);
+  EXPECT_EQ(inflight_distance->value(), 0.0);
+  EXPECT_EQ(inflight_knn->value(), 0.0);
+}
+#endif  // TABSKETCH_METRICS_ENABLED
+
+TEST_F(ServeTest, AnswersByteIdenticalWithIntrospectionPlaneOn) {
+  // The whole plane at once — metrics on (where compiled in), a fast ticker,
+  // an everything-is-slow slow log, interleaved stats scrapes — must not
+  // change a single answer byte relative to the bare engine.
+#if TABSKETCH_METRICS_ENABLED
+  const ScopedGlobalMetrics metrics;
+#endif
+  auto snapshot = Snapshot::Create(TableSpec());
+  ASSERT_TRUE(snapshot.ok());
+  const std::vector<std::string> lines = MixedBatchLines();
+  const std::vector<std::string> expected = ReferenceAnswers(**snapshot, lines);
+
+  util::MetricsTicker::Options ticker_options;
+  ticker_options.interval_seconds = 0.01;
+  util::MetricsTicker ticker(ticker_options);
+  SnapshotHolder holder(*snapshot);
+  ServerOptions options;
+  options.ticker = &ticker;
+  options.slow_ms = 1e-6;  // record every request
+  auto server = Server::Start(&holder, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  TestClient observer((*server)->port());
+  TestClient client((*server)->port());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    client.SendLine(lines[i]);
+    EXPECT_EQ(client.RecvLine(), expected[i]) << "line " << i;
+    if (i % 8 == 0) {
+      observer.SendLine("stats json");
+      EXPECT_TRUE(testing::JsonChecker::Valid(observer.RecvLine()));
+    }
+  }
+  EXPECT_EQ((*server)->slow_log().total(), lines.size());
+  (*server)->Shutdown();
 }
 
 }  // namespace
