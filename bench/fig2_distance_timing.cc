@@ -68,8 +68,13 @@ void RunNorm(const tabsketch::table::Matrix& data, double p) {
     // Preprocessing: sketches of every position of this window size (the
     // paper's "preprocessing for sketches" series).
     tabsketch::util::WallTimer preprocess_timer;
-    const SketchField field = sketcher->SketchAllPositions(
+    auto field_or = sketcher->SketchAllPositions(
         data, shape.rows, shape.cols, SketchAlgorithm::kFft);
+    if (!field_or.ok()) {
+      std::fprintf(stderr, "sketching failed\n");
+      return;
+    }
+    const SketchField& field = *field_or;
     const double preprocess_seconds = preprocess_timer.ElapsedSeconds();
 
     // Random tile triples (X, Y, Z): pairs (X, Y) feed the estimation

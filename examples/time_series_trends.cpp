@@ -46,8 +46,14 @@ int main() {
 
   // All-positions sketches via 1-D FFT (Theorem 3 in one dimension).
   util::WallTimer prep_timer;
-  const core::SeriesSketchField field = sketcher->SketchAllPositions(
+  auto field_or = sketcher->SketchAllPositions(
       series, window, core::SketchAlgorithm::kFft);
+  if (!field_or.ok()) {
+    std::fprintf(stderr, "sketching failed: %s\n",
+                 field_or.status().message().c_str());
+    return 1;
+  }
+  const core::SeriesSketchField& field = *field_or;
   std::printf("series length %zu, %zu window positions, sketched in %.2fs\n",
               series.size(), field.positions(), prep_timer.ElapsedSeconds());
 

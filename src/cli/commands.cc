@@ -70,6 +70,8 @@ commands:
   sketch     sketch every tile of a table and write the sketch set
              --table=FILE --out=FILE --tile-rows=N --tile-cols=N
              [--p=P --k=K --seed=N --threads=N]
+             [--sparsity=S very sparse stable kernels, S in (0, 1],
+             default 1 = dense; part of the family identity]
   distance   exact and sketch-estimated Lp distance between two rectangles
              --table=FILE --rect1=r,c,h,w --rect2=r,c,h,w
              [--p=P --k=K --seed=N]
@@ -78,6 +80,7 @@ commands:
              --table=FILE --tile-rows=N --tile-cols=N
              [--algo=kmeans|kmedoids|dbscan] [--k=N --p=P --seed=N]
              [--mode=exact|precomputed|ondemand] [--sketch-k=K]
+             [--sparsity=S sparse sketch kernels (sketch modes only)]
              [--cache-bytes=N bound the on-demand sketch cache, 0 = keep all]
              [--quant=off|int8|int16 code-scan assignment prefilter over
              quantized sketches; output is byte-identical to off]
@@ -85,6 +88,8 @@ commands:
   pool-build build a dyadic sketch pool over a table and persist it
              --table=FILE --out=FILE [--p=P --k=K --seed=N
              --min-log2=N --max-log2=N --threads=N]
+             [--sparsity=S sparse kernels with per-kernel FFT vs O(nnz)
+             direct routing; recorded in the pool header]
   pool-query O(k) sketch distance between two equal-size rectangles
              --pool=FILE --rect1=r,c,h,w --rect2=r,c,h,w
              [--table=FILE for an exact reference]
@@ -92,7 +97,8 @@ commands:
              tiles (answers to stdout, cache statistics to stderr; output is
              byte-identical for every --threads and --cache-bytes)
              --table=FILE --tile-rows=N --tile-cols=N --batch=FILE
-             [--p=P --k=K --seed=N] [--sketches=FILE precomputed sketch set]
+             [--p=P --k=K --seed=N --sparsity=S]
+             [--sketches=FILE precomputed sketch set]
              [--cache-bytes=N LRU sketch-cache budget, 0 = keep all]
              [--threads=N] [--refine exact re-rank of knn candidates]
              [--candidates=N refine candidate-set size, 0 = auto]
@@ -104,7 +110,8 @@ commands:
              stats [json|prom|slow] / health / quit (see docs/FORMATS.md);
              SIGINT/SIGTERM drains and exits
              --table=FILE --tile-rows=N --tile-cols=N
-             [--p=P --k=K --seed=N] [--sketches=FILE precomputed sketch set]
+             [--p=P --k=K --seed=N --sparsity=S]
+             [--sketches=FILE precomputed sketch set]
              [--cache-bytes=N] [--threads=N] [--refine] [--candidates=N]
              [--quant=off|int8|int16 quantized knn prefilter tier]
              [--ingest enable streaming append / retire / window verbs;
@@ -124,7 +131,7 @@ commands:
              write the window's sketch set (byte-identical to `sketch` over
              the stitched window table)
              --pieces=F1,F2,... --tile-rows=N --tile-cols=N --out=FILE
-             [--p=P --k=K --seed=N --threads=N]
+             [--p=P --k=K --seed=N --sparsity=S --threads=N]
              [--window=N keep at most N tile columns, retiring the oldest]
              [--table-out=FILE also write the final window table]
   top        live view of a running serve daemon: polls its `stats json`
@@ -172,6 +179,17 @@ int Fail(std::ostream& err, const util::Status& status) {
 /// Clamps a --threads flag value to a sane worker count (>= 1).
 size_t ThreadsFromFlag(int64_t threads) {
   return static_cast<size_t>(std::max<int64_t>(threads, 1));
+}
+
+/// Range check for --sparsity, phrased in terms of the flag (the params-level
+/// validation would fire too, but without naming the flag the user typed).
+util::Status ValidateSparsityFlag(double sparsity) {
+  if (!(sparsity > 0.0) || sparsity > 1.0) {
+    std::ostringstream msg;
+    msg << "--sparsity must be in (0, 1], got " << sparsity;
+    return util::Status::InvalidArgument(msg.str());
+  }
+  return util::Status::OK();
 }
 
 int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
@@ -249,7 +267,8 @@ int CmdInfo(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly({"table", "out", "tile-rows",
                                         "tile-cols", "p", "k", "seed",
-                                        "threads", "metrics-json", "trace-json", "audit-rate"}));
+                                        "sparsity", "threads",
+                                        "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
@@ -260,6 +279,9 @@ int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
   TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const double sparsity,
+                       flags.GetDouble("sparsity", 1.0));
+  TABSKETCH_RETURN_CLI(ValidateSparsityFlag(sparsity));
   TABSKETCH_ASSIGN_CLI(
       const int64_t threads,
       flags.GetInt("threads",
@@ -273,7 +295,8 @@ int CmdSketch(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!grid.ok()) return Fail(err, grid.status());
 
   core::SketchParams params{.p = p, .k = static_cast<size_t>(k),
-                            .seed = static_cast<uint64_t>(seed)};
+                            .seed = static_cast<uint64_t>(seed),
+                            .sparsity = sparsity};
   auto sketcher = core::Sketcher::Create(params);
   if (!sketcher.ok()) return Fail(err, sketcher.status());
 
@@ -325,25 +348,27 @@ int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "rectangle exceeds the table"));
   }
 
-  const table::TableView view1 =
-      matrix->Window(r1[0], r1[1], r1[2], r1[3]);
-  const table::TableView view2 =
-      matrix->Window(r2[0], r2[1], r2[2], r2[3]);
-  const double exact = core::LpDistance(view1, view2, p);
-
+  // Validate the family (in particular p in (0, 2]) before LpDistance, whose
+  // precondition on p is a hard CHECK rather than a recoverable status.
   core::SketchParams params{.p = p, .k = static_cast<size_t>(k),
                             .seed = static_cast<uint64_t>(seed)};
   auto sketcher = core::Sketcher::Create(params);
   if (!sketcher.ok()) return Fail(err, sketcher.status());
   auto estimator = core::DistanceEstimator::Create(params);
   if (!estimator.ok()) return Fail(err, estimator.status());
+
+  const table::TableView view1 =
+      matrix->Window(r1[0], r1[1], r1[2], r1[3]);
+  const table::TableView view2 =
+      matrix->Window(r2[0], r2[1], r2[2], r2[3]);
+  const double exact = core::LpDistance(view1, view2, p);
   const double approx = estimator->Estimate(sketcher->SketchOf(view1),
                                             sketcher->SketchOf(view2));
   // The exact distance is already on hand here, so auditing costs nothing
   // extra: record the pair whenever the auditor is on.
   if (eval::SketchAuditor::Enabled()) {
     eval::SketchAuditor::Global()
-        .ChannelFor(params.p, params.k)
+        .ChannelFor(params.p, params.k, params.sparsity)
         ->Record(exact, approx);
   }
   out << "L" << p << " distance, " << r1[2] << "x" << r1[3]
@@ -356,8 +381,9 @@ int CmdDistance(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "algo", "k", "p", "seed", "mode",
-       "sketch-k", "cache-bytes", "quant", "epsilon", "min-points", "threads",
-       "out", "metrics-json", "trace-json", "audit-rate"}));
+       "sketch-k", "sparsity", "cache-bytes", "quant", "epsilon",
+       "min-points", "threads", "out", "metrics-json", "trace-json",
+       "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -372,6 +398,9 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const std::string mode,
                        flags.GetString("mode", "precomputed"));
   TABSKETCH_ASSIGN_CLI(const int64_t sketch_k, flags.GetInt("sketch-k", 256));
+  TABSKETCH_ASSIGN_CLI(const double sparsity,
+                       flags.GetDouble("sparsity", 1.0));
+  TABSKETCH_RETURN_CLI(ValidateSparsityFlag(sparsity));
   TABSKETCH_ASSIGN_CLI(const int64_t cache_bytes,
                        flags.GetInt("cache-bytes", 0));
   TABSKETCH_ASSIGN_CLI(const std::string quant_text,
@@ -389,6 +418,20 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
                        flags.GetString("out", ""));
   const size_t threads = ThreadsFromFlag(threads_flag);
 
+  // Flag conflicts fail before any table IO.
+  if (mode == "exact") {
+    if (quant != core::QuantKind::kOff) {
+      return Fail(err, util::Status::InvalidArgument(
+                           "--quant applies to sketch modes only; "
+                           "--mode=exact has no sketches to quantize"));
+    }
+    if (flags.Has("sparsity")) {
+      return Fail(err, util::Status::InvalidArgument(
+                           "--sparsity applies to sketch modes only; "
+                           "--mode=exact has no sketch family"));
+    }
+  }
+
   auto matrix = table::ReadBinary(table_path);
   if (!matrix.ok()) return Fail(err, matrix.status());
   auto grid = table::TileGrid::Create(&*matrix,
@@ -399,11 +442,6 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   // Backend per --mode.
   std::unique_ptr<cluster::ClusteringBackend> backend;
   if (mode == "exact") {
-    if (quant != core::QuantKind::kOff) {
-      return Fail(err, util::Status::InvalidArgument(
-                           "--quant applies to sketch modes only; "
-                           "--mode=exact has no sketches to quantize"));
-    }
     auto exact = cluster::ExactBackend::Create(&*grid, p);
     if (!exact.ok()) return Fail(err, exact.status());
     backend = std::make_unique<cluster::ExactBackend>(
@@ -416,7 +454,7 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
     auto sketch = cluster::SketchBackend::Create(
         &*grid,
         {.p = p, .k = static_cast<size_t>(sketch_k),
-         .seed = static_cast<uint64_t>(seed)},
+         .seed = static_cast<uint64_t>(seed), .sparsity = sparsity},
         mode == "precomputed" ? cluster::SketchMode::kPrecomputed
                               : cluster::SketchMode::kOnDemand,
         core::EstimatorKind::kAuto, threads,
@@ -484,8 +522,9 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
   // sketch estimates; exact-mode runs have nothing to audit).
   if (eval::SketchAuditor::Enabled()) {
     for (const auto& audit : eval::SketchAuditor::Global().Summaries()) {
-      out << "audit p=" << audit.p << " k=" << audit.k << ": "
-          << audit.samples << " sampled, median relerr "
+      out << "audit p=" << audit.p << " k=" << audit.k;
+      if (audit.sparsity < 1.0) out << " sparsity=" << audit.sparsity;
+      out << ": " << audit.samples << " sampled, median relerr "
           << audit.median_relerr << ", worst " << audit.worst_relerr << ", "
           << audit.violations << " over eps=" << audit.epsilon << "\n";
     }
@@ -509,14 +548,17 @@ int CmdCluster(const Flags& flags, std::ostream& out, std::ostream& err) {
 
 int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"table", "out", "p", "k", "seed", "min-log2", "max-log2", "threads",
-       "metrics-json", "trace-json", "audit-rate"}));
+      {"table", "out", "p", "k", "seed", "sparsity", "min-log2", "max-log2",
+       "threads", "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const std::string out_path, flags.GetRequired("out"));
   TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 64));
   TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const double sparsity,
+                       flags.GetDouble("sparsity", 1.0));
+  TABSKETCH_RETURN_CLI(ValidateSparsityFlag(sparsity));
   TABSKETCH_ASSIGN_CLI(const int64_t min_log2, flags.GetInt("min-log2", 3));
   TABSKETCH_ASSIGN_CLI(const int64_t max_log2, flags.GetInt("max-log2", 63));
   TABSKETCH_ASSIGN_CLI(
@@ -535,7 +577,7 @@ int CmdPoolBuild(const Flags& flags, std::ostream& out, std::ostream& err) {
   util::WallTimer timer;
   auto pool = core::SketchPool::Build(
       *matrix, {.p = p, .k = static_cast<size_t>(k),
-                .seed = static_cast<uint64_t>(seed)},
+                .seed = static_cast<uint64_t>(seed), .sparsity = sparsity},
       options);
   if (!pool.ok()) return Fail(err, pool.status());
   const double seconds = timer.ElapsedSeconds();
@@ -594,8 +636,9 @@ int CmdPoolQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
       {"table", "tile-rows", "tile-cols", "batch", "p", "k", "seed",
-       "sketches", "cache-bytes", "threads", "refine", "candidates", "quant",
-       "out", "metrics-json", "trace-json", "audit-rate"}));
+       "sparsity", "sketches", "cache-bytes", "threads", "refine",
+       "candidates", "quant", "out", "metrics-json", "trace-json",
+       "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetRequired("table"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -607,6 +650,9 @@ int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
   TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const double sparsity,
+                       flags.GetDouble("sparsity", 1.0));
+  TABSKETCH_RETURN_CLI(ValidateSparsityFlag(sparsity));
   TABSKETCH_ASSIGN_CLI(const std::string sketches_path,
                        flags.GetString("sketches", ""));
   TABSKETCH_ASSIGN_CLI(const int64_t cache_bytes,
@@ -629,14 +675,15 @@ int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "--cache-bytes and --candidates must be >= 0"));
   }
 
+  if (!sketches_path.empty() &&
+      (flags.Has("p") || flags.Has("k") || flags.Has("seed") ||
+       flags.Has("sparsity"))) {
+    return Fail(err, util::Status::InvalidArgument(
+                         "--p/--k/--seed/--sparsity come from the "
+                         "--sketches file; drop the flags"));
+  }
   TABSKETCH_ASSIGN_CLI(const std::vector<serve::QueryRequest> batch,
                        serve::ParseBatchFile(batch_path));
-  if (!sketches_path.empty() &&
-      (flags.Has("p") || flags.Has("k") || flags.Has("seed"))) {
-    return Fail(err, util::Status::InvalidArgument(
-                         "--p/--k/--seed come from the --sketches file; "
-                         "drop the flags"));
-  }
 
   // The whole serving pipeline (table, grid, sketch source, estimator,
   // engine) is one Snapshot — the same composition `tabsketch serve`
@@ -650,7 +697,8 @@ int CmdQuery(const Flags& flags, std::ostream& out, std::ostream& err) {
   spec.tile_cols = static_cast<size_t>(tile_cols);
   spec.sketches_path = sketches_path;
   spec.params = core::SketchParams{.p = p, .k = static_cast<size_t>(k),
-                                   .seed = static_cast<uint64_t>(seed)};
+                                   .seed = static_cast<uint64_t>(seed),
+                                   .sparsity = sparsity};
   spec.cache_bytes = static_cast<size_t>(cache_bytes);
   spec.engine.threads = ThreadsFromFlag(threads_flag);
   spec.engine.refine = refine;
@@ -737,10 +785,10 @@ class ScopedMetricsEnable {
 
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"table", "tile-rows", "tile-cols", "p", "k", "seed", "sketches",
-       "cache-bytes", "threads", "refine", "candidates", "quant", "ingest",
-       "port", "port-file", "max-inflight", "max-queue", "deadline-ms",
-       "slow-ms", "slow-log", "stats-interval", "stats-ring",
+      {"table", "tile-rows", "tile-cols", "p", "k", "seed", "sparsity",
+       "sketches", "cache-bytes", "threads", "refine", "candidates", "quant",
+       "ingest", "port", "port-file", "max-inflight", "max-queue",
+       "deadline-ms", "slow-ms", "slow-log", "stats-interval", "stats-ring",
        "metrics-json", "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string table_path,
                        flags.GetString("table", ""));
@@ -751,6 +799,9 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
   TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const double sparsity,
+                       flags.GetDouble("sparsity", 1.0));
+  TABSKETCH_RETURN_CLI(ValidateSparsityFlag(sparsity));
   TABSKETCH_ASSIGN_CLI(const std::string sketches_path,
                        flags.GetString("sketches", ""));
   TABSKETCH_ASSIGN_CLI(const int64_t cache_bytes,
@@ -820,10 +871,11 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "serve needs --table and/or --sketches"));
   }
   if (!sketches_path.empty() &&
-      (flags.Has("p") || flags.Has("k") || flags.Has("seed"))) {
+      (flags.Has("p") || flags.Has("k") || flags.Has("seed") ||
+       flags.Has("sparsity"))) {
     return Fail(err, util::Status::InvalidArgument(
-                         "--p/--k/--seed come from the --sketches file; "
-                         "drop the flags"));
+                         "--p/--k/--seed/--sparsity come from the "
+                         "--sketches file; drop the flags"));
   }
   if (ingest_enabled && table_path.empty()) {
     return Fail(err, util::Status::InvalidArgument(
@@ -851,7 +903,8 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   spec.tile_cols = static_cast<size_t>(tile_cols);
   spec.sketches_path = sketches_path;
   spec.params = core::SketchParams{.p = p, .k = static_cast<size_t>(k),
-                                   .seed = static_cast<uint64_t>(seed)};
+                                   .seed = static_cast<uint64_t>(seed),
+                                   .sparsity = sparsity};
   spec.cache_bytes = static_cast<size_t>(cache_bytes);
   spec.engine.threads = ThreadsFromFlag(threads_flag);
   spec.engine.refine = refine;
@@ -950,8 +1003,9 @@ std::vector<std::string> SplitCommaList(const std::string& text) {
 
 int CmdIngest(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_RETURN_CLI(flags.AllowOnly(
-      {"pieces", "tile-rows", "tile-cols", "out", "p", "k", "seed", "threads",
-       "window", "table-out", "metrics-json", "trace-json", "audit-rate"}));
+      {"pieces", "tile-rows", "tile-cols", "out", "p", "k", "seed",
+       "sparsity", "threads", "window", "table-out", "metrics-json",
+       "trace-json", "audit-rate"}));
   TABSKETCH_ASSIGN_CLI(const std::string pieces_text,
                        flags.GetRequired("pieces"));
   TABSKETCH_ASSIGN_CLI(const int64_t tile_rows,
@@ -962,6 +1016,9 @@ int CmdIngest(const Flags& flags, std::ostream& out, std::ostream& err) {
   TABSKETCH_ASSIGN_CLI(const double p, flags.GetDouble("p", 1.0));
   TABSKETCH_ASSIGN_CLI(const int64_t k, flags.GetInt("k", 256));
   TABSKETCH_ASSIGN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  TABSKETCH_ASSIGN_CLI(const double sparsity,
+                       flags.GetDouble("sparsity", 1.0));
+  TABSKETCH_RETURN_CLI(ValidateSparsityFlag(sparsity));
   TABSKETCH_ASSIGN_CLI(
       const int64_t threads_flag,
       flags.GetInt("threads",
@@ -992,7 +1049,8 @@ int CmdIngest(const Flags& flags, std::ostream& out, std::ostream& err) {
       TABSKETCH_ASSIGN_CLI(
           store, core::GrowingTableSketcher::Create(
                      core::SketchParams{.p = p, .k = static_cast<size_t>(k),
-                                        .seed = static_cast<uint64_t>(seed)},
+                                        .seed = static_cast<uint64_t>(seed),
+                                        .sparsity = sparsity},
                      piece->rows(), static_cast<size_t>(tile_rows),
                      static_cast<size_t>(tile_cols)));
     }

@@ -53,8 +53,8 @@ util::Result<SketchBackend> SketchBackend::Create(
                                backend.code_pool_->bytes());
   }
   if (eval::SketchAuditor::Enabled()) {
-    backend.audit_ =
-        eval::SketchAuditor::Global().ChannelFor(params.p, params.k);
+    backend.audit_ = eval::SketchAuditor::Global().ChannelFor(
+        params.p, params.k, params.sparsity);
   }
   return backend;
 }

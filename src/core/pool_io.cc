@@ -16,7 +16,7 @@ namespace tabsketch::core {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'K', 'P'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 struct Header {
   char magic[4];
@@ -27,7 +27,12 @@ struct Header {
   uint64_t data_rows;
   uint64_t data_cols;
   uint64_t num_fields;
+  // v2 appends the family sparsity (FORMATS.md); v1 files end at
+  // `num_fields` and imply a dense family (sparsity 1.0).
+  double sparsity;
 };
+constexpr size_t kHeaderBytesV1 = sizeof(Header) - sizeof(double);
+static_assert(sizeof(Header) == 64, "TSKP v2 header must be padding-free");
 
 struct FieldHeader {
   uint64_t window_rows;
@@ -57,6 +62,7 @@ util::Status WriteSketchPool(const SketchPool& pool,
   header.data_rows = pool.data_rows();
   header.data_cols = pool.data_cols();
   header.num_fields = pool.fields().size();
+  header.sparsity = pool.params().sparsity;
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
 
   for (const auto& [size, field] : pool.fields()) {
@@ -95,23 +101,36 @@ util::Result<SketchPool> ReadSketchPool(const std::string& path) {
     return util::Status::IOError("cannot open for reading: " + path);
   }
   Header header;
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  in.read(reinterpret_cast<char*>(&header), kHeaderBytesV1);
   if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return util::Status::IOError("not a tabsketch pool: " + path);
   }
-  if (header.version != kVersion) {
+  if (header.version != 1 && header.version != kVersion) {
     std::ostringstream msg;
     msg << "unsupported pool version " << header.version << " in " << path;
     return util::Status::IOError(msg.str());
   }
-  SketchParams params{.p = header.p, .k = header.k, .seed = header.seed};
+  header.sparsity = 1.0;
+  if (header.version >= 2) {
+    in.read(reinterpret_cast<char*>(&header.sparsity),
+            sizeof(header.sparsity));
+    if (!in) {
+      return util::Status::IOError("truncated pool file: " + path);
+    }
+  }
+  const size_t header_bytes =
+      header.version >= 2 ? sizeof(header) : kHeaderBytesV1;
+  SketchParams params{.p = header.p,
+                      .k = header.k,
+                      .seed = header.seed,
+                      .sparsity = header.sparsity};
   TABSKETCH_RETURN_IF_ERROR(params.Validate());
 
   // Total file size, for overflow-safe allocation guards against corrupted
   // field headers.
   in.seekg(0, std::ios::end);
   const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
-  in.seekg(sizeof(header), std::ios::beg);
+  in.seekg(static_cast<std::streamoff>(header_bytes), std::ios::beg);
 
   std::map<std::pair<size_t, size_t>, SketchField> fields;
   for (uint64_t f = 0; f < header.num_fields; ++f) {

@@ -18,11 +18,12 @@ namespace tabsketch::core {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'K', 'Q'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
-/// On-disk header of the TSKQ v1 code-pool format (docs/FORMATS.md). Field
-/// order keeps every member naturally aligned, so sizeof == 80 with no
-/// padding on any supported ABI.
+/// On-disk header of the TSKQ code-pool format (docs/FORMATS.md). Field
+/// order keeps every member naturally aligned with no padding on any
+/// supported ABI. v2 appends the family sparsity; v1 files end at `offset`
+/// and imply a dense family (sparsity 1.0).
 struct Header {
   char magic[4];
   uint32_t version;
@@ -36,8 +37,10 @@ struct Header {
   uint64_t count;
   double scale;
   double offset;
+  double sparsity;
 };
-static_assert(sizeof(Header) == 80, "TSKQ header must pack without padding");
+constexpr size_t kHeaderBytesV1 = sizeof(Header) - sizeof(double);
+static_assert(sizeof(Header) == 88, "TSKQ header must pack without padding");
 
 /// Relative padding applied to the quantization error bound; dominates every
 /// floating-point rounding term in the threshold comparisons (see
@@ -396,6 +399,7 @@ util::Status WriteCodePool(const QuantizedCodePool& pool,
   header.count = pool.count();
   header.scale = pool.scale();
   header.offset = pool.offset();
+  header.sparsity = pool.params().sparsity;
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   out.write(reinterpret_cast<const char*>(pool.usable_flags().data()),
             static_cast<std::streamsize>(pool.usable_flags().size()));
@@ -422,16 +426,26 @@ util::Result<QuantizedCodePool> ReadCodePool(const std::string& path) {
     return util::Status::IOError("cannot open for reading: " + path);
   }
   Header header;
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  in.read(reinterpret_cast<char*>(&header), kHeaderBytesV1);
   if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return util::Status::IOError("not a tabsketch code pool: " + path);
   }
-  if (header.version != kVersion) {
+  if (header.version != 1 && header.version != kVersion) {
     std::ostringstream msg;
     msg << "unsupported code-pool version " << header.version << " in "
         << path;
     return util::Status::IOError(msg.str());
   }
+  header.sparsity = 1.0;
+  if (header.version >= 2) {
+    in.read(reinterpret_cast<char*>(&header.sparsity),
+            sizeof(header.sparsity));
+    if (!in) {
+      return util::Status::IOError("truncated code pool: " + path);
+    }
+  }
+  const size_t header_bytes =
+      header.version >= 2 ? sizeof(header) : kHeaderBytesV1;
   if (header.kind != static_cast<uint32_t>(QuantKind::kInt8) &&
       header.kind != static_cast<uint32_t>(QuantKind::kInt16)) {
     std::ostringstream msg;
@@ -449,6 +463,7 @@ util::Result<QuantizedCodePool> ReadCodePool(const std::string& path) {
   pool.params_.p = header.p;
   pool.params_.k = header.k;
   pool.params_.seed = header.seed;
+  pool.params_.sparsity = header.sparsity;
   TABSKETCH_RETURN_IF_ERROR(pool.params_.Validate());
   pool.count_ = header.count;
   pool.k_ = header.k;
@@ -461,8 +476,8 @@ util::Result<QuantizedCodePool> ReadCodePool(const std::string& path) {
   // (overflow-safe before any allocation).
   in.seekg(0, std::ios::end);
   const uint64_t payload_bytes =
-      static_cast<uint64_t>(in.tellg()) - sizeof(header);
-  in.seekg(sizeof(header), std::ios::beg);
+      static_cast<uint64_t>(in.tellg()) - header_bytes;
+  in.seekg(static_cast<std::streamoff>(header_bytes), std::ios::beg);
   const uint64_t code_bytes = QuantCodeBytes(pool.kind_);
   if (header.count > payload_bytes) {
     return util::Status::IOError("corrupt code-pool header in " + path);

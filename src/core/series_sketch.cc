@@ -43,6 +43,8 @@ struct SeriesSketcher::VectorCache {
   std::mutex mutex;
   std::map<size_t, std::shared_ptr<const std::vector<std::vector<double>>>>
       entries;
+  std::map<size_t, std::shared_ptr<const std::vector<SparseKernel>>>
+      sparse_entries;
 };
 
 util::Result<SeriesSketcher> SeriesSketcher::Create(
@@ -80,11 +82,40 @@ const std::vector<std::vector<double>>& SeriesSketcher::VectorsFor(
   return *it->second;
 }
 
+const std::vector<SparseKernel>& SeriesSketcher::SparseKernelsFor(
+    size_t window) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->sparse_entries.find(window);
+    if (it != cache_->sparse_entries.end()) return *it->second;
+  }
+  auto generated = std::make_shared<const std::vector<SparseKernel>>(
+      SparseStableKernels(params_, 1, window));
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it =
+      cache_->sparse_entries.emplace(window, std::move(generated)).first;
+  return *it->second;
+}
+
 Sketch SeriesSketcher::SketchOf(std::span<const double> window) const {
   TABSKETCH_CHECK(!window.empty()) << "cannot sketch an empty window";
-  const auto& vectors = VectorsFor(window.size());
   Sketch out;
   out.values.resize(params_.k);
+  if (params_.sparsity < 1.0) {
+    // O(nnz) support walk, bit-identical to the dense loop below (the
+    // skipped products are exact zeros).
+    const auto& kernels = SparseKernelsFor(window.size());
+    for (size_t i = 0; i < params_.k; ++i) {
+      const SparseKernel& kernel = kernels[i];
+      double acc = 0.0;
+      for (size_t e = 0; e < kernel.nnz(); ++e) {
+        acc += window[kernel.entry_cols[e]] * kernel.values[e];
+      }
+      out.values[i] = acc;
+    }
+    return out;
+  }
+  const auto& vectors = VectorsFor(window.size());
   for (size_t i = 0; i < params_.k; ++i) {
     double acc = 0.0;
     const std::vector<double>& random = vectors[i];
@@ -96,23 +127,43 @@ Sketch SeriesSketcher::SketchOf(std::span<const double> window) const {
   return out;
 }
 
-SeriesSketchField SeriesSketcher::SketchAllPositions(
+util::Result<SeriesSketchField> SeriesSketcher::SketchAllPositions(
     std::span<const double> series, size_t window,
     SketchAlgorithm algorithm) const {
-  TABSKETCH_CHECK(window >= 1 && window <= series.size())
-      << "window " << window << " does not fit series of length "
-      << series.size();
-  const auto& vectors = VectorsFor(window);
+  if (window < 1 || window > series.size()) {
+    std::ostringstream msg;
+    msg << "window length " << window << " does not fit the series of "
+        << series.size() << " samples: it must be between 1 and the "
+        << "series length";
+    return util::Status::InvalidArgument(msg.str());
+  }
   std::vector<std::vector<double>> planes;
   planes.reserve(params_.k);
-  if (algorithm == SketchAlgorithm::kFft) {
+  if (algorithm == SketchAlgorithm::kAuto && params_.sparsity < 1.0) {
+    // 1-D analog of the 2-D auto path: each kernel independently picks the
+    // shared-plan FFT or the O(nnz) direct walk by predicted cost.
+    const auto& kernels = SparseKernelsFor(window);
+    const auto& vectors = VectorsFor(window);
+    const size_t positions = series.size() - window + 1;
+    std::unique_ptr<fft::CorrelationPlan1D> plan;
+    for (size_t i = 0; i < params_.k; ++i) {
+      if (PreferSparsePath(kernels[i].nnz(), positions, 1, series.size())) {
+        planes.push_back(CrossCorrelateSparse1D(series, kernels[i]));
+      } else {
+        if (!plan) plan = std::make_unique<fft::CorrelationPlan1D>(series);
+        planes.push_back(plan->Correlate(vectors[i]));
+      }
+    }
+  } else if (algorithm == SketchAlgorithm::kNaive) {
+    const auto& vectors = VectorsFor(window);
+    for (size_t i = 0; i < params_.k; ++i) {
+      planes.push_back(fft::CrossCorrelateNaive1D(series, vectors[i]));
+    }
+  } else {
+    const auto& vectors = VectorsFor(window);
     fft::CorrelationPlan1D plan(series);
     for (size_t i = 0; i < params_.k; ++i) {
       planes.push_back(plan.Correlate(vectors[i]));
-    }
-  } else {
-    for (size_t i = 0; i < params_.k; ++i) {
-      planes.push_back(fft::CrossCorrelateNaive1D(series, vectors[i]));
     }
   }
   return SeriesSketchField(window, std::move(planes));
@@ -138,9 +189,10 @@ util::Result<SeriesSketchPool> SeriesSketchPool::Build(
        (static_cast<size_t>(1) << i) <= series.size();
        ++i) {
     const size_t window = static_cast<size_t>(1) << i;
-    pool.fields_.emplace(
-        window, sketcher.SketchAllPositions(series, window,
-                                            options.algorithm));
+    TABSKETCH_ASSIGN_OR_RETURN(
+        SeriesSketchField field,
+        sketcher.SketchAllPositions(series, window, options.algorithm));
+    pool.fields_.emplace(window, std::move(field));
   }
   if (pool.fields_.empty()) {
     return util::Status::InvalidArgument(

@@ -50,18 +50,24 @@ class SeriesSketcher {
 
   const SketchParams& params() const { return params_; }
 
-  /// Sketch of one window by direct dot products: O(k * window).
+  /// Sketch of one window: O(k * window) dense dot products, or O(k * nnz)
+  /// sparse walks when the family's sparsity < 1 (bit-identical to dense).
   Sketch SketchOf(std::span<const double> window) const;
 
   /// Sketches of every window position over `series` (1-D Theorem 3):
-  /// O(k N log N) with the FFT algorithm, O(k N M) naive.
-  SeriesSketchField SketchAllPositions(std::span<const double> series,
-                                       size_t window,
-                                       SketchAlgorithm algorithm) const;
+  /// O(k N log N) with the FFT algorithm, O(k N M) naive, and per-kernel
+  /// cost-routed FFT vs O(nnz N) sparse-direct under kAuto. Returns
+  /// InvalidArgument if the window is empty or longer than the series.
+  util::Result<SeriesSketchField> SketchAllPositions(
+      std::span<const double> series, size_t window,
+      SketchAlgorithm algorithm) const;
 
   /// The k random stable vectors for a window length (cached; identical to
   /// the 2-D family's 1 x window matrices).
   const std::vector<std::vector<double>>& VectorsFor(size_t window) const;
+
+  /// The same kernels in sparse form (cached; 1 x window shape).
+  const std::vector<SparseKernel>& SparseKernelsFor(size_t window) const;
 
  private:
   explicit SeriesSketcher(const SketchParams& params);

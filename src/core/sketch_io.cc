@@ -11,7 +11,7 @@ namespace tabsketch::core {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'K', 'S'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 struct Header {
   char magic[4];
@@ -22,7 +22,12 @@ struct Header {
   uint64_t object_rows;
   uint64_t object_cols;
   uint64_t count;
+  // v2 appends the family sparsity (FORMATS.md); v1 files end at `count`
+  // and imply a dense family (sparsity 1.0).
+  double sparsity;
 };
+constexpr size_t kHeaderBytesV1 = sizeof(Header) - sizeof(double);
+static_assert(sizeof(Header) == 64, "TSKS v2 header must be padding-free");
 
 }  // namespace
 
@@ -50,6 +55,7 @@ util::Status WriteSketchSet(const SketchSet& set, const std::string& path) {
   header.object_rows = set.object_rows;
   header.object_cols = set.object_cols;
   header.count = set.sketches.size();
+  header.sparsity = set.params.sparsity;
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   for (const Sketch& sketch : set.sketches) {
     out.write(reinterpret_cast<const char*>(sketch.values.data()),
@@ -76,20 +82,31 @@ util::Result<SketchSet> ReadSketchSet(const std::string& path) {
     return util::Status::IOError("cannot open for reading: " + path);
   }
   Header header;
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  in.read(reinterpret_cast<char*>(&header), kHeaderBytesV1);
   if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return util::Status::IOError("not a tabsketch sketch set: " + path);
   }
-  if (header.version != kVersion) {
+  if (header.version != 1 && header.version != kVersion) {
     std::ostringstream msg;
     msg << "unsupported sketch-set version " << header.version << " in "
         << path;
     return util::Status::IOError(msg.str());
   }
+  header.sparsity = 1.0;
+  if (header.version >= 2) {
+    in.read(reinterpret_cast<char*>(&header.sparsity),
+            sizeof(header.sparsity));
+    if (!in) {
+      return util::Status::IOError("truncated sketch set: " + path);
+    }
+  }
+  const size_t header_bytes =
+      header.version >= 2 ? sizeof(header) : kHeaderBytesV1;
   SketchSet set;
   set.params.p = header.p;
   set.params.k = header.k;
   set.params.seed = header.seed;
+  set.params.sparsity = header.sparsity;
   TABSKETCH_RETURN_IF_ERROR(set.params.Validate());
   set.object_rows = header.object_rows;
   set.object_cols = header.object_cols;
@@ -97,8 +114,8 @@ util::Result<SketchSet> ReadSketchSet(const std::string& path) {
   // exactly count sketches of k doubles (overflow-safe check).
   in.seekg(0, std::ios::end);
   const uint64_t payload_bytes =
-      static_cast<uint64_t>(in.tellg()) - sizeof(header);
-  in.seekg(sizeof(header), std::ios::beg);
+      static_cast<uint64_t>(in.tellg()) - header_bytes;
+  in.seekg(static_cast<std::streamoff>(header_bytes), std::ios::beg);
   const uint64_t max_doubles = payload_bytes / sizeof(double);
   if (header.count != 0 && header.k > max_doubles / header.count) {
     return util::Status::IOError("corrupt sketch-set header in " + path);

@@ -29,6 +29,16 @@ struct SketchParams {
   /// Master seed for all random matrices in this family.
   uint64_t seed = 0x7ab5ce7c0ffee123ULL;
 
+  /// Kernel sparsity s in (0, 1] (Ping Li's very sparse stable random
+  /// projections): each random-matrix entry is zero with probability 1 - s
+  /// and an SaS(p) draw rescaled by s^(-1/p) otherwise, preserving the
+  /// estimator's expectation at a variance cost that vanishes as s -> 1
+  /// (DESIGN.md Section 16). s = 1 is the paper's dense family and
+  /// regenerates bit-identical matrices to pre-sparsity builds, so legacy
+  /// sketches stay comparable. Sparsity is part of the family identity:
+  /// sketches with different s are never comparable.
+  double sparsity = 1.0;
+
   /// Returns OK iff the parameters are usable.
   util::Status Validate() const {
     if (!(p > 0.0) || p > 2.0) {
@@ -39,11 +49,17 @@ struct SketchParams {
     if (k == 0) {
       return util::Status::InvalidArgument("sketch size k must be positive");
     }
+    if (!(sparsity > 0.0) || sparsity > 1.0) {
+      std::ostringstream msg;
+      msg << "sketch sparsity must be in (0, 1], got " << sparsity;
+      return util::Status::InvalidArgument(msg.str());
+    }
     return util::Status::OK();
   }
 
   friend bool operator==(const SketchParams& a, const SketchParams& b) {
-    return a.p == b.p && a.k == b.k && a.seed == b.seed;
+    return a.p == b.p && a.k == b.k && a.seed == b.seed &&
+           a.sparsity == b.sparsity;
   }
 };
 

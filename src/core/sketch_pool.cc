@@ -71,18 +71,56 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
     }
   }
 
-  // Materialize every size's random matrices before fanning out, so workers
-  // only read the sketcher's cache (generation is deterministic per shape,
-  // but pre-filling avoids duplicated generation racing on the cache lock).
-  for (const auto& [window_rows, window_cols] : sizes) {
-    sketcher.MatricesFor(window_rows, window_cols);
+  // Per-kernel path routing for sparse families under kAuto: kernel i of
+  // size s goes sparse-direct iff its predicted direct cost undercuts the
+  // FFT's (DESIGN.md Section 16). The decision depends only on sizes and
+  // each kernel's nnz — never on threads — so the pool stays bit-identical
+  // across thread counts. Dense families fall through with an empty map
+  // (kAuto is exactly kFft for them).
+  const bool sparse_auto =
+      options.algorithm == SketchAlgorithm::kAuto && params.sparsity < 1.0;
+  std::vector<std::vector<bool>> direct;
+  bool any_fft_kernel = !sparse_auto;
+  if (sparse_auto) {
+    direct.resize(sizes.size());
+    size_t direct_kernels = 0;
+    size_t fft_kernels = 0;
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      const auto [window_rows, window_cols] = sizes[s];
+      const auto& kernels = sketcher.SparseKernelsFor(window_rows, window_cols);
+      const size_t positions = (data.rows() - window_rows + 1) *
+                               (data.cols() - window_cols + 1);
+      direct[s].resize(params.k);
+      for (size_t i = 0; i < params.k; ++i) {
+        direct[s][i] = PreferSparsePath(kernels[i].nnz(), positions,
+                                        data.rows(), data.cols());
+        ++(direct[s][i] ? direct_kernels : fft_kernels);
+      }
+    }
+    TABSKETCH_METRIC_COUNT_N("sparse.pool.direct_kernels", direct_kernels);
+    TABSKETCH_METRIC_COUNT_N("sparse.pool.fft_kernels", fft_kernels);
+    any_fft_kernel = fft_kernels > 0;
+  }
+
+  // Materialize every size's random matrices (dense form only where some
+  // kernel rides the FFT) before fanning out, so workers only read the
+  // sketcher's cache (generation is deterministic per shape, but pre-filling
+  // avoids duplicated generation racing on the cache lock).
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    const auto [window_rows, window_cols] = sizes[s];
+    if (!sparse_auto ||
+        std::find(direct[s].begin(), direct[s].end(), false) !=
+            direct[s].end()) {
+      sketcher.MatricesFor(window_rows, window_cols);
+    }
   }
 
   // One forward FFT of the data, shared by all canonical sizes and kernels
   // (Correlate is const and concurrency-safe). The naive path has no shared
-  // state at all.
+  // state at all, and an all-sparse-direct build skips the transform
+  // entirely.
   std::unique_ptr<const fft::CorrelationPlan> plan;
-  if (options.algorithm == SketchAlgorithm::kFft) {
+  if (options.algorithm != SketchAlgorithm::kNaive && any_fft_kernel) {
     plan = std::make_unique<const fft::CorrelationPlan>(data);
   }
 
@@ -103,6 +141,32 @@ util::Result<SketchPool> SketchPool::Build(const table::Matrix& data,
     const size_t second = first + 1;
     const util::WallTimer item_timer;
     const auto [window_rows, window_cols] = sizes[size_index];
+    if (sparse_auto) {
+      // Routed pair: both-FFT kernels still share one transform pair; a
+      // mixed or all-direct pair walks each kernel individually.
+      const auto& sparse = sketcher.SparseKernelsFor(window_rows, window_cols);
+      const bool second_valid = second < k;
+      if (!direct[size_index][first] && second_valid &&
+          !direct[size_index][second]) {
+        const auto& kernels = sketcher.MatricesFor(window_rows, window_cols);
+        auto [plane_a, plane_b] =
+            plan->CorrelatePair(kernels[first], kernels[second]);
+        planes[size_index][first] = std::move(plane_a);
+        planes[size_index][second] = std::move(plane_b);
+      } else {
+        for (size_t i = first; i <= second && i < k; ++i) {
+          planes[size_index][i] =
+              direct[size_index][i]
+                  ? CrossCorrelateSparse(data, sparse[i])
+                  : plan->Correlate(
+                        sketcher.MatricesFor(window_rows, window_cols)[i]);
+        }
+      }
+      if (!size_histograms.empty()) {
+        size_histograms[size_index]->Observe(item_timer.ElapsedSeconds());
+      }
+      return;
+    }
     const auto& kernels = sketcher.MatricesFor(window_rows, window_cols);
     if (plan) {
       if (second < k) {

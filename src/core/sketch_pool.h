@@ -21,8 +21,11 @@ struct PoolOptions {
   size_t log2_min_cols = 3;
   size_t log2_max_cols = 63;
 
-  /// Algorithm for the all-positions precompute.
-  SketchAlgorithm algorithm = SketchAlgorithm::kFft;
+  /// Algorithm for the all-positions precompute. kAuto is exactly kFft for
+  /// dense families (sparsity = 1); for sparse families each kernel is
+  /// routed between the shared FFT plan and the O(nnz) sparse-direct path
+  /// by predicted cost (DESIGN.md Section 16).
+  SketchAlgorithm algorithm = SketchAlgorithm::kAuto;
 
   /// Worker threads for the precompute. The (canonical size x kernel) work
   /// items are independent, so the build fans them over util::ParallelFor;

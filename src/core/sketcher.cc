@@ -1,5 +1,6 @@
 #include "core/sketcher.h"
 
+#include <sstream>
 #include <utility>
 
 #include "core/stable_matrix.h"
@@ -10,6 +11,21 @@
 #include "util/trace.h"
 
 namespace tabsketch::core {
+namespace {
+
+/// The satellite-crash fix: window-fit problems surface as InvalidArgument
+/// with 1-based sizes (a "1x1 window" is the smallest, matching how users
+/// write --tile-rows/--min-log2), instead of dying on a CHECK.
+util::Status WindowFitError(size_t window_rows, size_t window_cols,
+                            size_t data_rows, size_t data_cols) {
+  std::ostringstream msg;
+  msg << "window " << window_rows << "x" << window_cols
+      << " does not fit the " << data_rows << "x" << data_cols
+      << " table: window sides must be between 1 and the table's sides";
+  return util::Status::InvalidArgument(msg.str());
+}
+
+}  // namespace
 
 void Sketch::Add(const Sketch& other) {
   TABSKETCH_CHECK(values.size() == other.values.size())
@@ -78,12 +94,44 @@ const std::vector<table::Matrix>& Sketcher::MatricesFor(size_t rows,
   return *it->second;
 }
 
+const std::vector<SparseKernel>& Sketcher::SparseKernelsFor(
+    size_t rows, size_t cols) const {
+  const auto key = std::make_pair(rows, cols);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->sparse_entries.find(key);
+    if (it != cache_->sparse_entries.end()) return *it->second;
+  }
+  auto generated = std::make_shared<const std::vector<SparseKernel>>(
+      SparseStableKernels(params_, rows, cols));
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->sparse_entries.emplace(key, std::move(generated)).first;
+  return *it->second;
+}
+
 Sketch Sketcher::SketchOf(const table::TableView& view) const {
   TABSKETCH_CHECK(!view.empty()) << "cannot sketch an empty subtable";
   TABSKETCH_METRIC_COUNT("sketcher.sketch_of.calls");
-  const auto& matrices = MatricesFor(view.rows(), view.cols());
   Sketch out;
   out.values.resize(params_.k);
+  if (params_.sparsity < 1.0) {
+    // O(nnz) walk over the kernels' support in storage (row-major) order —
+    // bit-identical to the dense walk below, which only adds exact-zero
+    // products on top of the same accumulation sequence.
+    TABSKETCH_METRIC_COUNT("sparse.sketch_of.calls");
+    const auto& kernels = SparseKernelsFor(view.rows(), view.cols());
+    for (size_t i = 0; i < params_.k; ++i) {
+      const SparseKernel& kernel = kernels[i];
+      double acc = 0.0;
+      for (size_t e = 0; e < kernel.nnz(); ++e) {
+        acc += view.At(kernel.entry_rows[e], kernel.entry_cols[e]) *
+               kernel.values[e];
+      }
+      out.values[i] = acc;
+    }
+    return out;
+  }
+  const auto& matrices = MatricesFor(view.rows(), view.cols());
   for (size_t i = 0; i < params_.k; ++i) {
     const table::Matrix& random = matrices[i];
     double acc = 0.0;
@@ -99,17 +147,63 @@ Sketch Sketcher::SketchOf(const table::TableView& view) const {
   return out;
 }
 
-SketchField Sketcher::SketchAllPositions(const table::Matrix& data,
-                                         size_t window_rows,
-                                         size_t window_cols,
-                                         SketchAlgorithm algorithm,
-                                         size_t threads) const {
-  TABSKETCH_CHECK(window_rows >= 1 && window_cols >= 1 &&
-                  window_rows <= data.rows() && window_cols <= data.cols())
-      << "window " << window_rows << "x" << window_cols
-      << " does not fit table " << data.rows() << "x" << data.cols();
+util::Result<SketchField> Sketcher::SketchAllPositions(
+    const table::Matrix& data, size_t window_rows, size_t window_cols,
+    SketchAlgorithm algorithm, size_t threads) const {
+  if (window_rows < 1 || window_cols < 1 || window_rows > data.rows() ||
+      window_cols > data.cols()) {
+    return WindowFitError(window_rows, window_cols, data.rows(), data.cols());
+  }
 
-  if (algorithm == SketchAlgorithm::kFft) {
+  if (algorithm == SketchAlgorithm::kAuto && params_.sparsity < 1.0) {
+    // Per-kernel predicted-cost routing (DESIGN.md Section 16). Kernels that
+    // stay on the FFT path still ride CorrelatePair two at a time; a pair
+    // whose other half went sparse-direct falls back to single-kernel
+    // Correlate. The routing depends only on each kernel's nnz and the
+    // sizes, so the planes are bit-identical for every thread count.
+    const auto& kernels = SparseKernelsFor(window_rows, window_cols);
+    const size_t positions = (data.rows() - window_rows + 1) *
+                             (data.cols() - window_cols + 1);
+    std::vector<bool> direct(params_.k);
+    size_t fft_kernels = 0;
+    for (size_t i = 0; i < params_.k; ++i) {
+      direct[i] = PreferSparsePath(kernels[i].nnz(), positions, data.rows(),
+                                   data.cols());
+      if (!direct[i]) ++fft_kernels;
+    }
+    TABSKETCH_METRIC_COUNT_N("sparse.pool.direct_kernels",
+                             params_.k - fft_kernels);
+    TABSKETCH_METRIC_COUNT_N("sparse.pool.fft_kernels", fft_kernels);
+    std::unique_ptr<const fft::CorrelationPlan> plan;
+    if (fft_kernels > 0) {
+      plan = std::make_unique<const fft::CorrelationPlan>(data);
+      MatricesFor(window_rows, window_cols);
+    }
+    std::vector<table::Matrix> planes(params_.k);
+    const size_t pairs = (params_.k + 1) / 2;
+    util::ParallelFor(pairs, threads, [&](size_t j) {
+      const size_t first = 2 * j;
+      const size_t second = first + 1;
+      const bool second_valid = second < params_.k;
+      if (!direct[first] && second_valid && !direct[second]) {
+        const auto& matrices = MatricesFor(window_rows, window_cols);
+        auto [plane_a, plane_b] =
+            plan->CorrelatePair(matrices[first], matrices[second]);
+        planes[first] = std::move(plane_a);
+        planes[second] = std::move(plane_b);
+        return;
+      }
+      for (size_t i = first; i <= second && i < params_.k; ++i) {
+        planes[i] = direct[i]
+                        ? CrossCorrelateSparse(data, kernels[i])
+                        : plan->Correlate(
+                              MatricesFor(window_rows, window_cols)[i]);
+      }
+    });
+    return SketchField(window_rows, window_cols, std::move(planes));
+  }
+  if (algorithm != SketchAlgorithm::kNaive) {
+    // kFft, and kAuto over a dense family (where auto is exactly kFft).
     const fft::CorrelationPlan plan(data);
     return SketchAllPositions(plan, window_rows, window_cols, threads);
   }
@@ -121,16 +215,14 @@ SketchField Sketcher::SketchAllPositions(const table::Matrix& data,
   return SketchField(window_rows, window_cols, std::move(planes));
 }
 
-SketchField Sketcher::SketchAllPositions(const fft::CorrelationPlan& plan,
-                                         size_t window_rows,
-                                         size_t window_cols,
-                                         size_t threads) const {
-  TABSKETCH_CHECK(window_rows >= 1 && window_cols >= 1 &&
-                  window_rows <= plan.data_rows() &&
-                  window_cols <= plan.data_cols())
-      << "window " << window_rows << "x" << window_cols
-      << " does not fit planned table " << plan.data_rows() << "x"
-      << plan.data_cols();
+util::Result<SketchField> Sketcher::SketchAllPositions(
+    const fft::CorrelationPlan& plan, size_t window_rows, size_t window_cols,
+    size_t threads) const {
+  if (window_rows < 1 || window_cols < 1 ||
+      window_rows > plan.data_rows() || window_cols > plan.data_cols()) {
+    return WindowFitError(window_rows, window_cols, plan.data_rows(),
+                          plan.data_cols());
+  }
   TABSKETCH_TRACE_SPAN("sketcher.all_positions");
 
   // Kernels ride the FFT two at a time (CorrelatePair real-pair packing);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/sketch_params.h"
+#include "core/sparse_kernel.h"
 #include "table/matrix.h"
 #include "util/result.h"
 
@@ -41,6 +42,12 @@ enum class SketchAlgorithm {
   kNaive,
   /// FFT cross-correlation: O(k N log M) (Theorem 3).
   kFft,
+  /// Per-kernel predicted-cost choice between the FFT path and the O(nnz)
+  /// sparse-direct path (core/sparse_kernel.h). For dense families
+  /// (sparsity = 1) this is exactly kFft; the decision depends only on
+  /// sizes and each kernel's nnz, never on threads, so results stay
+  /// bit-identical across thread counts.
+  kAuto,
 };
 
 /// All-positions sketch data for one window shape over one table: plane i
@@ -90,31 +97,42 @@ class Sketcher {
 
   const SketchParams& params() const { return params_; }
 
-  /// Sketch of a single subtable by direct dot products: O(k * size) — the
-  /// "sketch on demand" cost of the paper's clustering scenario (2).
+  /// Sketch of a single subtable: O(k * size) dense dot products — the
+  /// "sketch on demand" cost of the paper's clustering scenario (2) — or
+  /// O(k * nnz) sparse-kernel walks when the family's sparsity < 1,
+  /// bit-identical to the dense walk (the skipped entries are exact zeros).
   Sketch SketchOf(const table::TableView& view) const;
 
   /// Sketches of all positions of a (window_rows x window_cols) window over
   /// `data` (paper Theorem 3). The FFT path and the naive path agree to
   /// floating-point rounding. The k per-kernel correlations are independent
   /// and fan out over `threads` workers; the result is bit-identical for
-  /// every thread count.
-  SketchField SketchAllPositions(const table::Matrix& data,
-                                 size_t window_rows, size_t window_cols,
-                                 SketchAlgorithm algorithm,
-                                 size_t threads = 1) const;
+  /// every thread count. Returns InvalidArgument if the window is empty or
+  /// does not fit the table.
+  util::Result<SketchField> SketchAllPositions(const table::Matrix& data,
+                                               size_t window_rows,
+                                               size_t window_cols,
+                                               SketchAlgorithm algorithm,
+                                               size_t threads = 1) const;
 
   /// FFT-path SketchAllPositions against a caller-provided plan, so one
   /// forward FFT of the data can be shared across many window shapes (the
   /// dyadic pool build constructs the plan once for all canonical sizes).
   /// The plan must have been built over the same table the windows address.
-  SketchField SketchAllPositions(const fft::CorrelationPlan& plan,
-                                 size_t window_rows, size_t window_cols,
-                                 size_t threads = 1) const;
+  /// Returns InvalidArgument if the window is empty or does not fit.
+  util::Result<SketchField> SketchAllPositions(
+      const fft::CorrelationPlan& plan, size_t window_rows,
+      size_t window_cols, size_t threads = 1) const;
 
   /// The k random matrices for a window shape (cached).
   const std::vector<table::Matrix>& MatricesFor(size_t rows,
                                                 size_t cols) const;
+
+  /// The k kernels of a window shape in sparse CSR-style form (cached).
+  /// Bit-identical in content to MatricesFor (same derivation, zeros
+  /// dropped); only worth storing for sparse families.
+  const std::vector<SparseKernel>& SparseKernelsFor(size_t rows,
+                                                    size_t cols) const;
 
  private:
   // Shape-keyed cache of generated stable matrices, shared so that Sketcher
@@ -125,6 +143,9 @@ class Sketcher {
     std::map<std::pair<size_t, size_t>,
              std::shared_ptr<const std::vector<table::Matrix>>>
         entries;
+    std::map<std::pair<size_t, size_t>,
+             std::shared_ptr<const std::vector<SparseKernel>>>
+        sparse_entries;
   };
 
   explicit Sketcher(const SketchParams& params);

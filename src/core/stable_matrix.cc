@@ -25,7 +25,7 @@ double StableEntry(const SketchParams& params, size_t index, size_t rows,
       StableMatrixSeed(params.seed, index, rows, cols);
   const uint64_t entry_seed = rng::MixSeeds(
       matrix_seed, static_cast<uint64_t>(row) * cols + col);
-  return rng::SampleStableAt(params.p, entry_seed);
+  return rng::SampleSparseStableAt(params.p, params.sparsity, entry_seed);
 }
 
 table::Matrix StableRandomMatrix(const SketchParams& params, size_t index,
@@ -40,8 +40,8 @@ table::Matrix StableRandomMatrix(const SketchParams& params, size_t index,
   table::Matrix out(rows, cols);
   uint64_t counter = 0;
   for (double& value : out.Values()) {
-    value = rng::SampleStableAt(params.p,
-                                rng::MixSeeds(matrix_seed, counter++));
+    value = rng::SampleSparseStableAt(params.p, params.sparsity,
+                                      rng::MixSeeds(matrix_seed, counter++));
   }
   return out;
 }

@@ -8,12 +8,16 @@
 
 namespace tabsketch::eval {
 
-double AuditEpsilon(double p, size_t k) {
+double AuditEpsilon(double p, size_t k, double sparsity) {
   // Same empirical constants as the offline guarantee sweep
   // (tests/guarantees_test.cc): the median estimator's tail widens for
-  // small p, where the stable distribution is heavier-tailed.
+  // small p, where the stable distribution is heavier-tailed. A very sparse
+  // family (DESIGN.md §16) carries ~1/s the per-component variance, so its
+  // envelope widens by s^(−1/2); s = 1 is the classic dense bound.
   const double c = (p < 0.75) ? 6.0 : 4.0;
-  return c / std::sqrt(static_cast<double>(std::max<size_t>(k, 1)));
+  const double s = std::clamp(sparsity, 1e-12, 1.0);
+  return c / std::sqrt(static_cast<double>(std::max<size_t>(k, 1))) /
+         std::sqrt(s);
 }
 
 std::string AuditKeyForP(double p) {
@@ -76,7 +80,8 @@ bool SketchAuditor::ShouldSample() {
   return u < rate;
 }
 
-SketchAuditor::Channel* SketchAuditor::ChannelFor(double p, size_t k) {
+SketchAuditor::Channel* SketchAuditor::ChannelFor(double p, size_t k,
+                                                  double sparsity) {
   const std::string key = AuditKeyForP(p);
   std::lock_guard<std::mutex> lock(mutex_);
   util::MetricsRegistry* registry =
@@ -92,11 +97,13 @@ SketchAuditor::Channel* SketchAuditor::ChannelFor(double p, size_t k) {
     slot->total_samples_ = registry->GetCounter("audit.samples");
     slot->total_violations_ = registry->GetCounter("audit.violations");
   }
-  // p is fixed per key; k (and with it ε) follows the most recent caller,
-  // which in practice is constant within a run.
+  // p is fixed per key; k and sparsity (and with them ε) follow the most
+  // recent caller, which in practice is constant within a run (mixed-sparsity
+  // families are rejected at load anyway).
   slot->p_ = p;
   slot->k_ = k;
-  slot->epsilon_ = AuditEpsilon(p, k);
+  slot->sparsity_ = sparsity;
+  slot->epsilon_ = AuditEpsilon(p, k, sparsity);
   return slot.get();
 }
 
@@ -107,6 +114,7 @@ std::vector<SketchAuditor::ChannelSummary> SketchAuditor::Summaries() const {
     ChannelSummary summary;
     summary.p = channel->p_;
     summary.k = channel->k_;
+    summary.sparsity = channel->sparsity_;
     summary.epsilon = channel->epsilon_;
     summary.samples = channel->samples();
     summary.violations = channel->violations();

@@ -13,14 +13,17 @@
 
 namespace tabsketch::eval {
 
-/// The ε envelope audited against for a (p, k) sketch family:
-/// ε = C(p)/√k with the empirical constants validated offline by the
-/// guarantees sweep (tests/guarantees_test.cc) — C = 4 for p ≥ 0.75 and
-/// C = 6 for the heavier-tailed small-p estimators. A sampled estimate whose
+/// The ε envelope audited against for a (p, k, sparsity) sketch family:
+/// ε = C(p)/√k · sparsity^(−1/2) with the empirical constants validated
+/// offline by the guarantees sweeps (tests/guarantees_test.cc and the sparse
+/// grid in tests/sparse_test.cc) — C = 4 for p ≥ 0.75 and C = 6 for the
+/// heavier-tailed small-p estimators, and the s^(−1/2) factor the Li
+/// very-sparse-projection envelope of DESIGN.md §16 (sparsity 1, the dense
+/// default, leaves the classic bound untouched). A sampled estimate whose
 /// relative error exceeds this ε counts as a violation; Theorems 1–2 bound
 /// the *rate* of such violations, not their existence, so a small violation
 /// count on a healthy run is expected.
-double AuditEpsilon(double p, size_t k);
+double AuditEpsilon(double p, size_t k, double sparsity = 1.0);
 
 /// Metric-key suffix for a given p: 1.0 -> "p1", 0.5 -> "p0.5" (shortest %g
 /// spelling, so keys are stable across call sites).
@@ -62,6 +65,7 @@ class SketchAuditor {
 
     double p() const { return p_; }
     size_t k() const { return k_; }
+    double sparsity() const { return sparsity_; }
     double epsilon() const { return epsilon_; }
     uint64_t samples() const { return samples_->value(); }
     uint64_t violations() const { return violations_->value(); }
@@ -75,6 +79,7 @@ class SketchAuditor {
 
     double p_ = 0.0;
     size_t k_ = 0;
+    double sparsity_ = 1.0;
     double epsilon_ = 0.0;
     util::Histogram* relerr_ = nullptr;
     util::Counter* samples_ = nullptr;
@@ -89,6 +94,7 @@ class SketchAuditor {
   struct ChannelSummary {
     double p = 0.0;
     size_t k = 0;
+    double sparsity = 1.0;
     double epsilon = 0.0;
     uint64_t samples = 0;
     uint64_t violations = 0;
@@ -129,9 +135,11 @@ class SketchAuditor {
   /// deterministic SplitMix64 stream, independent of every sketch RNG.
   bool ShouldSample();
 
-  /// Finds or creates the channel for a (p, k) family. Thread-safe; the
-  /// pointer may be cached by the caller (backends cache it at construction).
-  Channel* ChannelFor(double p, size_t k);
+  /// Finds or creates the channel for a (p, k, sparsity) family; the
+  /// envelope widens by sparsity^(−1/2) so sparse-tier runs are judged
+  /// against the Li bound they actually guarantee. Thread-safe; the pointer
+  /// may be cached by the caller (backends cache it at construction).
+  Channel* ChannelFor(double p, size_t k, double sparsity = 1.0);
 
   /// Summaries of all channels with at least one sample or skip, ordered by
   /// metric key.

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <sstream>
 
+#include "rng/splitmix64.h"
 #include "util/logging.h"
 
 namespace tabsketch::rng {
@@ -51,6 +52,15 @@ double StableSampler::Sample(Xoshiro256& gen) {
   return x;
 }
 
+namespace {
+
+// Domain tag separating the support-gate stream from the value stream: the
+// gate word must not be correlated with the Xoshiro256 state SampleStableAt
+// seeds from the same entry seed.
+constexpr uint64_t kSparseGateTag = 0x5ba4593a7e9c0d1fULL;
+
+}  // namespace
+
 double SampleStableAt(double alpha, uint64_t seed) {
   TABSKETCH_CHECK(alpha > 0.0 && alpha <= 2.0)
       << "stable index alpha must be in (0, 2], got " << alpha;
@@ -71,6 +81,19 @@ double SampleStableAt(double alpha, uint64_t seed) {
          std::pow(std::cos(theta), 1.0 / alpha) *
          std::pow(std::cos((1.0 - alpha) * theta) / w,
                   (1.0 - alpha) / alpha);
+}
+
+double SampleSparseStableAt(double alpha, double sparsity, uint64_t seed) {
+  TABSKETCH_CHECK(sparsity > 0.0) << "sparsity must be positive, got "
+                                  << sparsity;
+  if (sparsity >= 1.0) return SampleStableAt(alpha, seed);
+  // 53-bit uniform in [0, 1) from a tagged mix of the entry seed; the entry
+  // is in the support iff the gate lands below `sparsity`. Strictly-below
+  // keeps the gate exact for dyadic sparsities (e.g. 0.5, 0.25).
+  const double gate =
+      static_cast<double>(Mix64(seed ^ kSparseGateTag) >> 11) * 0x1.0p-53;
+  if (gate >= sparsity) return 0.0;
+  return SampleStableAt(alpha, seed) * std::pow(sparsity, -1.0 / alpha);
 }
 
 }  // namespace tabsketch::rng

@@ -66,6 +66,19 @@ class StableSampler {
 /// in (0, 2].
 double SampleStableAt(double alpha, uint64_t seed);
 
+/// Very sparse stable variant (Ping Li): zero with probability 1 - sparsity,
+/// otherwise SampleStableAt(alpha, seed) rescaled by sparsity^(-1/alpha) so
+/// that sum a_i X_i still concentrates around ||a||_alpha at a variance cost
+/// that shrinks as the support of `a` grows (DESIGN.md Section 16).
+///
+/// The support gate and the value draw are derived from independent mixes of
+/// the same seed, so membership and magnitude are uncorrelated, and the same
+/// (alpha, sparsity, seed) always yields the same value — the counter-based
+/// random-access invariant carries over unchanged. sparsity >= 1 returns the
+/// dense draw bit-identically (legacy families are the sparsity = 1 case).
+/// `sparsity` must be in (0, 1].
+double SampleSparseStableAt(double alpha, double sparsity, uint64_t seed);
+
 }  // namespace tabsketch::rng
 
 #endif  // TABSKETCH_RNG_STABLE_H_

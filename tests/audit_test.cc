@@ -39,6 +39,36 @@ TEST(AuditEpsilonTest, MatchesGuaranteeEnvelope) {
   EXPECT_DOUBLE_EQ(AuditEpsilon(1.0, 0), AuditEpsilon(1.0, 1));
 }
 
+TEST(AuditEpsilonTest, SparseFamilyWidensByInverseRootSparsity) {
+  // The Li very-sparse envelope of DESIGN.md Section 16: eps scales by
+  // s^(-1/2), and the dense default (s = 1) is exactly the classic bound.
+  EXPECT_DOUBLE_EQ(AuditEpsilon(1.0, 64, 1.0), AuditEpsilon(1.0, 64));
+  EXPECT_DOUBLE_EQ(AuditEpsilon(1.0, 64, 0.25), 2.0 * AuditEpsilon(1.0, 64));
+  EXPECT_DOUBLE_EQ(AuditEpsilon(1.0, 16, 0.1),
+                   4.0 / 4.0 / std::sqrt(0.1));
+  EXPECT_DOUBLE_EQ(AuditEpsilon(0.5, 64, 0.25), 2.0 * 6.0 / 8.0);
+}
+
+TEST(AuditChannelTest, SparseChannelJudgesAgainstWidenedEnvelope) {
+  MetricsRegistry registry;
+  SketchAuditor auditor;
+  auditor.Enable(1.0, &registry);
+  SketchAuditor::Channel* channel = auditor.ChannelFor(1.0, 64, 0.25);
+  ASSERT_NE(channel, nullptr);
+  EXPECT_DOUBLE_EQ(channel->sparsity(), 0.25);
+  EXPECT_DOUBLE_EQ(channel->epsilon(), 1.0);  // 4/sqrt(64) * sqrt(4)
+
+  channel->Record(10.0, 16.0);  // relerr 0.6: violates dense 0.5, not sparse
+  channel->Record(10.0, 30.5);  // relerr 2.05: violates even the sparse eps
+  EXPECT_EQ(channel->samples(), 2u);
+  EXPECT_EQ(channel->violations(), 1u);
+
+  const auto summaries = auditor.Summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_DOUBLE_EQ(summaries[0].sparsity, 0.25);
+  EXPECT_DOUBLE_EQ(summaries[0].epsilon, 1.0);
+}
+
 TEST(AuditKeyTest, UsesShortestSpelling) {
   EXPECT_EQ(AuditKeyForP(1.0), "p1");
   EXPECT_EQ(AuditKeyForP(2.0), "p2");

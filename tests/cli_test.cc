@@ -1074,6 +1074,26 @@ TEST(CliTest, DistanceRejectsMismatchedRectangles) {
   std::remove(table_path.c_str());
 }
 
+TEST(CliTest, DistanceRejectsOutOfRangeP) {
+  // --p outside (0, 2] used to reach LpDistance's precondition CHECK and
+  // abort; the family is now validated first, so this is a clean error.
+  const std::string table_path = TempPath("cli_test_badp.tbl");
+  const std::string out_flag = "--out=" + table_path;
+  ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                 "--rows=32", "--cols=32"})
+                .code,
+            0);
+  const std::string table_flag = "--table=" + table_path;
+  for (const char* bad_p : {"--p=0", "--p=-1", "--p=2.5"}) {
+    const CliRun run = RunCli({"distance", table_flag.c_str(),
+                            "--rect1=0,0,8,8", "--rect2=8,8,8,8", bad_p});
+    EXPECT_EQ(run.code, 1) << bad_p;
+    EXPECT_NE(run.err.find("p must be in (0, 2]"), std::string::npos)
+        << bad_p << ": " << run.err;
+  }
+  std::remove(table_path.c_str());
+}
+
 TEST(CliTest, ClusterRejectsUnknownAlgoAndMode) {
   const std::string table_path = TempPath("cli_test_algo.tbl");
   const std::string out_flag = "--out=" + table_path;
@@ -1359,6 +1379,85 @@ TEST(CliTraceTest, ObservabilityDoesNotPerturbClusterOutput) {
   std::remove(plain_csv.c_str());
   std::remove(traced_csv.c_str());
   std::remove(trace_path.c_str());
+}
+
+TEST(CliSparsityTest, RejectsOutOfRangeAndGarbage) {
+  // --sparsity range/parse errors fail fast and name the flag, before any
+  // table IO happens (mirrors the --audit-rate contract).
+  for (const char* bad : {"--sparsity=0", "--sparsity=-0.5",
+                          "--sparsity=1.5"}) {
+    const CliRun run = RunCli({"pool-build", "--table=/tmp/none.tbl",
+                               "--out=/tmp/none.pool", bad});
+    EXPECT_EQ(run.code, 1) << bad;
+    EXPECT_NE(run.err.find("--sparsity"), std::string::npos)
+        << bad << ": " << run.err;
+  }
+  const CliRun garbage = RunCli({"pool-build", "--table=/tmp/none.tbl",
+                                 "--out=/tmp/none.pool", "--sparsity=abc"});
+  EXPECT_EQ(garbage.code, 1);
+  EXPECT_NE(garbage.err.find("sparsity"), std::string::npos) << garbage.err;
+}
+
+TEST(CliSparsityTest, ExactClusterModeRejectsSparsity) {
+  const CliRun run = RunCli({"cluster", "--table=/tmp/none.tbl",
+                             "--tile-rows=8", "--tile-cols=8",
+                             "--mode=exact", "--sparsity=0.5"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("--sparsity"), std::string::npos) << run.err;
+}
+
+TEST(CliSparsityTest, QueryRejectsSparsityAlongsideSketchesFile) {
+  const CliRun run = RunCli({"query", "--table=/tmp/none.tbl",
+                             "--tile-rows=8", "--tile-cols=8",
+                             "--batch=/tmp/none_batch.txt",
+                             "--sketches=/tmp/none.skt", "--sparsity=0.5"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("--sparsity"), std::string::npos) << run.err;
+}
+
+TEST(CliSparsityTest, SparseQueryIsByteIdenticalAcrossThreadsAndCaches) {
+  // The acceptance invariant for the sparse tier's query path: answers are
+  // byte-identical across thread counts and cache budgets, because the
+  // FFT-vs-direct choice never consults either.
+  const std::string table_path = TempPath("cli_sparse_table.tbl");
+  const std::string batch_path = TempPath("cli_sparse_batch.txt");
+  const std::string table_flag = "--table=" + table_path;
+  const std::string batch_flag = "--batch=" + batch_path;
+  {
+    const std::string out_flag = "--out=" + table_path;
+    ASSERT_EQ(RunCli({"generate", "--dataset=six-region", out_flag.c_str(),
+                      "--rows=64", "--cols=64", "--seed=5"})
+                  .code,
+              0);
+  }
+  {
+    std::ofstream batch(batch_path);
+    batch << "distance 0 63\n"
+          << "knn 5 4\n"
+          << "distance 17 42\n";
+  }
+  const CliRun baseline =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str(), "--p=1", "--k=64", "--sparsity=0.1",
+              "--threads=1"});
+  ASSERT_EQ(baseline.code, 0) << baseline.err;
+  for (const char* extra : {"--threads=4", "--cache-bytes=1",
+                            "--cache-bytes=1000000"}) {
+    const CliRun run =
+        RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+                batch_flag.c_str(), "--p=1", "--k=64", "--sparsity=0.1",
+                extra});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_EQ(run.out, baseline.out) << extra;
+  }
+  // A different sparsity is a different family: answers must change.
+  const CliRun dense =
+      RunCli({"query", table_flag.c_str(), "--tile-rows=8", "--tile-cols=8",
+              batch_flag.c_str(), "--p=1", "--k=64", "--threads=1"});
+  ASSERT_EQ(dense.code, 0) << dense.err;
+  EXPECT_NE(dense.out, baseline.out);
+  std::remove(table_path.c_str());
+  std::remove(batch_path.c_str());
 }
 
 TEST(CliAuditTest, RejectsOutOfRangeRate) {

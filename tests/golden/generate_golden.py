@@ -35,6 +35,19 @@ def write_sketch_set():
     (HERE / "sketch_set_v1.skt").write_bytes(blob)
 
 
+def write_sketch_set_v2():
+    """Version 2 appends the family sparsity (a little-endian double) to the
+    header; this fixture pins the 64-byte v2 header with sparsity 0.25."""
+    p, k, seed, sparsity = 0.5, 6, 1234, 0.25
+    object_rows, object_cols, count = 8, 16, 3
+    blob = struct.pack("<4sId5Qd", b"TSKS", 2, p, k, seed, object_rows,
+                       object_cols, count, sparsity)
+    for s in range(count):
+        for j in range(k):
+            blob += struct.pack("<d", sketch_set_value(s, j))
+    (HERE / "sketch_set_v2.skt").write_bytes(blob)
+
+
 def pool_plane_value(field, plane, index):
     return field * 100.0 + plane * 10.0 + index * 0.5 - 3.0
 
@@ -53,6 +66,22 @@ def write_pool():
             for index in range(pr * pc):
                 blob += struct.pack("<d", pool_plane_value(f, plane, index))
     (HERE / "pool_v1.pool").write_bytes(blob)
+
+
+def write_pool_v2():
+    """TSKP version 2: the v1 layout with the family sparsity appended to the
+    header (64 bytes total), pinned at sparsity 0.25."""
+    p, k, seed, sparsity = 1.0, 2, 31, 0.25
+    data_rows, data_cols = 8, 8
+    fields = [(2, 2, 7, 7), (4, 4, 5, 5)]
+    blob = struct.pack("<4sId5Qd", b"TSKP", 2, p, k, seed, data_rows,
+                       data_cols, len(fields), sparsity)
+    for f, (wr, wc, pr, pc) in enumerate(fields):
+        blob += struct.pack("<4Q", wr, wc, pr, pc)
+        for plane in range(k):
+            for index in range(pr * pc):
+                blob += struct.pack("<d", pool_plane_value(f, plane, index))
+    (HERE / "pool_v2.pool").write_bytes(blob)
 
 
 def quant_encode(value, offset, scale, max_code):
@@ -93,6 +122,31 @@ def write_code_pool():
     (HERE / "code_pool_v1.tskq").write_bytes(blob)
 
 
+def write_code_pool_v2():
+    """TSKQ version 2: the v1 layout with the family sparsity appended to the
+    header (88 bytes total), pinned at sparsity 0.25."""
+    p, k, seed, sparsity = 0.5, 6, 1234, 0.25
+    object_rows, object_cols, count = 8, 16, 3
+    kind, max_code = 1, 255  # int8
+    values = [[sketch_set_value(s, j) for j in range(k)] for s in range(count)]
+    values[1][2] = float("nan")
+    finite = [v for row in values for v in row if math.isfinite(v)]
+    offset = min(finite)
+    scale = (max(finite) - offset) / max_code
+    usable = [0 if any(not math.isfinite(v) for v in row) else 1
+              for row in values]
+    blob = struct.pack("<4s3Id5Qddd", b"TSKQ", 2, kind, 0, p, k, seed,
+                       object_rows, object_cols, count, scale, offset,
+                       sparsity)
+    blob += bytes(usable)
+    for s in range(count):
+        for j in range(k):
+            code = (quant_encode(values[s][j], offset, scale, max_code)
+                    if usable[s] else 0)
+            blob += struct.pack("<B", code)
+    (HERE / "code_pool_v2.tskq").write_bytes(blob)
+
+
 def append_piece_value(row, col):
     return row * 2.0 + col * 0.5 - 4.0
 
@@ -113,7 +167,10 @@ def write_append_piece():
 
 if __name__ == "__main__":
     write_sketch_set()
+    write_sketch_set_v2()
     write_pool()
+    write_pool_v2()
     write_code_pool()
+    write_code_pool_v2()
     write_append_piece()
     print("golden fixtures regenerated in", HERE)

@@ -118,7 +118,7 @@ double GoldenPlaneValue(size_t field, size_t plane, size_t index) {
          static_cast<double>(index) * 0.5 - 3.0;
 }
 
-SketchPool GoldenPool() {
+SketchPool GoldenPool(double sparsity = 1.0) {
   // Mirrors generate_golden.py: fields (2x2) -> 7x7 positions and
   // (4x4) -> 5x5 positions, k = 2 planes each, over an 8x8 table.
   const struct {
@@ -141,16 +141,19 @@ SketchPool GoldenPool() {
                                std::move(planes)));
     ++field_index;
   }
-  return SketchPool::FromParts({.p = 1.0, .k = 2, .seed = 31}, 8, 8,
-                               std::move(fields))
+  return SketchPool::FromParts(
+             {.p = 1.0, .k = 2, .seed = 31, .sparsity = sparsity}, 8, 8,
+             std::move(fields))
       .value();
 }
 
 TEST(PoolIoGoldenTest, SerializationIsByteStable) {
-  const std::string golden = ReadFileBytes(GoldenPath("pool_v1.pool"));
+  // The writer emits version 2 (64-byte header with the family sparsity);
+  // the v2 fixture pins those bytes for a sparsity-0.25 family.
+  const std::string golden = ReadFileBytes(GoldenPath("pool_v2.pool"));
   ASSERT_FALSE(golden.empty()) << "missing golden fixture";
   const std::string path = TempPath("tabsketch_pool_golden.bin");
-  ASSERT_TRUE(WriteSketchPool(GoldenPool(), path).ok());
+  ASSERT_TRUE(WriteSketchPool(GoldenPool(0.25), path).ok());
   EXPECT_EQ(ReadFileBytes(path), golden)
       << "pool serialization bytes changed; if intentional, bump the format "
          "version and regenerate tests/golden";
@@ -158,10 +161,13 @@ TEST(PoolIoGoldenTest, SerializationIsByteStable) {
 }
 
 TEST(PoolIoGoldenTest, GoldenFileRoundTrips) {
+  // The v1 fixture has no sparsity field; reading it must imply a dense
+  // family (sparsity 1.0) so pre-v2 archives keep loading byte-identically.
   auto loaded = ReadSketchPool(GoldenPath("pool_v1.pool"));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const SketchPool expected = GoldenPool();
   EXPECT_EQ(loaded->params(), expected.params());
+  EXPECT_EQ(loaded->params().sparsity, 1.0);
   EXPECT_EQ(loaded->data_rows(), expected.data_rows());
   EXPECT_EQ(loaded->data_cols(), expected.data_cols());
   ASSERT_EQ(loaded->fields().size(), expected.fields().size());
@@ -179,6 +185,48 @@ TEST(PoolIoGoldenTest, GoldenFileRoundTrips) {
       }
     }
   }
+}
+
+TEST(PoolIoGoldenTest, V2GoldenFileRoundTrips) {
+  auto loaded = ReadSketchPool(GoldenPath("pool_v2.pool"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SketchPool expected = GoldenPool(0.25);
+  EXPECT_EQ(loaded->params(), expected.params());
+  EXPECT_EQ(loaded->params().sparsity, 0.25);
+  EXPECT_EQ(loaded->CanonicalSizes(), expected.CanonicalSizes());
+}
+
+TEST(PoolIoGoldenTest, CorruptedSparsityIsRejected) {
+  // Out-of-range sparsity in a v2 header (offset 56, just before the field
+  // headers) must fail parameter validation.
+  std::string bytes = ReadFileBytes(GoldenPath("pool_v2.pool"));
+  ASSERT_FALSE(bytes.empty());
+  const double bad = -0.5;
+  std::memcpy(bytes.data() + 56, &bad, sizeof(bad));
+  const std::string path = TempPath("tabsketch_pool_badsparsity.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadSketchPool(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(PoolIoGoldenTest, TruncatedSparsityFieldIsCleanIOError) {
+  // A v2 file cut mid-sparsity (60 of 64 header bytes) must be IOError.
+  const std::string bytes = ReadFileBytes(GoldenPath("pool_v2.pool"));
+  ASSERT_FALSE(bytes.empty());
+  const std::string path = TempPath("tabsketch_pool_shortsparsity.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), 60);
+  }
+  auto loaded = ReadSketchPool(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
 }
 
 TEST(PoolIoGoldenTest, CorruptedMagicIsCleanIOError) {

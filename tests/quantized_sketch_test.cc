@@ -220,9 +220,10 @@ TEST(QuantizedCodePoolTest, BuildIsDeterministic) {
 // TSKQ serialization: round trip, atomicity, rejection of corrupt files, and
 // the golden byte-stability fixture (tests/golden/code_pool_v1.tskq).
 
-QuantizedCodePool GoldenPool() {
+QuantizedCodePool GoldenPool(double sparsity = 1.0) {
   // Exactly-representable values mirroring tests/golden/generate_golden.py.
-  const SketchParams params{.p = 0.5, .k = 6, .seed = 1234};
+  const SketchParams params{
+      .p = 0.5, .k = 6, .seed = 1234, .sparsity = sparsity};
   std::vector<Sketch> sketches(3);
   for (int s = 0; s < 3; ++s) {
     sketches[s].values.resize(6);
@@ -280,10 +281,12 @@ TEST(CodePoolIoTest, SuccessfulWriteLeavesNoTempFile) {
 }
 
 TEST(CodePoolIoGoldenTest, SerializationIsByteStable) {
-  const std::string golden = ReadFileBytes(GoldenPath("code_pool_v1.tskq"));
+  // The writer emits version 2 (88-byte header with the family sparsity);
+  // the v2 fixture pins those bytes for a sparsity-0.25 family.
+  const std::string golden = ReadFileBytes(GoldenPath("code_pool_v2.tskq"));
   ASSERT_FALSE(golden.empty()) << "missing golden fixture";
   const std::string path = TempPath("tabsketch_codepool_golden.tskq");
-  ASSERT_TRUE(WriteCodePool(GoldenPool(), path).ok());
+  ASSERT_TRUE(WriteCodePool(GoldenPool(0.25), path).ok());
   EXPECT_EQ(ReadFileBytes(path), golden)
       << "code-pool serialization bytes changed; if intentional, bump the "
          "TSKQ version and regenerate tests/golden";
@@ -291,6 +294,8 @@ TEST(CodePoolIoGoldenTest, SerializationIsByteStable) {
 }
 
 TEST(CodePoolIoGoldenTest, GoldenFileRoundTrips) {
+  // The v1 fixture has no sparsity field; reading it must imply a dense
+  // family (sparsity 1.0) so pre-v2 archives keep loading byte-identically.
   auto loaded = ReadCodePool(GoldenPath("code_pool_v1.tskq"));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const QuantizedCodePool expected = GoldenPool();
@@ -298,9 +303,53 @@ TEST(CodePoolIoGoldenTest, GoldenFileRoundTrips) {
   EXPECT_EQ(loaded->count(), expected.count());
   EXPECT_EQ(loaded->scale(), expected.scale());
   EXPECT_EQ(loaded->offset(), expected.offset());
+  EXPECT_EQ(loaded->params().sparsity, 1.0);
   EXPECT_EQ(loaded->raw_codes(), expected.raw_codes());
   EXPECT_EQ(loaded->usable_flags(), expected.usable_flags());
   EXPECT_FALSE(loaded->tile_usable(1));
+}
+
+TEST(CodePoolIoGoldenTest, V2GoldenFileRoundTrips) {
+  auto loaded = ReadCodePool(GoldenPath("code_pool_v2.tskq"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const QuantizedCodePool expected = GoldenPool(0.25);
+  EXPECT_EQ(loaded->params(), expected.params());
+  EXPECT_EQ(loaded->params().sparsity, 0.25);
+  EXPECT_EQ(loaded->raw_codes(), expected.raw_codes());
+  EXPECT_EQ(loaded->usable_flags(), expected.usable_flags());
+}
+
+TEST(CodePoolIoGoldenTest, CorruptedSparsityIsRejected) {
+  // Out-of-range sparsity in a v2 header (the double at offset 80) must
+  // fail parameter validation.
+  std::string bytes = ReadFileBytes(GoldenPath("code_pool_v2.tskq"));
+  ASSERT_FALSE(bytes.empty());
+  const double bad = 2.0;
+  std::memcpy(bytes.data() + 80, &bad, sizeof(bad));
+  const std::string path = TempPath("tabsketch_codepool_badsparsity.tskq");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadCodePool(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CodePoolIoGoldenTest, TruncatedSparsityFieldIsCleanIOError) {
+  // A v2 file cut mid-sparsity (84 of 88 header bytes) must be IOError.
+  const std::string bytes = ReadFileBytes(GoldenPath("code_pool_v2.tskq"));
+  ASSERT_FALSE(bytes.empty());
+  const std::string path = TempPath("tabsketch_codepool_shortsparsity.tskq");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), 84);
+  }
+  auto loaded = ReadCodePool(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
 }
 
 TEST(CodePoolIoGoldenTest, CorruptedMagicIsCleanIOError) {

@@ -76,8 +76,10 @@ TEST(SeriesSketcherTest, FieldMatchesDirectSketches) {
   ASSERT_TRUE(sketcher.ok());
   const std::vector<double> series = RandomSeries(64, 9);
   constexpr size_t kWindow = 12;
-  const SeriesSketchField field = sketcher->SketchAllPositions(
-      series, kWindow, SketchAlgorithm::kNaive);
+  auto field_or = sketcher->SketchAllPositions(series, kWindow,
+                                               SketchAlgorithm::kNaive);
+  ASSERT_TRUE(field_or.ok());
+  const SeriesSketchField& field = *field_or;
   ASSERT_EQ(field.positions(), series.size() - kWindow + 1);
   for (size_t pos = 0; pos < field.positions(); pos += 7) {
     const Sketch direct = sketcher->SketchOf(
@@ -98,13 +100,37 @@ TEST(SeriesSketcherTest, FftFieldMatchesNaiveField) {
       sketcher->SketchAllPositions(series, 16, SketchAlgorithm::kNaive);
   const auto fft =
       sketcher->SketchAllPositions(series, 16, SketchAlgorithm::kFft);
-  ASSERT_EQ(naive.positions(), fft.positions());
-  for (size_t pos = 0; pos < naive.positions(); ++pos) {
-    const Sketch a = naive.SketchAt(pos);
-    const Sketch b = fft.SketchAt(pos);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(fft.ok());
+  ASSERT_EQ(naive->positions(), fft->positions());
+  for (size_t pos = 0; pos < naive->positions(); ++pos) {
+    const Sketch a = naive->SketchAt(pos);
+    const Sketch b = fft->SketchAt(pos);
     for (size_t i = 0; i < params.k; ++i) {
       EXPECT_NEAR(a.values[i], b.values[i], 1e-8);
     }
+  }
+}
+
+TEST(SeriesSketcherTest, OversizedWindowIsInvalidArgument) {
+  // A window longer than the series used to trip a CHECK inside the FFT
+  // plan; it must surface as a recoverable status with a 1-based message.
+  SketchParams params{.p = 1.0, .k = 2, .seed = 9};
+  auto sketcher = SeriesSketcher::Create(params);
+  ASSERT_TRUE(sketcher.ok());
+  const std::vector<double> series = RandomSeries(16, 10);
+  for (const SketchAlgorithm algorithm :
+       {SketchAlgorithm::kNaive, SketchAlgorithm::kFft,
+        SketchAlgorithm::kAuto}) {
+    auto oversized = sketcher->SketchAllPositions(series, 17, algorithm);
+    ASSERT_FALSE(oversized.ok());
+    EXPECT_EQ(oversized.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(oversized.status().message().find("does not fit"),
+              std::string::npos)
+        << oversized.status().message();
+    auto zero = sketcher->SketchAllPositions(series, 0, algorithm);
+    ASSERT_FALSE(zero.ok());
+    EXPECT_EQ(zero.status().code(), util::StatusCode::kInvalidArgument);
   }
 }
 

@@ -135,9 +135,9 @@ std::string ReadFileBytes(const std::string& path) {
   return buffer.str();
 }
 
-SketchSet GoldenSet() {
+SketchSet GoldenSet(double sparsity = 1.0) {
   SketchSet set;
-  set.params = {.p = 0.5, .k = 6, .seed = 1234};
+  set.params = {.p = 0.5, .k = 6, .seed = 1234, .sparsity = sparsity};
   set.object_rows = 8;
   set.object_cols = 16;
   for (int s = 0; s < 3; ++s) {
@@ -152,10 +152,12 @@ SketchSet GoldenSet() {
 }
 
 TEST(SketchIoGoldenTest, SerializationIsByteStable) {
-  const std::string golden = ReadFileBytes(GoldenPath("sketch_set_v1.skt"));
+  // The writer emits version 2 (64-byte header with the family sparsity);
+  // the v2 fixture pins those bytes for a sparsity-0.25 family.
+  const std::string golden = ReadFileBytes(GoldenPath("sketch_set_v2.skt"));
   ASSERT_FALSE(golden.empty()) << "missing golden fixture";
   const std::string path = TempPath("tabsketch_sketchset_golden.bin");
-  ASSERT_TRUE(WriteSketchSet(GoldenSet(), path).ok());
+  ASSERT_TRUE(WriteSketchSet(GoldenSet(0.25), path).ok());
   EXPECT_EQ(ReadFileBytes(path), golden)
       << "sketch-set serialization bytes changed; if intentional, bump the "
          "format version and regenerate tests/golden";
@@ -163,16 +165,64 @@ TEST(SketchIoGoldenTest, SerializationIsByteStable) {
 }
 
 TEST(SketchIoGoldenTest, GoldenFileRoundTrips) {
+  // The v1 fixture has no sparsity field; reading it must imply a dense
+  // family (sparsity 1.0) so pre-v2 archives keep loading byte-identically.
   auto loaded = ReadSketchSet(GoldenPath("sketch_set_v1.skt"));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const SketchSet expected = GoldenSet();
   EXPECT_EQ(loaded->params, expected.params);
+  EXPECT_EQ(loaded->params.sparsity, 1.0);
   EXPECT_EQ(loaded->object_rows, expected.object_rows);
   EXPECT_EQ(loaded->object_cols, expected.object_cols);
   ASSERT_EQ(loaded->sketches.size(), expected.sketches.size());
   for (size_t i = 0; i < expected.sketches.size(); ++i) {
     EXPECT_EQ(loaded->sketches[i].values, expected.sketches[i].values);
   }
+}
+
+TEST(SketchIoGoldenTest, V2GoldenFileRoundTrips) {
+  auto loaded = ReadSketchSet(GoldenPath("sketch_set_v2.skt"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SketchSet expected = GoldenSet(0.25);
+  EXPECT_EQ(loaded->params, expected.params);
+  EXPECT_EQ(loaded->params.sparsity, 0.25);
+  ASSERT_EQ(loaded->sketches.size(), expected.sketches.size());
+  for (size_t i = 0; i < expected.sketches.size(); ++i) {
+    EXPECT_EQ(loaded->sketches[i].values, expected.sketches[i].values);
+  }
+}
+
+TEST(SketchIoGoldenTest, CorruptedSparsityIsRejected) {
+  // Out-of-range sparsity in a v2 header (offset 56) must fail parameter
+  // validation instead of constructing an unusable family.
+  std::string bytes = ReadFileBytes(GoldenPath("sketch_set_v2.skt"));
+  ASSERT_FALSE(bytes.empty());
+  const double bad = 3.0;
+  std::memcpy(bytes.data() + 56, &bad, sizeof(bad));
+  const std::string path = TempPath("tabsketch_sketchset_badsparsity.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadSketchSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoGoldenTest, TruncatedSparsityFieldIsCleanIOError) {
+  // A v2 file cut mid-sparsity (60 of 64 header bytes) must be IOError.
+  const std::string bytes = ReadFileBytes(GoldenPath("sketch_set_v2.skt"));
+  ASSERT_FALSE(bytes.empty());
+  const std::string path = TempPath("tabsketch_sketchset_shortsparsity.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), 60);
+  }
+  auto loaded = ReadSketchSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+  std::remove(path.c_str());
 }
 
 TEST(SketchIoGoldenTest, CorruptedMagicIsCleanIOError) {

@@ -115,8 +115,10 @@ TEST(SketcherTest, FieldMatchesDirectSketchAtEveryPosition) {
   const table::Matrix data = RandomTable(12, 10, 4);
   constexpr size_t kWr = 3;
   constexpr size_t kWc = 4;
-  const SketchField field = sketcher->SketchAllPositions(
-      data, kWr, kWc, SketchAlgorithm::kNaive);
+  auto field_or = sketcher->SketchAllPositions(data, kWr, kWc,
+                                               SketchAlgorithm::kNaive);
+  ASSERT_TRUE(field_or.ok());
+  const SketchField& field = *field_or;
   ASSERT_EQ(field.position_rows(), data.rows() - kWr + 1);
   ASSERT_EQ(field.position_cols(), data.cols() - kWc + 1);
   for (size_t r = 0; r < field.position_rows(); r += 3) {
@@ -136,10 +138,14 @@ TEST(SketcherTest, FftFieldMatchesNaiveField) {
   auto sketcher = Sketcher::Create(params);
   ASSERT_TRUE(sketcher.ok());
   const table::Matrix data = RandomTable(20, 14, 8);
-  const SketchField naive =
+  auto naive_or =
       sketcher->SketchAllPositions(data, 4, 4, SketchAlgorithm::kNaive);
-  const SketchField fft =
+  auto fft_or =
       sketcher->SketchAllPositions(data, 4, 4, SketchAlgorithm::kFft);
+  ASSERT_TRUE(naive_or.ok());
+  ASSERT_TRUE(fft_or.ok());
+  const SketchField& naive = *naive_or;
+  const SketchField& fft = *fft_or;
   ASSERT_EQ(naive.position_rows(), fft.position_rows());
   ASSERT_EQ(naive.position_cols(), fft.position_cols());
   for (size_t i = 0; i < params.k; ++i) {
@@ -156,8 +162,10 @@ TEST(SketchFieldTest, AccumulateMatchesSketchAt) {
   auto sketcher = Sketcher::Create({.p = 1.0, .k = 3, .seed = 2});
   ASSERT_TRUE(sketcher.ok());
   const table::Matrix data = RandomTable(8, 8, 5);
-  const SketchField field =
+  auto field_or =
       sketcher->SketchAllPositions(data, 2, 2, SketchAlgorithm::kNaive);
+  ASSERT_TRUE(field_or.ok());
+  const SketchField& field = *field_or;
   Sketch acc;
   acc.values.assign(3, 0.0);
   field.AccumulateAt(1, 1, &acc);
@@ -234,13 +242,22 @@ TEST(SketcherDeathTest, EmptyViewAborts) {
   EXPECT_DEATH(sketcher->SketchOf(empty), "empty subtable");
 }
 
-TEST(SketcherDeathTest, OversizedWindowAborts) {
+TEST(SketcherTest, OversizedWindowIsInvalidArgument) {
   auto sketcher = Sketcher::Create({.p = 1.0, .k = 2, .seed = 1});
   ASSERT_TRUE(sketcher.ok());
   const table::Matrix data = RandomTable(4, 4, 1);
-  EXPECT_DEATH(
-      sketcher->SketchAllPositions(data, 5, 2, SketchAlgorithm::kNaive),
-      "does not fit");
+  for (const SketchAlgorithm algorithm :
+       {SketchAlgorithm::kNaive, SketchAlgorithm::kFft,
+        SketchAlgorithm::kAuto}) {
+    auto oversized = sketcher->SketchAllPositions(data, 5, 2, algorithm);
+    ASSERT_FALSE(oversized.ok());
+    EXPECT_EQ(oversized.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(oversized.status().message().find("does not fit"),
+              std::string::npos);
+    auto empty = sketcher->SketchAllPositions(data, 0, 2, algorithm);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), util::StatusCode::kInvalidArgument);
+  }
 }
 
 }  // namespace
